@@ -1,0 +1,211 @@
+//! Behavioural DFA learning (§IV-B3): "the state transitions are dictated
+//! by the automation programs installed in the service cloud. Therefore, a
+//! Deterministic Finite Automation (DFA) could be used to reflect normal
+//! device behaviors."
+//!
+//! The DFA is learned from benign traces of `(state, symbol) → state`
+//! observations; at monitoring time, transitions never seen in training
+//! (or seen too rarely) raise an anomaly.
+
+use std::collections::BTreeMap;
+
+/// Verdict on one observed transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfaVerdict {
+    /// Transition seen in training with adequate support.
+    Normal,
+    /// Source state known, but this (state, symbol) pair never trained.
+    UnknownTransition {
+        /// The offending state.
+        state: String,
+        /// The offending symbol.
+        symbol: String,
+    },
+    /// The state itself never appeared in training.
+    UnknownState {
+        /// The unseen state.
+        state: String,
+    },
+}
+
+impl DfaVerdict {
+    /// Whether the verdict is anomalous.
+    pub fn is_anomalous(&self) -> bool {
+        !matches!(self, DfaVerdict::Normal)
+    }
+}
+
+/// A learned deterministic automaton with transition counts.
+#[derive(Debug, Clone, Default)]
+pub struct Dfa {
+    /// (state, symbol) → (next state, observation count).
+    transitions: BTreeMap<(String, String), (String, u64)>,
+    states: BTreeMap<String, u64>,
+    /// Minimum observations for a transition to count as trained.
+    pub min_support: u64,
+}
+
+impl Dfa {
+    /// Creates an empty automaton (min support 1).
+    pub fn new() -> Self {
+        Dfa {
+            transitions: BTreeMap::new(),
+            states: BTreeMap::new(),
+            min_support: 1,
+        }
+    }
+
+    /// Learns from a benign trace of `(state, symbol, next_state)`.
+    pub fn train(&mut self, trace: &[(String, String, String)]) {
+        for (state, symbol, next) in trace {
+            *self.states.entry(state.clone()).or_insert(0) += 1;
+            self.states.entry(next.clone()).or_insert(0);
+            let entry = self
+                .transitions
+                .entry((state.clone(), symbol.clone()))
+                .or_insert_with(|| (next.clone(), 0));
+            entry.1 += 1;
+            // Determinism: if training shows a conflicting successor, keep
+            // the majority one by resetting when outvoted.
+            if &entry.0 != next && entry.1 < 2 {
+                entry.0 = next.clone();
+            }
+        }
+    }
+
+    /// Convenience: trains from a sequence of `(symbol, state)` pairs,
+    /// treating consecutive states as transitions.
+    pub fn train_sequence(&mut self, initial: &str, steps: &[(String, String)]) {
+        let mut state = initial.to_string();
+        let mut trace = Vec::new();
+        for (symbol, next) in steps {
+            trace.push((state.clone(), symbol.clone(), next.clone()));
+            state = next.clone();
+        }
+        self.train(&trace);
+    }
+
+    /// Checks one observed transition.
+    pub fn check(&self, state: &str, symbol: &str, next: &str) -> DfaVerdict {
+        if !self.states.contains_key(state) {
+            return DfaVerdict::UnknownState {
+                state: state.to_string(),
+            };
+        }
+        match self.transitions.get(&(state.to_string(), symbol.to_string())) {
+            Some((expected, count)) if *count >= self.min_support && expected == next => {
+                DfaVerdict::Normal
+            }
+            _ => DfaVerdict::UnknownTransition {
+                state: state.to_string(),
+                symbol: symbol.to_string(),
+            },
+        }
+    }
+
+    /// Scores a whole trace: fraction of anomalous transitions.
+    pub fn anomaly_rate(&self, trace: &[(String, String, String)]) -> f64 {
+        if trace.is_empty() {
+            return 0.0;
+        }
+        let anomalous = trace
+            .iter()
+            .filter(|(s, sym, n)| self.check(s, sym, n).is_anomalous())
+            .count();
+        anomalous as f64 / trace.len() as f64
+    }
+
+    /// Number of distinct learned states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct learned transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, sym: &str, n: &str) -> (String, String, String) {
+        (s.to_string(), sym.to_string(), n.to_string())
+    }
+
+    fn benign_trace() -> Vec<(String, String, String)> {
+        // idle --on--> active --stream--> streaming --idle--> idle
+        let mut trace = Vec::new();
+        for _ in 0..10 {
+            trace.push(t("idle", "cmd:on", "active"));
+            trace.push(t("active", "cmd:stream", "streaming"));
+            trace.push(t("streaming", "cmd:idle", "idle"));
+        }
+        trace
+    }
+
+    #[test]
+    fn trained_transitions_are_normal() {
+        let mut dfa = Dfa::new();
+        dfa.train(&benign_trace());
+        assert_eq!(dfa.check("idle", "cmd:on", "active"), DfaVerdict::Normal);
+        assert_eq!(dfa.state_count(), 3);
+        assert_eq!(dfa.transition_count(), 3);
+    }
+
+    #[test]
+    fn unseen_transitions_are_flagged() {
+        let mut dfa = Dfa::new();
+        dfa.train(&benign_trace());
+        // A compromised device jumping straight to streaming at 3 AM.
+        let verdict = dfa.check("idle", "cmd:stream", "streaming");
+        assert!(verdict.is_anomalous());
+        assert!(matches!(verdict, DfaVerdict::UnknownTransition { .. }));
+    }
+
+    #[test]
+    fn unknown_states_are_flagged() {
+        let mut dfa = Dfa::new();
+        dfa.train(&benign_trace());
+        let verdict = dfa.check("compromised", "cmd:ddos", "flooding");
+        assert!(matches!(verdict, DfaVerdict::UnknownState { .. }));
+    }
+
+    #[test]
+    fn anomaly_rate_separates_benign_from_attack_traces() {
+        let mut dfa = Dfa::new();
+        dfa.train(&benign_trace());
+        assert_eq!(dfa.anomaly_rate(&benign_trace()), 0.0);
+        let attack = vec![
+            t("idle", "cmd:on", "active"),
+            t("active", "exploit", "compromised"),
+            t("compromised", "cnc", "flooding"),
+        ];
+        assert!(dfa.anomaly_rate(&attack) > 0.6);
+    }
+
+    #[test]
+    fn min_support_filters_one_off_noise() {
+        let mut dfa = Dfa::new();
+        dfa.train(&benign_trace());
+        dfa.train(&[t("idle", "glitch", "active")]); // a single glitch
+        dfa.min_support = 3;
+        assert!(dfa.check("idle", "glitch", "active").is_anomalous());
+        assert_eq!(dfa.check("idle", "cmd:on", "active"), DfaVerdict::Normal);
+    }
+
+    #[test]
+    fn train_sequence_builds_the_chain() {
+        let mut dfa = Dfa::new();
+        dfa.train_sequence(
+            "off",
+            &[
+                ("power".to_string(), "idle".to_string()),
+                ("cmd:on".to_string(), "active".to_string()),
+            ],
+        );
+        assert_eq!(dfa.check("off", "power", "idle"), DfaVerdict::Normal);
+        assert_eq!(dfa.check("idle", "cmd:on", "active"), DfaVerdict::Normal);
+    }
+}

@@ -1,0 +1,154 @@
+//! Packet-sequence fingerprinting (§IV-B1): the HoMonit technique — "the
+//! fingerprint of an event is defined by a cluster of packet sequences
+//! that are similar with each other … the similarities of the sequences
+//! are measured with Levenshtein Distance."
+//!
+//! Sequences are vectors of observable packet sizes (direction can be
+//! folded in by signing the size). The classifier is nearest-centroid
+//! over labeled training sequences with a normalized edit distance.
+
+/// Levenshtein distance between two sequences, with a tolerance when
+/// comparing elements (packet sizes within `slack` count as equal —
+/// radios retransmit and pad).
+pub fn levenshtein(a: &[i64], b: &[i64], slack: i64) -> usize {
+    let eq = |x: i64, y: i64| (x - y).abs() <= slack;
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let cost = if eq(a[i - 1], b[j - 1]) { 0 } else { 1 };
+            curr[j] = (prev[j] + 1).min(curr[j - 1] + 1).min(prev[j - 1] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Normalized distance in `[0, 1]`.
+pub fn normalized_distance(a: &[i64], b: &[i64], slack: i64) -> f64 {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b, slack) as f64 / max_len as f64
+}
+
+/// A labeled sequence classifier (nearest neighbour over edit distance).
+#[derive(Debug, Clone, Default)]
+pub struct SequenceClassifier {
+    /// (label, training sequence).
+    exemplars: Vec<(String, Vec<i64>)>,
+    /// Size slack passed to the distance.
+    pub slack: i64,
+    /// Maximum normalized distance for a confident match.
+    pub max_distance: f64,
+}
+
+impl SequenceClassifier {
+    /// Creates an empty classifier with defaults (slack 8 bytes, max
+    /// distance 0.35 — HoMonit-flavoured).
+    pub fn new() -> Self {
+        SequenceClassifier {
+            exemplars: Vec::new(),
+            slack: 8,
+            max_distance: 0.35,
+        }
+    }
+
+    /// Adds a labeled training sequence.
+    pub fn train(&mut self, label: &str, sequence: Vec<i64>) {
+        self.exemplars.push((label.to_string(), sequence));
+    }
+
+    /// Classifies a sequence: the nearest exemplar's label, or `None`
+    /// when nothing is within `max_distance`.
+    pub fn classify(&self, sequence: &[i64]) -> Option<(&str, f64)> {
+        let best = self
+            .exemplars
+            .iter()
+            .map(|(label, ex)| (label.as_str(), normalized_distance(ex, sequence, self.slack)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+        if best.1 <= self.max_distance {
+            Some(best)
+        } else {
+            None
+        }
+    }
+
+    /// Number of stored exemplars.
+    pub fn len(&self) -> usize {
+        self.exemplars.len()
+    }
+
+    /// True when untrained.
+    pub fn is_empty(&self) -> bool {
+        self.exemplars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_distances() {
+        assert_eq!(levenshtein(&[1, 2, 3], &[1, 2, 3], 0), 0);
+        assert_eq!(levenshtein(&[1, 2, 3], &[1, 3], 0), 1);
+        assert_eq!(levenshtein(&[], &[5, 5], 0), 2);
+        assert_eq!(levenshtein(&[1, 2], &[3, 4], 0), 2);
+    }
+
+    #[test]
+    fn slack_tolerates_padding_jitter() {
+        assert_eq!(levenshtein(&[100, 200], &[104, 196], 8), 0);
+        assert_eq!(levenshtein(&[100, 200], &[120, 200], 8), 1);
+    }
+
+    #[test]
+    fn classifier_identifies_device_events() {
+        let mut clf = SequenceClassifier::new();
+        // Lock event: short handshake then two medium packets.
+        clf.train("lock:unlock", vec![60, 60, 140, 140]);
+        // Camera motion clip: long burst of large packets.
+        clf.train("cam:motion", vec![60, 900, 900, 900, 900, 300]);
+
+        let observed = vec![62, 58, 138, 144];
+        let (label, d) = clf.classify(&observed).unwrap();
+        assert_eq!(label, "lock:unlock");
+        assert!(d < 0.2);
+
+        let burst = vec![60, 902, 897, 905, 899, 295];
+        assert_eq!(clf.classify(&burst).unwrap().0, "cam:motion");
+    }
+
+    #[test]
+    fn unknown_sequences_return_none() {
+        let mut clf = SequenceClassifier::new();
+        clf.train("lock:unlock", vec![60, 60, 140, 140]);
+        let alien = vec![500, 1, 999, 2, 777, 3, 555, 4];
+        assert!(clf.classify(&alien).is_none());
+    }
+
+    #[test]
+    fn empty_classifier_returns_none() {
+        let clf = SequenceClassifier::new();
+        assert!(clf.classify(&[1, 2, 3]).is_none());
+        assert!(clf.is_empty());
+    }
+
+    #[test]
+    fn normalized_distance_bounds() {
+        assert_eq!(normalized_distance(&[], &[], 0), 0.0);
+        assert_eq!(normalized_distance(&[1], &[9], 0), 1.0);
+        let d = normalized_distance(&[1, 2, 3, 4], &[1, 2, 3, 9], 0);
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,171 @@
+//! Graph-based community learning (§IV-D): "users running the same IoT
+//! devices and similar automation applications could be considered as a
+//! group or community, which should present similar behaviors. Thus, XLF
+//! Core should leverage the knowledge obtained from the group to perform
+//! data correlations."
+//!
+//! Implementation: a kNN similarity graph over per-home behaviour
+//! features, label-propagation community detection, and a per-node
+//! deviation score (how unlike its own community a node behaves).
+
+/// Builds a symmetric kNN similarity graph: `adj[i]` lists `(j, weight)`
+/// for the `k` nearest neighbours of `i` by RBF similarity.
+pub fn similarity_graph(features: &[Vec<f64>], k: usize, gamma: f64) -> Vec<Vec<(usize, f64)>> {
+    let n = features.len();
+    let sim = |i: usize, j: usize| -> f64 {
+        let d2: f64 = features[i]
+            .iter()
+            .zip(&features[j])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (-gamma * d2).exp()
+    };
+    let mut adj = vec![Vec::new(); n];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let mut neighbours: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, sim(i, j)))
+            .collect();
+        neighbours.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        neighbours.truncate(k);
+        adj[i] = neighbours;
+    }
+    // Symmetrize: if i lists j, ensure j lists i.
+    for i in 0..n {
+        let edges: Vec<(usize, f64)> = adj[i].clone();
+        for (j, w) in edges {
+            if !adj[j].iter().any(|&(t, _)| t == i) {
+                adj[j].push((i, w));
+            }
+        }
+    }
+    adj
+}
+
+/// Label-propagation community detection: every node starts in its own
+/// community and repeatedly adopts the weighted-majority label of its
+/// neighbours. Deterministic: ties break toward the smaller label and
+/// nodes update in index order.
+pub fn label_propagation(adj: &[Vec<(usize, f64)>], max_iters: usize) -> Vec<usize> {
+    let n = adj.len();
+    let mut labels: Vec<usize> = (0..n).collect();
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for i in 0..n {
+            if adj[i].is_empty() {
+                continue;
+            }
+            // Weighted vote of neighbour labels.
+            let mut votes: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            for &(j, w) in &adj[i] {
+                *votes.entry(labels[j]).or_insert(0.0) += w;
+            }
+            let (&best_label, _) = votes
+                .iter()
+                .max_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.0.cmp(a.0)) // tie → smaller label wins
+                })
+                .expect("non-empty votes");
+            if labels[i] != best_label {
+                labels[i] = best_label;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+/// Deviation score per node: 1 − (mean similarity to same-community
+/// neighbours). Nodes that joined a community but sit far from it — the
+/// "one deviant home" of E-M6 — score high.
+pub fn deviation_scores(adj: &[Vec<(usize, f64)>], labels: &[usize]) -> Vec<f64> {
+    adj.iter()
+        .enumerate()
+        .map(|(i, edges)| {
+            let same: Vec<f64> = edges
+                .iter()
+                .filter(|&&(j, _)| labels[j] == labels[i])
+                .map(|&(_, w)| w)
+                .collect();
+            if same.is_empty() {
+                1.0
+            } else {
+                1.0 - same.iter().sum::<f64>() / same.len() as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight clusters of homes plus one outlier.
+    fn features() -> Vec<Vec<f64>> {
+        let mut f = Vec::new();
+        for i in 0..5 {
+            f.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..5 {
+            f.push(vec![10.0 + i as f64 * 0.01, 10.0]);
+        }
+        f.push(vec![5.0, 5.0]); // the deviant home
+        f
+    }
+
+    #[test]
+    fn knn_graph_connects_within_clusters() {
+        let adj = similarity_graph(&features(), 3, 0.5);
+        // Node 0's neighbours should all be in the first cluster.
+        for &(j, _) in &adj[0] {
+            assert!(j < 5 || j == 10, "node 0 linked to {j}");
+        }
+    }
+
+    #[test]
+    fn label_propagation_finds_two_main_communities() {
+        let adj = similarity_graph(&features(), 3, 0.5);
+        let labels = label_propagation(&adj, 50);
+        // All of cluster one shares a label; all of cluster two shares a
+        // (different) label.
+        assert!(labels[..5].iter().all(|&l| l == labels[0]));
+        assert!(labels[5..10].iter().all(|&l| l == labels[5]));
+        assert_ne!(labels[0], labels[5]);
+    }
+
+    #[test]
+    fn deviant_home_scores_highest() {
+        let adj = similarity_graph(&features(), 3, 0.5);
+        let labels = label_propagation(&adj, 50);
+        let scores = deviation_scores(&adj, &labels);
+        let deviant = 10usize;
+        for i in 0..10 {
+            assert!(
+                scores[deviant] > scores[i],
+                "home {i} scored {} vs deviant {}",
+                scores[i],
+                scores[deviant]
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_score_max_deviation() {
+        let adj = vec![vec![], vec![(0usize, 0.9)]];
+        let labels = vec![0, 0];
+        let scores = deviation_scores(&adj, &labels);
+        assert_eq!(scores[0], 1.0);
+    }
+
+    #[test]
+    fn propagation_is_deterministic() {
+        let adj = similarity_graph(&features(), 3, 0.5);
+        assert_eq!(label_propagation(&adj, 50), label_propagation(&adj, 50));
+    }
+}

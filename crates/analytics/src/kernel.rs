@@ -1,0 +1,178 @@
+//! Kernels over feature vectors, the building blocks of the MKL module.
+
+/// A positive-semidefinite kernel over `Vec<f64>` feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kernel {
+    /// Dot product.
+    Linear,
+    /// Gaussian RBF with bandwidth `gamma`.
+    Rbf {
+        /// Bandwidth (exp(-gamma‖x−y‖²)).
+        gamma: f64,
+    },
+    /// Polynomial `(x·y + c)^degree`.
+    Polynomial {
+        /// Exponent.
+        degree: u32,
+        /// Offset.
+        offset: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates k(x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len(), "kernel inputs must have equal dims");
+        match self {
+            Kernel::Linear => dot(x, y),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Polynomial { degree, offset } => (dot(x, y) + offset).powi(*degree as i32),
+        }
+    }
+
+    /// Computes the Gram matrix of a dataset.
+    pub fn gram(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let n = data.len();
+        let mut g = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let v = self.eval(&data[i], &data[j]);
+                g[i][j] = v;
+                g[j][i] = v;
+            }
+        }
+        g
+    }
+}
+
+fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Centers a Gram matrix in feature space: K ← HKH with H = I − 1/n.
+pub fn center(gram: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = gram.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    let row_means: Vec<f64> = gram.iter().map(|r| r.iter().sum::<f64>() / nf).collect();
+    let total_mean: f64 = row_means.iter().sum::<f64>() / nf;
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            out[i][j] = gram[i][j] - row_means[i] - row_means[j] + total_mean;
+        }
+    }
+    out
+}
+
+/// Frobenius inner product of two matrices.
+pub fn frobenius(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| x * y).sum::<f64>())
+        .sum()
+}
+
+/// Centered-kernel alignment between a Gram matrix and the label target
+/// matrix yyᵀ — the weight heuristic the MKL module uses.
+pub fn alignment(gram: &[Vec<f64>], labels: &[f64]) -> f64 {
+    let n = labels.len();
+    assert_eq!(gram.len(), n);
+    let target: Vec<Vec<f64>> = labels
+        .iter()
+        .map(|&yi| labels.iter().map(|&yj| yi * yj).collect())
+        .collect();
+    let kc = center(gram);
+    let num = frobenius(&kc, &target);
+    let den = (frobenius(&kc, &kc).sqrt()) * (frobenius(&target, &target).sqrt());
+    if den <= f64::EPSILON {
+        0.0
+    } else {
+        (num / den).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn rbf_kernel_properties() {
+        let k = Kernel::Rbf { gamma: 0.5 };
+        // k(x,x) = 1, decreasing in distance, symmetric.
+        assert!((k.eval(&[1.0, 2.0], &[1.0, 2.0]) - 1.0).abs() < 1e-12);
+        let near = k.eval(&[0.0], &[0.1]);
+        let far = k.eval(&[0.0], &[3.0]);
+        assert!(near > far);
+        assert_eq!(k.eval(&[1.0], &[2.0]), k.eval(&[2.0], &[1.0]));
+    }
+
+    #[test]
+    fn polynomial_kernel() {
+        let k = Kernel::Polynomial {
+            degree: 2,
+            offset: 1.0,
+        };
+        assert_eq!(k.eval(&[1.0], &[2.0]), 9.0); // (2+1)^2
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_unit_diag_for_rbf() {
+        let data = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]];
+        let g = Kernel::Rbf { gamma: 1.0 }.gram(&data);
+        for (i, row) in g.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - g[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn centering_zeroes_row_sums() {
+        let data = vec![vec![1.0], vec![2.0], vec![5.0]];
+        let g = Kernel::Linear.gram(&data);
+        let c = center(&g);
+        for row in &c {
+            assert!(row.iter().sum::<f64>().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn alignment_prefers_label_consistent_kernels() {
+        // Two clusters; labels follow the clusters. An RBF kernel that
+        // separates them should align better than a random-ish one.
+        let data = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let labels = vec![1.0, 1.0, -1.0, -1.0];
+        let good = alignment(&Kernel::Rbf { gamma: 1.0 }.gram(&data), &labels);
+        // A kernel with huge bandwidth sees everything as similar → low
+        // alignment.
+        let flat = alignment(&Kernel::Rbf { gamma: 1e-9 }.gram(&data), &labels);
+        assert!(good > flat, "good={good} flat={flat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dims")]
+    fn dimension_mismatch_panics() {
+        Kernel::Linear.eval(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Learning substrates for the XLF Core (§IV-D): the paper names
+//! multi-kernel learning for heterogeneous-source fusion and graph-based
+//! community learning explicitly; the layer mechanisms additionally need
+//! behavioural DFAs (§IV-B3), time-series models (§IV-C2/C3), and
+//! packet-sequence fingerprinting with Levenshtein distance (the HoMonit
+//! technique of §IV-B1). All implemented from scratch — no external ML
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod features;
+pub mod fingerprint;
+pub mod graph;
+pub mod kernel;
+pub mod mkl;
+pub mod timeseries;
+
+pub use dfa::{Dfa, DfaVerdict};
+pub use features::{window_features, FeatureWindow};
+pub use fingerprint::{levenshtein, SequenceClassifier};
+pub use graph::{label_propagation, similarity_graph, deviation_scores};
+pub use kernel::Kernel;
+pub use mkl::MklClassifier;
+pub use timeseries::{EwmaDetector, SeasonalDetector};

@@ -1,0 +1,245 @@
+//! Time-series anomaly detectors for the data-analytics mechanisms
+//! (§IV-C2 "time series modeling", §IV-C3 "whether there has been a spike
+//! in CPU on the sensor or irregular amounts of keep-alive packets").
+
+/// Exponentially-weighted moving average detector: alarms when a sample
+/// deviates from the running mean by more than `threshold` running
+/// standard deviations.
+#[derive(Debug, Clone)]
+pub struct EwmaDetector {
+    alpha: f64,
+    mean: f64,
+    var: f64,
+    samples: u64,
+    /// Z-score threshold for alarms.
+    pub threshold: f64,
+    /// Samples to absorb before alarming (warm-up).
+    pub warmup: u64,
+}
+
+impl EwmaDetector {
+    /// Creates a detector with smoothing factor `alpha` (0 < α ≤ 1) and a
+    /// z-score `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64, threshold: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        EwmaDetector {
+            alpha,
+            mean: 0.0,
+            var: 0.0,
+            samples: 0,
+            threshold,
+            warmup: 10,
+        }
+    }
+
+    /// Feeds a sample; returns `true` when it is anomalous.
+    pub fn observe(&mut self, value: f64) -> bool {
+        self.samples += 1;
+        if self.samples == 1 {
+            self.mean = value;
+            self.var = 0.0;
+            return false;
+        }
+        let sd = self.var.sqrt();
+        let deviation = (value - self.mean).abs();
+        let anomalous = self.samples > self.warmup
+            && if sd > 1e-12 {
+                deviation / sd > self.threshold
+            } else {
+                // Perfectly flat baseline: any substantial relative jump is
+                // anomalous (a zero-variance signal has no honest spikes).
+                deviation > self.mean.abs().max(1.0) * 0.5
+            };
+        // Update statistics only with non-anomalous samples so an attack
+        // cannot slowly poison the baseline.
+        if !anomalous {
+            let delta = value - self.mean;
+            self.mean += self.alpha * delta;
+            self.var = (1.0 - self.alpha) * (self.var + self.alpha * delta * delta);
+        }
+        anomalous
+    }
+
+    /// Current running mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Seasonal (Holt-Winters-flavoured) detector for periodic signals such as
+/// daily temperature cycles: keeps per-phase running statistics (mean and
+/// variance, Welford) and alarms when a sample deviates from its phase
+/// baseline by more than `max(tolerance_floor, 4σ_phase)` — the adaptive
+/// band absorbs honest within-phase spread while the floor keeps
+/// zero-variance phases from alarming on noise.
+#[derive(Debug, Clone)]
+pub struct SeasonalDetector {
+    period: usize,
+    /// Per-phase (count, mean, m2).
+    stats: Vec<(u64, f64, f64)>,
+    /// Minimum absolute deviation that can raise an alarm.
+    pub tolerance: f64,
+    /// Sigma multiplier for the adaptive band.
+    pub sigma_band: f64,
+    cursor: usize,
+    /// Completed periods before alarms arm.
+    pub warmup_periods: u64,
+    seen_periods: u64,
+}
+
+impl SeasonalDetector {
+    /// Creates a detector with `period` phases and an absolute deviation
+    /// floor `tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(period: usize, tolerance: f64) -> Self {
+        assert!(period > 0, "period must be positive");
+        SeasonalDetector {
+            period,
+            stats: vec![(0, 0.0, 0.0); period],
+            tolerance,
+            sigma_band: 4.0,
+            cursor: 0,
+            warmup_periods: 2,
+            seen_periods: 0,
+        }
+    }
+
+    /// Feeds a sample at an explicit phase (e.g. hour of day); returns
+    /// `true` when it deviates beyond the adaptive band.
+    pub fn observe_phase(&mut self, phase: usize, value: f64) -> bool {
+        let phase = phase % self.period;
+        let (count, mean, m2) = self.stats[phase];
+        let armed = self.seen_periods >= self.warmup_periods && count > 1;
+        let sigma = if count > 1 {
+            (m2 / (count - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let band = self.tolerance.max(self.sigma_band * sigma);
+        let anomalous = armed && (value - mean).abs() > band;
+        if !anomalous {
+            // Welford update with honest samples only.
+            let count = count + 1;
+            let delta = value - mean;
+            let mean = mean + delta / count as f64;
+            let m2 = m2 + delta * (value - mean);
+            self.stats[phase] = (count, mean, m2);
+        }
+        anomalous
+    }
+
+    /// Feeds the next sample with cyclically advancing phases (for
+    /// streams sampled exactly once per phase).
+    pub fn observe(&mut self, value: f64) -> bool {
+        let phase = self.cursor;
+        self.cursor = (self.cursor + 1) % self.period;
+        if self.cursor == 0 {
+            self.seen_periods += 1;
+        }
+        self.observe_phase(phase, value)
+    }
+
+    /// Marks a full period as elapsed (for explicit-phase callers that do
+    /// not use [`SeasonalDetector::observe`]'s cursor).
+    pub fn complete_period(&mut self) {
+        self.seen_periods += 1;
+    }
+
+    /// Number of completed periods observed so far.
+    pub fn completed_periods(&self) -> u64 {
+        self.seen_periods
+    }
+
+    /// The learned baseline mean for a phase.
+    pub fn baseline(&self, phase: usize) -> f64 {
+        self.stats[phase % self.period].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_learns_a_flat_signal_and_flags_spikes() {
+        let mut d = EwmaDetector::new(0.2, 4.0);
+        for i in 0..100 {
+            let noise = ((i * 37) % 7) as f64 * 0.1;
+            assert!(!d.observe(50.0 + noise), "false alarm at {i}");
+        }
+        assert!(d.observe(500.0), "missed an obvious spike");
+        assert!((d.mean() - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn ewma_baseline_not_poisoned_by_anomalies() {
+        let mut d = EwmaDetector::new(0.2, 4.0);
+        for _ in 0..50 {
+            d.observe(10.0);
+        }
+        for _ in 0..5 {
+            d.observe(1000.0); // attack spikes
+        }
+        // Mean must remain near 10, not dragged toward 1000.
+        assert!(d.mean() < 20.0, "mean = {}", d.mean());
+    }
+
+    #[test]
+    fn ewma_warmup_suppresses_early_alarms() {
+        let mut d = EwmaDetector::new(0.5, 1.0);
+        d.warmup = 5;
+        // Wildly varying early samples must not alarm during warm-up.
+        for v in [1.0, 100.0, 3.0, 80.0] {
+            assert!(!d.observe(v));
+        }
+    }
+
+    #[test]
+    fn seasonal_learns_a_cycle_and_flags_phase_deviations() {
+        let mut d = SeasonalDetector::new(24, 5.0);
+        // Two warm-up days + two monitored days of a clean diurnal cycle.
+        let temp = |h: usize| 70.0 + 8.0 * ((h as f64) * std::f64::consts::TAU / 24.0).sin();
+        for _day in 0..4 {
+            for h in 0..24 {
+                assert!(!d.observe(temp(h)), "false alarm at hour {h}");
+            }
+        }
+        // The §IV-C3 heater attack: +15°F at 3 AM.
+        for h in 0..24 {
+            let value = if h == 3 { temp(h) + 15.0 } else { temp(h) };
+            let alarm = d.observe(value);
+            assert_eq!(alarm, h == 3, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn seasonal_baseline_accessor() {
+        let mut d = SeasonalDetector::new(4, 1.0);
+        for _ in 0..3 {
+            for v in [10.0, 20.0, 30.0, 40.0] {
+                d.observe(v);
+            }
+        }
+        assert!((d.baseline(1) - 20.0).abs() < 1e-9);
+        assert!((d.baseline(5) - 20.0).abs() < 1e-9); // wraps
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        EwmaDetector::new(0.0, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn zero_period_panics() {
+        SeasonalDetector::new(0, 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests over the learning substrates: metric axioms,
+//! permutation invariants, and detector sanity under arbitrary inputs.
+
+use proptest::prelude::*;
+use xlf_analytics::dfa::Dfa;
+use xlf_analytics::features::window_features;
+use xlf_analytics::fingerprint::{levenshtein, normalized_distance};
+use xlf_analytics::graph::{deviation_scores, label_propagation, similarity_graph};
+use xlf_analytics::kernel::{center, Kernel};
+use xlf_analytics::timeseries::EwmaDetector;
+
+fn seqs() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..2000, 0..24)
+}
+
+proptest! {
+    /// Levenshtein is a metric (slack 0): identity, symmetry, triangle
+    /// inequality.
+    #[test]
+    fn levenshtein_is_a_metric(a in seqs(), b in seqs(), c in seqs()) {
+        prop_assert_eq!(levenshtein(&a, &a, 0), 0);
+        prop_assert_eq!(levenshtein(&a, &b, 0), levenshtein(&b, &a, 0));
+        let ab = levenshtein(&a, &b, 0);
+        let bc = levenshtein(&b, &c, 0);
+        let ac = levenshtein(&a, &c, 0);
+        prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab}+{bc}");
+    }
+
+    /// Distance is bounded by the longer sequence; normalized distance is
+    /// in [0, 1].
+    #[test]
+    fn levenshtein_bounds(a in seqs(), b in seqs(), slack in 0i64..16) {
+        let d = levenshtein(&a, &b, slack);
+        prop_assert!(d <= a.len().max(b.len()));
+        let nd = normalized_distance(&a, &b, slack);
+        prop_assert!((0.0..=1.0).contains(&nd));
+    }
+
+    /// More slack never increases the distance.
+    #[test]
+    fn slack_is_monotone(a in seqs(), b in seqs(), s1 in 0i64..8, extra in 0i64..8) {
+        prop_assert!(levenshtein(&a, &b, s1 + extra) <= levenshtein(&a, &b, s1));
+    }
+
+    /// Kernels: symmetry and (for RBF) boundedness in (0, 1].
+    #[test]
+    fn kernel_axioms(x in prop::collection::vec(-100.0f64..100.0, 1..8),
+                     y in prop::collection::vec(-100.0f64..100.0, 1..8),
+                     gamma in 0.001f64..2.0) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        for k in [Kernel::Linear, Kernel::Rbf { gamma }] {
+            prop_assert!((k.eval(x, y) - k.eval(y, x)).abs() < 1e-9);
+        }
+        let r = Kernel::Rbf { gamma }.eval(x, y);
+        // exp underflows to exactly 0.0 for distant points — that is fine.
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+    }
+
+    /// Centering always zeroes the row sums of any Gram matrix.
+    #[test]
+    fn centering_zeroes_rows(data in prop::collection::vec(
+        prop::collection::vec(-10.0f64..10.0, 3..3+1), 2..10)) {
+        let g = Kernel::Linear.gram(&data);
+        for row in center(&g) {
+            prop_assert!(row.iter().sum::<f64>().abs() < 1e-6);
+        }
+    }
+
+    /// The DFA never flags a transition it was trained on (min support 1).
+    #[test]
+    fn dfa_accepts_its_training_set(
+        trace in prop::collection::vec(("[a-c]", "[x-z]", "[a-c]"), 1..32)
+    ) {
+        let trace: Vec<(String, String, String)> = trace;
+        let mut dfa = Dfa::new();
+        dfa.train(&trace);
+        // Re-check only the transitions whose (state, symbol) kept their
+        // final successor (determinism resolution keeps the majority).
+        for (s, sym, n) in &trace {
+            let verdict = dfa.check(s, sym, n);
+            if verdict.is_anomalous() {
+                // Permitted only when training itself was contradictory.
+                let conflicting = trace.iter()
+                    .filter(|(s2, sym2, n2)| s2 == s && sym2 == sym && n2 != n)
+                    .count();
+                prop_assert!(conflicting > 0, "clean transition flagged");
+            }
+        }
+    }
+
+    /// EWMA never alarms during warm-up and never panics on any stream.
+    #[test]
+    fn ewma_warmup_and_totality(values in prop::collection::vec(-1e6f64..1e6, 1..64),
+                                warmup in 1u64..32) {
+        let mut d = EwmaDetector::new(0.3, 4.0);
+        d.warmup = warmup;
+        for (i, &v) in values.iter().enumerate() {
+            let alarm = d.observe(v);
+            if (i as u64) < warmup {
+                prop_assert!(!alarm, "alarm during warm-up at {i}");
+            }
+        }
+    }
+
+    /// Feature windows: counts and byte totals always agree with input.
+    #[test]
+    fn feature_window_consistency(samples in prop::collection::vec(
+        (0.0f64..1e4, 1usize..2000, any::<bool>()), 0..64)) {
+        let w = window_features(&samples);
+        prop_assert_eq!(w.count, samples.len());
+        let bytes: usize = samples.iter().map(|&(_, s, _)| s).sum();
+        prop_assert!((w.bytes - bytes as f64).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&w.upstream_fraction));
+        prop_assert!(w.std_size >= 0.0);
+    }
+
+    /// Label propagation: every label is a valid node index and the
+    /// result is deterministic.
+    #[test]
+    fn label_propagation_wellformed(features in prop::collection::vec(
+        prop::collection::vec(-5.0f64..5.0, 2..2+1), 2..12)) {
+        let adj = similarity_graph(&features, 2, 1.0);
+        let labels = label_propagation(&adj, 50);
+        prop_assert_eq!(labels.len(), features.len());
+        for &l in &labels {
+            prop_assert!(l < features.len());
+        }
+        prop_assert_eq!(labels.clone(), label_propagation(&adj, 50));
+        let scores = deviation_scores(&adj, &labels);
+        for s in scores {
+            prop_assert!((0.0..=1.0).contains(&s) || s.abs() < 1e-9);
+        }
+    }
+}

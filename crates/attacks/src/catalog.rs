@@ -1,0 +1,282 @@
+//! The attack catalog: Figure 3's OWASP surface-area mapping and Table
+//! II's vulnerability/attack/impact rows, tied to the executable attack
+//! implementations in this crate.
+
+use std::fmt;
+
+/// OWASP IoT attack-surface areas (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SurfaceArea {
+    /// Device firmware, memory, and local storage.
+    DeviceFirmwareAndStorage,
+    /// Administrative and web interfaces.
+    AdminInterfaces,
+    /// Device network services and open ports.
+    DeviceNetworkServices,
+    /// LAN/WAN traffic and radio channels.
+    NetworkTraffic,
+    /// Cloud/web APIs.
+    CloudApis,
+    /// Third-party application ecosystem.
+    ApplicationEcosystem,
+    /// Update mechanism.
+    UpdateMechanism,
+}
+
+impl fmt::Display for SurfaceArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Every implemented attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackKind {
+    /// Table II row 1: MitM/password stealing via static credentials.
+    DefaultCredentialTakeover,
+    /// Table II row 2: buffer overflow → shellcode execution.
+    BufferOverflow,
+    /// Table II row 3: firmware modulation on an unverified OTA path.
+    FirmwareTamper,
+    /// Table II row 4: Chromecast-style deauth + reconnect hijack.
+    Rickroll,
+    /// Table II row 5: UPnP channel sniffing leaks the WiFi password.
+    UpnpSniffing,
+    /// Table II row 6: generic-auth fridge → malicious mail bot.
+    MaliciousMailBot,
+    /// Table II row 7: unsecured-WiFi oven → MitM pivot to other devices.
+    OpenWifiPivot,
+    /// §IV-B3: Mirai-style telnet scanning.
+    BotnetScan,
+    /// §IV-B3: coordinated DDoS from recruited devices.
+    Ddos,
+    /// §IV-A3: DNS cache poisoning.
+    DnsPoisoning,
+    /// §IV-B1: passive traffic analysis / state inference.
+    TrafficAnalysis,
+    /// Replay of captured frames/records.
+    Replay,
+    /// §IV-C2: spoofed events to the cloud.
+    EventSpoofing,
+    /// §IV-C2: over-privileged SmartApp abuse.
+    OverprivilegedApp,
+}
+
+/// Catalog entry: where the attack lives and what it does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackSpec {
+    /// The attack.
+    pub kind: AttackKind,
+    /// OWASP surface area (Figure 3).
+    pub surface: SurfaceArea,
+    /// XLF layer that observes/mitigates it.
+    pub xlf_layer: &'static str,
+    /// Table II columns, when the attack is a Table II row:
+    /// (device, vulnerability, attack, impact).
+    pub table2_row: Option<(&'static str, &'static str, &'static str, &'static str)>,
+    /// Module implementing the executable attack.
+    pub implemented_by: &'static str,
+}
+
+/// The full catalog.
+pub fn attack_catalog() -> Vec<AttackSpec> {
+    use AttackKind::*;
+    use SurfaceArea::*;
+    vec![
+        AttackSpec {
+            kind: DefaultCredentialTakeover,
+            surface: AdminInterfaces,
+            xlf_layer: "device (authentication)",
+            table2_row: Some((
+                "Smart light bulb",
+                "Static password",
+                "MitM, password stealing",
+                "Bulb controlled by remote",
+            )),
+            implemented_by: "xlf_attacks::device::CredentialAttacker",
+        },
+        AttackSpec {
+            kind: BufferOverflow,
+            surface: DeviceFirmwareAndStorage,
+            xlf_layer: "device (malware detection)",
+            table2_row: Some((
+                "Wall pad",
+                "Buffer overflow",
+                "Value manipulation, shellcode exe.",
+                "Housebreaking, monitoring",
+            )),
+            implemented_by: "xlf_attacks::device::OverflowAttacker",
+        },
+        AttackSpec {
+            kind: FirmwareTamper,
+            surface: UpdateMechanism,
+            xlf_layer: "device (malware detection) + network (monitoring)",
+            table2_row: Some((
+                "Network camera",
+                "Firmware integrity",
+                "Firmware modulation",
+                "damage peripherals",
+            )),
+            implemented_by: "xlf_attacks::device::FirmwareTamperer",
+        },
+        AttackSpec {
+            kind: Rickroll,
+            surface: DeviceNetworkServices,
+            xlf_layer: "network (constrained access)",
+            table2_row: Some((
+                "Chromecast",
+                "Rickrolling",
+                "D/C & reconnects to attacker",
+                "Privacy violation.",
+            )),
+            implemented_by: "xlf_attacks::device::RickrollAttacker",
+        },
+        AttackSpec {
+            kind: UpnpSniffing,
+            surface: NetworkTraffic,
+            xlf_layer: "network (monitoring) + device (encryption)",
+            table2_row: Some((
+                "Coffee machine",
+                "Unprotected channel",
+                "Listens to UPNP.",
+                "Hijack password of Wi-Fi",
+            )),
+            implemented_by: "xlf_attacks::device::upnp_sniff",
+        },
+        AttackSpec {
+            kind: MaliciousMailBot,
+            surface: AdminInterfaces,
+            xlf_layer: "device (authentication) + service (analytics)",
+            table2_row: Some((
+                "Fridge",
+                "Generic auth.",
+                "Malicious code infection",
+                "Send malicious mail",
+            )),
+            implemented_by: "xlf_attacks::device::CredentialAttacker (generic-auth mode)",
+        },
+        AttackSpec {
+            kind: OpenWifiPivot,
+            surface: NetworkTraffic,
+            xlf_layer: "network (constrained access)",
+            table2_row: Some((
+                "Oven",
+                "unsecured Wi-Fi",
+                "MitM attack",
+                "Access other devices",
+            )),
+            implemented_by: "xlf_attacks::mitm",
+        },
+        AttackSpec {
+            kind: BotnetScan,
+            surface: DeviceNetworkServices,
+            xlf_layer: "network (malicious activity identification)",
+            table2_row: None,
+            implemented_by: "xlf_attacks::mirai::Scanner",
+        },
+        AttackSpec {
+            kind: Ddos,
+            surface: NetworkTraffic,
+            xlf_layer: "network (malicious activity identification)",
+            table2_row: None,
+            implemented_by: "xlf_attacks::mirai::CommandAndControl",
+        },
+        AttackSpec {
+            kind: DnsPoisoning,
+            surface: DeviceNetworkServices,
+            xlf_layer: "network (constrained access / DNS)",
+            table2_row: None,
+            implemented_by: "xlf_attacks::dnspoison",
+        },
+        AttackSpec {
+            kind: TrafficAnalysis,
+            surface: NetworkTraffic,
+            xlf_layer: "network (traffic shaping)",
+            table2_row: None,
+            implemented_by: "xlf_attacks::observer::TrafficAnalyst",
+        },
+        AttackSpec {
+            kind: Replay,
+            surface: NetworkTraffic,
+            xlf_layer: "network (802.15.4 security / TLS)",
+            table2_row: None,
+            implemented_by: "xlf_attacks::replay",
+        },
+        AttackSpec {
+            kind: EventSpoofing,
+            surface: CloudApis,
+            xlf_layer: "service (application verification)",
+            table2_row: None,
+            implemented_by: "xlf_attacks::spoof::EventSpoofer",
+        },
+        AttackSpec {
+            kind: OverprivilegedApp,
+            surface: ApplicationEcosystem,
+            xlf_layer: "service (application verification)",
+            table2_row: None,
+            implemented_by: "xlf_attacks::overprivilege",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_table2_rows_are_present() {
+        let rows: Vec<_> = attack_catalog()
+            .into_iter()
+            .filter_map(|a| a.table2_row)
+            .collect();
+        assert_eq!(rows.len(), 7);
+        let devices: Vec<&str> = rows.iter().map(|r| r.0).collect();
+        for d in [
+            "Smart light bulb",
+            "Wall pad",
+            "Network camera",
+            "Chromecast",
+            "Coffee machine",
+            "Fridge",
+            "Oven",
+        ] {
+            assert!(devices.contains(&d), "missing Table II device {d}");
+        }
+    }
+
+    #[test]
+    fn every_surface_area_is_exercised() {
+        let catalog = attack_catalog();
+        for surface in [
+            SurfaceArea::DeviceFirmwareAndStorage,
+            SurfaceArea::AdminInterfaces,
+            SurfaceArea::DeviceNetworkServices,
+            SurfaceArea::NetworkTraffic,
+            SurfaceArea::CloudApis,
+            SurfaceArea::ApplicationEcosystem,
+            SurfaceArea::UpdateMechanism,
+        ] {
+            assert!(
+                catalog.iter().any(|a| a.surface == surface),
+                "no attack on {surface}"
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_are_unique() {
+        let mut kinds: Vec<_> = attack_catalog().into_iter().map(|a| a.kind).collect();
+        let before = kinds.len();
+        kinds.sort();
+        kinds.dedup();
+        assert_eq!(kinds.len(), before);
+    }
+
+    #[test]
+    fn every_attack_names_an_implementation_and_layer() {
+        for spec in attack_catalog() {
+            assert!(spec.implemented_by.starts_with("xlf_attacks::"));
+            assert!(!spec.xlf_layer.is_empty());
+        }
+    }
+}

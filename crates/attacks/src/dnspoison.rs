@@ -1,0 +1,137 @@
+//! DNS cache poisoning (§IV-A3: devices "hard-coded to connect to certain
+//! corporate domains … makes them vulnerable to DNS cache poisoning
+//! attacks").
+//!
+//! Two attacker positions: *off-path* (must guess the transaction id) and
+//! *on-path* (observed the query, knows the txid). Run against the three
+//! resolver postures to regenerate the mitigation table.
+
+use rand::{Rng, SeedableRng};
+use xlf_protocols::dns::{DnsRecord, RecordType, ResolveOutcome, Resolver};
+use xlf_simnet::SimTime;
+
+/// Attacker position relative to the query path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Position {
+    /// Blind spoofing: guesses txids at random.
+    OffPath {
+        /// Number of spoofed responses the attacker can race in.
+        attempts: u32,
+    },
+    /// Observed the query: knows the txid exactly.
+    OnPath,
+}
+
+/// Result of one poisoning campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoisonResult {
+    /// Whether the victim cached the attacker's record.
+    pub poisoned: bool,
+    /// Spoofed responses sent.
+    pub responses_sent: u32,
+    /// Outcome of the final response processed.
+    pub last_outcome: ResolveOutcome,
+}
+
+/// The record the attacker wants cached: victim name → attacker address.
+pub fn malicious_record(name: &str) -> DnsRecord {
+    DnsRecord::new(name, RecordType::A, "n666", 3600)
+}
+
+/// Runs a poisoning campaign against `resolver` for `name`, assuming the
+/// victim has just issued a query (whose txid the campaign may or may not
+/// know, per `position`).
+pub fn poison(
+    resolver: &mut Resolver,
+    name: &str,
+    position: Position,
+    seed: u64,
+    now: SimTime,
+) -> PoisonResult {
+    let txid = resolver.start_query(name, RecordType::A);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut responses_sent = 0;
+    let mut last_outcome = ResolveOutcome::Unsolicited;
+
+    let attempts = match position {
+        Position::OffPath { attempts } => attempts,
+        Position::OnPath => 1,
+    };
+    for _ in 0..attempts {
+        let guess = match position {
+            Position::OffPath { .. } => rng.gen::<u16>(),
+            Position::OnPath => txid,
+        };
+        responses_sent += 1;
+        last_outcome = resolver.handle_response(malicious_record(name), guess, now);
+        if last_outcome == ResolveOutcome::Accepted {
+            break;
+        }
+    }
+    let poisoned = resolver
+        .cached(name, RecordType::A, now)
+        .map(|r| r.value == "n666")
+        .unwrap_or(false);
+    PoisonResult {
+        poisoned,
+        responses_sent,
+        last_outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlf_protocols::dns::ResolverConfig;
+
+    const NAME: &str = "hub.vendor.example";
+    const ZONE_SECRET: &[u8] = b"vendor zone";
+
+    #[test]
+    fn naive_resolver_poisoned_by_a_single_blind_packet() {
+        let mut r = Resolver::new(ResolverConfig::naive());
+        let result = poison(&mut r, NAME, Position::OffPath { attempts: 1 }, 1, SimTime::ZERO);
+        assert!(result.poisoned);
+        assert_eq!(result.responses_sent, 1);
+    }
+
+    #[test]
+    fn txid_checking_survives_blind_spoofing_mostly() {
+        // 50 blind guesses against a 16-bit txid: overwhelmingly likely to
+        // fail (p ≈ 50/65536).
+        let mut r = Resolver::new(ResolverConfig {
+            check_txid: true,
+            validate_dnssec: false,
+        });
+        let result = poison(&mut r, NAME, Position::OffPath { attempts: 50 }, 2, SimTime::ZERO);
+        assert!(!result.poisoned);
+        assert_eq!(result.responses_sent, 50);
+    }
+
+    #[test]
+    fn txid_checking_falls_to_an_on_path_attacker() {
+        let mut r = Resolver::new(ResolverConfig {
+            check_txid: true,
+            validate_dnssec: false,
+        });
+        let result = poison(&mut r, NAME, Position::OnPath, 3, SimTime::ZERO);
+        assert!(result.poisoned);
+    }
+
+    #[test]
+    fn dnssec_stops_even_on_path_attackers() {
+        let mut r = Resolver::new(ResolverConfig::hardened());
+        r.add_trust_anchor("vendor.example", ZONE_SECRET);
+        let result = poison(&mut r, NAME, Position::OnPath, 4, SimTime::ZERO);
+        assert!(!result.poisoned);
+        assert_eq!(result.last_outcome, ResolveOutcome::ValidationFailed);
+    }
+
+    #[test]
+    fn poisoned_cache_redirects_subsequent_lookups() {
+        let mut r = Resolver::new(ResolverConfig::naive());
+        poison(&mut r, NAME, Position::OnPath, 5, SimTime::ZERO);
+        let cached = r.cached(NAME, RecordType::A, SimTime::from_secs(100)).unwrap();
+        assert_eq!(cached.value, "n666");
+    }
+}

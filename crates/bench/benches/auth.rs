@@ -1,0 +1,35 @@
+//! E-M1 bench — per-request authentication cost (compute, not modeled
+//! network latency): delegation proxy cache hit vs cloud-only validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xlf_core::auth::{
+    AccessOrigin, AuthRequest, CloudOnlyAuth, DelegationProxy, LatencyModel, PrivilegeTier,
+};
+use xlf_simnet::SimTime;
+
+fn request() -> AuthRequest {
+    AuthRequest {
+        user: "alice".to_string(),
+        device: "lamp".to_string(),
+        origin: AccessOrigin::Lan,
+        tier: PrivilegeTier::Basic,
+    }
+}
+
+fn bench_auth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auth_per_request");
+    group.sample_size(20);
+    group.bench_function("delegation_proxy_cached", |b| {
+        let mut proxy = DelegationProxy::new(LatencyModel::default());
+        proxy.authenticate(&request(), SimTime::ZERO);
+        b.iter(|| std::hint::black_box(proxy.authenticate(&request(), SimTime::from_secs(1))));
+    });
+    group.bench_function("cloud_only", |b| {
+        let mut cloud = CloudOnlyAuth::new(LatencyModel::default());
+        b.iter(|| std::hint::black_box(cloud.authenticate(&request(), SimTime::from_secs(1))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_auth);
+criterion_main!(benches);

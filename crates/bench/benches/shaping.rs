@@ -1,0 +1,31 @@
+//! E-M3 bench — shaping decision cost per packet across modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xlf_core::shaping::{ShapingMode, TrafficShaper};
+use xlf_simnet::Duration;
+
+fn bench_shaping(c: &mut Criterion) {
+    let modes: Vec<(&str, ShapingMode)> = vec![
+        ("off", ShapingMode::Off),
+        ("pad256", ShapingMode::PadOnly { bucket: 256 }),
+        (
+            "pad1024_delay",
+            ShapingMode::PadAndDelay {
+                bucket: 1024,
+                max_delay: Duration::from_millis(500),
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("shaping_per_packet");
+    group.sample_size(20);
+    for (name, mode) in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, mode| {
+            let mut shaper = TrafficShaper::new(*mode, 7);
+            b.iter(|| std::hint::black_box(shaper.shape(333)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shaping);
+criterion_main!(benches);

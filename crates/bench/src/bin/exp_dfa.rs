@@ -1,0 +1,110 @@
+//! E-M5 — behavioural DFA monitoring (§IV-B3/§IV-C2): learn per-device
+//! automata from benign traces, then measure detection and false-alarm
+//! rates on held-out benign traffic and on injected misbehaviour
+//! (compromise transitions, spoof-driven commands).
+
+use xlf_analytics::dfa::Dfa;
+use xlf_bench::print_table;
+
+type Trace = Vec<(String, String, String)>;
+
+fn t(s: &str, sym: &str, n: &str) -> (String, String, String) {
+    (s.to_string(), sym.to_string(), n.to_string())
+}
+
+/// Benign daily cycle of a camera: idle ↔ streaming via user commands,
+/// plus off/on at night.
+fn benign_day(variant: usize) -> Trace {
+    let mut trace = Vec::new();
+    for hour in 0..24 {
+        match (hour + variant) % 6 {
+            0 => {
+                trace.push(t("idle", "cmd:stream", "streaming"));
+                trace.push(t("streaming", "cmd:idle", "idle"));
+            }
+            3 => {
+                trace.push(t("idle", "cmd:off", "off"));
+                trace.push(t("off", "cmd:on", "active"));
+                trace.push(t("active", "cmd:idle", "idle"));
+            }
+            _ => {
+                trace.push(t("idle", "telemetry", "idle"));
+            }
+        }
+    }
+    trace
+}
+
+/// Attack traces: each misbehaviour class the paper's monitors target.
+fn attack_traces() -> Vec<(&'static str, Trace)> {
+    vec![
+        (
+            "exploit → compromised",
+            vec![
+                t("idle", "telemetry", "idle"),
+                t("idle", "exploit", "compromised"),
+                t("compromised", "cnc", "flooding"),
+            ],
+        ),
+        (
+            "spoof-driven streaming at 3AM",
+            vec![
+                t("off", "cmd:stream", "streaming"),
+                t("streaming", "exfil", "streaming"),
+            ],
+        ),
+        (
+            "firmware implant reboot loop",
+            vec![
+                t("idle", "reboot", "off"),
+                t("off", "reboot", "off"),
+                t("off", "implant", "compromised"),
+            ],
+        ),
+    ]
+}
+
+fn main() {
+    // Train on 20 benign days (with schedule variants), hold out 10 more.
+    let mut dfa = Dfa::new();
+    dfa.min_support = 2;
+    for day in 0..20 {
+        dfa.train(&benign_day(day));
+    }
+
+    let mut rows = Vec::new();
+    let mut benign_rates = Vec::new();
+    for day in 20..30 {
+        benign_rates.push(dfa.anomaly_rate(&benign_day(day)));
+    }
+    let false_alarm = benign_rates.iter().sum::<f64>() / benign_rates.len() as f64;
+    rows.push(vec![
+        "benign (10 held-out days)".to_string(),
+        format!("{:.1}%", false_alarm * 100.0),
+        "false-alarm rate".to_string(),
+    ]);
+    for (name, trace) in attack_traces() {
+        let rate = dfa.anomaly_rate(&trace);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", rate * 100.0),
+            "detection (anomalous transitions)".to_string(),
+        ]);
+    }
+    print_table(
+        "E-M5 — Behavioural DFA: anomaly rate per trace class (§IV-B3)",
+        &["Trace", "Anomaly rate", "Interpretation"],
+        &rows,
+    );
+    println!(
+        "\nLearned automaton: {} states, {} transitions, min support {}.",
+        dfa.state_count(),
+        dfa.transition_count(),
+        dfa.min_support
+    );
+    println!(
+        "Shape check: held-out benign days score ≈0% while every misbehaviour\n\
+         class scores far above it — the separation the HoMonit-style monitor\n\
+         relies on."
+    );
+}

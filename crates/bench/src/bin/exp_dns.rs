@@ -1,0 +1,109 @@
+//! E-M2 — DNS privacy and constrained access (§IV-A3): which DNS
+//! transports constrained devices can afford, what each leaks to a
+//! passive observer, and how resolver hardening changes cache-poisoning
+//! outcomes.
+
+use xlf_attacks::dnspoison::{poison, Position};
+use xlf_bench::print_table;
+use xlf_device::{DeviceClass, DeviceSpec};
+use xlf_protocols::dns::{encode_query, DnsTransport, Resolver, ResolverConfig};
+use xlf_simnet::SimTime;
+
+fn main() {
+    // Part 1: transport feasibility per device class + observer leakage.
+    let transports = [
+        DnsTransport::Plain,
+        DnsTransport::DoT,
+        DnsTransport::DoH,
+        DnsTransport::XlfLightweight,
+    ];
+    let device_classes = [
+        DeviceClass::SensorDevice,
+        DeviceClass::PhilipsHueLightbulb,
+        DeviceClass::NestLearningThermostat,
+        DeviceClass::Iphone6sPlus,
+    ];
+    let mut rows = Vec::new();
+    for transport in transports {
+        let q = encode_query(transport, "nest.vendor.example", 7, b"session");
+        let mut cells = vec![
+            format!("{transport:?}"),
+            if q.observable_qname.is_some() {
+                "qname VISIBLE".to_string()
+            } else {
+                "qname hidden".to_string()
+            },
+            format!("{} B", q.wire_size),
+            transport.device_cycles_per_query().to_string(),
+        ];
+        for class in device_classes {
+            let spec = DeviceSpec::of(class);
+            // Affordable when one query costs under 0.1% of a second of CPU.
+            let affordable = transport.device_cycles_per_query() as f64
+                <= spec.core_hz as f64 * 0.001;
+            cells.push(if affordable { "✓" } else { "too costly" }.to_string());
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "E-M2a — DNS transports: privacy, overhead, and device feasibility",
+        &[
+            "Transport",
+            "Observer sees",
+            "Wire size",
+            "Cycles/query",
+            "Sensor (16MHz)",
+            "Hue bulb (32MHz)",
+            "Thermostat (800MHz)",
+            "Phone (1.85GHz)",
+        ],
+        &rows,
+    );
+
+    // Part 2: poisoning outcomes by resolver posture × attacker position.
+    type MakeResolver = fn() -> Resolver;
+    let postures: [(&str, MakeResolver); 3] = [
+        ("naive (IoT default)", || Resolver::new(ResolverConfig::naive())),
+        ("txid checking", || {
+            Resolver::new(ResolverConfig {
+                check_txid: true,
+                validate_dnssec: false,
+            })
+        }),
+        ("XLF hardened (txid+DNSSEC)", || {
+            let mut r = Resolver::new(ResolverConfig::hardened());
+            r.add_trust_anchor("vendor.example", b"zone secret");
+            r
+        }),
+    ];
+    let mut rows = Vec::new();
+    for (name, make) in postures {
+        let mut cells = vec![name.to_string()];
+        for (pos_name, position) in [
+            ("off-path ×50", Position::OffPath { attempts: 50 }),
+            ("on-path", Position::OnPath),
+        ] {
+            let mut resolver = make();
+            let result = poison(&mut resolver, "hub.vendor.example", position, 7, SimTime::ZERO);
+            cells.push(format!(
+                "{} ({} spoofs)",
+                if result.poisoned { "POISONED" } else { "safe" },
+                result.responses_sent
+            ));
+            let _ = pos_name;
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "E-M2b — Cache poisoning by resolver posture × attacker position",
+        &["Resolver", "Off-path attacker", "On-path attacker"],
+        &rows,
+    );
+    println!(
+        "\nShape check: plain DNS leaks every query name and the naive resolver\n\
+         falls to a single blind spoof; the XLF-bridged lightweight transport\n\
+         gets DoT-class privacy at ~{}× lower device cost than DoT itself.",
+        DnsTransport::DoT.device_cycles_per_query()
+            / DnsTransport::XlfLightweight.device_cycles_per_query()
+    );
+}

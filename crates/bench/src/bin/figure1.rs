@@ -1,0 +1,54 @@
+//! E-F1 — regenerates **Figure 1** (the generic layered architecture of
+//! IoT platforms) by instantiating the reference home deployment and
+//! walking its live structure layer by layer.
+
+use xlf_bench::scenarios::standard_devices;
+use xlf_core::framework::{XlfConfig, XlfHome};
+use xlf_simnet::SimTime;
+
+fn main() {
+    let mut home = XlfHome::build(1, XlfConfig::full(), &standard_devices());
+    home.net.run_until(SimTime::from_secs(60));
+
+    println!("## Figure 1 — Layered architecture of the instantiated IoT platform\n");
+
+    println!("┌─ SERVICE LAYER ─────────────────────────────────────────────┐");
+    let cloud = home
+        .net
+        .node_as::<xlf_cloud::CloudNode>(home.cloud)
+        .expect("cloud node");
+    println!("│ SmartThings-style cloud ({})", home.cloud);
+    println!("│   device handlers : {}", cloud.cloud().handlers.len());
+    println!("│   installed apps  : {}", cloud.cloud().apps.len());
+    println!("│   event log       : {} events", cloud.cloud().bus.log.len());
+    println!("│   API gateway     : token auth + scopes + rate limiting");
+    println!("└──────────────────────────────────────────────────────────────┘");
+    println!("                               │ WAN (TLS)");
+    println!("┌─ NETWORK LAYER ─────────────────────────────────────────────┐");
+    let gateway = home.gateway_ref();
+    println!("│ XLF smart gateway ({})", home.gateway);
+    println!("│   forwarded {} packets, dropped {}", gateway.forwarded, gateway.dropped);
+    println!("│   functions: NAC · traffic shaping · encrypted DPI · DFA/rate monitor");
+    println!("│   XLF Core: {} evidence records, {} alerts",
+        home.core.borrow().store.len(),
+        home.core.borrow().alerts.alerts().len());
+    println!("└──────────────────────────────────────────────────────────────┘");
+    println!("             │ ZigBee / WiFi (802.15.4 security model)");
+    println!("┌─ DEVICE LAYER ──────────────────────────────────────────────┐");
+    for (name, id) in &home.devices {
+        let device = home.device_ref(name);
+        let medium = home
+            .net
+            .link_between(home.gateway, *id)
+            .map(|l| l.medium.to_string())
+            .unwrap_or_default();
+        println!(
+            "│ {name:<10} ({id})  sensor={:?}  state={:?}  link={medium}",
+            device.config().sensor,
+            device.state()
+        );
+    }
+    println!("└──────────────────────────────────────────────────────────────┘");
+    println!("\nEvery box above is a live simulated component; counts come from");
+    println!("the 60-second run just executed, not from static configuration.");
+}

@@ -1,0 +1,107 @@
+//! E-T1 — regenerates **Table I** (device-layer computing capabilities)
+//! and extends it with the consequence the paper draws from it:
+//! "computation, storage, and power limit the security functions that can
+//! be implemented on the device". For each catalog row we report how many
+//! Table III ciphers fit at a telemetry-class rate and which one XLF's
+//! negotiation selects.
+
+use xlf_bench::{human_bytes, human_hz, print_table};
+use xlf_device::{catalog, CryptoFeasibility, PowerSource, ResourceModel};
+use xlf_lwcrypto::registry;
+
+/// Telemetry-class sustained encryption requirement (bytes/second).
+const TELEMETRY_BPS: f64 = 1_000.0;
+/// Burst/streaming-class requirement (bytes/second) — where constrained
+/// devices must fall back to lightweight ciphers.
+const STREAMING_BPS: f64 = 32_000.0;
+
+/// Estimated battery lifetime under continuous 1 kB/s encrypted
+/// telemetry, charging only the crypto + radio energy to a 2 000 mAh
+/// 3 V cell (≈ 21.6 kJ). Mains/passive devices show "—".
+fn battery_life(model: &ResourceModel, infos: &[xlf_lwcrypto::CipherInfo]) -> String {
+    if model.spec().power != PowerSource::Battery {
+        return "—".to_string();
+    }
+    let Some(cipher) = model.negotiate_cipher(infos, TELEMETRY_BPS) else {
+        return "—".to_string();
+    };
+    let mj_per_day = model.tx_energy_mj(cipher, (TELEMETRY_BPS as u64) * 86_400);
+    if mj_per_day <= 0.0 {
+        return "—".to_string();
+    }
+    let budget_mj = 21_600_000.0; // 2000 mAh × 3 V in millijoules
+    let days = budget_mj / mj_per_day;
+    if days > 3650.0 {
+        ">10 years".to_string()
+    } else {
+        format!("{:.0} days", days)
+    }
+}
+
+fn main() {
+    let infos: Vec<_> = registry(b"table1 harness")
+        .iter()
+        .map(|c| c.info())
+        .collect();
+    let mut rows = Vec::new();
+    for spec in catalog() {
+        let model = ResourceModel::new(spec.clone());
+        let fitting = infos
+            .iter()
+            .filter(|i| {
+                matches!(
+                    model.crypto_feasibility(i, TELEMETRY_BPS),
+                    CryptoFeasibility::Fits { .. }
+                )
+            })
+            .count();
+        let chosen = model
+            .negotiate_cipher(&infos, TELEMETRY_BPS)
+            .map(|c| c.name.to_string())
+            .unwrap_or_else(|| "none".to_string());
+        let chosen_streaming = model
+            .negotiate_cipher(&infos, STREAMING_BPS)
+            .map(|c| c.name.to_string())
+            .unwrap_or_else(|| "none".to_string());
+        rows.push(vec![
+            spec.name.to_string(),
+            spec.chipset.to_string(),
+            human_hz(spec.core_hz),
+            if spec.ram_bytes > 0 {
+                human_bytes(spec.ram_bytes)
+            } else {
+                "NA".to_string()
+            },
+            if spec.flash_bytes > 0 {
+                human_bytes(spec.flash_bytes)
+            } else {
+                "NA".to_string()
+            },
+            spec.power.to_string(),
+            format!("{fitting}/{}", infos.len()),
+            chosen,
+            chosen_streaming,
+            battery_life(&model, &infos),
+        ]);
+    }
+    print_table(
+        "Table I — Device-layer components and feasible security functions",
+        &[
+            "Device Type",
+            "Chipset",
+            "Core Freq.",
+            "RAM",
+            "Flash",
+            "Power",
+            "Ciphers feasible @1kB/s",
+            "Negotiated @1kB/s",
+            "Negotiated @32kB/s",
+            "Battery life (crypto+TX)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nFeasibility model: 5% CPU budget for crypto, RAM covers round keys\n\
+         + state, flash covers code footprint (see xlf-device::resources)."
+    );
+}

@@ -1,0 +1,67 @@
+//! E-T3 — regenerates **Table III** (lightweight cryptographic
+//! algorithms): the paper's columns (algorithm, key size, block size,
+//! structure, rounds) plus this reproduction's fidelity tag and a measured
+//! software throughput for every implementation.
+
+use std::time::Instant;
+use xlf_bench::print_table;
+use xlf_lwcrypto::modes::Ctr;
+use xlf_lwcrypto::{registry, BlockCipher};
+
+fn throughput_mbps(cipher: &dyn BlockCipher) -> f64 {
+    let mut data = vec![0xA5u8; 256 * 1024];
+    let nonce = vec![7u8; cipher.block_size()];
+    // Warm up, then measure.
+    Ctr::new(cipher, &nonce).apply(&mut data[..4096]);
+    let start = Instant::now();
+    Ctr::new(cipher, &nonce).apply(&mut data);
+    let elapsed = start.elapsed().as_secs_f64();
+    (data.len() as f64 / 1e6) / elapsed
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut seen = Vec::new();
+    for cipher in registry(b"table3 harness") {
+        let info = cipher.info();
+        // The registry instantiates some algorithms at several key sizes;
+        // Table III lists each algorithm once.
+        if seen.contains(&info.name) {
+            continue;
+        }
+        seen.push(info.name);
+        let keys = info
+            .key_bits
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        rows.push(vec![
+            info.name.to_string(),
+            keys,
+            info.block_bits.to_string(),
+            info.structure.to_string(),
+            info.rounds.to_string(),
+            info.fidelity.to_string(),
+            format!("{:.1}", throughput_mbps(cipher.as_ref())),
+        ]);
+    }
+    print_table(
+        "Table III — Lightweight cryptographic algorithms (reproduced)",
+        &[
+            "Algorithm",
+            "Key Size",
+            "Block Size",
+            "Structure",
+            "No. of Rounds",
+            "Fidelity",
+            "Throughput (MB/s, CTR)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nFidelity legend: exact = verified against an official vector; \
+         faithful = published algorithm, no vector available offline; \
+         structural = reconstructed from Table III parameters (see DESIGN.md)."
+    );
+}

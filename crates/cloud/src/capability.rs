@@ -1,0 +1,168 @@
+//! The capability model: the SmartThings-style "abstraction of devices
+//! from their distinct capabilities and attributes in a way that allows
+//! developers to build applications" (§II-C).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A device capability (what commands/attributes it exposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Capability {
+    /// On/off switching.
+    Switch,
+    /// Temperature readings.
+    TemperatureMeasurement,
+    /// Motion detection events.
+    MotionSensor,
+    /// Physical lock/unlock.
+    Lock,
+    /// Video streaming.
+    VideoStream,
+    /// Power metering.
+    EnergyMeter,
+    /// Smoke alarm events.
+    SmokeDetector,
+}
+
+impl Capability {
+    /// Commands this capability accepts.
+    pub fn commands(self) -> &'static [&'static str] {
+        match self {
+            Capability::Switch => &["on", "off"],
+            Capability::TemperatureMeasurement => &[],
+            Capability::MotionSensor => &[],
+            Capability::Lock => &["lock", "unlock"],
+            Capability::VideoStream => &["stream", "idle"],
+            Capability::EnergyMeter => &[],
+            Capability::SmokeDetector => &[],
+        }
+    }
+
+    /// Attributes this capability reports.
+    pub fn attributes(self) -> &'static [&'static str] {
+        match self {
+            Capability::Switch => &["switch"],
+            Capability::TemperatureMeasurement => &["temperature"],
+            Capability::MotionSensor => &["motion"],
+            Capability::Lock => &["lock"],
+            Capability::VideoStream => &["stream"],
+            Capability::EnergyMeter => &["power"],
+            Capability::SmokeDetector => &["smoke"],
+        }
+    }
+
+    /// Whether the attribute carries sensitive data (lock state, video) —
+    /// drives the event-protection policy of §IV-C2.
+    pub fn is_sensitive(self) -> bool {
+        matches!(
+            self,
+            Capability::Lock | Capability::VideoStream | Capability::MotionSensor
+        )
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The cloud-side handler holding a device's capabilities and last-known
+/// attribute values (the "Device Handlers" subsystem of §II-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceHandler {
+    /// Device identity (matches the simulated device's name).
+    pub device: String,
+    /// Declared capabilities.
+    pub capabilities: Vec<Capability>,
+    /// Last reported attribute values.
+    pub attributes: BTreeMap<String, String>,
+}
+
+impl DeviceHandler {
+    /// Creates a handler for `device` with the given capabilities.
+    pub fn new(device: &str, capabilities: &[Capability]) -> Self {
+        DeviceHandler {
+            device: device.to_string(),
+            capabilities: capabilities.to_vec(),
+            attributes: BTreeMap::new(),
+        }
+    }
+
+    /// Whether the device accepts `command` through any capability.
+    pub fn accepts_command(&self, command: &str) -> bool {
+        self.capabilities
+            .iter()
+            .any(|c| c.commands().contains(&command))
+    }
+
+    /// Whether the device reports `attribute`.
+    pub fn has_attribute(&self, attribute: &str) -> bool {
+        self.capabilities
+            .iter()
+            .any(|c| c.attributes().contains(&attribute))
+    }
+
+    /// The capability owning `attribute`, if any.
+    pub fn capability_for_attribute(&self, attribute: &str) -> Option<Capability> {
+        self.capabilities
+            .iter()
+            .copied()
+            .find(|c| c.attributes().contains(&attribute))
+    }
+
+    /// Records a reported attribute value.
+    pub fn record(&mut self, attribute: &str, value: &str) {
+        self.attributes
+            .insert(attribute.to_string(), value.to_string());
+    }
+
+    /// Last known value of an attribute.
+    pub fn value(&self, attribute: &str) -> Option<&str> {
+        self.attributes.get(attribute).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_routing_follows_capabilities() {
+        let lock = DeviceHandler::new("front-door", &[Capability::Lock]);
+        assert!(lock.accepts_command("unlock"));
+        assert!(!lock.accepts_command("stream"));
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let thermo = DeviceHandler::new(
+            "thermostat",
+            &[Capability::TemperatureMeasurement, Capability::Switch],
+        );
+        assert!(thermo.has_attribute("temperature"));
+        assert!(thermo.has_attribute("switch"));
+        assert!(!thermo.has_attribute("lock"));
+        assert_eq!(
+            thermo.capability_for_attribute("temperature"),
+            Some(Capability::TemperatureMeasurement)
+        );
+    }
+
+    #[test]
+    fn sensitivity_classification() {
+        assert!(Capability::Lock.is_sensitive());
+        assert!(Capability::VideoStream.is_sensitive());
+        assert!(!Capability::TemperatureMeasurement.is_sensitive());
+    }
+
+    #[test]
+    fn attribute_recording() {
+        let mut h = DeviceHandler::new("lamp", &[Capability::Switch]);
+        assert_eq!(h.value("switch"), None);
+        h.record("switch", "on");
+        assert_eq!(h.value("switch"), Some("on"));
+        h.record("switch", "off");
+        assert_eq!(h.value("switch"), Some("off"));
+    }
+}

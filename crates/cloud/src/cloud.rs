@@ -1,0 +1,532 @@
+//! The assembled SmartThings-style cloud and its `simnet` node wrappers.
+//!
+//! Topology (Figure 1): devices ↔ hub (LAN media) — hub ↔ cloud (WAN).
+//! The [`HubNode`] bridges both sides; the [`CloudNode`] hosts the
+//! [`SmartCloud`] logic: device handlers, the event bus, SmartApp
+//! execution, the API gateway, and the OTA server.
+
+use crate::api::{ApiCall, ApiGateway};
+use crate::capability::DeviceHandler;
+use crate::events::{CloudEvent, EventBus, EventPolicy};
+use crate::oauth::TokenService;
+use crate::ota_server::OtaServer;
+use crate::smartapp::{authorize_actions, Action, ActionVerdict, PermissionModel, SmartApp};
+use std::collections::BTreeMap;
+use xlf_protocols::rest::{Request, Response};
+use xlf_simnet::{Context, Node, NodeId, Packet, Protocol, SimTime};
+
+/// The cloud's pure logic (testable without a network).
+#[derive(Debug)]
+pub struct SmartCloud {
+    /// Registered device handlers.
+    pub handlers: BTreeMap<String, DeviceHandler>,
+    /// The event subsystem.
+    pub bus: EventBus,
+    /// Installed SmartApps.
+    pub apps: Vec<SmartApp>,
+    /// Permission posture for app actions.
+    pub permission_model: PermissionModel,
+    /// Token authority.
+    pub tokens: TokenService,
+    /// API gateway.
+    pub gateway: ApiGateway,
+    /// OTA distribution.
+    pub ota: OtaServer,
+    /// Actions denied by the permission model (for monitoring/analytics).
+    pub denied_actions: Vec<(String, Action)>,
+}
+
+impl SmartCloud {
+    /// Creates a cloud with the given event/permission posture.
+    pub fn new(
+        event_policy: EventPolicy,
+        permission_model: PermissionModel,
+        hub_secret: &[u8],
+    ) -> Self {
+        SmartCloud {
+            handlers: BTreeMap::new(),
+            bus: EventBus::new(event_policy, hub_secret),
+            apps: Vec::new(),
+            permission_model,
+            tokens: TokenService::new(),
+            gateway: ApiGateway::new(),
+            ota: OtaServer::new("acme", b"acme vendor secret"),
+            denied_actions: Vec::new(),
+        }
+    }
+
+    /// Registers a device handler.
+    pub fn register_device(&mut self, handler: DeviceHandler) {
+        self.handlers.insert(handler.device.clone(), handler);
+    }
+
+    /// Installs an app: wires its subscriptions into the bus.
+    pub fn install_app(&mut self, app: SmartApp) {
+        for (device, attribute) in app.subscriptions() {
+            let sensitive = app.permissions.sensitive_grant(&device);
+            self.bus.subscribe(&app.name, &device, &attribute, sensitive);
+        }
+        self.apps.push(app);
+    }
+
+    /// Ingests a device attribute report, runs the event/app pipeline, and
+    /// returns the authorized commands to dispatch.
+    pub fn ingest(
+        &mut self,
+        at: SimTime,
+        device: &str,
+        attribute: &str,
+        value: &str,
+        trusted_channel: bool,
+    ) -> Vec<Action> {
+        if let Some(handler) = self.handlers.get_mut(device) {
+            handler.record(attribute, value);
+        }
+        let capability = self
+            .handlers
+            .get(device)
+            .and_then(|h| h.capability_for_attribute(attribute));
+        let mut event = CloudEvent::new(at, device, attribute, value);
+        if trusted_channel {
+            event = event.signed(self.bus.hub_secret().to_vec().as_slice());
+        }
+        if self.bus.publish(event, capability).is_err() {
+            return Vec::new();
+        }
+
+        let mut commands = Vec::new();
+        for app in &self.apps {
+            let inbox = self.bus.drain(&app.name);
+            for event in inbox {
+                let proposed = app.execute(&event);
+                for verdict in
+                    authorize_actions(self.permission_model, app, proposed, &self.handlers)
+                {
+                    match verdict {
+                        ActionVerdict::Allowed(action) => commands.push(action),
+                        ActionVerdict::DeniedScope(action)
+                        | ActionVerdict::DeniedUnknownCommand(action) => {
+                            self.denied_actions.push((app.name.clone(), action));
+                        }
+                    }
+                }
+            }
+        }
+        commands
+    }
+
+    /// Serves an API request, returning the response and any device
+    /// commands the call produced.
+    pub fn serve(&mut self, request: &Request, now: SimTime) -> (Response, Vec<Action>) {
+        match self.gateway.route(request, &mut self.tokens, now) {
+            Err(response) => (response, Vec::new()),
+            Ok(ApiCall::ListDevices) => (ApiGateway::render_devices(&self.handlers), Vec::new()),
+            Ok(ApiCall::GetDevice(device)) => match self.handlers.get(&device) {
+                Some(handler) => {
+                    let mut body = String::new();
+                    for (attr, value) in &handler.attributes {
+                        body.push_str(&format!("{attr}={value}\n"));
+                    }
+                    (Response::ok(body.into_bytes()), Vec::new())
+                }
+                None => (Response::not_found(), Vec::new()),
+            },
+            Ok(ApiCall::CommandDevice(device, command)) => {
+                let Some(handler) = self.handlers.get(&device) else {
+                    return (Response::not_found(), Vec::new());
+                };
+                if !handler.accepts_command(&command) {
+                    return (Response::not_found(), Vec::new());
+                }
+                (
+                    Response::ok(b"accepted".to_vec()),
+                    vec![Action { device, command }],
+                )
+            }
+            Ok(ApiCall::PushOta(device, _image)) => {
+                // The gateway only authorizes; distribution goes through
+                // the OTA server's published releases.
+                match self.ota.image_for(&device) {
+                    Some(_) => (Response::ok(b"scheduled".to_vec()), Vec::new()),
+                    None => (Response::not_found(), Vec::new()),
+                }
+            }
+        }
+    }
+}
+
+/// Maps a device command to the packet `action` meta the device runtime
+/// understands.
+fn command_to_action(command: &str) -> &str {
+    match command {
+        "on" | "lock" => "on",
+        "off" | "unlock" => "off",
+        "stream" => "stream",
+        "idle" => "idle",
+        _ => command,
+    }
+}
+
+/// The cloud endpoint as a simulation node.
+pub struct CloudNode {
+    cloud: SmartCloud,
+    hub: NodeId,
+}
+
+impl std::fmt::Debug for CloudNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudNode").field("hub", &self.hub).finish()
+    }
+}
+
+impl CloudNode {
+    /// Wraps a cloud, trusting traffic arriving from `hub` as
+    /// integrity-protected (the hub↔cloud channel is TLS).
+    pub fn new(cloud: SmartCloud, hub: NodeId) -> Self {
+        CloudNode { cloud, hub }
+    }
+
+    /// Read access for post-run assertions.
+    pub fn cloud(&self) -> &SmartCloud {
+        &self.cloud
+    }
+
+    /// Mutable access (installing apps mid-simulation, inspecting logs).
+    pub fn cloud_mut(&mut self) -> &mut SmartCloud {
+        &mut self.cloud
+    }
+
+    fn attribute_of(payload: &[u8]) -> Option<(String, String)> {
+        let text = String::from_utf8_lossy(payload);
+        let trimmed = text.trim_end();
+        let (kind, value) = trimmed.split_once('=')?;
+        let attribute = match kind {
+            "Temperature" => "temperature",
+            "Motion" => "motion",
+            "Power" => "power",
+            "Camera" => "stream",
+            "Smoke" => "smoke",
+            other => return Some((other.to_ascii_lowercase(), value.to_string())),
+        };
+        Some((attribute.to_string(), value.to_string()))
+    }
+
+    fn dispatch_actions(&mut self, ctx: &mut Context<'_>, actions: Vec<Action>) {
+        for action in actions {
+            let pkt = Packet::new(ctx.id(), self.hub, "cmd", Vec::new())
+                .with_protocol(Protocol::Tls)
+                .with_meta("device", &action.device)
+                .with_meta("action", command_to_action(&action.command))
+                .with_meta("command", &action.command);
+            ctx.send(self.hub, pkt);
+        }
+    }
+}
+
+impl Node for CloudNode {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let trusted = packet.src == self.hub;
+        match packet.kind.as_str() {
+            "telemetry" => {
+                let Some(device) = packet.meta("device").map(str::to_string) else {
+                    return;
+                };
+                if let Some((attribute, value)) = Self::attribute_of(&packet.payload) {
+                    let actions =
+                        self.cloud
+                            .ingest(ctx.now(), &device, &attribute, &value, trusted);
+                    self.dispatch_actions(ctx, actions);
+                }
+            }
+            "event" => {
+                let (Some(device), Some(to)) = (
+                    packet.meta("device").map(str::to_string),
+                    packet.meta("to").map(str::to_string),
+                ) else {
+                    return;
+                };
+                let actions = self
+                    .cloud
+                    .ingest(ctx.now(), &device, "state", &to, trusted);
+                self.dispatch_actions(ctx, actions);
+            }
+            "spoofed-event" => {
+                // An attacker injecting an event from outside the hub
+                // channel: always untrusted.
+                let (Some(device), Some(attribute), Some(value)) = (
+                    packet.meta("device").map(str::to_string),
+                    packet.meta("attribute").map(str::to_string),
+                    packet.meta("value").map(str::to_string),
+                ) else {
+                    return;
+                };
+                let actions = self
+                    .cloud
+                    .ingest(ctx.now(), &device, &attribute, &value, false);
+                self.dispatch_actions(ctx, actions);
+            }
+            "api" => {
+                let Some(request) = Request::from_bytes(&packet.payload) else {
+                    return;
+                };
+                let (response, actions) = self.cloud.serve(&request, ctx.now());
+                let reply = Packet::new(ctx.id(), packet.src, "api-response", response.to_bytes())
+                    .with_protocol(Protocol::Http);
+                ctx.send(packet.src, reply);
+                self.dispatch_actions(ctx, actions);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The home hub/gateway: bridges LAN devices to the WAN cloud and routes
+/// `final_dst` traffic (the plain, non-XLF gateway — the XLF smart gateway
+/// in `xlf-core` adds the security functions on top of this behaviour).
+pub struct HubNode {
+    cloud: NodeId,
+    /// device name → node id.
+    devices: BTreeMap<String, NodeId>,
+}
+
+impl std::fmt::Debug for HubNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HubNode")
+            .field("cloud", &self.cloud)
+            .field("devices", &self.devices.len())
+            .finish()
+    }
+}
+
+impl HubNode {
+    /// Creates a hub bridging to `cloud`.
+    pub fn new(cloud: NodeId) -> Self {
+        HubNode {
+            cloud,
+            devices: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a device's address.
+    pub fn register_device(&mut self, name: &str, node: NodeId) {
+        self.devices.insert(name.to_string(), node);
+    }
+}
+
+impl Node for HubNode {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        // WAN-bound routing for compromised-device floods etc.
+        if let Some(final_dst) = packet.meta("final_dst").and_then(|d| d.parse::<u32>().ok()) {
+            let target = NodeId::from_raw(final_dst);
+            let mut fwd = packet.clone();
+            fwd.meta.remove("final_dst");
+            ctx.send(target, fwd);
+            return;
+        }
+        match packet.kind.as_str() {
+            // Upstream: device → cloud.
+            "telemetry" | "event" | "ota-result" | "login-result" => {
+                ctx.send(self.cloud, packet);
+            }
+            // Downstream: cloud → device (addressed by name).
+            "cmd" | "ota" | "login" | "probe" => {
+                if let Some(node) = packet.meta("device").and_then(|d| self.devices.get(d)) {
+                    ctx.send(*node, packet);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::Capability;
+    use crate::smartapp::{AppPermissions, Predicate, Trigger};
+    use xlf_device::{DeviceConfig, SensorKind, SimDevice};
+    use xlf_simnet::{Duration, Medium, Network};
+
+    fn build_home(
+        event_policy: EventPolicy,
+        permission_model: PermissionModel,
+    ) -> (Network, NodeId, NodeId, NodeId) {
+        let mut net = Network::new(11);
+        // Create placeholder ids in order: cloud, hub, device.
+        let cloud_id = NodeId::from_raw(0);
+        let hub_id = NodeId::from_raw(1);
+
+        let mut cloud = SmartCloud::new(event_policy, permission_model, b"hub secret");
+        cloud.register_device(DeviceHandler::new(
+            "thermo",
+            &[Capability::TemperatureMeasurement],
+        ));
+        cloud.register_device(DeviceHandler::new("lamp", &[Capability::Switch]));
+        cloud.install_app(
+            SmartApp::new(
+                "heat-lamp",
+                AppPermissions::new().grant("lamp", Capability::Switch),
+            )
+            .rule(
+                Trigger {
+                    device: "thermo".into(),
+                    attribute: "temperature".into(),
+                    predicate: Predicate::GreaterThan(60.0),
+                },
+                Action {
+                    device: "lamp".into(),
+                    command: "on".into(),
+                },
+            ),
+        );
+
+        let cloud_node = net.add_node(Box::new(CloudNode::new(cloud, hub_id)));
+        assert_eq!(cloud_node, cloud_id);
+        let mut hub = HubNode::new(cloud_id);
+
+        let thermo_cfg = DeviceConfig::new("thermo", SensorKind::Temperature, hub_id)
+            .with_telemetry_period(Duration::from_secs(10));
+        let lamp_cfg = DeviceConfig::new("lamp", SensorKind::Power, hub_id)
+            .with_telemetry_period(Duration::from_secs(3600));
+
+        // Add hub placeholder after devices known? Hub must be id 1.
+        hub.register_device("thermo", NodeId::from_raw(2));
+        hub.register_device("lamp", NodeId::from_raw(3));
+        let hub_node = net.add_node(Box::new(hub));
+        assert_eq!(hub_node, hub_id);
+        let thermo = net.add_node(Box::new(SimDevice::new(thermo_cfg)));
+        let lamp = net.add_node(Box::new(SimDevice::new(lamp_cfg)));
+
+        net.connect(cloud_id, hub_id, Medium::Wan.link().with_loss(0.0));
+        net.connect(hub_id, thermo, Medium::Zigbee.link().with_loss(0.0));
+        net.connect(hub_id, lamp, Medium::Zigbee.link().with_loss(0.0));
+        (net, cloud_id, thermo, lamp)
+    }
+
+    #[test]
+    fn telemetry_drives_automation_end_to_end() {
+        let (mut net, _cloud, _thermo, _lamp) =
+            build_home(EventPolicy::hardened(), PermissionModel::Scoped);
+        let (tap, records) = xlf_simnet::observer::RecordingTap::new();
+        net.add_tap(Box::new(tap));
+        net.run_until(SimTime::from_secs(60));
+        // The thermostat reports ~70°F, above the 60°F trigger, so the
+        // cloud must have commanded the lamp on.
+        let cmds = records
+            .borrow()
+            .iter()
+            .filter(|r| r.ground_truth_kind == "cmd")
+            .count();
+        assert!(cmds >= 2, "cmd packets: {cmds} (cloud→hub and hub→lamp)");
+    }
+
+    #[test]
+    fn spoofed_events_blocked_only_by_hardened_policy() {
+        for (policy, expect_cmd) in [
+            (EventPolicy::permissive(), true),
+            (EventPolicy::hardened(), false),
+        ] {
+            let (mut net, cloud, _thermo, _lamp) = build_home(policy, PermissionModel::Scoped);
+            let attacker = net.add_node(Box::new(crate::cloud::tests_support::Sink));
+            net.connect(attacker, cloud, Medium::Wan.link().with_loss(0.0));
+            let (tap, records) = xlf_simnet::observer::RecordingTap::new();
+            net.add_tap(Box::new(tap));
+            net.inject(
+                attacker,
+                cloud,
+                Packet::new(attacker, cloud, "spoofed-event", Vec::new())
+                    .with_meta("device", "thermo")
+                    .with_meta("attribute", "temperature")
+                    .with_meta("value", "99"),
+            );
+            net.run_until(SimTime::from_secs(5));
+            let cmds = records
+                .borrow()
+                .iter()
+                .filter(|r| r.ground_truth_kind == "cmd")
+                .count();
+            if expect_cmd {
+                assert!(cmds > 0, "permissive cloud should obey spoofed event");
+            } else {
+                assert_eq!(cmds, 0, "hardened cloud must reject spoofed event");
+            }
+        }
+    }
+
+    #[test]
+    fn api_command_path_reaches_the_device() {
+        let (mut net, cloud, _thermo, _lamp) =
+            build_home(EventPolicy::hardened(), PermissionModel::Scoped);
+        let caller = net.add_node(Box::new(crate::cloud::tests_support::Sink));
+        net.connect(caller, cloud, Medium::Wan.link().with_loss(0.0));
+        // Issue a valid write token directly on the cloud node.
+        let token = net
+            .node_as_mut::<CloudNode>(cloud)
+            .expect("cloud node")
+            .cloud_mut()
+            .tokens
+            .issue(
+                "owner",
+                &["devices:write"],
+                SimTime::ZERO,
+                Duration::from_secs(3600),
+                false,
+            )
+            .value;
+        let request = Request::new(xlf_protocols::rest::Method::Post, "/devices/lamp/commands")
+            .with_token(&token)
+            .with_body(b"action=on".to_vec());
+        let (tap, records) = xlf_simnet::observer::RecordingTap::new();
+        net.add_tap(Box::new(tap));
+        net.inject(
+            caller,
+            cloud,
+            Packet::new(caller, cloud, "api", request.to_bytes()).with_protocol(Protocol::Http),
+        );
+        net.run_until(SimTime::from_secs(5));
+        let records = records.borrow();
+        assert_eq!(
+            records
+                .iter()
+                .filter(|r| r.ground_truth_kind == "api-response")
+                .count(),
+            1
+        );
+        // The authorized command flows cloud→hub→lamp (two cmd hops).
+        assert!(
+            records
+                .iter()
+                .filter(|r| r.ground_truth_kind == "cmd")
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn api_rejects_bogus_tokens_without_side_effects() {
+        let (mut net, cloud, _thermo, lamp) =
+            build_home(EventPolicy::hardened(), PermissionModel::Scoped);
+        let caller = net.add_node(Box::new(crate::cloud::tests_support::Sink));
+        net.connect(caller, cloud, Medium::Wan.link().with_loss(0.0));
+        let request = Request::new(xlf_protocols::rest::Method::Post, "/devices/lamp/commands")
+            .with_token("bogus")
+            .with_body(b"action=on".to_vec());
+        net.inject(
+            caller,
+            cloud,
+            Packet::new(caller, cloud, "api", request.to_bytes()).with_protocol(Protocol::Http),
+        );
+        net.run_until(SimTime::from_secs(2));
+        let lamp_node = net.node_as::<SimDevice>(lamp).expect("lamp node");
+        assert!(lamp_node.transitions.is_empty(), "lamp must not have moved");
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use xlf_simnet::Node;
+
+    /// A do-nothing node for tests.
+    pub struct Sink;
+    impl Node for Sink {}
+}

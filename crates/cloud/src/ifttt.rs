@@ -1,0 +1,227 @@
+//! IFTTT-style trigger-action recipes (§II-C): "a free web-based service
+//! … allows users to write trigger-action programs that connect numerous
+//! services, social media sites, and physical devices."
+//!
+//! Unlike [`SmartApp`](crate::smartapp::SmartApp)s (device↔device
+//! automations inside one cloud), recipes connect *external web services*
+//! to devices — which is exactly the "insecurity of third-party
+//! integration" surface Fernandes et al. flag: a malicious or compromised
+//! service feeds attacker-controlled trigger data into home automations.
+
+use std::collections::BTreeMap;
+
+/// An external web service a recipe can use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebService {
+    /// Service identity (e.g. `"weather"`, `"mailbot"`).
+    pub name: String,
+    /// Whether the home trusts this service's trigger data (verified
+    /// partner vs arbitrary third party).
+    pub verified: bool,
+}
+
+/// A trigger sourced from a web service's data items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceTrigger {
+    /// Source service.
+    pub service: String,
+    /// Data item watched (e.g. `"forecast.high_f"`).
+    pub item: String,
+    /// Fires when the item's numeric value exceeds this threshold.
+    pub above: f64,
+}
+
+/// An action against a home device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecipeAction {
+    /// Target device.
+    pub device: String,
+    /// Command sent.
+    pub command: String,
+}
+
+/// One trigger-action recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recipe {
+    /// Recipe name.
+    pub name: String,
+    /// Trigger side.
+    pub trigger: ServiceTrigger,
+    /// Action side.
+    pub action: RecipeAction,
+}
+
+/// Why a recipe run was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecipeRejection {
+    /// The source service is not registered at all.
+    UnknownService,
+    /// The engine requires verified services and this one is not.
+    UnverifiedService,
+}
+
+/// The recipe engine.
+#[derive(Debug, Default)]
+pub struct RecipeEngine {
+    services: BTreeMap<String, WebService>,
+    recipes: Vec<Recipe>,
+    /// Whether unverified third-party services may fire recipes — the
+    /// vulnerable IFTTT-2016 posture is `true`.
+    pub allow_unverified: bool,
+    /// Runs refused, for monitoring.
+    pub rejected: Vec<(String, RecipeRejection)>,
+}
+
+impl RecipeEngine {
+    /// Creates an engine that only trusts verified services.
+    pub fn new() -> Self {
+        RecipeEngine {
+            services: BTreeMap::new(),
+            recipes: Vec::new(),
+            allow_unverified: false,
+            rejected: Vec::new(),
+        }
+    }
+
+    /// Registers a web service.
+    pub fn register_service(&mut self, service: WebService) {
+        self.services.insert(service.name.clone(), service);
+    }
+
+    /// Installs a recipe.
+    pub fn install(&mut self, recipe: Recipe) {
+        self.recipes.push(recipe);
+    }
+
+    /// Feeds one service data update; returns the actions that fire.
+    pub fn feed(&mut self, service: &str, item: &str, value: f64) -> Vec<RecipeAction> {
+        let Some(svc) = self.services.get(service) else {
+            self.rejected
+                .push((service.to_string(), RecipeRejection::UnknownService));
+            return Vec::new();
+        };
+        if !svc.verified && !self.allow_unverified {
+            self.rejected
+                .push((service.to_string(), RecipeRejection::UnverifiedService));
+            return Vec::new();
+        }
+        self.recipes
+            .iter()
+            .filter(|r| {
+                r.trigger.service == service && r.trigger.item == item && value > r.trigger.above
+            })
+            .map(|r| r.action.clone())
+            .collect()
+    }
+
+    /// Installed recipes.
+    pub fn recipes(&self) -> &[Recipe] {
+        &self.recipes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_recipe() -> Recipe {
+        Recipe {
+            name: "open window on hot forecast".to_string(),
+            trigger: ServiceTrigger {
+                service: "weather".to_string(),
+                item: "forecast.high_f".to_string(),
+                above: 85.0,
+            },
+            action: RecipeAction {
+                device: "window".to_string(),
+                command: "on".to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn verified_service_triggers_fire() {
+        let mut engine = RecipeEngine::new();
+        engine.register_service(WebService {
+            name: "weather".to_string(),
+            verified: true,
+        });
+        engine.install(window_recipe());
+        assert!(engine.feed("weather", "forecast.high_f", 80.0).is_empty());
+        let actions = engine.feed("weather", "forecast.high_f", 92.0);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].device, "window");
+    }
+
+    #[test]
+    fn unverified_third_party_blocked_by_default() {
+        // The Fernandes et al. third-party integration hole, closed.
+        let mut engine = RecipeEngine::new();
+        engine.register_service(WebService {
+            name: "sketchy-api".to_string(),
+            verified: false,
+        });
+        engine.install(Recipe {
+            name: "evil".to_string(),
+            trigger: ServiceTrigger {
+                service: "sketchy-api".to_string(),
+                item: "x".to_string(),
+                above: 0.0,
+            },
+            action: RecipeAction {
+                device: "front-door".to_string(),
+                command: "unlock".to_string(),
+            },
+        });
+        assert!(engine.feed("sketchy-api", "x", 1.0).is_empty());
+        assert_eq!(
+            engine.rejected.last().map(|(_, r)| r.clone()),
+            Some(RecipeRejection::UnverifiedService)
+        );
+    }
+
+    #[test]
+    fn permissive_engine_reproduces_the_vulnerable_posture() {
+        let mut engine = RecipeEngine::new();
+        engine.allow_unverified = true;
+        engine.register_service(WebService {
+            name: "sketchy-api".to_string(),
+            verified: false,
+        });
+        engine.install(Recipe {
+            name: "evil".to_string(),
+            trigger: ServiceTrigger {
+                service: "sketchy-api".to_string(),
+                item: "x".to_string(),
+                above: 0.0,
+            },
+            action: RecipeAction {
+                device: "front-door".to_string(),
+                command: "unlock".to_string(),
+            },
+        });
+        assert_eq!(engine.feed("sketchy-api", "x", 1.0).len(), 1);
+    }
+
+    #[test]
+    fn unknown_services_are_rejected() {
+        let mut engine = RecipeEngine::new();
+        assert!(engine.feed("ghost", "x", 1.0).is_empty());
+        assert_eq!(
+            engine.rejected.last().map(|(_, r)| r.clone()),
+            Some(RecipeRejection::UnknownService)
+        );
+    }
+
+    #[test]
+    fn triggers_filter_on_service_item_and_threshold() {
+        let mut engine = RecipeEngine::new();
+        engine.register_service(WebService {
+            name: "weather".to_string(),
+            verified: true,
+        });
+        engine.install(window_recipe());
+        assert!(engine.feed("weather", "forecast.low_f", 99.0).is_empty());
+        assert!(engine.feed("weather", "forecast.high_f", 85.0).is_empty()); // not strictly above
+    }
+}

@@ -1,0 +1,93 @@
+//! The OTA distribution endpoint (§III-C): "a robust OTA update mechanism
+//! is a core part of a system's architecture". The server holds vendor
+//! images per device and can be configured to sign (robust) or not
+//! (vulnerable), independently of whether devices verify.
+
+use std::collections::BTreeMap;
+use xlf_device::firmware::{FirmwareImage, Version};
+
+/// The update server.
+#[derive(Debug, Default)]
+pub struct OtaServer {
+    /// device → (payload, version) of the newest release.
+    releases: BTreeMap<String, (Vec<u8>, Version)>,
+    /// vendor signing secret (shared with devices' verification).
+    vendor_secret: Vec<u8>,
+    /// Vendor name embedded in images.
+    vendor: String,
+    /// Whether releases are signed — turning this off reproduces the
+    /// §III-C "update is sent … unsigned" misconfiguration.
+    pub sign_releases: bool,
+}
+
+impl OtaServer {
+    /// Creates a signing server for `vendor`.
+    pub fn new(vendor: &str, vendor_secret: &[u8]) -> Self {
+        OtaServer {
+            releases: BTreeMap::new(),
+            vendor_secret: vendor_secret.to_vec(),
+            vendor: vendor.to_string(),
+            sign_releases: true,
+        }
+    }
+
+    /// Publishes a release for a device.
+    pub fn publish(&mut self, device: &str, version: Version, payload: Vec<u8>) {
+        self.releases.insert(device.to_string(), (payload, version));
+    }
+
+    /// Builds the wire image for a device's newest release.
+    pub fn image_for(&self, device: &str) -> Option<FirmwareImage> {
+        let (payload, version) = self.releases.get(device)?;
+        Some(if self.sign_releases {
+            FirmwareImage::signed(*version, &self.vendor, payload.clone(), &self.vendor_secret)
+        } else {
+            FirmwareImage::unsigned(*version, &self.vendor, payload.clone())
+        })
+    }
+
+    /// Devices with pending releases.
+    pub fn devices(&self) -> impl Iterator<Item = &str> {
+        self.releases.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: &[u8] = b"acme vendor secret";
+
+    #[test]
+    fn signed_releases_verify_on_device() {
+        let mut server = OtaServer::new("acme", SECRET);
+        server.publish("cam", Version(2, 0, 0), b"v2 code".to_vec());
+        let image = server.image_for("cam").unwrap();
+        assert!(image.signature.is_some());
+        assert!(image.verify(SECRET).is_ok());
+    }
+
+    #[test]
+    fn unsigned_mode_reproduces_the_vulnerable_path() {
+        let mut server = OtaServer::new("acme", SECRET);
+        server.sign_releases = false;
+        server.publish("cam", Version(2, 0, 0), b"v2 code".to_vec());
+        let image = server.image_for("cam").unwrap();
+        assert!(image.signature.is_none());
+    }
+
+    #[test]
+    fn missing_devices_have_no_image() {
+        let server = OtaServer::new("acme", SECRET);
+        assert!(server.image_for("ghost").is_none());
+    }
+
+    #[test]
+    fn republishing_replaces_the_release() {
+        let mut server = OtaServer::new("acme", SECRET);
+        server.publish("cam", Version(2, 0, 0), b"v2".to_vec());
+        server.publish("cam", Version(3, 0, 0), b"v3".to_vec());
+        assert_eq!(server.image_for("cam").unwrap().version, Version(3, 0, 0));
+        assert_eq!(server.devices().count(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! The alert pipeline: correlation verdicts become deduplicated,
+//! severity-ranked alerts.
+
+use std::fmt;
+use xlf_simnet::{Duration, SimTime};
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: single-layer, low-weight signal.
+    Info,
+    /// Suspicious: corroborated or high-weight signal.
+    Warning,
+    /// Confirmed incident: cross-layer corroboration.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A raised alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// When raised.
+    pub at: SimTime,
+    /// Device concerned.
+    pub device: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Fused suspicion score that triggered the alert.
+    pub score: f64,
+    /// Explanation (contributing layers/kinds).
+    pub explanation: String,
+}
+
+/// Collects alerts with per-device deduplication.
+#[derive(Debug)]
+pub struct AlertSink {
+    alerts: Vec<Alert>,
+    /// Minimum spacing between same-device, same-severity alerts.
+    pub dedup_window: Duration,
+}
+
+impl Default for AlertSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AlertSink {
+    /// Creates a sink with a 60-second dedup window.
+    pub fn new() -> Self {
+        AlertSink {
+            alerts: Vec::new(),
+            dedup_window: Duration::from_secs(60),
+        }
+    }
+
+    /// Raises an alert unless an equal-or-higher-severity alert for the
+    /// same device fired within the dedup window. Returns whether it was
+    /// recorded.
+    pub fn raise(&mut self, alert: Alert) -> bool {
+        let duplicate = self.alerts.iter().any(|a| {
+            a.device == alert.device
+                && a.severity >= alert.severity
+                && alert.at.since(a.at) <= self.dedup_window
+        });
+        if duplicate {
+            return false;
+        }
+        self.alerts.push(alert);
+        true
+    }
+
+    /// All recorded alerts.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Alerts at or above a severity.
+    pub fn at_least(&self, severity: Severity) -> Vec<&Alert> {
+        self.alerts.iter().filter(|a| a.severity >= severity).collect()
+    }
+
+    /// True if any alert at/above severity exists for the device.
+    pub fn has_alert(&self, device: &str, severity: Severity) -> bool {
+        self.alerts
+            .iter()
+            .any(|a| a.device == device && a.severity >= severity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(at_s: u64, device: &str, severity: Severity) -> Alert {
+        Alert {
+            at: SimTime::from_secs(at_s),
+            device: device.to_string(),
+            severity,
+            score: 0.9,
+            explanation: "test".to_string(),
+        }
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Critical > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn duplicates_within_window_are_suppressed() {
+        let mut sink = AlertSink::new();
+        assert!(sink.raise(alert(0, "cam", Severity::Warning)));
+        assert!(!sink.raise(alert(30, "cam", Severity::Warning)));
+        // After the window, the same alert is news again.
+        assert!(sink.raise(alert(100, "cam", Severity::Warning)));
+        assert_eq!(sink.alerts().len(), 2);
+    }
+
+    #[test]
+    fn escalation_is_never_suppressed() {
+        let mut sink = AlertSink::new();
+        sink.raise(alert(0, "cam", Severity::Warning));
+        assert!(sink.raise(alert(10, "cam", Severity::Critical)));
+    }
+
+    #[test]
+    fn lower_severity_after_higher_is_suppressed() {
+        let mut sink = AlertSink::new();
+        sink.raise(alert(0, "cam", Severity::Critical));
+        assert!(!sink.raise(alert(10, "cam", Severity::Info)));
+    }
+
+    #[test]
+    fn per_device_independence() {
+        let mut sink = AlertSink::new();
+        sink.raise(alert(0, "cam", Severity::Warning));
+        assert!(sink.raise(alert(1, "lamp", Severity::Warning)));
+        assert!(sink.has_alert("cam", Severity::Info));
+        assert!(!sink.has_alert("cam", Severity::Critical));
+        assert_eq!(sink.at_least(Severity::Warning).len(), 2);
+    }
+}

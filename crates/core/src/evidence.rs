@@ -1,0 +1,195 @@
+//! Cross-layer evidence: the observation records every XLF mechanism
+//! emits and the XLF Core aggregates (§IV-D: "aggregates the raw and the
+//! detection results whenever necessary from each layer").
+
+use std::fmt;
+use xlf_simnet::{Duration, SimTime};
+
+/// The architectural layer an observation came from (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// Device layer (firmware, credentials, storage).
+    Device,
+    /// Network layer (gateway, traffic).
+    Network,
+    /// Service layer (cloud, apps, APIs).
+    Service,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// What was observed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EvidenceKind {
+    /// Failed login / token validation.
+    AuthFailure,
+    /// Successful authentication (baseline signal).
+    AuthSuccess,
+    /// OTA image rejected (bad signature, downgrade, scan hit).
+    FirmwareRejected,
+    /// DPI rule matched in traffic.
+    DpiMatch,
+    /// Traffic rate/volume anomaly.
+    TrafficAnomaly,
+    /// Behavioural DFA violation.
+    DfaViolation,
+    /// Cloud event failed integrity/policy checks.
+    EventRejected,
+    /// API request denied (scope, rate, auth).
+    ApiDenied,
+    /// DNS resolution blocked or failed validation.
+    DnsBlocked,
+    /// Destination blocked by constrained access.
+    DestinationBlocked,
+    /// Telemetry deviated from its learned baseline.
+    TelemetryAnomaly,
+    /// App action denied by the permission model.
+    ActionDenied,
+    /// Benign state transition (context for the DFA and analytics).
+    StateTransition,
+}
+
+/// One observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evidence {
+    /// When it was observed.
+    pub at: SimTime,
+    /// Which layer observed it.
+    pub layer: Layer,
+    /// The device (or principal) it concerns.
+    pub device: String,
+    /// What was observed.
+    pub kind: EvidenceKind,
+    /// Mechanism-assigned weight in `[0, 1]` (how suspicious in
+    /// isolation).
+    pub weight: f64,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Evidence {
+    /// Creates an evidence record.
+    pub fn new(
+        at: SimTime,
+        layer: Layer,
+        device: &str,
+        kind: EvidenceKind,
+        weight: f64,
+        detail: &str,
+    ) -> Self {
+        Evidence {
+            at,
+            layer,
+            device: device.to_string(),
+            kind,
+            weight: weight.clamp(0.0, 1.0),
+            detail: detail.to_string(),
+        }
+    }
+}
+
+/// The Core's aggregated store.
+#[derive(Debug, Default)]
+pub struct EvidenceStore {
+    records: Vec<Evidence>,
+}
+
+impl EvidenceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        EvidenceStore::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, evidence: Evidence) {
+        self.records.push(evidence);
+    }
+
+    /// All records.
+    pub fn all(&self) -> &[Evidence] {
+        &self.records
+    }
+
+    /// Records concerning `device` within the window ending at `now`.
+    pub fn for_device(&self, device: &str, now: SimTime, window: Duration) -> Vec<&Evidence> {
+        self.records
+            .iter()
+            .filter(|e| e.device == device && now.since(e.at) <= window)
+            .collect()
+    }
+
+    /// Distinct devices with any evidence in the window.
+    pub fn active_devices(&self, now: SimTime, window: Duration) -> Vec<String> {
+        let mut devices: Vec<String> = self
+            .records
+            .iter()
+            .filter(|e| now.since(e.at) <= window)
+            .map(|e| e.device.clone())
+            .collect();
+        devices.sort();
+        devices.dedup();
+        devices
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_s: u64, device: &str, kind: EvidenceKind, layer: Layer) -> Evidence {
+        Evidence::new(SimTime::from_secs(at_s), layer, device, kind, 0.5, "test")
+    }
+
+    #[test]
+    fn window_queries_filter_by_device_and_time() {
+        let mut store = EvidenceStore::new();
+        store.push(ev(10, "cam", EvidenceKind::DpiMatch, Layer::Network));
+        store.push(ev(50, "cam", EvidenceKind::DfaViolation, Layer::Network));
+        store.push(ev(50, "lamp", EvidenceKind::AuthFailure, Layer::Device));
+
+        let now = SimTime::from_secs(60);
+        let recent_cam = store.for_device("cam", now, Duration::from_secs(20));
+        assert_eq!(recent_cam.len(), 1);
+        assert_eq!(recent_cam[0].kind, EvidenceKind::DfaViolation);
+
+        let all_cam = store.for_device("cam", now, Duration::from_secs(100));
+        assert_eq!(all_cam.len(), 2);
+    }
+
+    #[test]
+    fn active_devices_deduplicates() {
+        let mut store = EvidenceStore::new();
+        store.push(ev(1, "cam", EvidenceKind::DpiMatch, Layer::Network));
+        store.push(ev(2, "cam", EvidenceKind::DpiMatch, Layer::Network));
+        store.push(ev(3, "lamp", EvidenceKind::AuthFailure, Layer::Device));
+        let devices = store.active_devices(SimTime::from_secs(5), Duration::from_secs(10));
+        assert_eq!(devices, vec!["cam".to_string(), "lamp".to_string()]);
+    }
+
+    #[test]
+    fn weight_is_clamped() {
+        let e = Evidence::new(
+            SimTime::ZERO,
+            Layer::Device,
+            "d",
+            EvidenceKind::AuthFailure,
+            7.0,
+            "x",
+        );
+        assert_eq!(e.weight, 1.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The response policy: verdicts become automated mitigations. XLF's
+//! proactive stance (§IV: "proactive protection against intrusions")
+//! means the gateway quarantines, revokes, and rolls back without waiting
+//! for a human.
+
+use crate::alerts::Severity;
+use crate::correlation::Verdict;
+use std::collections::BTreeSet;
+use xlf_simnet::SimTime;
+
+/// An automated response action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseAction {
+    /// Block the device's traffic at the gateway (NAC quarantine).
+    Quarantine {
+        /// Device to isolate.
+        device: String,
+    },
+    /// Revoke the device's/user's tokens at the cloud.
+    RevokeTokens {
+        /// Subject whose tokens die.
+        subject: String,
+    },
+    /// Push the last known-good firmware.
+    ForceFirmwareRollback {
+        /// Device to restore.
+        device: String,
+    },
+    /// Notify the user (always emitted alongside stronger actions).
+    NotifyUser {
+        /// Message.
+        message: String,
+    },
+}
+
+/// Decision thresholds for the policy engine.
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    /// Score at which the device is watched and the user informed.
+    pub warn_threshold: f64,
+    /// Score at which automated mitigation engages.
+    pub act_threshold: f64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            warn_threshold: 0.35,
+            act_threshold: 0.6,
+        }
+    }
+}
+
+/// The policy engine and its quarantine list.
+#[derive(Debug, Default)]
+pub struct PolicyEngine {
+    /// Thresholds.
+    pub config: PolicyConfig,
+    quarantined: BTreeSet<String>,
+}
+
+impl PolicyEngine {
+    /// Creates an engine with default thresholds.
+    pub fn new(config: PolicyConfig) -> Self {
+        PolicyEngine {
+            config,
+            quarantined: BTreeSet::new(),
+        }
+    }
+
+    /// Maps a verdict to (severity, actions); applies quarantine state.
+    pub fn respond(&mut self, verdict: &Verdict, _now: SimTime) -> (Severity, Vec<ResponseAction>) {
+        if verdict.score >= self.config.act_threshold {
+            self.quarantined.insert(verdict.device.clone());
+            let actions = vec![
+                ResponseAction::Quarantine {
+                    device: verdict.device.clone(),
+                },
+                ResponseAction::RevokeTokens {
+                    subject: verdict.device.clone(),
+                },
+                ResponseAction::ForceFirmwareRollback {
+                    device: verdict.device.clone(),
+                },
+                ResponseAction::NotifyUser {
+                    message: format!(
+                        "device {} quarantined (score {:.2}, layers {:?})",
+                        verdict.device, verdict.score, verdict.layers
+                    ),
+                },
+            ];
+            (Severity::Critical, actions)
+        } else if verdict.score >= self.config.warn_threshold {
+            (
+                Severity::Warning,
+                vec![ResponseAction::NotifyUser {
+                    message: format!(
+                        "device {} suspicious (score {:.2})",
+                        verdict.device, verdict.score
+                    ),
+                }],
+            )
+        } else {
+            (Severity::Info, Vec::new())
+        }
+    }
+
+    /// Whether a device is quarantined.
+    pub fn is_quarantined(&self, device: &str) -> bool {
+        self.quarantined.contains(device)
+    }
+
+    /// Releases a device (operator override after remediation).
+    pub fn release(&mut self, device: &str) -> bool {
+        self.quarantined.remove(device)
+    }
+
+    /// Devices currently quarantined.
+    pub fn quarantined(&self) -> impl Iterator<Item = &str> {
+        self.quarantined.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Layer;
+
+    fn verdict(device: &str, score: f64) -> Verdict {
+        Verdict {
+            device: device.to_string(),
+            score,
+            layers: vec![Layer::Network],
+            kinds: vec![],
+        }
+    }
+
+    #[test]
+    fn high_scores_trigger_full_mitigation() {
+        let mut engine = PolicyEngine::new(PolicyConfig::default());
+        let (severity, actions) = engine.respond(&verdict("cam", 0.9), SimTime::ZERO);
+        assert_eq!(severity, Severity::Critical);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, ResponseAction::Quarantine { .. })));
+        assert!(engine.is_quarantined("cam"));
+    }
+
+    #[test]
+    fn mid_scores_warn_without_quarantine() {
+        let mut engine = PolicyEngine::new(PolicyConfig::default());
+        let (severity, actions) = engine.respond(&verdict("cam", 0.4), SimTime::ZERO);
+        assert_eq!(severity, Severity::Warning);
+        assert_eq!(actions.len(), 1);
+        assert!(!engine.is_quarantined("cam"));
+    }
+
+    #[test]
+    fn low_scores_do_nothing() {
+        let mut engine = PolicyEngine::new(PolicyConfig::default());
+        let (severity, actions) = engine.respond(&verdict("cam", 0.1), SimTime::ZERO);
+        assert_eq!(severity, Severity::Info);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn release_lifts_quarantine() {
+        let mut engine = PolicyEngine::new(PolicyConfig::default());
+        engine.respond(&verdict("cam", 0.9), SimTime::ZERO);
+        assert!(engine.release("cam"));
+        assert!(!engine.is_quarantined("cam"));
+        assert!(!engine.release("cam"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Traffic shaping (§IV-B1): "it should change the packet transmission
+//! rates of different flows by inserting random delays. Secondly, for the
+//! incoming traffic, redundant packets could be inserted without changing
+//! the states of the devices" — balancing "the adversary confidence and
+//! the bandwidth overhead".
+//!
+//! [`TrafficShaper`] transforms each outgoing packet into a padded size
+//! plus a deterministic pseudo-random delay, and decides when to inject
+//! cover packets. Intensity sweeps drive the E-M3 crossover plot.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xlf_simnet::Duration;
+
+/// Shaping intensity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShapingMode {
+    /// Pass-through (the undefended baseline).
+    Off,
+    /// Pad sizes to the next multiple of `bucket` bytes.
+    PadOnly {
+        /// Padding bucket in bytes.
+        bucket: usize,
+    },
+    /// Pad and insert uniform random delays up to `max_delay`.
+    PadAndDelay {
+        /// Padding bucket in bytes.
+        bucket: usize,
+        /// Maximum inserted delay.
+        max_delay: Duration,
+    },
+    /// Pad, delay, and emit cover traffic to hold a constant rate of one
+    /// packet per `cover_interval` per flow.
+    ConstantRate {
+        /// Padding bucket in bytes.
+        bucket: usize,
+        /// Maximum inserted delay.
+        max_delay: Duration,
+        /// Target inter-packet interval for cover traffic.
+        cover_interval: Duration,
+    },
+}
+
+/// Decision for one outgoing packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapingDecision {
+    /// The wire size to present (≥ original).
+    pub padded_size: usize,
+    /// Sender-side delay to insert.
+    pub delay: Duration,
+}
+
+/// Accumulated shaping cost (the overhead axis of the E-M3 plot).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShapingCost {
+    /// Padding bytes added.
+    pub padding_bytes: u64,
+    /// Cover packets injected.
+    pub cover_packets: u64,
+    /// Cover bytes injected.
+    pub cover_bytes: u64,
+    /// Total delay inserted.
+    pub total_delay: Duration,
+    /// Real packets shaped.
+    pub packets: u64,
+    /// Real bytes before padding.
+    pub real_bytes: u64,
+}
+
+impl ShapingCost {
+    /// Bandwidth overhead ratio: (padding + cover) / real bytes.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.real_bytes == 0 {
+            return 0.0;
+        }
+        (self.padding_bytes + self.cover_bytes) as f64 / self.real_bytes as f64
+    }
+
+    /// Mean added latency per real packet.
+    pub fn mean_delay(&self) -> Duration {
+        match self.total_delay.as_micros().checked_div(self.packets) {
+            Some(mean) => Duration::from_micros(mean),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// The shaper.
+#[derive(Debug)]
+pub struct TrafficShaper {
+    /// Active mode.
+    pub mode: ShapingMode,
+    rng: StdRng,
+    /// Cost accounting.
+    pub cost: ShapingCost,
+}
+
+impl TrafficShaper {
+    /// Creates a shaper with a deterministic delay stream.
+    pub fn new(mode: ShapingMode, seed: u64) -> Self {
+        TrafficShaper {
+            mode,
+            rng: StdRng::seed_from_u64(seed),
+            cost: ShapingCost::default(),
+        }
+    }
+
+    /// Shapes one outgoing packet of `wire_size` bytes.
+    pub fn shape(&mut self, wire_size: usize) -> ShapingDecision {
+        self.cost.packets += 1;
+        self.cost.real_bytes += wire_size as u64;
+        let (padded_size, delay) = match self.mode {
+            ShapingMode::Off => (wire_size, Duration::ZERO),
+            ShapingMode::PadOnly { bucket } => (pad_to_bucket(wire_size, bucket), Duration::ZERO),
+            ShapingMode::PadAndDelay { bucket, max_delay }
+            | ShapingMode::ConstantRate {
+                bucket, max_delay, ..
+            } => {
+                let delay_us = self.rng.gen_range(0..=max_delay.as_micros());
+                (
+                    pad_to_bucket(wire_size, bucket),
+                    Duration::from_micros(delay_us),
+                )
+            }
+        };
+        self.cost.padding_bytes += (padded_size - wire_size) as u64;
+        self.cost.total_delay += delay;
+        ShapingDecision { padded_size, delay }
+    }
+
+    /// Number of cover packets (and their size) to emit for a flow that
+    /// has been silent for `silence`; zero unless in constant-rate mode.
+    pub fn cover_packets_for(&mut self, silence: Duration) -> Vec<usize> {
+        let ShapingMode::ConstantRate {
+            bucket,
+            cover_interval,
+            ..
+        } = self.mode
+        else {
+            return Vec::new();
+        };
+        if cover_interval.as_micros() == 0 {
+            return Vec::new();
+        }
+        let due = (silence.as_micros() / cover_interval.as_micros()) as usize;
+        let size = bucket.max(1);
+        self.cost.cover_packets += due as u64;
+        self.cost.cover_bytes += (due * size) as u64;
+        vec![size; due]
+    }
+}
+
+fn pad_to_bucket(size: usize, bucket: usize) -> usize {
+    if bucket == 0 {
+        return size;
+    }
+    size.div_ceil(bucket) * bucket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_is_transparent() {
+        let mut shaper = TrafficShaper::new(ShapingMode::Off, 1);
+        let d = shaper.shape(137);
+        assert_eq!(d.padded_size, 137);
+        assert_eq!(d.delay, Duration::ZERO);
+        assert_eq!(shaper.cost.overhead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn padding_rounds_up_to_buckets() {
+        let mut shaper = TrafficShaper::new(ShapingMode::PadOnly { bucket: 128 }, 1);
+        assert_eq!(shaper.shape(1).padded_size, 128);
+        assert_eq!(shaper.shape(128).padded_size, 128);
+        assert_eq!(shaper.shape(129).padded_size, 256);
+        assert!(shaper.cost.padding_bytes == 127 + 127);
+    }
+
+    #[test]
+    fn delays_are_bounded_and_deterministic() {
+        let max = Duration::from_millis(50);
+        let mut a = TrafficShaper::new(
+            ShapingMode::PadAndDelay {
+                bucket: 64,
+                max_delay: max,
+            },
+            42,
+        );
+        let mut b = TrafficShaper::new(
+            ShapingMode::PadAndDelay {
+                bucket: 64,
+                max_delay: max,
+            },
+            42,
+        );
+        for _ in 0..100 {
+            let da = a.shape(100);
+            let db = b.shape(100);
+            assert_eq!(da, db);
+            assert!(da.delay <= max);
+        }
+    }
+
+    #[test]
+    fn sizes_collapse_to_buckets_hiding_state() {
+        // Idle (88 B) and streaming (940 B) packets under 1024-byte
+        // padding become identical on the wire.
+        let mut shaper = TrafficShaper::new(ShapingMode::PadOnly { bucket: 1024 }, 1);
+        assert_eq!(shaper.shape(88).padded_size, shaper.shape(940).padded_size);
+    }
+
+    #[test]
+    fn constant_rate_emits_cover_for_silence() {
+        let mut shaper = TrafficShaper::new(
+            ShapingMode::ConstantRate {
+                bucket: 512,
+                max_delay: Duration::from_millis(10),
+                cover_interval: Duration::from_secs(1),
+            },
+            1,
+        );
+        let cover = shaper.cover_packets_for(Duration::from_secs(5));
+        assert_eq!(cover.len(), 5);
+        assert!(cover.iter().all(|&s| s == 512));
+        assert_eq!(shaper.cost.cover_bytes, 2560);
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let mut shaper = TrafficShaper::new(ShapingMode::PadOnly { bucket: 200 }, 1);
+        shaper.shape(100); // +100 padding
+        shaper.shape(150); // +50 padding
+        let ratio = shaper.cost.overhead_ratio();
+        assert!((ratio - 150.0 / 250.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,355 @@
+//! The Table I device catalog: computing capabilities of typical
+//! IoT-enabled home devices, transcribed row by row from the paper.
+//!
+//! "Computation, storage, and power limit the security functions that can
+//! be implemented on the device" — these envelopes drive the
+//! cipher-feasibility analysis (E-T1) and XLF's crypto negotiation.
+
+use std::fmt;
+
+/// Power source of a device (Table I's "Power" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerSource {
+    /// Battery powered — energy budget matters.
+    Battery,
+    /// Mains powered.
+    AcPower,
+    /// Passively powered or not applicable (RFID tags).
+    Passive,
+}
+
+impl fmt::Display for PowerSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PowerSource::Battery => "Battery",
+            PowerSource::AcPower => "AC Power",
+            PowerSource::Passive => "NA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The 21 device types of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum DeviceClass {
+    HidGlassTagRfid,
+    HidPiccolinoTagRfid,
+    SensorDevice,
+    GoogleChromecast,
+    NetgearRouter,
+    GatewayWise3310,
+    Rex2SmartMeter,
+    PhilipsHueLightbulb,
+    NestSmokeDetector,
+    NestLearningThermostat,
+    SamsungSmartCam,
+    SamsungSmartTv,
+    OortBluetoothController,
+    DacorAndroidOven,
+    FitbitFlex,
+    LgWatchUrbane2,
+    SamsungWatchGearS2,
+    AppleWatch,
+    Iphone6sPlus,
+    IpadPro129,
+    /// A coffee machine / fridge-class appliance (Table II rows without a
+    /// Table I entry; given sensor-class resources).
+    GenericAppliance,
+}
+
+/// A device's computing envelope (one Table I row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Which catalog entry this is.
+    pub class: DeviceClass,
+    /// Human-readable name as printed in Table I.
+    pub name: &'static str,
+    /// Chipset description from Table I.
+    pub chipset: &'static str,
+    /// Core frequency in Hz (RFID tags list their carrier frequency).
+    pub core_hz: u64,
+    /// RAM in bytes (0 when Table I lists N/A).
+    pub ram_bytes: u64,
+    /// Flash in bytes (0 when Table I lists N/A).
+    pub flash_bytes: u64,
+    /// Power source.
+    pub power: PowerSource,
+}
+
+impl DeviceSpec {
+    /// Looks up the spec for a device class.
+    pub fn of(class: DeviceClass) -> DeviceSpec {
+        catalog()
+            .into_iter()
+            .find(|d| d.class == class)
+            .expect("every class is in the catalog")
+    }
+
+    /// Whether the device is in the severely constrained tier
+    /// (microcontroller-class: < 64 KiB RAM).
+    pub fn is_constrained(&self) -> bool {
+        self.ram_bytes < 64 * 1024
+    }
+
+    /// Whether the device is a passive tag with no programmable CPU.
+    pub fn is_passive_tag(&self) -> bool {
+        matches!(
+            self.class,
+            DeviceClass::HidGlassTagRfid | DeviceClass::HidPiccolinoTagRfid
+        )
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+const GB: u64 = 1024 * 1024 * 1024;
+
+/// The full Table I catalog.
+pub fn catalog() -> Vec<DeviceSpec> {
+    use DeviceClass::*;
+    vec![
+        DeviceSpec {
+            class: HidGlassTagRfid,
+            name: "HID Glass Tag Ultra (RFID)",
+            chipset: "EM 4305",
+            core_hz: 134_200,
+            ram_bytes: 512 / 8, // 512 bits RW
+            flash_bytes: 0,
+            power: PowerSource::Passive,
+        },
+        DeviceSpec {
+            class: HidPiccolinoTagRfid,
+            name: "HID Piccolino Tag (RFID)",
+            chipset: "I-Code SLIx, SLIx-S",
+            core_hz: 13_560_000,
+            ram_bytes: 2048 / 8, // 2048 bits RW
+            flash_bytes: 0,
+            power: PowerSource::Passive,
+        },
+        DeviceSpec {
+            class: SensorDevice,
+            name: "Sensor Devices",
+            chipset: "Microcontroller",
+            core_hz: 16_000_000, // midpoint of 4–32 MHz
+            ram_bytes: 8 * KB,   // midpoint of 4–16 KB
+            flash_bytes: 64 * KB, // midpoint of 16–128 KB
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: GoogleChromecast,
+            name: "Google Chromecast",
+            chipset: "ARM Cortex-A7",
+            core_hz: 1_200_000_000,
+            ram_bytes: 512 * MB,
+            flash_bytes: 256 * MB,
+            power: PowerSource::AcPower,
+        },
+        DeviceSpec {
+            class: NetgearRouter,
+            name: "NETGEAR Router",
+            chipset: "Broadcom BCM4709A",
+            core_hz: 1_000_000_000,
+            ram_bytes: 256 * MB,
+            flash_bytes: 128 * KB,
+            power: PowerSource::AcPower,
+        },
+        DeviceSpec {
+            class: GatewayWise3310,
+            name: "Gateway WISE-3310",
+            chipset: "ARM Cortex-A9",
+            core_hz: 1_000_000_000,
+            ram_bytes: GB, // Table I lists NA; Cortex-A9 class
+            flash_bytes: 4 * GB,
+            power: PowerSource::AcPower,
+        },
+        DeviceSpec {
+            class: Rex2SmartMeter,
+            name: "REX2 Smart Meter",
+            chipset: "Teridian 71M6531F SoC",
+            core_hz: 10_000_000,
+            ram_bytes: 4 * KB,
+            flash_bytes: 256 * KB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: PhilipsHueLightbulb,
+            name: "Philips Hue Lightbulb",
+            chipset: "TI CC2530 SoC",
+            core_hz: 32_000_000,
+            ram_bytes: 8 * KB,
+            flash_bytes: 256 * KB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: NestSmokeDetector,
+            name: "Nest Smoke Detector",
+            chipset: "ARM Cortex-M0",
+            core_hz: 48_000_000,
+            ram_bytes: 16 * KB,
+            flash_bytes: 128 * KB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: NestLearningThermostat,
+            name: "Nest Learning Thermostat",
+            chipset: "ARM Cortex-A8",
+            core_hz: 800_000_000,
+            ram_bytes: 512 * MB,
+            flash_bytes: 2 * GB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: SamsungSmartCam,
+            name: "Samsung Smart Cam",
+            chipset: "GM812x SoC",
+            core_hz: 540_000_000,
+            ram_bytes: 128 * MB, // Table I lists N/A; GM812x class
+            flash_bytes: 64 * GB,
+            power: PowerSource::AcPower,
+        },
+        DeviceSpec {
+            class: SamsungSmartTv,
+            name: "Samsung Smart TV",
+            chipset: "ARM-based Exynos SoC",
+            core_hz: 1_300_000_000,
+            ram_bytes: GB,
+            flash_bytes: 8 * GB, // Table I lists N/A
+            power: PowerSource::AcPower,
+        },
+        DeviceSpec {
+            class: OortBluetoothController,
+            name: "OORT Bluetooth Smart Controller",
+            chipset: "ARM Cortex-M0",
+            core_hz: 50_000_000,
+            ram_bytes: 24 * KB, // 16KB/32KB
+            flash_bytes: 256 * KB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: DacorAndroidOven,
+            name: "Dacor Android Oven",
+            chipset: "PowerVR SGX 540 graphics",
+            core_hz: 1_000_000_000,
+            ram_bytes: 512 * MB,
+            flash_bytes: 4 * GB, // Table I lists NA
+            power: PowerSource::AcPower,
+        },
+        DeviceSpec {
+            class: FitbitFlex,
+            name: "Fitbit Smart Wrist Band Flex",
+            chipset: "ARM Cortex-M3",
+            core_hz: 32_000_000,
+            ram_bytes: 16 * KB,
+            flash_bytes: 128 * KB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: LgWatchUrbane2,
+            name: "LG Watch Urbane 2nd Edition",
+            chipset: "Snapdragon 400 chipset",
+            core_hz: 1_200_000_000,
+            ram_bytes: 768 * MB,
+            flash_bytes: 4 * GB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: SamsungWatchGearS2,
+            name: "Samsung Watch Gear S2",
+            chipset: "MSM8x26",
+            core_hz: 1_200_000_000,
+            ram_bytes: 512 * MB,
+            flash_bytes: 4 * GB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: AppleWatch,
+            name: "Apple Watch",
+            chipset: "S1",
+            core_hz: 520_000_000,
+            ram_bytes: 512 * MB,
+            flash_bytes: 8 * GB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: Iphone6sPlus,
+            name: "iPhone 6s Plus",
+            chipset: "A9/64-bit/M9 coprocessor",
+            core_hz: 1_850_000_000,
+            ram_bytes: 2 * GB,
+            flash_bytes: 128 * GB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: IpadPro129,
+            name: "12.9-inch iPad Pro",
+            chipset: "A9X/64-bit/M9 coprocessor",
+            core_hz: 1_850_000_000,
+            ram_bytes: 4 * GB,
+            flash_bytes: 256 * GB,
+            power: PowerSource::Battery,
+        },
+        DeviceSpec {
+            class: GenericAppliance,
+            name: "Generic Smart Appliance",
+            chipset: "Microcontroller",
+            core_hz: 32_000_000,
+            ram_bytes: 32 * KB,
+            flash_bytes: 256 * KB,
+            power: PowerSource::AcPower,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_table1_rows_plus_appliance() {
+        assert_eq!(catalog().len(), 21);
+    }
+
+    #[test]
+    fn classes_are_unique() {
+        let mut classes: Vec<_> = catalog().into_iter().map(|d| d.class).collect();
+        classes.sort();
+        classes.dedup();
+        assert_eq!(classes.len(), 21);
+    }
+
+    #[test]
+    fn spec_lookup_matches_catalog() {
+        let spec = DeviceSpec::of(DeviceClass::PhilipsHueLightbulb);
+        assert_eq!(spec.chipset, "TI CC2530 SoC");
+        assert_eq!(spec.core_hz, 32_000_000);
+        assert_eq!(spec.ram_bytes, 8 * 1024);
+    }
+
+    #[test]
+    fn constrained_tier_classification() {
+        assert!(DeviceSpec::of(DeviceClass::SensorDevice).is_constrained());
+        assert!(DeviceSpec::of(DeviceClass::PhilipsHueLightbulb).is_constrained());
+        assert!(DeviceSpec::of(DeviceClass::NestSmokeDetector).is_constrained());
+        assert!(!DeviceSpec::of(DeviceClass::SamsungSmartTv).is_constrained());
+        assert!(!DeviceSpec::of(DeviceClass::Iphone6sPlus).is_constrained());
+    }
+
+    #[test]
+    fn passive_tags_are_flagged() {
+        assert!(DeviceSpec::of(DeviceClass::HidGlassTagRfid).is_passive_tag());
+        assert!(!DeviceSpec::of(DeviceClass::FitbitFlex).is_passive_tag());
+    }
+
+    #[test]
+    fn battery_and_mains_power_recorded() {
+        assert_eq!(
+            DeviceSpec::of(DeviceClass::NetgearRouter).power,
+            PowerSource::AcPower
+        );
+        assert_eq!(
+            DeviceSpec::of(DeviceClass::AppleWatch).power,
+            PowerSource::Battery
+        );
+    }
+}

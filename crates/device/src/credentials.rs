@@ -1,0 +1,203 @@
+//! Device credential store: the administration-interface authentication
+//! surface from §III-A — default credentials, weak passwords, username
+//! enumeration, and lockout.
+
+use std::collections::BTreeMap;
+use xlf_lwcrypto::hash::LightHash;
+
+/// Result of a login attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoginOutcome {
+    /// Credentials accepted.
+    Success,
+    /// Unknown user. When username enumeration is enabled this is
+    /// distinguishable from `WrongPassword` — itself a vulnerability.
+    UnknownUser,
+    /// Known user, wrong password.
+    WrongPassword,
+    /// Account locked out after too many failures.
+    LockedOut,
+}
+
+/// Credential store with configurable weaknesses.
+#[derive(Debug, Clone)]
+pub struct CredentialStore {
+    /// username → password hash.
+    users: BTreeMap<String, [u8; 32]>,
+    /// Consecutive failures per user.
+    failures: BTreeMap<String, u32>,
+    /// Failures before lockout (`None` = never lock — a vulnerability).
+    pub lockout_threshold: Option<u32>,
+    /// Whether login errors distinguish unknown users from bad passwords.
+    pub enumerable_usernames: bool,
+    /// Whether factory-default credentials are still active.
+    pub has_default_credentials: bool,
+}
+
+fn hash_password(user: &str, password: &str) -> [u8; 32] {
+    let mut h = LightHash::new();
+    h.update(user.as_bytes());
+    h.update(&[0x1F]);
+    h.update(password.as_bytes());
+    h.finalize()
+}
+
+impl CredentialStore {
+    /// Creates a hardened store (lockout after 5, no enumeration, no
+    /// defaults).
+    pub fn hardened() -> Self {
+        CredentialStore {
+            users: BTreeMap::new(),
+            failures: BTreeMap::new(),
+            lockout_threshold: Some(5),
+            enumerable_usernames: false,
+            has_default_credentials: false,
+        }
+    }
+
+    /// Creates a factory-default store: `admin`/`admin` active, no
+    /// lockout, enumerable usernames — the Table II smart-bulb row.
+    pub fn factory_default() -> Self {
+        let mut store = CredentialStore {
+            users: BTreeMap::new(),
+            failures: BTreeMap::new(),
+            lockout_threshold: None,
+            enumerable_usernames: true,
+            has_default_credentials: true,
+        };
+        store.add_user("admin", "admin");
+        store
+    }
+
+    /// Adds or replaces a user.
+    pub fn add_user(&mut self, user: &str, password: &str) {
+        self.users
+            .insert(user.to_string(), hash_password(user, password));
+    }
+
+    /// Estimates password strength: length and character-class count.
+    /// Scores 0–4; anything below 2 is "weak" per the §III-A analysis.
+    pub fn password_strength(password: &str) -> u8 {
+        let mut score = 0u8;
+        if password.len() >= 8 {
+            score += 1;
+        }
+        if password.len() >= 12 {
+            score += 1;
+        }
+        let classes = [
+            password.chars().any(|c| c.is_ascii_lowercase()),
+            password.chars().any(|c| c.is_ascii_uppercase()),
+            password.chars().any(|c| c.is_ascii_digit()),
+            password.chars().any(|c| !c.is_ascii_alphanumeric()),
+        ]
+        .iter()
+        .filter(|&&b| b)
+        .count();
+        if classes >= 2 {
+            score += 1;
+        }
+        if classes >= 3 {
+            score += 1;
+        }
+        score
+    }
+
+    /// Attempts a login, applying lockout accounting.
+    pub fn login(&mut self, user: &str, password: &str) -> LoginOutcome {
+        let Some(stored) = self.users.get(user) else {
+            return if self.enumerable_usernames {
+                LoginOutcome::UnknownUser
+            } else {
+                LoginOutcome::WrongPassword
+            };
+        };
+        let fails = self.failures.entry(user.to_string()).or_insert(0);
+        if let Some(threshold) = self.lockout_threshold {
+            if *fails >= threshold {
+                return LoginOutcome::LockedOut;
+            }
+        }
+        if *stored == hash_password(user, password) {
+            *fails = 0;
+            LoginOutcome::Success
+        } else {
+            *fails += 1;
+            LoginOutcome::WrongPassword
+        }
+    }
+
+    /// Clears a user's lockout counter (administrative reset).
+    pub fn reset_lockout(&mut self, user: &str) {
+        self.failures.remove(user);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_default_accepts_admin_admin() {
+        let mut store = CredentialStore::factory_default();
+        assert_eq!(store.login("admin", "admin"), LoginOutcome::Success);
+        assert!(store.has_default_credentials);
+    }
+
+    #[test]
+    fn hardened_store_locks_out_after_failures() {
+        let mut store = CredentialStore::hardened();
+        store.add_user("alice", "correct horse battery");
+        for _ in 0..5 {
+            assert_eq!(
+                store.login("alice", "wrong"),
+                LoginOutcome::WrongPassword
+            );
+        }
+        assert_eq!(store.login("alice", "wrong"), LoginOutcome::LockedOut);
+        // Even the correct password is refused while locked.
+        assert_eq!(
+            store.login("alice", "correct horse battery"),
+            LoginOutcome::LockedOut
+        );
+        store.reset_lockout("alice");
+        assert_eq!(
+            store.login("alice", "correct horse battery"),
+            LoginOutcome::Success
+        );
+    }
+
+    #[test]
+    fn success_resets_failure_counter() {
+        let mut store = CredentialStore::hardened();
+        store.add_user("bob", "pw12345678");
+        for _ in 0..4 {
+            store.login("bob", "wrong");
+        }
+        assert_eq!(store.login("bob", "pw12345678"), LoginOutcome::Success);
+        for _ in 0..4 {
+            assert_eq!(store.login("bob", "nope"), LoginOutcome::WrongPassword);
+        }
+    }
+
+    #[test]
+    fn enumeration_behaviour_follows_flag() {
+        let mut enumerable = CredentialStore::factory_default();
+        assert_eq!(enumerable.login("ghost", "x"), LoginOutcome::UnknownUser);
+        let mut hardened = CredentialStore::hardened();
+        assert_eq!(hardened.login("ghost", "x"), LoginOutcome::WrongPassword);
+    }
+
+    #[test]
+    fn password_strength_scoring() {
+        assert!(CredentialStore::password_strength("admin") < 2);
+        assert!(CredentialStore::password_strength("12345678") < 2);
+        assert!(CredentialStore::password_strength("Tr0ub4dor&3xyz") >= 3);
+    }
+
+    #[test]
+    fn hashes_are_per_user_salted() {
+        // Same password, different users → different stored hashes.
+        assert_ne!(hash_password("a", "pw"), hash_password("b", "pw"));
+    }
+}

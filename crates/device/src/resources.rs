@@ -1,0 +1,246 @@
+//! Resource model: translates a Table I envelope into security-function
+//! feasibility — which ciphers fit, how fast they run, what they cost in
+//! energy. Drives the Table I harness (E-T1) and XLF's lightweight-crypto
+//! negotiation (§IV-A2).
+
+use crate::catalog::{DeviceSpec, PowerSource};
+use xlf_lwcrypto::{CipherInfo, SpecFidelity, Structure};
+
+/// Whether and how a cipher fits on a device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CryptoFeasibility {
+    /// Fits comfortably; throughput estimate in bytes/second attached.
+    Fits {
+        /// Estimated sustained encryption throughput.
+        throughput_bps: f64,
+    },
+    /// Runs, but below the required line rate for its traffic class.
+    TooSlow {
+        /// Estimated sustained encryption throughput.
+        throughput_bps: f64,
+    },
+    /// Working RAM (state + round keys) exceeds the device's RAM.
+    NoRam,
+    /// Code footprint exceeds the device's flash.
+    NoFlash,
+    /// The device has no programmable CPU at all (passive RFID tags).
+    NoCpu,
+}
+
+impl CryptoFeasibility {
+    /// True for the `Fits` variant.
+    pub fn fits(&self) -> bool {
+        matches!(self, CryptoFeasibility::Fits { .. })
+    }
+}
+
+/// Per-device resource accounting.
+#[derive(Debug, Clone)]
+pub struct ResourceModel {
+    spec: DeviceSpec,
+}
+
+/// Estimated cycles per byte for a software implementation of each
+/// structure family on a small MCU (coarse literature-informed constants;
+/// the *relative* ordering is what the experiments rely on).
+fn cycles_per_byte(info: &CipherInfo) -> f64 {
+    let base = match info.structure {
+        Structure::Arx => 18.0,
+        Structure::Feistel => 45.0,
+        Structure::GeneralizedFeistel => 35.0,
+        Structure::Spn => 55.0,
+    };
+    // Cost scales with rounds relative to the family's typical count.
+    let typical_rounds = match info.structure {
+        Structure::Arx => 28.0,
+        Structure::Feistel => 16.0,
+        Structure::GeneralizedFeistel => 32.0,
+        Structure::Spn => 20.0,
+    };
+    base * (info.rounds as f64 / typical_rounds).max(0.25)
+}
+
+/// Rough RAM working set: round keys + state + implementation scratch.
+fn ram_needed(info: &CipherInfo) -> u64 {
+    let round_key_bytes = (info.rounds as u64 + 1) * (info.block_bits as u64 / 8);
+    round_key_bytes + info.block_bits as u64 / 8 + 64
+}
+
+/// Rough code footprint: SPNs carry table space, Feistels less.
+fn flash_needed(info: &CipherInfo) -> u64 {
+    match info.structure {
+        Structure::Spn => 2048,
+        Structure::Feistel => 1024,
+        Structure::GeneralizedFeistel => 1024,
+        Structure::Arx => 512,
+    }
+}
+
+impl ResourceModel {
+    /// Builds the model for a device spec.
+    pub fn new(spec: DeviceSpec) -> Self {
+        ResourceModel { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Feasibility of running `cipher` on this device, requiring at least
+    /// `required_bps` bytes/second of sustained throughput (use the
+    /// device's telemetry rate).
+    pub fn crypto_feasibility(&self, cipher: &CipherInfo, required_bps: f64) -> CryptoFeasibility {
+        if self.spec.is_passive_tag() {
+            return CryptoFeasibility::NoCpu;
+        }
+        if ram_needed(cipher) > self.spec.ram_bytes {
+            return CryptoFeasibility::NoRam;
+        }
+        if self.spec.flash_bytes > 0 && flash_needed(cipher) > self.spec.flash_bytes {
+            return CryptoFeasibility::NoFlash;
+        }
+        // Assume the device can spend at most 5% of its cycles on crypto.
+        let crypto_cycles = self.spec.core_hz as f64 * 0.05;
+        let throughput_bps = crypto_cycles / cycles_per_byte(cipher);
+        if throughput_bps < required_bps {
+            CryptoFeasibility::TooSlow { throughput_bps }
+        } else {
+            CryptoFeasibility::Fits { throughput_bps }
+        }
+    }
+
+    /// Selects the best cipher from `candidates` for this device: the
+    /// highest-security option (largest key) among those that fit,
+    /// preferring exact-spec implementations, then throughput.
+    pub fn negotiate_cipher<'a>(
+        &self,
+        candidates: &'a [CipherInfo],
+        required_bps: f64,
+    ) -> Option<&'a CipherInfo> {
+        let mut fitting: Vec<(&CipherInfo, f64)> = candidates
+            .iter()
+            .filter_map(|c| match self.crypto_feasibility(c, required_bps) {
+                CryptoFeasibility::Fits { throughput_bps } => Some((c, throughput_bps)),
+                _ => None,
+            })
+            .collect();
+        fitting.sort_by(|a, b| {
+            let key_a = a.0.key_bits.iter().max().unwrap_or(&0);
+            let key_b = b.0.key_bits.iter().max().unwrap_or(&0);
+            key_b
+                .cmp(key_a)
+                .then_with(|| fidelity_rank(a.0.fidelity).cmp(&fidelity_rank(b.0.fidelity)))
+                .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        fitting.first().map(|(c, _)| *c)
+    }
+
+    /// Energy cost estimate (millijoules) of encrypting-and-transmitting
+    /// `bytes` over a radio: CPU cycles + TX cost. Only meaningful for
+    /// battery devices; mains devices return 0.
+    pub fn tx_energy_mj(&self, cipher: &CipherInfo, bytes: u64) -> f64 {
+        if self.spec.power != PowerSource::Battery {
+            return 0.0;
+        }
+        // ~1 nJ per cycle on an MCU, ~0.2 µJ per transmitted byte.
+        let cpu_mj = cycles_per_byte(cipher) * bytes as f64 * 1e-9 * 1e3;
+        let tx_mj = bytes as f64 * 0.2e-6 * 1e3;
+        cpu_mj + tx_mj
+    }
+}
+
+fn fidelity_rank(f: SpecFidelity) -> u8 {
+    match f {
+        SpecFidelity::Exact => 0,
+        SpecFidelity::Faithful => 1,
+        SpecFidelity::Structural => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DeviceClass;
+    use xlf_lwcrypto::registry;
+
+    fn infos() -> Vec<CipherInfo> {
+        registry(b"resource tests")
+            .iter()
+            .map(|c| c.info())
+            .collect()
+    }
+
+    #[test]
+    fn passive_tags_cannot_run_ciphers() {
+        let model = ResourceModel::new(DeviceSpec::of(DeviceClass::HidGlassTagRfid));
+        for info in infos() {
+            assert_eq!(
+                model.crypto_feasibility(&info, 100.0),
+                CryptoFeasibility::NoCpu
+            );
+        }
+    }
+
+    #[test]
+    fn phones_run_everything() {
+        let model = ResourceModel::new(DeviceSpec::of(DeviceClass::Iphone6sPlus));
+        for info in infos() {
+            assert!(
+                model.crypto_feasibility(&info, 10_000.0).fits(),
+                "{} should fit on a phone",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn sensor_class_fits_lightweight_but_struggles_at_high_rates() {
+        let model = ResourceModel::new(DeviceSpec::of(DeviceClass::SensorDevice));
+        let infos = infos();
+        let speck = infos.iter().find(|i| i.name == "SPECK").unwrap();
+        assert!(model.crypto_feasibility(speck, 1_000.0).fits());
+        // At megabyte rates the MCU cannot keep up with anything.
+        let any_fits_at_10mb = infos
+            .iter()
+            .any(|i| model.crypto_feasibility(i, 10_000_000.0).fits());
+        assert!(!any_fits_at_10mb);
+    }
+
+    #[test]
+    fn negotiation_prefers_strong_exact_ciphers_when_room() {
+        let model = ResourceModel::new(DeviceSpec::of(DeviceClass::SamsungSmartTv));
+        let infos = infos();
+        let chosen = model.negotiate_cipher(&infos, 10_000.0).unwrap();
+        // On an unconstrained device the negotiation should land on a
+        // 256-bit-capable cipher.
+        assert!(chosen.key_bits.contains(&256), "chose {}", chosen.name);
+    }
+
+    #[test]
+    fn negotiation_still_finds_something_for_sensors() {
+        let model = ResourceModel::new(DeviceSpec::of(DeviceClass::SensorDevice));
+        let infos = infos();
+        let chosen = model.negotiate_cipher(&infos, 500.0);
+        assert!(chosen.is_some());
+    }
+
+    #[test]
+    fn battery_energy_accounting() {
+        let model = ResourceModel::new(DeviceSpec::of(DeviceClass::FitbitFlex));
+        let infos = infos();
+        let aes = infos.iter().find(|i| i.name == "AES").unwrap();
+        let energy = model.tx_energy_mj(aes, 1_000_000);
+        assert!(energy > 0.0);
+        let mains = ResourceModel::new(DeviceSpec::of(DeviceClass::NetgearRouter));
+        assert_eq!(mains.tx_energy_mj(aes, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn arx_is_cheaper_than_spn_per_byte() {
+        let infos = infos();
+        let speck = infos.iter().find(|i| i.name == "SPECK").unwrap();
+        let aes = infos.iter().find(|i| i.name == "AES").unwrap();
+        assert!(cycles_per_byte(speck) < cycles_per_byte(aes));
+    }
+}

@@ -1,0 +1,191 @@
+//! The device vulnerability model: one flag per Table II row plus the
+//! §III-A credential/web-interface weaknesses, so attacks exploit exactly
+//! what the paper enumerates and XLF mechanisms can be shown to close
+//! specific holes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A concrete weakness a device may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vulnerability {
+    /// Table II "smart light bulb": static/default password on the admin
+    /// interface → MitM / password stealing.
+    StaticPassword,
+    /// Table II "wall pad": buffer overflow in the command parser →
+    /// value manipulation / shellcode execution.
+    BufferOverflow,
+    /// Table II "network camera": no firmware integrity checking →
+    /// firmware modulation.
+    UnsignedFirmware,
+    /// Table II "Chromecast": accepts disconnect-and-reconnect to an
+    /// attacker AP ("rickrolling").
+    RickrollReconnect,
+    /// Table II "coffee machine": listens on an unprotected UPnP channel,
+    /// leaking the WiFi password during setup.
+    UnprotectedChannel,
+    /// Table II "fridge": generic/implicit authentication lets malicious
+    /// code be installed → spam/malicious mail.
+    GenericAuth,
+    /// Table II "oven": joins unsecured WiFi → MitM pivots to other
+    /// devices.
+    UnsecuredWifi,
+    /// §III-A: secrets stored unencrypted in local storage.
+    PlaintextStorage,
+    /// §III-A: web interface reveals whether a username exists.
+    UsernameEnumeration,
+    /// §III-B: exposes open ports via UPnP to the WAN.
+    OpenUpnpPorts,
+    /// §IV-A3: DNS lookups trust any response (cache-poisoning prone).
+    NaiveDnsTrust,
+}
+
+impl Vulnerability {
+    /// All modeled vulnerabilities.
+    pub fn all() -> &'static [Vulnerability] {
+        use Vulnerability::*;
+        &[
+            StaticPassword,
+            BufferOverflow,
+            UnsignedFirmware,
+            RickrollReconnect,
+            UnprotectedChannel,
+            GenericAuth,
+            UnsecuredWifi,
+            PlaintextStorage,
+            UsernameEnumeration,
+            OpenUpnpPorts,
+            NaiveDnsTrust,
+        ]
+    }
+
+    /// The XLF layer whose mechanisms close this hole (Figure 3 mapping).
+    pub fn xlf_layer(self) -> &'static str {
+        use Vulnerability::*;
+        match self {
+            StaticPassword | GenericAuth | UsernameEnumeration => "device (authentication)",
+            BufferOverflow | UnsignedFirmware => "device (malware detection)",
+            PlaintextStorage => "device (encryption)",
+            RickrollReconnect | UnsecuredWifi | UnprotectedChannel | OpenUpnpPorts => {
+                "network (constrained access / monitoring)"
+            }
+            NaiveDnsTrust => "network (constrained access / DNS privacy)",
+        }
+    }
+}
+
+impl fmt::Display for Vulnerability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A set of vulnerabilities carried by one device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VulnSet {
+    inner: BTreeSet<Vulnerability>,
+}
+
+impl VulnSet {
+    /// The empty (hardened) set.
+    pub fn hardened() -> Self {
+        VulnSet::default()
+    }
+
+    /// Builds a set from a list.
+    pub fn of(vulns: &[Vulnerability]) -> Self {
+        VulnSet {
+            inner: vulns.iter().copied().collect(),
+        }
+    }
+
+    /// Adds a vulnerability.
+    pub fn insert(&mut self, v: Vulnerability) {
+        self.inner.insert(v);
+    }
+
+    /// Removes a vulnerability (XLF mitigation applied).
+    pub fn remove(&mut self, v: Vulnerability) {
+        self.inner.remove(&v);
+    }
+
+    /// Membership test.
+    pub fn has(&self, v: Vulnerability) -> bool {
+        self.inner.contains(&v)
+    }
+
+    /// Iterates in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = Vulnerability> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of open holes.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when fully hardened.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl FromIterator<Vulnerability> for VulnSet {
+    fn from_iter<T: IntoIterator<Item = Vulnerability>>(iter: T) -> Self {
+        VulnSet {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let mut set = VulnSet::of(&[Vulnerability::StaticPassword, Vulnerability::OpenUpnpPorts]);
+        assert!(set.has(Vulnerability::StaticPassword));
+        assert_eq!(set.len(), 2);
+        set.remove(Vulnerability::StaticPassword);
+        assert!(!set.has(Vulnerability::StaticPassword));
+        set.insert(Vulnerability::NaiveDnsTrust);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn every_vulnerability_maps_to_a_layer() {
+        for &v in Vulnerability::all() {
+            assert!(!v.xlf_layer().is_empty());
+        }
+    }
+
+    #[test]
+    fn table2_rows_are_covered() {
+        // The seven Table II rows each have a corresponding flag.
+        use Vulnerability::*;
+        let table2 = [
+            StaticPassword,
+            BufferOverflow,
+            UnsignedFirmware,
+            RickrollReconnect,
+            UnprotectedChannel,
+            GenericAuth,
+            UnsecuredWifi,
+        ];
+        for v in table2 {
+            assert!(Vulnerability::all().contains(&v));
+        }
+    }
+
+    #[test]
+    fn from_iterator_and_order() {
+        let set: VulnSet = [Vulnerability::NaiveDnsTrust, Vulnerability::BufferOverflow]
+            .into_iter()
+            .collect();
+        let listed: Vec<_> = set.iter().collect();
+        // BTreeSet order is deterministic.
+        assert_eq!(listed.len(), 2);
+        assert!(listed.windows(2).all(|w| w[0] < w[1]));
+    }
+}

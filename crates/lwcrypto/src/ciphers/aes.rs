@@ -1,0 +1,361 @@
+//! AES (Rijndael) with 128/192/256-bit keys.
+//!
+//! Fidelity: [`SpecFidelity::Exact`](crate::SpecFidelity::Exact) — the S-box
+//! is *derived* (multiplicative inverse in GF(2⁸) followed by the FIPS-197
+//! affine map) rather than transcribed, and the implementation is verified
+//! against the FIPS-197 Appendix C known-answer vectors.
+
+use crate::traits::{check_block, check_key};
+use crate::{BlockCipher, CipherInfo, CryptoError, SpecFidelity, Structure};
+
+/// Multiply two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2^8); 0 maps to 0 (a^254 = a^-1).
+fn gf_inv(a: u8) -> u8 {
+    // a^254 by square-and-multiply over the 8 exponent bits of 254.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn build_sboxes() -> ([u8; 256], [u8; 256]) {
+    let mut sbox = [0u8; 256];
+    let mut inv = [0u8; 256];
+    for x in 0..=255u8 {
+        let i = gf_inv(x);
+        let s = i
+            ^ i.rotate_left(1)
+            ^ i.rotate_left(2)
+            ^ i.rotate_left(3)
+            ^ i.rotate_left(4)
+            ^ 0x63;
+        sbox[x as usize] = s;
+        inv[s as usize] = x;
+    }
+    (sbox, inv)
+}
+
+/// The AES block cipher.
+///
+/// # Example
+///
+/// ```
+/// use xlf_lwcrypto::{BlockCipher, ciphers::Aes};
+///
+/// # fn main() -> Result<(), xlf_lwcrypto::CryptoError> {
+/// let aes = Aes::new(&[0u8; 16])?;
+/// let mut block = [0u8; 16];
+/// aes.encrypt_block(&mut block)?;
+/// aes.decrypt_block(&mut block)?;
+/// assert_eq!(block, [0u8; 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+    key_bits: usize,
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aes")
+            .field("key_bits", &self.key_bits)
+            .field("rounds", &self.rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Aes {
+    /// Creates an AES instance from a 16-, 24-, or 32-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] for any other key length.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        check_key("AES", &[16, 24, 32], key)?;
+        let (sbox, inv_sbox) = build_sboxes();
+        let nk = key.len() / 4;
+        let rounds = nk + 6;
+        let total_words = 4 * (rounds + 1);
+
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for chunk in key.chunks(4) {
+            w.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let mut rcon = 1u8;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp = [
+                    sbox[temp[1] as usize] ^ rcon,
+                    sbox[temp[2] as usize],
+                    sbox[temp[3] as usize],
+                    sbox[temp[0] as usize],
+                ];
+                rcon = gf_mul(rcon, 2);
+            } else if nk > 6 && i % nk == 4 {
+                temp = [
+                    sbox[temp[0] as usize],
+                    sbox[temp[1] as usize],
+                    sbox[temp[2] as usize],
+                    sbox[temp[3] as usize],
+                ];
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        let mut round_keys = Vec::with_capacity(rounds + 1);
+        for r in 0..=rounds {
+            let mut rk = [0u8; 16];
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+            round_keys.push(rk);
+        }
+
+        Ok(Aes {
+            round_keys,
+            rounds,
+            key_bits: key.len() * 8,
+            sbox,
+            inv_sbox,
+        })
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.inv_sbox[*b as usize];
+        }
+    }
+
+    /// State layout: state[4*c + r] is row r, column c (column-major, as in
+    /// FIPS-197's byte ordering of the input block).
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+}
+
+impl BlockCipher for Aes {
+    fn block_size(&self) -> usize {
+        16
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 16)?;
+        let mut state = [0u8; 16];
+        state.copy_from_slice(block);
+
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            self.sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[r]);
+        }
+        self.sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[self.rounds]);
+
+        block.copy_from_slice(&state);
+        Ok(())
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 16)?;
+        let mut state = [0u8; 16];
+        state.copy_from_slice(block);
+
+        Self::add_round_key(&mut state, &self.round_keys[self.rounds]);
+        Self::inv_shift_rows(&mut state);
+        self.inv_sub_bytes(&mut state);
+        for r in (1..self.rounds).rev() {
+            Self::add_round_key(&mut state, &self.round_keys[r]);
+            Self::inv_mix_columns(&mut state);
+            Self::inv_shift_rows(&mut state);
+            self.inv_sub_bytes(&mut state);
+        }
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+
+        block.copy_from_slice(&state);
+        Ok(())
+    }
+
+    fn info(&self) -> CipherInfo {
+        CipherInfo {
+            name: "AES",
+            key_bits: &[128, 192, 256],
+            block_bits: 128,
+            structure: Structure::Spn,
+            rounds: self.rounds,
+            fidelity: SpecFidelity::Exact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphers::proptests;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_matches_known_corners() {
+        let (sbox, inv) = build_sboxes();
+        // Universally known S-box entries.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(sbox[0xff], 0x16);
+        for x in 0..=255u8 {
+            assert_eq!(inv[sbox[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn fips197_aes128_kat() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let ct = hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = pt.clone();
+        aes.encrypt_block(&mut block).unwrap();
+        assert_eq!(block, ct);
+        aes.decrypt_block(&mut block).unwrap();
+        assert_eq!(block, pt);
+    }
+
+    #[test]
+    fn fips197_aes192_kat() {
+        let key = hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let ct = hex("dda97ca4864cdfe06eaf70a0ec0d7191");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = pt.clone();
+        aes.encrypt_block(&mut block).unwrap();
+        assert_eq!(block, ct);
+    }
+
+    #[test]
+    fn fips197_aes256_kat() {
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let pt = hex("00112233445566778899aabbccddeeff");
+        let ct = hex("8ea2b7ca516745bfeafc49904b496089");
+        let aes = Aes::new(&key).unwrap();
+        let mut block = pt.clone();
+        aes.encrypt_block(&mut block).unwrap();
+        assert_eq!(block, ct);
+    }
+
+    #[test]
+    fn rejects_bad_key_and_block() {
+        assert!(matches!(
+            Aes::new(&[0u8; 15]),
+            Err(CryptoError::InvalidKeyLength { .. })
+        ));
+        let aes = Aes::new(&[0u8; 16]).unwrap();
+        let mut short = [0u8; 15];
+        assert!(matches!(
+            aes.encrypt_block(&mut short),
+            Err(CryptoError::InvalidBlockLength { .. })
+        ));
+    }
+
+    #[test]
+    fn properties() {
+        for len in [16usize, 24, 32] {
+            let aes = Aes::new(&vec![0x5Au8; len]).unwrap();
+            proptests::roundtrip(&aes);
+            proptests::avalanche(&aes);
+        }
+        proptests::key_sensitivity(|k| Box::new(Aes::new(&k[..16]).unwrap()));
+    }
+}

@@ -1,0 +1,415 @@
+//! DES, Triple-DES (EDE3), and DESL.
+//!
+//! Fidelity:
+//! * [`Des`][] / [`TripleDes`][]: [`SpecFidelity::Exact`](crate::SpecFidelity::Exact)
+//!   — verified against the classical FIPS-46 worked example, and 3DES is
+//!   additionally checked via the `K1 = K2 = K3 ⇒ 3DES ≡ DES` identity.
+//! * [`Desl`][]: [`SpecFidelity::Structural`](crate::SpecFidelity::Structural)
+//!   — DESL is "DES with the initial/final permutations removed and all
+//!   eight S-boxes replaced by a single carefully chosen one"; the published
+//!   DESL S-box was not available offline, so this implementation uses DES
+//!   S-box S1 in all positions. The structure (Feistel, 54-bit effective key
+//!   through PC-1/PC-2, 16 rounds) matches the paper's Table III row.
+
+use crate::traits::{check_block, check_key};
+use crate::{BlockCipher, CipherInfo, CryptoError, SpecFidelity, Structure};
+
+/// Initial permutation (bit indices are 1-based positions in the input, as
+/// printed in FIPS-46).
+const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+/// Expansion E: 32 → 48 bits.
+const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18,
+    19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+/// Permutation P applied to the S-box output.
+const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+/// Permuted choice 1: 64-bit key → 56 bits.
+const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
+    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
+    29, 21, 13, 5, 28, 20, 12, 4,
+];
+
+/// Permuted choice 2: 56 bits → 48-bit round key.
+const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
+    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+/// Left-shift schedule for the key halves.
+const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+/// The eight DES S-boxes, each 4 rows × 16 columns (FIPS-46 layout).
+const SBOXES: [[u8; 64]; 8] = [
+    [
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
+        12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2, 4,
+        9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ],
+    [
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1,
+        10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1, 3,
+        15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ],
+    [
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
+        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0, 6,
+        9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ],
+    [
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2,
+        12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6, 10,
+        1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ],
+    [
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0,
+        15, 10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7, 1,
+        14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ],
+    [
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13,
+        14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12, 9, 5,
+        15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ],
+    [
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5,
+        12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8, 1, 4,
+        10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ],
+    [
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6,
+        11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7, 4, 10,
+        8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ],
+];
+
+/// Applies a 1-based bit permutation table: output bit i (MSB-first) is
+/// input bit `table[i]`.
+fn permute(input: u64, input_bits: u32, table: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for &pos in table {
+        out <<= 1;
+        out |= (input >> (input_bits - pos as u32)) & 1;
+    }
+    out
+}
+
+/// The Feistel function f(R, K) with a pluggable S-box set.
+fn feistel(r: u32, subkey: u64, sboxes: &[[u8; 64]; 8]) -> u32 {
+    let expanded = permute(r as u64, 32, &E) ^ subkey;
+    let mut out = 0u32;
+    for (i, sbox) in sboxes.iter().enumerate() {
+        let chunk = ((expanded >> (42 - 6 * i)) & 0x3F) as u8;
+        let row = ((chunk & 0x20) >> 4) | (chunk & 1);
+        let col = (chunk >> 1) & 0x0F;
+        out = (out << 4) | sbox[(row * 16 + col) as usize] as u32;
+    }
+    permute(out as u64, 32, &P) as u32
+}
+
+fn key_schedule(key: &[u8]) -> [u64; 16] {
+    let key64 = u64::from_be_bytes(key.try_into().expect("8-byte key"));
+    let permuted = permute(key64, 64, &PC1);
+    let mut c = ((permuted >> 28) & 0x0FFF_FFFF) as u32;
+    let mut d = (permuted & 0x0FFF_FFFF) as u32;
+    let mut subkeys = [0u64; 16];
+    for (round, &shift) in SHIFTS.iter().enumerate() {
+        c = ((c << shift) | (c >> (28 - shift as u32))) & 0x0FFF_FFFF;
+        d = ((d << shift) | (d >> (28 - shift as u32))) & 0x0FFF_FFFF;
+        let cd = ((c as u64) << 28) | d as u64;
+        subkeys[round] = permute(cd, 56, &PC2);
+    }
+    subkeys
+}
+
+fn des_core(
+    block: u64,
+    subkeys: &[u64; 16],
+    decrypt: bool,
+    with_ip: bool,
+    sboxes: &[[u8; 64]; 8],
+) -> u64 {
+    let permuted = if with_ip { permute(block, 64, &IP) } else { block };
+    let mut l = (permuted >> 32) as u32;
+    let mut r = permuted as u32;
+    for i in 0..16 {
+        let k = if decrypt { subkeys[15 - i] } else { subkeys[i] };
+        let next_r = l ^ feistel(r, k, sboxes);
+        l = r;
+        r = next_r;
+    }
+    // Final swap: preoutput is R16 || L16.
+    let preoutput = ((r as u64) << 32) | l as u64;
+    if with_ip {
+        // FP is the inverse of IP; compute it by inverting the table.
+        let mut fp = [0u8; 64];
+        for (i, &pos) in IP.iter().enumerate() {
+            fp[pos as usize - 1] = (i + 1) as u8;
+        }
+        permute(preoutput, 64, &fp)
+    } else {
+        preoutput
+    }
+}
+
+/// The Data Encryption Standard (56-bit effective key, 64-bit block).
+///
+/// # Example
+///
+/// ```
+/// use xlf_lwcrypto::{BlockCipher, ciphers::Des};
+///
+/// # fn main() -> Result<(), xlf_lwcrypto::CryptoError> {
+/// let des = Des::new(&[0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1])?;
+/// let mut block = 0x0123456789ABCDEFu64.to_be_bytes();
+/// des.encrypt_block(&mut block)?;
+/// assert_eq!(u64::from_be_bytes(block), 0x85E813540F0AB405);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Des {
+    subkeys: [u64; 16],
+}
+
+impl Des {
+    /// Creates a DES instance from an 8-byte key (parity bits ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] unless the key is 8 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        check_key("DES", &[8], key)?;
+        Ok(Des {
+            subkeys: key_schedule(key),
+        })
+    }
+}
+
+impl BlockCipher for Des {
+    fn block_size(&self) -> usize {
+        8
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let v = u64::from_be_bytes(block.try_into().expect("checked"));
+        block.copy_from_slice(&des_core(v, &self.subkeys, false, true, &SBOXES).to_be_bytes());
+        Ok(())
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let v = u64::from_be_bytes(block.try_into().expect("checked"));
+        block.copy_from_slice(&des_core(v, &self.subkeys, true, true, &SBOXES).to_be_bytes());
+        Ok(())
+    }
+
+    fn info(&self) -> CipherInfo {
+        CipherInfo {
+            name: "DES",
+            key_bits: &[56],
+            block_bits: 64,
+            structure: Structure::Feistel,
+            rounds: 16,
+            fidelity: SpecFidelity::Exact,
+        }
+    }
+}
+
+/// Triple-DES in EDE3 mode (three independent 8-byte keys, 48 total rounds).
+#[derive(Debug, Clone)]
+pub struct TripleDes {
+    k1: Des,
+    k2: Des,
+    k3: Des,
+}
+
+impl TripleDes {
+    /// Creates a 3DES (EDE3) instance from a 24-byte key `K1 || K2 || K3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] unless the key is 24 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        check_key("3DES", &[24], key)?;
+        Ok(TripleDes {
+            k1: Des::new(&key[0..8])?,
+            k2: Des::new(&key[8..16])?,
+            k3: Des::new(&key[16..24])?,
+        })
+    }
+}
+
+impl BlockCipher for TripleDes {
+    fn block_size(&self) -> usize {
+        8
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        self.k1.encrypt_block(block)?;
+        self.k2.decrypt_block(block)?;
+        self.k3.encrypt_block(block)
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        self.k3.decrypt_block(block)?;
+        self.k2.encrypt_block(block)?;
+        self.k1.decrypt_block(block)
+    }
+
+    fn info(&self) -> CipherInfo {
+        CipherInfo {
+            name: "3DES",
+            key_bits: &[168],
+            block_bits: 64,
+            structure: Structure::Feistel,
+            rounds: 48,
+            fidelity: SpecFidelity::Exact,
+        }
+    }
+}
+
+/// DESL: DES lightweight variant — no initial/final permutation, a single
+/// S-box in all eight positions.
+///
+/// Structural reconstruction (see module docs): the published DESL S-box was
+/// unavailable offline, so DES S1 stands in for it.
+#[derive(Debug, Clone)]
+pub struct Desl {
+    subkeys: [u64; 16],
+    sboxes: [[u8; 64]; 8],
+}
+
+impl Desl {
+    /// Creates a DESL instance from an 8-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] unless the key is 8 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        check_key("DESL", &[8], key)?;
+        Ok(Desl {
+            subkeys: key_schedule(key),
+            sboxes: [SBOXES[0]; 8],
+        })
+    }
+}
+
+impl BlockCipher for Desl {
+    fn block_size(&self) -> usize {
+        8
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let v = u64::from_be_bytes(block.try_into().expect("checked"));
+        block.copy_from_slice(&des_core(v, &self.subkeys, false, false, &self.sboxes).to_be_bytes());
+        Ok(())
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let v = u64::from_be_bytes(block.try_into().expect("checked"));
+        block.copy_from_slice(&des_core(v, &self.subkeys, true, false, &self.sboxes).to_be_bytes());
+        Ok(())
+    }
+
+    fn info(&self) -> CipherInfo {
+        CipherInfo {
+            name: "DESL",
+            key_bits: &[56],
+            block_bits: 64,
+            structure: Structure::Feistel,
+            rounds: 16,
+            fidelity: SpecFidelity::Structural,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphers::proptests;
+
+    #[test]
+    fn fips46_worked_example() {
+        // The classical worked example distributed with FIPS-46 teaching
+        // material: K = 133457799BBCDFF1, P = 0123456789ABCDEF.
+        let des = Des::new(&0x133457799BBCDFF1u64.to_be_bytes()).unwrap();
+        let mut block = 0x0123456789ABCDEFu64.to_be_bytes();
+        des.encrypt_block(&mut block).unwrap();
+        assert_eq!(u64::from_be_bytes(block), 0x85E813540F0AB405);
+        des.decrypt_block(&mut block).unwrap();
+        assert_eq!(u64::from_be_bytes(block), 0x0123456789ABCDEF);
+    }
+
+    #[test]
+    fn triple_des_with_equal_keys_degenerates_to_des() {
+        let single = 0x133457799BBCDFF1u64.to_be_bytes();
+        let mut triple_key = Vec::new();
+        triple_key.extend_from_slice(&single);
+        triple_key.extend_from_slice(&single);
+        triple_key.extend_from_slice(&single);
+
+        let des = Des::new(&single).unwrap();
+        let tdes = TripleDes::new(&triple_key).unwrap();
+
+        let mut a = 0xDEADBEEF01234567u64.to_be_bytes();
+        let mut b = a;
+        des.encrypt_block(&mut a).unwrap();
+        tdes.encrypt_block(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn triple_des_with_distinct_keys_differs_from_des() {
+        let tdes = TripleDes::new(&(0..24).collect::<Vec<u8>>()).unwrap();
+        let des = Des::new(&(0..8).collect::<Vec<u8>>()).unwrap();
+        let mut a = [0x42u8; 8];
+        let mut b = a;
+        tdes.encrypt_block(&mut a).unwrap();
+        des.encrypt_block(&mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn desl_differs_from_des() {
+        let key = 0x133457799BBCDFF1u64.to_be_bytes();
+        let des = Des::new(&key).unwrap();
+        let desl = Desl::new(&key).unwrap();
+        let mut a = [0x42u8; 8];
+        let mut b = a;
+        des.encrypt_block(&mut a).unwrap();
+        desl.encrypt_block(&mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn properties() {
+        let des = Des::new(&[0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]).unwrap();
+        proptests::roundtrip(&des);
+        proptests::avalanche(&des);
+        proptests::key_sensitivity(|k| Box::new(Des::new(&k[..8]).unwrap()));
+
+        let tdes = TripleDes::new(&(0..24).collect::<Vec<u8>>()).unwrap();
+        proptests::roundtrip(&tdes);
+        proptests::avalanche(&tdes);
+
+        let desl = Desl::new(&[0x55u8; 8]).unwrap();
+        proptests::roundtrip(&desl);
+        proptests::avalanche(&desl);
+        proptests::key_sensitivity(|k| Box::new(Desl::new(&k[..8]).unwrap()));
+    }
+}

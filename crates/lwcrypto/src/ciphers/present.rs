@@ -1,0 +1,270 @@
+//! PRESENT: 64-bit block SPN with 31 rounds and an 80- or 128-bit key.
+//!
+//! Fidelity:
+//! * [`Present80`][]: [`SpecFidelity::Exact`](crate::SpecFidelity::Exact) —
+//!   verified against the all-zero known-answer vector from the CHES 2007
+//!   paper.
+//! * [`Present128`][]: [`SpecFidelity::Faithful`](crate::SpecFidelity::Faithful)
+//!   — same data path, 128-bit key schedule per the paper's appendix; no
+//!   official vector was available offline.
+
+use crate::traits::{check_block, check_key};
+use crate::{BlockCipher, CipherInfo, CryptoError, SpecFidelity, Structure};
+
+const SBOX: [u8; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
+
+const ROUNDS: usize = 31;
+
+fn inv_sbox() -> [u8; 16] {
+    let mut inv = [0u8; 16];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+/// The pLayer: bit i moves to position (16*i) mod 63, bit 63 is fixed.
+fn p_layer(state: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..63 {
+        out |= ((state >> i) & 1) << ((16 * i) % 63);
+    }
+    out | (state & (1 << 63))
+}
+
+fn inv_p_layer(state: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..63 {
+        out |= ((state >> ((16 * i) % 63)) & 1) << i;
+    }
+    out | (state & (1 << 63))
+}
+
+fn sub_layer(state: u64, sbox: &[u8; 16]) -> u64 {
+    let mut out = 0u64;
+    for nib in 0..16 {
+        let v = ((state >> (4 * nib)) & 0xF) as usize;
+        out |= (sbox[v] as u64) << (4 * nib);
+    }
+    out
+}
+
+fn encrypt(state: u64, round_keys: &[u64; ROUNDS + 1]) -> u64 {
+    let mut s = state;
+    for rk in round_keys.iter().take(ROUNDS) {
+        s ^= rk;
+        s = sub_layer(s, &SBOX);
+        s = p_layer(s);
+    }
+    s ^ round_keys[ROUNDS]
+}
+
+fn decrypt(state: u64, round_keys: &[u64; ROUNDS + 1]) -> u64 {
+    let inv = inv_sbox();
+    let mut s = state ^ round_keys[ROUNDS];
+    for rk in round_keys.iter().take(ROUNDS).rev() {
+        s = inv_p_layer(s);
+        s = sub_layer(s, &inv);
+        s ^= rk;
+    }
+    s
+}
+
+/// PRESENT with an 80-bit key.
+///
+/// # Example
+///
+/// ```
+/// use xlf_lwcrypto::{BlockCipher, ciphers::Present80};
+///
+/// # fn main() -> Result<(), xlf_lwcrypto::CryptoError> {
+/// let cipher = Present80::new(&[0u8; 10])?;
+/// let mut block = [0u8; 8];
+/// cipher.encrypt_block(&mut block)?;
+/// assert_eq!(u64::from_be_bytes(block), 0x5579_C138_7B22_8445);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Present80 {
+    round_keys: [u64; ROUNDS + 1],
+}
+
+impl Present80 {
+    /// Creates a PRESENT-80 instance from a 10-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] unless the key is 10 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        check_key("PRESENT-80", &[10], key)?;
+        // 80-bit key register, kept as (hi: u64 = bits 79..16, lo: u16 = bits 15..0).
+        let mut hi = u64::from_be_bytes(key[0..8].try_into().expect("8 bytes"));
+        let mut lo = u16::from_be_bytes(key[8..10].try_into().expect("2 bytes"));
+        let mut round_keys = [0u64; ROUNDS + 1];
+        for (round, rk) in round_keys.iter_mut().enumerate() {
+            *rk = hi; // round key = leftmost 64 bits
+            // Rotate the 80-bit register left by 61.
+            let reg = ((hi as u128) << 16) | lo as u128;
+            let rotated = ((reg << 61) | (reg >> 19)) & ((1u128 << 80) - 1);
+            hi = (rotated >> 16) as u64;
+            lo = (rotated & 0xFFFF) as u16;
+            // S-box on the top nibble.
+            let top = ((hi >> 60) & 0xF) as usize;
+            hi = (hi & !(0xFu64 << 60)) | ((SBOX[top] as u64) << 60);
+            // XOR round counter into bits 19..15 of the register.
+            let rc = (round + 1) as u128;
+            let reg = (((hi as u128) << 16) | lo as u128) ^ (rc << 15);
+            hi = (reg >> 16) as u64;
+            lo = (reg & 0xFFFF) as u16;
+        }
+        Ok(Present80 { round_keys })
+    }
+}
+
+impl BlockCipher for Present80 {
+    fn block_size(&self) -> usize {
+        8
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let v = u64::from_be_bytes(block.try_into().expect("checked"));
+        block.copy_from_slice(&encrypt(v, &self.round_keys).to_be_bytes());
+        Ok(())
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let v = u64::from_be_bytes(block.try_into().expect("checked"));
+        block.copy_from_slice(&decrypt(v, &self.round_keys).to_be_bytes());
+        Ok(())
+    }
+
+    fn info(&self) -> CipherInfo {
+        CipherInfo {
+            name: "PRESENT",
+            key_bits: &[80, 128],
+            block_bits: 64,
+            structure: Structure::Spn,
+            rounds: ROUNDS,
+            fidelity: SpecFidelity::Exact,
+        }
+    }
+}
+
+/// PRESENT with a 128-bit key.
+#[derive(Debug, Clone)]
+pub struct Present128 {
+    round_keys: [u64; ROUNDS + 1],
+}
+
+impl Present128 {
+    /// Creates a PRESENT-128 instance from a 16-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] unless the key is 16 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        check_key("PRESENT-128", &[16], key)?;
+        let mut reg = u128::from_be_bytes(key.try_into().expect("16 bytes"));
+        let mut round_keys = [0u64; ROUNDS + 1];
+        for (round, rk) in round_keys.iter_mut().enumerate() {
+            *rk = (reg >> 64) as u64;
+            // Rotate left by 61.
+            reg = reg.rotate_left(61);
+            // S-box on the top two nibbles.
+            let n1 = ((reg >> 124) & 0xF) as usize;
+            let n2 = ((reg >> 120) & 0xF) as usize;
+            reg = (reg & !(0xFFu128 << 120))
+                | ((SBOX[n1] as u128) << 124)
+                | ((SBOX[n2] as u128) << 120);
+            // XOR round counter into bits 66..62.
+            reg ^= ((round + 1) as u128) << 62;
+        }
+        Ok(Present128 { round_keys })
+    }
+}
+
+impl BlockCipher for Present128 {
+    fn block_size(&self) -> usize {
+        8
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let v = u64::from_be_bytes(block.try_into().expect("checked"));
+        block.copy_from_slice(&encrypt(v, &self.round_keys).to_be_bytes());
+        Ok(())
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let v = u64::from_be_bytes(block.try_into().expect("checked"));
+        block.copy_from_slice(&decrypt(v, &self.round_keys).to_be_bytes());
+        Ok(())
+    }
+
+    fn info(&self) -> CipherInfo {
+        CipherInfo {
+            name: "PRESENT",
+            key_bits: &[80, 128],
+            block_bits: 64,
+            structure: Structure::Spn,
+            rounds: ROUNDS,
+            fidelity: SpecFidelity::Faithful,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphers::proptests;
+
+    #[test]
+    fn ches2007_all_zero_vector() {
+        let cipher = Present80::new(&[0u8; 10]).unwrap();
+        let mut block = [0u8; 8];
+        cipher.encrypt_block(&mut block).unwrap();
+        assert_eq!(u64::from_be_bytes(block), 0x5579_C138_7B22_8445);
+        cipher.decrypt_block(&mut block).unwrap();
+        assert_eq!(block, [0u8; 8]);
+    }
+
+    #[test]
+    fn p_layer_is_a_permutation() {
+        // Applying the inverse after the forward layer must be identity on
+        // a basis of single-bit states.
+        for bit in 0..64 {
+            let v = 1u64 << bit;
+            assert_eq!(inv_p_layer(p_layer(v)), v);
+        }
+    }
+
+    #[test]
+    fn key_variants_disagree() {
+        let p80 = Present80::new(&[1u8; 10]).unwrap();
+        let p128 = Present128::new(&[1u8; 16]).unwrap();
+        let mut a = [7u8; 8];
+        let mut b = [7u8; 8];
+        p80.encrypt_block(&mut a).unwrap();
+        p128.encrypt_block(&mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn properties() {
+        let p80 = Present80::new(&[0xA5u8; 10]).unwrap();
+        proptests::roundtrip(&p80);
+        proptests::avalanche(&p80);
+        proptests::key_sensitivity(|k| Box::new(Present80::new(&k[..10]).unwrap()));
+
+        let p128 = Present128::new(&[0xA5u8; 16]).unwrap();
+        proptests::roundtrip(&p128);
+        proptests::avalanche(&p128);
+        proptests::key_sensitivity(|k| Box::new(Present128::new(&k[..16]).unwrap()));
+    }
+}

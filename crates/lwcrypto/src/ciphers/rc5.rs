@@ -1,0 +1,199 @@
+//! RC5-32/r/b: 64-bit block, variable rounds (1–255) and key (0–255 bytes).
+//!
+//! Fidelity: [`SpecFidelity::Exact`](crate::SpecFidelity::Exact) — verified
+//! against the RC5-32/12/16 all-zero vector from Rivest's paper.
+
+use crate::traits::check_block;
+use crate::{BlockCipher, CipherInfo, CryptoError, SpecFidelity, Structure};
+
+const P32: u32 = 0xB7E1_5163;
+const Q32: u32 = 0x9E37_79B9;
+
+/// The RC5 block cipher with 32-bit words.
+///
+/// # Example
+///
+/// ```
+/// use xlf_lwcrypto::{BlockCipher, ciphers::Rc5};
+///
+/// # fn main() -> Result<(), xlf_lwcrypto::CryptoError> {
+/// let rc5 = Rc5::new(&[0u8; 16], 12)?;
+/// let mut block = [0u8; 8];
+/// rc5.encrypt_block(&mut block)?;
+/// rc5.decrypt_block(&mut block)?;
+/// assert_eq!(block, [0u8; 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rc5 {
+    s: Vec<u32>,
+    rounds: usize,
+    key_bits: usize,
+}
+
+impl Rc5 {
+    /// Creates an RC5-32/`rounds`/`key.len()` instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameter`] if `rounds` is 0 or greater
+    /// than 255, or [`CryptoError::InvalidKeyLength`] if the key exceeds 255
+    /// bytes.
+    pub fn new(key: &[u8], rounds: usize) -> Result<Self, CryptoError> {
+        if rounds == 0 || rounds > 255 {
+            return Err(CryptoError::InvalidParameter(format!(
+                "RC5 rounds must be in 1..=255, got {rounds}"
+            )));
+        }
+        // RC5 admits any b in 0..=255; we additionally require b >= 1 so
+        // every registry cipher actually keys itself.
+        if key.is_empty() || key.len() > 255 {
+            return Err(CryptoError::InvalidParameter(format!(
+                "RC5 key must be 1..=255 bytes, got {}",
+                key.len()
+            )));
+        }
+
+        // Key expansion per the RC5 paper.
+        let b = key.len();
+        let c = b.div_ceil(4);
+        let mut l = vec![0u32; c];
+        for i in (0..b).rev() {
+            l[i / 4] = (l[i / 4] << 8).wrapping_add(key[i] as u32);
+        }
+
+        let t = 2 * (rounds + 1);
+        let mut s = vec![0u32; t];
+        s[0] = P32;
+        for i in 1..t {
+            s[i] = s[i - 1].wrapping_add(Q32);
+        }
+
+        let (mut a, mut b_acc) = (0u32, 0u32);
+        let (mut i, mut j) = (0usize, 0usize);
+        for _ in 0..3 * t.max(c) {
+            a = s[i].wrapping_add(a).wrapping_add(b_acc).rotate_left(3);
+            s[i] = a;
+            let ab = a.wrapping_add(b_acc);
+            b_acc = l[j].wrapping_add(ab).rotate_left(ab & 31);
+            l[j] = b_acc;
+            i = (i + 1) % t;
+            j = (j + 1) % c;
+        }
+
+        Ok(Rc5 {
+            s,
+            rounds,
+            key_bits: key.len() * 8,
+        })
+    }
+
+    /// Key size in bits this instance was constructed with.
+    pub fn key_bits(&self) -> usize {
+        self.key_bits
+    }
+}
+
+impl BlockCipher for Rc5 {
+    fn block_size(&self) -> usize {
+        8
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let mut a = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes"));
+        let mut b = u32::from_le_bytes(block[4..8].try_into().expect("4 bytes"));
+        a = a.wrapping_add(self.s[0]);
+        b = b.wrapping_add(self.s[1]);
+        for i in 1..=self.rounds {
+            a = (a ^ b).rotate_left(b & 31).wrapping_add(self.s[2 * i]);
+            b = (b ^ a).rotate_left(a & 31).wrapping_add(self.s[2 * i + 1]);
+        }
+        block[0..4].copy_from_slice(&a.to_le_bytes());
+        block[4..8].copy_from_slice(&b.to_le_bytes());
+        Ok(())
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 8)?;
+        let mut a = u32::from_le_bytes(block[0..4].try_into().expect("4 bytes"));
+        let mut b = u32::from_le_bytes(block[4..8].try_into().expect("4 bytes"));
+        for i in (1..=self.rounds).rev() {
+            b = b.wrapping_sub(self.s[2 * i + 1]).rotate_right(a & 31) ^ a;
+            a = a.wrapping_sub(self.s[2 * i]).rotate_right(b & 31) ^ b;
+        }
+        b = b.wrapping_sub(self.s[1]);
+        a = a.wrapping_sub(self.s[0]);
+        block[0..4].copy_from_slice(&a.to_le_bytes());
+        block[4..8].copy_from_slice(&b.to_le_bytes());
+        Ok(())
+    }
+
+    fn info(&self) -> CipherInfo {
+        CipherInfo {
+            name: "RC5",
+            key_bits: &[128],
+            block_bits: 64,
+            structure: Structure::Feistel,
+            rounds: self.rounds,
+            fidelity: SpecFidelity::Exact,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphers::proptests;
+
+    #[test]
+    fn rivest_vector_rc5_32_12_16() {
+        // RC5-32/12/16, all-zero key and plaintext. Ciphertext words
+        // A = EEDBA521, B = 6D8F4B15 (little-endian byte layout).
+        let rc5 = Rc5::new(&[0u8; 16], 12).unwrap();
+        let mut block = [0u8; 8];
+        rc5.encrypt_block(&mut block).unwrap();
+        let a = u32::from_le_bytes(block[0..4].try_into().unwrap());
+        let b = u32::from_le_bytes(block[4..8].try_into().unwrap());
+        assert_eq!(a, 0xEEDB_A521);
+        assert_eq!(b, 0x6D8F_4B15);
+        rc5.decrypt_block(&mut block).unwrap();
+        assert_eq!(block, [0u8; 8]);
+    }
+
+    #[test]
+    fn round_count_changes_output() {
+        let k = [9u8; 16];
+        let r12 = Rc5::new(&k, 12).unwrap();
+        let r20 = Rc5::new(&k, 20).unwrap();
+        let mut a = [1u8; 8];
+        let mut b = [1u8; 8];
+        r12.encrypt_block(&mut a).unwrap();
+        r20.encrypt_block(&mut b).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(Rc5::new(&[0u8; 16], 0).is_err());
+        assert!(Rc5::new(&[0u8; 16], 256).is_err());
+        assert!(Rc5::new(&[], 12).is_err());
+    }
+
+    #[test]
+    fn variable_key_lengths_work() {
+        for len in [1usize, 5, 16, 32, 64] {
+            let rc5 = Rc5::new(&vec![0x77u8; len], 12).unwrap();
+            proptests::roundtrip(&rc5);
+        }
+    }
+
+    #[test]
+    fn properties() {
+        let rc5 = Rc5::new(&[0x42u8; 16], 12).unwrap();
+        proptests::roundtrip(&rc5);
+        proptests::avalanche(&rc5);
+        proptests::key_sensitivity(|k| Box::new(Rc5::new(&k[..16], 12).unwrap()));
+    }
+}

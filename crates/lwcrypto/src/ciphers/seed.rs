@@ -1,0 +1,254 @@
+//! SEED: 128-bit block, 128-bit key, 16-round Feistel network (Korean
+//! national standard, RFC 4269).
+//!
+//! Fidelity: [`SpecFidelity::Structural`](crate::SpecFidelity::Structural) —
+//! the published SS-box tables derived from SEED's S1/S2 boxes were not
+//! reliably available offline. This reconstruction keeps every structural
+//! parameter from the paper's Table III (128-bit block and key, 16-round
+//! Feistel) and SEED's published skeleton: a G function built from 8-bit
+//! S-box lookups and mixing masks, an F function applying G three times
+//! with additive mixing, and a key schedule driven by golden-ratio
+//! constants KCᵢ. The AES S-box stands in for SEED's S1/S2.
+
+use crate::traits::{check_block, check_key};
+use crate::{BlockCipher, CipherInfo, CryptoError, SpecFidelity, Structure};
+
+const ROUNDS: usize = 16;
+
+/// Golden-ratio key constants: KC₀ = ⌊φ·2³²⌋, doubling mod 2³² as in SEED.
+fn key_constants() -> [u32; ROUNDS] {
+    let mut kc = [0u32; ROUNDS];
+    kc[0] = 0x9E37_79B9;
+    for i in 1..ROUNDS {
+        kc[i] = kc[i - 1].rotate_left(1);
+    }
+    kc
+}
+
+/// 8-bit S-box (AES's, generated arithmetically in the `aes` module's
+/// manner) used by the stand-in G function.
+fn sbox() -> [u8; 256] {
+    // Reuse the AES construction: inverse in GF(2^8) + affine map.
+    fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+        let mut acc = 0u8;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            let hi = a & 0x80;
+            a <<= 1;
+            if hi != 0 {
+                a ^= 0x1B;
+            }
+            b >>= 1;
+        }
+        acc
+    }
+    let mut table = [0u8; 256];
+    for x in 0..=255u8 {
+        let mut inv = 1u8;
+        let mut base = x;
+        let mut exp = 254u32;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                inv = gf_mul(inv, base);
+            }
+            base = gf_mul(base, base);
+            exp >>= 1;
+        }
+        table[x as usize] = inv
+            ^ inv.rotate_left(1)
+            ^ inv.rotate_left(2)
+            ^ inv.rotate_left(3)
+            ^ inv.rotate_left(4)
+            ^ 0x63;
+    }
+    table
+}
+
+/// SEED's mixing masks m0..m3.
+const MASKS: [u32; 4] = [0xFCFC_FCFC, 0xF3F3_F3F3, 0xCFCF_CFCF, 0x3F3F_3F3F];
+
+/// The SEED block cipher (structural reconstruction).
+///
+/// # Example
+///
+/// ```
+/// use xlf_lwcrypto::{BlockCipher, ciphers::Seed};
+///
+/// # fn main() -> Result<(), xlf_lwcrypto::CryptoError> {
+/// let seed = Seed::new(&[0u8; 16])?;
+/// let mut block = [0u8; 16];
+/// seed.encrypt_block(&mut block)?;
+/// seed.decrypt_block(&mut block)?;
+/// assert_eq!(block, [0u8; 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Seed {
+    round_keys: [(u32, u32); ROUNDS],
+    sbox: [u8; 256],
+}
+
+impl std::fmt::Debug for Seed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Seed").finish_non_exhaustive()
+    }
+}
+
+impl Seed {
+    /// Creates a SEED instance from a 16-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] unless the key is 16 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        check_key("SEED", &[16], key)?;
+        let sbox = sbox();
+        let kc = key_constants();
+        let mut a = u32::from_be_bytes(key[0..4].try_into().expect("4 bytes"));
+        let mut b = u32::from_be_bytes(key[4..8].try_into().expect("4 bytes"));
+        let mut c = u32::from_be_bytes(key[8..12].try_into().expect("4 bytes"));
+        let mut d = u32::from_be_bytes(key[12..16].try_into().expect("4 bytes"));
+
+        let mut round_keys = [(0u32, 0u32); ROUNDS];
+        for (i, rk) in round_keys.iter_mut().enumerate() {
+            let k0 = g(&sbox, a.wrapping_add(c).wrapping_sub(kc[i]));
+            let k1 = g(&sbox, b.wrapping_sub(d).wrapping_add(kc[i]));
+            *rk = (k0, k1);
+            if i % 2 == 0 {
+                // Rotate the (A,B) half right by 8 as a 64-bit quantity.
+                let ab = ((a as u64) << 32) | b as u64;
+                let ab = ab.rotate_right(8);
+                a = (ab >> 32) as u32;
+                b = ab as u32;
+            } else {
+                let cd = ((c as u64) << 32) | d as u64;
+                let cd = cd.rotate_left(8);
+                c = (cd >> 32) as u32;
+                d = cd as u32;
+            }
+        }
+        Ok(Seed { round_keys, sbox })
+    }
+
+    fn f(&self, c: u32, d: u32, k: (u32, u32)) -> (u32, u32) {
+        let c1 = c ^ k.0;
+        let d1 = d ^ k.1;
+        let t0 = g(&self.sbox, c1 ^ d1);
+        let t1 = g(&self.sbox, t0.wrapping_add(c1));
+        let d_out = g(&self.sbox, t1.wrapping_add(t0));
+        let c_out = d_out.wrapping_add(t1);
+        (c_out, d_out)
+    }
+}
+
+/// The G function: byte-wise S-box substitution followed by mask mixing.
+fn g(sbox: &[u8; 256], x: u32) -> u32 {
+    let b: [u8; 4] = x.to_be_bytes();
+    let s: Vec<u32> = b.iter().map(|&v| sbox[v as usize] as u32).collect();
+    let mut out = 0u32;
+    for i in 0..4 {
+        let mixed = (s[i] * 0x0101_0101) & MASKS[i];
+        out ^= mixed.rotate_left(8 * i as u32);
+    }
+    out
+}
+
+impl BlockCipher for Seed {
+    fn block_size(&self) -> usize {
+        16
+    }
+
+    fn encrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 16)?;
+        let mut l0 = u32::from_be_bytes(block[0..4].try_into().expect("4 bytes"));
+        let mut l1 = u32::from_be_bytes(block[4..8].try_into().expect("4 bytes"));
+        let mut r0 = u32::from_be_bytes(block[8..12].try_into().expect("4 bytes"));
+        let mut r1 = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes"));
+
+        for (i, &rk) in self.round_keys.iter().enumerate() {
+            let (f0, f1) = self.f(r0, r1, rk);
+            let nl0 = r0;
+            let nl1 = r1;
+            r0 = l0 ^ f0;
+            r1 = l1 ^ f1;
+            l0 = nl0;
+            l1 = nl1;
+            // SEED (like DES) omits the swap after the final round.
+            if i == ROUNDS - 1 {
+                std::mem::swap(&mut l0, &mut r0);
+                std::mem::swap(&mut l1, &mut r1);
+            }
+        }
+
+        block[0..4].copy_from_slice(&l0.to_be_bytes());
+        block[4..8].copy_from_slice(&l1.to_be_bytes());
+        block[8..12].copy_from_slice(&r0.to_be_bytes());
+        block[12..16].copy_from_slice(&r1.to_be_bytes());
+        Ok(())
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) -> Result<(), CryptoError> {
+        check_block(block, 16)?;
+        let mut l0 = u32::from_be_bytes(block[0..4].try_into().expect("4 bytes"));
+        let mut l1 = u32::from_be_bytes(block[4..8].try_into().expect("4 bytes"));
+        let mut r0 = u32::from_be_bytes(block[8..12].try_into().expect("4 bytes"));
+        let mut r1 = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes"));
+
+        for (i, &rk) in self.round_keys.iter().enumerate().rev() {
+            let (f0, f1) = self.f(r0, r1, rk);
+            let nl0 = r0;
+            let nl1 = r1;
+            r0 = l0 ^ f0;
+            r1 = l1 ^ f1;
+            l0 = nl0;
+            l1 = nl1;
+            if i == 0 {
+                std::mem::swap(&mut l0, &mut r0);
+                std::mem::swap(&mut l1, &mut r1);
+            }
+        }
+
+        block[0..4].copy_from_slice(&l0.to_be_bytes());
+        block[4..8].copy_from_slice(&l1.to_be_bytes());
+        block[8..12].copy_from_slice(&r0.to_be_bytes());
+        block[12..16].copy_from_slice(&r1.to_be_bytes());
+        Ok(())
+    }
+
+    fn info(&self) -> CipherInfo {
+        CipherInfo {
+            name: "SEED",
+            key_bits: &[128],
+            block_bits: 128,
+            structure: Structure::Feistel,
+            rounds: ROUNDS,
+            fidelity: SpecFidelity::Structural,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ciphers::proptests;
+
+    #[test]
+    fn g_function_is_nonlinear() {
+        let sb = sbox();
+        // G(a) ^ G(b) != G(a ^ b) for generic inputs — a linear G would
+        // make the Feistel trivially breakable.
+        let (a, b) = (0x0123_4567u32, 0x89AB_CDEFu32);
+        assert_ne!(g(&sb, a) ^ g(&sb, b), g(&sb, a ^ b));
+    }
+
+    #[test]
+    fn properties() {
+        let seed = Seed::new(&[0x1Fu8; 16]).unwrap();
+        proptests::roundtrip(&seed);
+        proptests::avalanche(&seed);
+        proptests::key_sensitivity(|k| Box::new(Seed::new(&k[..16]).unwrap()));
+    }
+}

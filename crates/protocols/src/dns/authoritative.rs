@@ -1,0 +1,97 @@
+//! Authoritative DNS server for one or more zones.
+
+use super::records::{DnsRecord, RecordType};
+use std::collections::BTreeMap;
+
+/// An authoritative server holding (optionally signed) zones.
+#[derive(Debug, Clone, Default)]
+pub struct Authoritative {
+    records: BTreeMap<(String, RecordType), DnsRecord>,
+    /// Per-zone signing secret; zones present here emit signed records.
+    zone_secrets: BTreeMap<String, Vec<u8>>,
+}
+
+/// Extracts the zone (registered domain) from a name: the last two labels.
+fn zone_of(name: &str) -> String {
+    let labels: Vec<&str> = name.split('.').collect();
+    if labels.len() <= 2 {
+        name.to_string()
+    } else {
+        labels[labels.len() - 2..].join(".")
+    }
+}
+
+impl Authoritative {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Authoritative::default()
+    }
+
+    /// Enables DNSSEC-style signing for a zone.
+    pub fn enable_signing(&mut self, zone: &str, secret: &[u8]) {
+        self.zone_secrets.insert(zone.to_string(), secret.to_vec());
+    }
+
+    /// Adds a record, signing it if its zone signs.
+    pub fn add_record(&mut self, record: DnsRecord) {
+        let zone = zone_of(&record.name);
+        let record = match self.zone_secrets.get(&zone) {
+            Some(secret) => record.sign(secret),
+            None => record,
+        };
+        self.records
+            .insert((record.name.clone(), record.rtype), record);
+    }
+
+    /// Answers a query.
+    pub fn query(&self, name: &str, rtype: RecordType) -> Option<DnsRecord> {
+        self.records.get(&(name.to_string(), rtype)).cloned()
+    }
+
+    /// Number of records served.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the server holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_zone_serves_unsigned_records() {
+        let mut auth = Authoritative::new();
+        auth.add_record(DnsRecord::new("hub.vendor.example", RecordType::A, "n3", 300));
+        let rec = auth.query("hub.vendor.example", RecordType::A).unwrap();
+        assert_eq!(rec.value, "n3");
+        assert!(rec.rrsig.is_none());
+    }
+
+    #[test]
+    fn signed_zone_serves_validating_records() {
+        let mut auth = Authoritative::new();
+        auth.enable_signing("vendor.example", b"zone secret");
+        auth.add_record(DnsRecord::new("hub.vendor.example", RecordType::A, "n3", 300));
+        let rec = auth.query("hub.vendor.example", RecordType::A).unwrap();
+        assert!(rec.validate(b"zone secret"));
+    }
+
+    #[test]
+    fn zone_extraction_takes_last_two_labels() {
+        assert_eq!(zone_of("a.b.vendor.example"), "vendor.example");
+        assert_eq!(zone_of("vendor.example"), "vendor.example");
+        assert_eq!(zone_of("example"), "example");
+    }
+
+    #[test]
+    fn missing_names_return_none() {
+        let auth = Authoritative::new();
+        assert!(auth.query("ghost.example", RecordType::A).is_none());
+        assert!(auth.is_empty());
+    }
+}

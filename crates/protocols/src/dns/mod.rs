@@ -1,0 +1,19 @@
+//! DNS substrate: authoritative zones, a caching resolver, DNSSEC-style
+//! signing, and the privacy transports (plain UDP, DoT, DoH) plus the
+//! XLF-bridged lightweight transport the paper proposes in §IV-A3.
+//!
+//! The paper's threat analysis: devices are "hard-coded to connect to
+//! certain corporate domains", making them "vulnerable to DNS cache
+//! poisoning attacks", and plain DNS queries let passive observers infer
+//! device types (Apthorpe et al.). This module reproduces both the
+//! vulnerable and the hardened configurations.
+
+mod authoritative;
+mod records;
+mod resolver;
+mod transport;
+
+pub use authoritative::Authoritative;
+pub use records::{DnsRecord, RecordType};
+pub use resolver::{Resolver, ResolverConfig, ResolveOutcome};
+pub use transport::{encode_query, encode_response, DnsTransport, WireQuery};

@@ -1,0 +1,140 @@
+//! DNS records with optional DNSSEC-style signatures.
+//!
+//! DNSSEC's public-key RRSIGs are modeled with a symmetric MAC under a
+//! per-zone secret shared with validating resolvers (the trust anchor).
+//! This preserves the property the experiments need — an off-path spoofer
+//! without the zone key cannot forge a validating record — without
+//! implementing a full PKI (the paper's point is *deployment* of secure
+//! naming, not the asymmetric primitive).
+
+use xlf_lwcrypto::ciphers::Speck128;
+use xlf_lwcrypto::kdf::derive_key;
+use xlf_lwcrypto::mac::CbcMac;
+
+/// Record type (the subset the simulation uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordType {
+    /// Address record: name → node address string (e.g. `"n7"`).
+    A,
+    /// Free-form text record.
+    Txt,
+}
+
+/// A resource record, optionally signed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsRecord {
+    /// Fully qualified name, e.g. `"telemetry.nest.example"`.
+    pub name: String,
+    /// Record type.
+    pub rtype: RecordType,
+    /// Record value (address string or text).
+    pub value: String,
+    /// Time-to-live in seconds.
+    pub ttl_secs: u64,
+    /// DNSSEC-style signature under the zone key, if the zone signs.
+    pub rrsig: Option<Vec<u8>>,
+}
+
+fn canonical_bytes(name: &str, rtype: RecordType, value: &str, ttl_secs: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(name.as_bytes());
+    out.push(0);
+    out.push(match rtype {
+        RecordType::A => 1,
+        RecordType::Txt => 16,
+    });
+    out.extend_from_slice(value.as_bytes());
+    out.push(0);
+    out.extend_from_slice(&ttl_secs.to_be_bytes());
+    out
+}
+
+fn zone_cipher(zone_secret: &[u8]) -> Speck128 {
+    let key = derive_key(zone_secret, "dnssec-zone-key", 16).expect("non-empty zone secret");
+    Speck128::new(&key).expect("16-byte key")
+}
+
+impl DnsRecord {
+    /// Creates an unsigned record.
+    pub fn new(name: &str, rtype: RecordType, value: &str, ttl_secs: u64) -> Self {
+        DnsRecord {
+            name: name.to_string(),
+            rtype,
+            value: value.to_string(),
+            ttl_secs,
+            rrsig: None,
+        }
+    }
+
+    /// Signs the record under a zone secret (DNSSEC stand-in).
+    pub fn sign(mut self, zone_secret: &[u8]) -> Self {
+        let cipher = zone_cipher(zone_secret);
+        let mac = CbcMac::new(&cipher);
+        self.rrsig = Some(
+            mac.tag(&canonical_bytes(
+                &self.name,
+                self.rtype,
+                &self.value,
+                self.ttl_secs,
+            ))
+            .expect("tagging cannot fail"),
+        );
+        self
+    }
+
+    /// Validates the signature against a trust anchor. Unsigned records
+    /// always fail validation.
+    pub fn validate(&self, zone_secret: &[u8]) -> bool {
+        let Some(sig) = &self.rrsig else {
+            return false;
+        };
+        let cipher = zone_cipher(zone_secret);
+        let mac = CbcMac::new(&cipher);
+        mac.verify(
+            &canonical_bytes(&self.name, self.rtype, &self.value, self.ttl_secs),
+            sig,
+        )
+        .expect("verification cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ZONE: &[u8] = b"example zone secret";
+
+    #[test]
+    fn signed_record_validates() {
+        let rec = DnsRecord::new("cam.example", RecordType::A, "n9", 300).sign(ZONE);
+        assert!(rec.validate(ZONE));
+    }
+
+    #[test]
+    fn unsigned_record_fails_validation() {
+        let rec = DnsRecord::new("cam.example", RecordType::A, "n9", 300);
+        assert!(!rec.validate(ZONE));
+    }
+
+    #[test]
+    fn tampered_value_fails_validation() {
+        // The cache-poisoning payload: same name, attacker address.
+        let mut rec = DnsRecord::new("cam.example", RecordType::A, "n9", 300).sign(ZONE);
+        rec.value = "n666".to_string();
+        assert!(!rec.validate(ZONE));
+    }
+
+    #[test]
+    fn wrong_zone_key_fails_validation() {
+        let rec = DnsRecord::new("cam.example", RecordType::A, "n9", 300).sign(ZONE);
+        assert!(!rec.validate(b"other zone"));
+    }
+
+    #[test]
+    fn canonical_encoding_separates_fields() {
+        // ("a", value "bc") must not collide with ("ab", value "c").
+        let r1 = DnsRecord::new("a", RecordType::Txt, "bc", 60).sign(ZONE);
+        let r2 = DnsRecord::new("ab", RecordType::Txt, "c", 60).sign(ZONE);
+        assert_ne!(r1.rrsig, r2.rrsig);
+    }
+}

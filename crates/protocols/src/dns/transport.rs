@@ -1,0 +1,211 @@
+//! DNS privacy transports (§IV-A3).
+//!
+//! The paper surveys DoT/DoH/DNSCrypt and observes they are "designed for
+//! conventional devices with abundant resources", proposing that the XLF
+//! Core bridge lightweight-cipher DNS on the device side to standard
+//! encrypted DNS on the Internet side. Each transport here differs in what
+//! a passive observer can read and what it costs a constrained device.
+
+use xlf_lwcrypto::ciphers::{Present80, Speck128};
+use xlf_lwcrypto::kdf::derive_key;
+use xlf_lwcrypto::modes::Ctr;
+use xlf_lwcrypto::BlockCipher;
+
+/// How a DNS query travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnsTransport {
+    /// Plain UDP port 53: qname visible to every on-path observer.
+    Plain,
+    /// DNS-over-TLS: encrypted, but with full TLS record overhead.
+    DoT,
+    /// DNS-over-HTTPS: encrypted, largest overhead (HTTP framing).
+    DoH,
+    /// XLF-bridged lightweight DNS: encrypted with a lightweight cipher
+    /// between device and XLF Core, which re-encrypts with standard TLS
+    /// upstream (§IV-A3's proposal).
+    XlfLightweight,
+}
+
+impl DnsTransport {
+    /// Whether a passive observer sees the query name.
+    pub fn qname_visible(self) -> bool {
+        matches!(self, DnsTransport::Plain)
+    }
+
+    /// Per-message byte overhead added on top of the raw query.
+    pub fn overhead_bytes(self) -> usize {
+        match self {
+            DnsTransport::Plain => 12,          // DNS header
+            DnsTransport::DoT => 12 + 29,       // + TLS record framing
+            DnsTransport::DoH => 12 + 29 + 120, // + HTTP/2 framing
+            DnsTransport::XlfLightweight => 12 + 10, // + token & nonce
+        }
+    }
+
+    /// Estimated device-side cycles per query (encryption cost class);
+    /// drives the E-M2 feasibility comparison for constrained devices.
+    pub fn device_cycles_per_query(self) -> u64 {
+        match self {
+            DnsTransport::Plain => 200,
+            DnsTransport::DoT => 60_000,  // full TLS stack
+            DnsTransport::DoH => 110_000, // TLS + HTTP
+            DnsTransport::XlfLightweight => 4_000, // one lightweight cipher pass
+        }
+    }
+}
+
+/// A DNS query ready for the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireQuery {
+    /// Encoded bytes (encrypted for private transports).
+    pub bytes: Vec<u8>,
+    /// The qname an on-path observer can extract, if any.
+    pub observable_qname: Option<String>,
+    /// Total wire size including transport overhead.
+    pub wire_size: usize,
+}
+
+fn transport_cipher(transport: DnsTransport, session_secret: &[u8]) -> Box<dyn BlockCipher> {
+    match transport {
+        DnsTransport::XlfLightweight => Box::new(
+            Present80::new(
+                &derive_key(session_secret, "dns-lightweight", 10).expect("valid length"),
+            )
+            .expect("10-byte key"),
+        ),
+        _ => Box::new(
+            Speck128::new(&derive_key(session_secret, "dns-tls", 16).expect("valid length"))
+                .expect("16-byte key"),
+        ),
+    }
+}
+
+/// Encodes a query for the wire under the given transport.
+///
+/// `session_secret` keys the encrypted transports (ignored for plain).
+pub fn encode_query(
+    transport: DnsTransport,
+    qname: &str,
+    txid: u16,
+    session_secret: &[u8],
+) -> WireQuery {
+    // The txid travels in the clear (it is a random per-query value, not
+    // private data) and doubles as the encryption nonce for the qname.
+    let mut body = txid.to_be_bytes().to_vec();
+    let mut name_bytes = qname.as_bytes().to_vec();
+    let observable = if transport.qname_visible() {
+        Some(qname.to_string())
+    } else {
+        let cipher = transport_cipher(transport, session_secret);
+        let mut nonce = vec![0u8; cipher.block_size()];
+        nonce[..2].copy_from_slice(&txid.to_be_bytes());
+        Ctr::new(cipher.as_ref(), &nonce).apply(&mut name_bytes);
+        None
+    };
+    body.extend_from_slice(&name_bytes);
+    let wire_size = body.len() + transport.overhead_bytes();
+    WireQuery {
+        bytes: body,
+        observable_qname: observable,
+        wire_size,
+    }
+}
+
+/// Decodes a query at the legitimate endpoint (reverses [`encode_query`]).
+///
+/// Returns `(txid, qname)`, or `None` for undecodable input.
+pub fn encode_response(
+    transport: DnsTransport,
+    wire: &WireQuery,
+    session_secret: &[u8],
+) -> Option<(u16, String)> {
+    if wire.bytes.len() < 2 {
+        return None;
+    }
+    let txid = u16::from_be_bytes([wire.bytes[0], wire.bytes[1]]);
+    let mut name_bytes = wire.bytes[2..].to_vec();
+    if !transport.qname_visible() {
+        let cipher = transport_cipher(transport, session_secret);
+        let mut nonce = vec![0u8; cipher.block_size()];
+        nonce[..2].copy_from_slice(&txid.to_be_bytes());
+        Ctr::new(cipher.as_ref(), &nonce).apply(&mut name_bytes);
+    }
+    let name = String::from_utf8(name_bytes).ok()?;
+    if !name.chars().all(|c| c.is_ascii_graphic()) {
+        return None;
+    }
+    Some((txid, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: &[u8] = b"device session secret";
+
+    #[test]
+    fn plain_leaks_qname() {
+        let q = encode_query(DnsTransport::Plain, "nest.example", 7, SECRET);
+        assert_eq!(q.observable_qname.as_deref(), Some("nest.example"));
+    }
+
+    #[test]
+    fn encrypted_transports_hide_qname() {
+        for t in [
+            DnsTransport::DoT,
+            DnsTransport::DoH,
+            DnsTransport::XlfLightweight,
+        ] {
+            let q = encode_query(t, "nest.example", 7, SECRET);
+            assert!(q.observable_qname.is_none(), "{t:?} leaked");
+            // Ciphertext must not contain the plaintext name.
+            assert!(!q
+                .bytes
+                .windows(b"nest.example".len())
+                .any(|w| w == b"nest.example"));
+        }
+    }
+
+    #[test]
+    fn endpoints_can_decode_every_transport() {
+        for t in [
+            DnsTransport::Plain,
+            DnsTransport::DoT,
+            DnsTransport::DoH,
+            DnsTransport::XlfLightweight,
+        ] {
+            let q = encode_query(t, "hub.vendor.example", 300, SECRET);
+            let (txid, name) = encode_response(t, &q, SECRET).unwrap_or_else(|| {
+                panic!("{t:?} failed to decode");
+            });
+            assert_eq!(txid, 300);
+            assert_eq!(name, "hub.vendor.example");
+        }
+    }
+
+    #[test]
+    fn overheads_order_matches_the_paper() {
+        assert!(DnsTransport::Plain.overhead_bytes() < DnsTransport::XlfLightweight.overhead_bytes());
+        assert!(DnsTransport::XlfLightweight.overhead_bytes() < DnsTransport::DoT.overhead_bytes());
+        assert!(DnsTransport::DoT.overhead_bytes() < DnsTransport::DoH.overhead_bytes());
+    }
+
+    #[test]
+    fn lightweight_transport_is_cheap_on_device() {
+        assert!(
+            DnsTransport::XlfLightweight.device_cycles_per_query() * 10
+                < DnsTransport::DoT.device_cycles_per_query()
+        );
+    }
+
+    #[test]
+    fn wrong_secret_cannot_decode() {
+        let q = encode_query(DnsTransport::XlfLightweight, "hub.vendor.example", 5, SECRET);
+        let decoded = encode_response(DnsTransport::XlfLightweight, &q, b"wrong secret");
+        if let Some((txid, name)) = decoded {
+            // Brute-force decode may coincidentally produce printable junk,
+            // but never the true plaintext.
+            assert!(!(txid == 5 && name == "hub.vendor.example"));
+        }
+    }
+}

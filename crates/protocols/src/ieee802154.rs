@@ -1,0 +1,302 @@
+//! IEEE 802.15.4-style frame security: "a security model that provides
+//! security features including access control, message integrity, and
+//! replay protection … implemented by technologies based on this standard
+//! such as ZigBee" (§II-B).
+//!
+//! Frames carry a 4-byte frame counter; the receiver keeps per-sender
+//! replay state and an access-control list of authorized short addresses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use xlf_lwcrypto::ciphers::Present80;
+use xlf_lwcrypto::kdf::derive_key;
+use xlf_lwcrypto::mac::CbcMac;
+use xlf_lwcrypto::modes::Ctr;
+
+/// Security level of a frame (subset of the 802.15.4 levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityLevel {
+    /// No protection.
+    None,
+    /// Integrity only (MIC-32-like, here an 8-byte MIC).
+    Mic,
+    /// Encryption + integrity (ENC-MIC).
+    EncMic,
+}
+
+/// Errors raised by the receiving frame processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Sender not in the access-control list.
+    AccessDenied {
+        /// Offending short address.
+        sender: u16,
+    },
+    /// Message integrity check failed.
+    BadMic,
+    /// Frame counter not strictly increasing (replay).
+    Replay {
+        /// Counter carried by the rejected frame.
+        counter: u32,
+    },
+    /// Frame bytes could not be parsed.
+    Malformed,
+    /// Security level below the receiver's minimum.
+    InsufficientSecurity,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::AccessDenied { sender } => write!(f, "sender {sender:#06x} not authorized"),
+            FrameError::BadMic => write!(f, "message integrity check failed"),
+            FrameError::Replay { counter } => write!(f, "replayed frame counter {counter}"),
+            FrameError::Malformed => write!(f, "malformed frame"),
+            FrameError::InsufficientSecurity => write!(f, "security level below receiver minimum"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// A parsed/constructed secured frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecuredFrame {
+    /// Sender short address.
+    pub sender: u16,
+    /// Strictly increasing frame counter.
+    pub counter: u32,
+    /// Security level applied.
+    pub level: SecurityLevel,
+    /// Payload (encrypted iff level is `EncMic`).
+    pub body: Vec<u8>,
+    /// MIC over header+body, when the level includes integrity.
+    pub mic: Option<Vec<u8>>,
+}
+
+fn network_cipher(network_key: &[u8]) -> Present80 {
+    let key = derive_key(network_key, "802154-network", 10).expect("non-empty key");
+    Present80::new(&key).expect("10-byte key")
+}
+
+fn mic_input(sender: u16, counter: u32, level: SecurityLevel, body: &[u8]) -> Vec<u8> {
+    let mut input = sender.to_be_bytes().to_vec();
+    input.extend_from_slice(&counter.to_be_bytes());
+    input.push(match level {
+        SecurityLevel::None => 0,
+        SecurityLevel::Mic => 1,
+        SecurityLevel::EncMic => 2,
+    });
+    input.extend_from_slice(body);
+    input
+}
+
+/// Sender-side security processor.
+#[derive(Debug)]
+pub struct FrameSender {
+    address: u16,
+    counter: u32,
+    network_key: Vec<u8>,
+}
+
+impl FrameSender {
+    /// Creates a sender with short address `address` on the network keyed
+    /// by `network_key`.
+    pub fn new(address: u16, network_key: &[u8]) -> Self {
+        FrameSender {
+            address,
+            counter: 0,
+            network_key: network_key.to_vec(),
+        }
+    }
+
+    /// Secures a payload at the given level, consuming one frame counter.
+    pub fn secure(&mut self, level: SecurityLevel, payload: &[u8]) -> SecuredFrame {
+        let counter = self.counter;
+        self.counter += 1;
+        let cipher = network_cipher(&self.network_key);
+        let mut body = payload.to_vec();
+        if level == SecurityLevel::EncMic {
+            let mut nonce = [0u8; 8];
+            nonce[..2].copy_from_slice(&self.address.to_be_bytes());
+            nonce[2..6].copy_from_slice(&counter.to_be_bytes());
+            Ctr::new(&cipher, &nonce).apply(&mut body);
+        }
+        let mic = if level == SecurityLevel::None {
+            None
+        } else {
+            let mac = CbcMac::new(&cipher);
+            Some(
+                mac.tag(&mic_input(self.address, counter, level, &body))
+                    .expect("tagging cannot fail"),
+            )
+        };
+        SecuredFrame {
+            sender: self.address,
+            counter,
+            level,
+            body,
+            mic,
+        }
+    }
+}
+
+/// Receiver-side security processor with ACL and replay state.
+#[derive(Debug)]
+pub struct FrameReceiver {
+    network_key: Vec<u8>,
+    acl: Vec<u16>,
+    /// Highest accepted counter per sender.
+    replay_state: BTreeMap<u16, u32>,
+    /// Minimum accepted security level.
+    pub minimum_level: SecurityLevel,
+}
+
+impl FrameReceiver {
+    /// Creates a receiver accepting the listed senders.
+    pub fn new(network_key: &[u8], acl: &[u16]) -> Self {
+        FrameReceiver {
+            network_key: network_key.to_vec(),
+            acl: acl.to_vec(),
+            replay_state: BTreeMap::new(),
+            minimum_level: SecurityLevel::Mic,
+        }
+    }
+
+    /// Verifies access, integrity, and freshness; returns the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// See [`FrameError`].
+    pub fn receive(&mut self, frame: &SecuredFrame) -> Result<Vec<u8>, FrameError> {
+        if !self.acl.contains(&frame.sender) {
+            return Err(FrameError::AccessDenied {
+                sender: frame.sender,
+            });
+        }
+        let level_rank = |l: SecurityLevel| match l {
+            SecurityLevel::None => 0,
+            SecurityLevel::Mic => 1,
+            SecurityLevel::EncMic => 2,
+        };
+        if level_rank(frame.level) < level_rank(self.minimum_level) {
+            return Err(FrameError::InsufficientSecurity);
+        }
+        let cipher = network_cipher(&self.network_key);
+        if frame.level != SecurityLevel::None {
+            let Some(mic) = &frame.mic else {
+                return Err(FrameError::Malformed);
+            };
+            let mac = CbcMac::new(&cipher);
+            let ok = mac
+                .verify(
+                    &mic_input(frame.sender, frame.counter, frame.level, &frame.body),
+                    mic,
+                )
+                .expect("verification cannot fail");
+            if !ok {
+                return Err(FrameError::BadMic);
+            }
+        }
+        if let Some(&highest) = self.replay_state.get(&frame.sender) {
+            if frame.counter <= highest {
+                return Err(FrameError::Replay {
+                    counter: frame.counter,
+                });
+            }
+        }
+        self.replay_state.insert(frame.sender, frame.counter);
+        let mut body = frame.body.clone();
+        if frame.level == SecurityLevel::EncMic {
+            let mut nonce = [0u8; 8];
+            nonce[..2].copy_from_slice(&frame.sender.to_be_bytes());
+            nonce[2..6].copy_from_slice(&frame.counter.to_be_bytes());
+            Ctr::new(&cipher, &nonce).apply(&mut body);
+        }
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET_KEY: &[u8] = b"zigbee network key";
+
+    #[test]
+    fn enc_mic_roundtrip() {
+        let mut sender = FrameSender::new(0x0001, NET_KEY);
+        let mut receiver = FrameReceiver::new(NET_KEY, &[0x0001]);
+        let frame = sender.secure(SecurityLevel::EncMic, b"bulb: on");
+        assert_ne!(frame.body, b"bulb: on");
+        assert_eq!(receiver.receive(&frame).unwrap(), b"bulb: on");
+    }
+
+    #[test]
+    fn acl_blocks_unknown_senders() {
+        let mut sender = FrameSender::new(0x0666, NET_KEY);
+        let mut receiver = FrameReceiver::new(NET_KEY, &[0x0001]);
+        let frame = sender.secure(SecurityLevel::EncMic, b"evil");
+        assert_eq!(
+            receiver.receive(&frame),
+            Err(FrameError::AccessDenied { sender: 0x0666 })
+        );
+    }
+
+    #[test]
+    fn replayed_frames_are_rejected() {
+        let mut sender = FrameSender::new(1, NET_KEY);
+        let mut receiver = FrameReceiver::new(NET_KEY, &[1]);
+        let frame = sender.secure(SecurityLevel::Mic, b"toggle");
+        assert!(receiver.receive(&frame).is_ok());
+        assert_eq!(
+            receiver.receive(&frame),
+            Err(FrameError::Replay { counter: 0 })
+        );
+        // Fresh frames keep flowing.
+        let next = sender.secure(SecurityLevel::Mic, b"toggle");
+        assert!(receiver.receive(&next).is_ok());
+    }
+
+    #[test]
+    fn tampered_body_fails_mic() {
+        let mut sender = FrameSender::new(1, NET_KEY);
+        let mut receiver = FrameReceiver::new(NET_KEY, &[1]);
+        let mut frame = sender.secure(SecurityLevel::EncMic, b"set heat 70");
+        frame.body[0] ^= 0xFF;
+        assert_eq!(receiver.receive(&frame), Err(FrameError::BadMic));
+    }
+
+    #[test]
+    fn minimum_level_rejects_plaintext_frames() {
+        let mut sender = FrameSender::new(1, NET_KEY);
+        let mut receiver = FrameReceiver::new(NET_KEY, &[1]);
+        let frame = sender.secure(SecurityLevel::None, b"plaintext");
+        assert_eq!(
+            receiver.receive(&frame),
+            Err(FrameError::InsufficientSecurity)
+        );
+        receiver.minimum_level = SecurityLevel::None;
+        assert!(receiver.receive(&frame).is_ok());
+    }
+
+    #[test]
+    fn wrong_network_key_fails() {
+        let mut sender = FrameSender::new(1, b"other network");
+        let mut receiver = FrameReceiver::new(NET_KEY, &[1]);
+        let frame = sender.secure(SecurityLevel::EncMic, b"payload");
+        assert_eq!(receiver.receive(&frame), Err(FrameError::BadMic));
+    }
+
+    #[test]
+    fn per_sender_replay_state_is_independent() {
+        let mut s1 = FrameSender::new(1, NET_KEY);
+        let mut s2 = FrameSender::new(2, NET_KEY);
+        let mut receiver = FrameReceiver::new(NET_KEY, &[1, 2]);
+        let f1 = s1.secure(SecurityLevel::Mic, b"a");
+        let f2 = s2.secure(SecurityLevel::Mic, b"b");
+        assert!(receiver.receive(&f1).is_ok());
+        // Same counter value (0) from a different sender is fine.
+        assert!(receiver.receive(&f2).is_ok());
+    }
+}

@@ -1,0 +1,29 @@
+//! Network protocol substrates for the XLF reproduction: the technologies
+//! the paper's Figure 2 maps onto the TCP/IP stack, implemented to the
+//! depth the framework's mechanisms exercise them.
+//!
+//! * [`dns`] — resolver/authoritative model with DNSSEC signing and
+//!   plain/DoT/DoH transports (the §IV-A3 constrained-access and DNS-privacy
+//!   mechanisms operate here).
+//! * [`tls`] — a TLS-shaped record protocol over the crate's lightweight
+//!   ciphers: handshake, key derivation, encrypt-then-MAC records, replay
+//!   protection.
+//! * [`ieee802154`] — 802.15.4 frame security: the access control, message
+//!   integrity, and replay protection the paper credits the standard with
+//!   (§II-B).
+//! * [`rest`] — the REST-shaped request/response encoding the service layer
+//!   speaks (§IV-C1).
+//! * [`ssdp`] — UPnP/SSDP discovery, the unprotected channel of Table II's
+//!   coffee-machine row.
+//! * [`stack`] — the Figure 2 protocol→stack-layer mapping, exercised by
+//!   the figure2 harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dns;
+pub mod ieee802154;
+pub mod rest;
+pub mod ssdp;
+pub mod stack;
+pub mod tls;

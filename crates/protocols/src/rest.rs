@@ -1,0 +1,255 @@
+//! REST-lite: the request/response shape the service layer speaks.
+//!
+//! §IV-C1: "Samsung SmartThings Cloud utilize REST APIs to control and get
+//! status notifications from IoT devices" and "each API call should be
+//! assigned an API token to validate incoming queries". Requests carry an
+//! optional bearer token the API gateway validates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// HTTP-style method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Read.
+    Get,
+    /// Create/invoke.
+    Post,
+    /// Update.
+    Put,
+    /// Remove.
+    Delete,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A REST request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method.
+    pub method: Method,
+    /// Path, e.g. `/devices/lamp/commands`.
+    pub path: String,
+    /// Bearer token, if the caller is authenticated.
+    pub token: Option<String>,
+    /// Header map.
+    pub headers: BTreeMap<String, String>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Creates a request with no token or headers.
+    pub fn new(method: Method, path: &str) -> Self {
+        Request {
+            method,
+            path: path.to_string(),
+            token: None,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Attaches a bearer token (builder-style).
+    pub fn with_token(mut self, token: &str) -> Self {
+        self.token = Some(token.to_string());
+        self
+    }
+
+    /// Attaches a body (builder-style).
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Attaches a header (builder-style).
+    pub fn with_header(mut self, key: &str, value: &str) -> Self {
+        self.headers.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Serializes to a wire payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut text = format!("{} {}\n", self.method, self.path);
+        if let Some(token) = &self.token {
+            text.push_str(&format!("authorization: Bearer {token}\n"));
+        }
+        for (k, v) in &self.headers {
+            text.push_str(&format!("{k}: {v}\n"));
+        }
+        text.push('\n');
+        let mut out = text.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a wire payload.
+    pub fn from_bytes(data: &[u8]) -> Option<Request> {
+        let sep = data.windows(2).position(|w| w == b"\n\n")?;
+        let head = std::str::from_utf8(&data[..sep]).ok()?;
+        let body = data[sep + 2..].to_vec();
+        let mut lines = head.lines();
+        let request_line = lines.next()?;
+        let (method_str, path) = request_line.split_once(' ')?;
+        let method = match method_str {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            _ => return None,
+        };
+        let mut token = None;
+        let mut headers = BTreeMap::new();
+        for line in lines {
+            let (k, v) = line.split_once(": ")?;
+            if k == "authorization" {
+                token = v.strip_prefix("Bearer ").map(str::to_string);
+            } else {
+                headers.insert(k.to_string(), v.to_string());
+            }
+        }
+        Some(Request {
+            method,
+            path: path.to_string(),
+            token,
+            headers,
+            body,
+        })
+    }
+}
+
+/// A REST response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP-style status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with body.
+    pub fn ok(body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            body: body.into(),
+        }
+    }
+
+    /// 401 unauthorized.
+    pub fn unauthorized() -> Self {
+        Response {
+            status: 401,
+            body: b"unauthorized".to_vec(),
+        }
+    }
+
+    /// 403 forbidden (authenticated but lacking scope).
+    pub fn forbidden() -> Self {
+        Response {
+            status: 403,
+            body: b"forbidden".to_vec(),
+        }
+    }
+
+    /// 404 not found.
+    pub fn not_found() -> Self {
+        Response {
+            status: 404,
+            body: b"not found".to_vec(),
+        }
+    }
+
+    /// 429 rate limited.
+    pub fn rate_limited() -> Self {
+        Response {
+            status: 429,
+            body: b"too many requests".to_vec(),
+        }
+    }
+
+    /// Serializes to a wire payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{}\n\n", self.status).into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a wire payload.
+    pub fn from_bytes(data: &[u8]) -> Option<Response> {
+        let sep = data.windows(2).position(|w| w == b"\n\n")?;
+        let status = std::str::from_utf8(&data[..sep]).ok()?.parse().ok()?;
+        Some(Response {
+            status,
+            body: data[sep + 2..].to_vec(),
+        })
+    }
+
+    /// Whether the status indicates success.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::new(Method::Post, "/devices/lamp/commands")
+            .with_token("tok-123")
+            .with_header("x-app", "thermo-helper")
+            .with_body(b"action=on".to_vec());
+        let parsed = Request::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn request_without_token_roundtrips() {
+        let req = Request::new(Method::Get, "/devices");
+        let parsed = Request::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(parsed.token, None);
+        assert_eq!(parsed.path, "/devices");
+    }
+
+    #[test]
+    fn response_roundtrip_and_helpers() {
+        for resp in [
+            Response::ok(b"[]".to_vec()),
+            Response::unauthorized(),
+            Response::forbidden(),
+            Response::not_found(),
+            Response::rate_limited(),
+        ] {
+            let parsed = Response::from_bytes(&resp.to_bytes()).unwrap();
+            assert_eq!(parsed, resp);
+        }
+        assert!(Response::ok(vec![]).is_success());
+        assert!(!Response::forbidden().is_success());
+    }
+
+    #[test]
+    fn malformed_input_returns_none() {
+        assert!(Request::from_bytes(b"garbage").is_none());
+        assert!(Request::from_bytes(b"TRACE /x\n\n").is_none());
+        assert!(Response::from_bytes(b"not-a-status\n\nbody").is_none());
+    }
+
+    #[test]
+    fn binary_bodies_survive() {
+        let req = Request::new(Method::Put, "/fw").with_body(vec![0u8, 255, 10, 10, 0]);
+        let parsed = Request::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(parsed.body, vec![0u8, 255, 10, 10, 0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! SSDP/UPnP discovery: the unprotected LAN channel of Table II's
+//! coffee-machine row ("listens to UPNP … hijack password of Wi-Fi") and
+//! the §III-B "open ports via Universal Plug and Play" exposure.
+//!
+//! SSDP messages are plaintext multicast; anything on the LAN hears them.
+
+use std::collections::BTreeMap;
+
+/// An SSDP message (NOTIFY announcement or M-SEARCH probe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdpMessage {
+    /// Periodic presence announcement from a device.
+    Notify {
+        /// Device type URN, e.g. `"urn:acme:device:coffeemaker:1"`.
+        device_type: String,
+        /// Unique service name.
+        usn: String,
+        /// Plaintext key/value fields the device discloses. Vulnerable
+        /// devices include setup secrets here.
+        fields: BTreeMap<String, String>,
+    },
+    /// Active discovery probe.
+    MSearch {
+        /// Search target (`"ssdp:all"` or a device type URN).
+        target: String,
+    },
+}
+
+impl SsdpMessage {
+    /// Builds a NOTIFY with no extra fields.
+    pub fn notify(device_type: &str, usn: &str) -> Self {
+        SsdpMessage::Notify {
+            device_type: device_type.to_string(),
+            usn: usn.to_string(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a disclosed field (builder-style).
+    pub fn with_field(self, key: &str, value: &str) -> Self {
+        match self {
+            SsdpMessage::Notify {
+                device_type,
+                usn,
+                mut fields,
+            } => {
+                fields.insert(key.to_string(), value.to_string());
+                SsdpMessage::Notify {
+                    device_type,
+                    usn,
+                    fields,
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Serializes to the plaintext wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            SsdpMessage::Notify {
+                device_type,
+                usn,
+                fields,
+            } => {
+                let mut text = format!("NOTIFY * HTTP/1.1\nNT: {device_type}\nUSN: {usn}\n");
+                for (k, v) in fields {
+                    text.push_str(&format!("{k}: {v}\n"));
+                }
+                text.into_bytes()
+            }
+            SsdpMessage::MSearch { target } => {
+                format!("M-SEARCH * HTTP/1.1\nST: {target}\n").into_bytes()
+            }
+        }
+    }
+
+    /// Parses the plaintext wire format.
+    pub fn from_bytes(data: &[u8]) -> Option<SsdpMessage> {
+        let text = std::str::from_utf8(data).ok()?;
+        let mut lines = text.lines();
+        let first = lines.next()?;
+        if first.starts_with("NOTIFY") {
+            let mut device_type = None;
+            let mut usn = None;
+            let mut fields = BTreeMap::new();
+            for line in lines {
+                let (k, v) = line.split_once(": ")?;
+                match k {
+                    "NT" => device_type = Some(v.to_string()),
+                    "USN" => usn = Some(v.to_string()),
+                    _ => {
+                        fields.insert(k.to_string(), v.to_string());
+                    }
+                }
+            }
+            Some(SsdpMessage::Notify {
+                device_type: device_type?,
+                usn: usn?,
+                fields,
+            })
+        } else if first.starts_with("M-SEARCH") {
+            let st = lines.next()?.strip_prefix("ST: ")?;
+            Some(SsdpMessage::MSearch {
+                target: st.to_string(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// What a passive LAN listener learns from this message: every field
+    /// is plaintext, including any secrets a careless device discloses.
+    pub fn disclosed_secrets(&self) -> Vec<(&str, &str)> {
+        match self {
+            SsdpMessage::Notify { fields, .. } => fields
+                .iter()
+                .filter(|(k, _)| {
+                    let k = k.to_ascii_lowercase();
+                    k.contains("key") || k.contains("pass") || k.contains("secret") || k.contains("psk")
+                })
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect(),
+            SsdpMessage::MSearch { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notify_roundtrip() {
+        let msg = SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe-1")
+            .with_field("LOCATION", "http://10.0.0.9/desc.xml");
+        let parsed = SsdpMessage::from_bytes(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn msearch_roundtrip() {
+        let msg = SsdpMessage::MSearch {
+            target: "ssdp:all".to_string(),
+        };
+        assert_eq!(SsdpMessage::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn careless_setup_leaks_wifi_psk() {
+        // The Table II coffee-machine row: the setup channel carries the
+        // WiFi password in plaintext where any LAN listener hears it.
+        let msg = SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe-1")
+            .with_field("X-Setup-Wifi-Pass", "home-network-password-123");
+        let leaks = msg.disclosed_secrets();
+        assert_eq!(leaks, vec![("X-Setup-Wifi-Pass", "home-network-password-123")]);
+    }
+
+    #[test]
+    fn benign_fields_are_not_flagged() {
+        let msg = SsdpMessage::notify("urn:x:tv:1", "uuid:tv")
+            .with_field("LOCATION", "http://10.0.0.5/");
+        assert!(msg.disclosed_secrets().is_empty());
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(SsdpMessage::from_bytes(b"HELLO").is_none());
+        assert!(SsdpMessage::from_bytes(&[0xFF, 0xFE]).is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! The Figure 2 mapping: "some IoT network protocols mapped to the TCP/IP
+//! stack". The figure2 harness walks this table and exercises one
+//! implemented code path per protocol to prove the mapping is live.
+
+/// A TCP/IP stack layer as drawn in Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StackLayer {
+    /// Link/physical technologies.
+    LinkPhysical,
+    /// Network/adaptation (IP, 6LoWPAN).
+    Network,
+    /// Transport (TCP/UDP + security layered on them).
+    Transport,
+    /// Application protocols.
+    Application,
+}
+
+impl StackLayer {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StackLayer::LinkPhysical => "Link/Physical",
+            StackLayer::Network => "Network",
+            StackLayer::Transport => "Transport",
+            StackLayer::Application => "Application",
+        }
+    }
+}
+
+/// One protocol entry of Figure 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackEntry {
+    /// Protocol name as printed in the figure.
+    pub protocol: &'static str,
+    /// Stack layer the figure places it on.
+    pub layer: StackLayer,
+    /// Which module of this crate (or the simulator) implements the
+    /// behaviour the XLF experiments exercise.
+    pub implemented_by: &'static str,
+}
+
+/// The full Figure 2 table.
+pub fn stack_map() -> Vec<StackEntry> {
+    use StackLayer::*;
+    vec![
+        StackEntry {
+            protocol: "IEEE 802.15.4 (ZigBee)",
+            layer: LinkPhysical,
+            implemented_by: "xlf_protocols::ieee802154 + xlf_simnet::Medium::Zigbee",
+        },
+        StackEntry {
+            protocol: "Z-Wave",
+            layer: LinkPhysical,
+            implemented_by: "xlf_simnet::Medium::Zwave",
+        },
+        StackEntry {
+            protocol: "WiFi (802.11)",
+            layer: LinkPhysical,
+            implemented_by: "xlf_simnet::Medium::Wifi",
+        },
+        StackEntry {
+            protocol: "Bluetooth LE",
+            layer: LinkPhysical,
+            implemented_by: "xlf_simnet::Medium::Ble",
+        },
+        StackEntry {
+            protocol: "Ethernet",
+            layer: LinkPhysical,
+            implemented_by: "xlf_simnet::Medium::Ethernet",
+        },
+        StackEntry {
+            protocol: "6LoWPAN",
+            layer: Network,
+            implemented_by: "xlf_simnet::Medium::SixLowpan (adaptation over 802.15.4)",
+        },
+        StackEntry {
+            protocol: "IPv4/IPv6",
+            layer: Network,
+            implemented_by: "xlf_simnet routing (NodeId addressing)",
+        },
+        StackEntry {
+            protocol: "UDP",
+            layer: Transport,
+            implemented_by: "xlf_simnet::Protocol::Udp",
+        },
+        StackEntry {
+            protocol: "TCP",
+            layer: Transport,
+            implemented_by: "xlf_simnet::Protocol::Tcp",
+        },
+        StackEntry {
+            protocol: "TLS / DTLS",
+            layer: Transport,
+            implemented_by: "xlf_protocols::tls",
+        },
+        StackEntry {
+            protocol: "DNS (+DoT/DoH)",
+            layer: Application,
+            implemented_by: "xlf_protocols::dns",
+        },
+        StackEntry {
+            protocol: "HTTP/REST",
+            layer: Application,
+            implemented_by: "xlf_protocols::rest",
+        },
+        StackEntry {
+            protocol: "SSDP/UPnP",
+            layer: Application,
+            implemented_by: "xlf_protocols::ssdp",
+        },
+        StackEntry {
+            protocol: "MQTT-style telemetry",
+            layer: Application,
+            implemented_by: "xlf_device::runtime telemetry packets",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_is_populated() {
+        let map = stack_map();
+        for layer in [
+            StackLayer::LinkPhysical,
+            StackLayer::Network,
+            StackLayer::Transport,
+            StackLayer::Application,
+        ] {
+            assert!(
+                map.iter().any(|e| e.layer == layer),
+                "no protocol on {}",
+                layer.name()
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_core_protocols_present() {
+        let map = stack_map();
+        for name in ["6LoWPAN", "UDP", "TCP", "TLS / DTLS", "DNS (+DoT/DoH)"] {
+            assert!(map.iter().any(|e| e.protocol == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn entries_name_their_implementation() {
+        for entry in stack_map() {
+            assert!(
+                entry.implemented_by.contains("xlf_"),
+                "{} lacks an implementation pointer",
+                entry.protocol
+            );
+        }
+    }
+}

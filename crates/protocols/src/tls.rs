@@ -1,0 +1,273 @@
+//! TLS-lite: a TLS-shaped session protocol over the crate's lightweight
+//! ciphers — PSK handshake, per-direction key derivation, encrypt-then-MAC
+//! records, and sequence-number replay protection.
+//!
+//! This models the properties the paper's network-layer analysis cares
+//! about (end-to-end encryption, integrity, replay protection,
+//! "misconfigurations or bad implementations of SSL/TLS could lead to such
+//! vulnerability as well") without reproducing the full TLS state machine.
+
+use std::fmt;
+use xlf_lwcrypto::ciphers::Speck128;
+use xlf_lwcrypto::kdf::derive_key;
+use xlf_lwcrypto::mac::CbcMac;
+use xlf_lwcrypto::modes::Ctr;
+use xlf_lwcrypto::CryptoError;
+
+/// Errors from the record layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// MAC verification failed (tampering or wrong keys).
+    BadRecordMac,
+    /// Sequence number replayed or out of window.
+    Replay {
+        /// Sequence number carried by the rejected record.
+        seq: u64,
+    },
+    /// Record framing was malformed.
+    Malformed,
+    /// Underlying cryptographic failure.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for TlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsError::BadRecordMac => write!(f, "bad record MAC"),
+            TlsError::Replay { seq } => write!(f, "replayed record (seq {seq})"),
+            TlsError::Malformed => write!(f, "malformed record"),
+            TlsError::Crypto(e) => write!(f, "crypto failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+impl From<CryptoError> for TlsError {
+    fn from(e: CryptoError) -> Self {
+        TlsError::Crypto(e)
+    }
+}
+
+/// Role in the session (drives key directionality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Connection initiator.
+    Client,
+    /// Connection responder.
+    Server,
+}
+
+/// Per-record byte overhead (header + MAC), mirroring a compact TLS 1.3
+/// record.
+pub const RECORD_OVERHEAD: usize = 8 + 16 + 5;
+
+/// One endpoint of an established TLS-lite session.
+///
+/// Both endpoints must be constructed from the same PSK and session id
+/// (the handshake transcript stand-in).
+///
+/// # Example
+///
+/// ```
+/// use xlf_protocols::tls::{Session, Role};
+///
+/// # fn main() -> Result<(), xlf_protocols::tls::TlsError> {
+/// let mut client = Session::establish(b"psk", "session-1", Role::Client);
+/// let mut server = Session::establish(b"psk", "session-1", Role::Server);
+/// let record = client.seal(b"GET /status")?;
+/// assert_eq!(server.open(&record)?, b"GET /status");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Session {
+    send_cipher: Speck128,
+    recv_cipher: Speck128,
+    send_mac_cipher: Speck128,
+    recv_mac_cipher: Speck128,
+    send_seq: u64,
+    /// Highest sequence number accepted so far (None before the first).
+    recv_highest: Option<u64>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("send_seq", &self.send_seq)
+            .field("recv_highest", &self.recv_highest)
+            .finish_non_exhaustive()
+    }
+}
+
+fn key_for(psk: &[u8], session_id: &str, direction: &str) -> Speck128 {
+    let key = derive_key(psk, &format!("tls-lite/{session_id}/{direction}"), 16)
+        .expect("non-empty psk");
+    Speck128::new(&key).expect("16-byte key")
+}
+
+impl Session {
+    /// Performs the PSK handshake (deterministic key schedule from psk and
+    /// session id) and returns the endpoint for `role`.
+    pub fn establish(psk: &[u8], session_id: &str, role: Role) -> Session {
+        let c2s = key_for(psk, session_id, "c2s");
+        let s2c = key_for(psk, session_id, "s2c");
+        let c2s_mac = key_for(psk, session_id, "c2s-mac");
+        let s2c_mac = key_for(psk, session_id, "s2c-mac");
+        match role {
+            Role::Client => Session {
+                send_cipher: c2s,
+                recv_cipher: s2c,
+                send_mac_cipher: c2s_mac,
+                recv_mac_cipher: s2c_mac,
+                send_seq: 0,
+                recv_highest: None,
+            },
+            Role::Server => Session {
+                send_cipher: s2c,
+                recv_cipher: c2s,
+                send_mac_cipher: s2c_mac,
+                recv_mac_cipher: c2s_mac,
+                send_seq: 0,
+                recv_highest: None,
+            },
+        }
+    }
+
+    /// Encrypts and authenticates `plaintext` into a record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TlsError::Crypto`] (does not occur for well-formed
+    /// internal state).
+    pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, TlsError> {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let mut nonce = [0u8; 16];
+        nonce[8..].copy_from_slice(&seq.to_be_bytes());
+        let mut body = plaintext.to_vec();
+        Ctr::new(&self.send_cipher, &nonce).apply(&mut body);
+
+        let mut record = seq.to_be_bytes().to_vec();
+        record.extend_from_slice(&body);
+        let mac = CbcMac::new(&self.send_mac_cipher);
+        let tag = mac.tag(&record)?;
+        record.extend_from_slice(&tag);
+        Ok(record)
+    }
+
+    /// Verifies and decrypts a record.
+    ///
+    /// # Errors
+    ///
+    /// [`TlsError::Malformed`] for short records, [`TlsError::BadRecordMac`]
+    /// on tampering, [`TlsError::Replay`] for non-monotonic sequence
+    /// numbers.
+    pub fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, TlsError> {
+        if record.len() < 8 + 16 {
+            return Err(TlsError::Malformed);
+        }
+        let (signed, tag) = record.split_at(record.len() - 16);
+        let mac = CbcMac::new(&self.recv_mac_cipher);
+        if !mac.verify(signed, tag)? {
+            return Err(TlsError::BadRecordMac);
+        }
+        let seq = u64::from_be_bytes(signed[..8].try_into().expect("8 bytes"));
+        if let Some(highest) = self.recv_highest {
+            if seq <= highest {
+                return Err(TlsError::Replay { seq });
+            }
+        }
+        self.recv_highest = Some(seq);
+        let mut body = signed[8..].to_vec();
+        let mut nonce = [0u8; 16];
+        nonce[8..].copy_from_slice(&seq.to_be_bytes());
+        Ctr::new(&self.recv_cipher, &nonce).apply(&mut body);
+        Ok(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Session, Session) {
+        (
+            Session::establish(b"psk", "s1", Role::Client),
+            Session::establish(b"psk", "s1", Role::Server),
+        )
+    }
+
+    #[test]
+    fn bidirectional_traffic_roundtrips() {
+        let (mut client, mut server) = pair();
+        let r1 = client.seal(b"hello from device").unwrap();
+        assert_eq!(server.open(&r1).unwrap(), b"hello from device");
+        let r2 = server.seal(b"ack").unwrap();
+        assert_eq!(client.open(&r2).unwrap(), b"ack");
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let (mut client, _server) = pair();
+        let record = client.seal(b"secret-password").unwrap();
+        assert!(!record
+            .windows(b"secret-password".len())
+            .any(|w| w == b"secret-password"));
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let (mut client, mut server) = pair();
+        let mut record = client.seal(b"turn off alarm").unwrap();
+        record[10] ^= 1;
+        assert_eq!(server.open(&record), Err(TlsError::BadRecordMac));
+    }
+
+    #[test]
+    fn replay_is_rejected() {
+        let (mut client, mut server) = pair();
+        let record = client.seal(b"unlock").unwrap();
+        assert!(server.open(&record).is_ok());
+        assert_eq!(server.open(&record), Err(TlsError::Replay { seq: 0 }));
+    }
+
+    #[test]
+    fn wrong_psk_cannot_read() {
+        let mut client = Session::establish(b"psk", "s1", Role::Client);
+        let mut wrong_server = Session::establish(b"other", "s1", Role::Server);
+        let record = client.seal(b"data").unwrap();
+        assert_eq!(wrong_server.open(&record), Err(TlsError::BadRecordMac));
+    }
+
+    #[test]
+    fn directions_are_keyed_separately() {
+        let (mut client, mut server) = pair();
+        let from_client = client.seal(b"same bytes").unwrap();
+        let from_server = server.seal(b"same bytes").unwrap();
+        assert_ne!(from_client, from_server);
+        // A client cannot be tricked into accepting its own record back
+        // (reflection attack).
+        let mut client2 = Session::establish(b"psk", "s1", Role::Client);
+        let reflected = client2.seal(b"reflect me").unwrap();
+        assert_eq!(client.open(&reflected), Err(TlsError::BadRecordMac));
+    }
+
+    #[test]
+    fn sequence_numbers_increase_per_record() {
+        let (mut client, mut server) = pair();
+        for i in 0..5u8 {
+            let record = client.seal(&[i]).unwrap();
+            assert_eq!(server.open(&record).unwrap(), vec![i]);
+        }
+        // Out-of-order old record now rejected.
+        let (mut c2, _) = pair();
+        let old = c2.seal(b"old seq 0").unwrap();
+        assert!(matches!(server.open(&old), Err(TlsError::Replay { .. }) | Err(TlsError::BadRecordMac)));
+    }
+
+    #[test]
+    fn short_records_are_malformed() {
+        let (_, mut server) = pair();
+        assert_eq!(server.open(&[0u8; 10]), Err(TlsError::Malformed));
+    }
+}

@@ -1,0 +1,567 @@
+//! The discrete-event engine: event queue, dispatch loop, and the
+//! [`Context`] through which nodes act on the world.
+
+use crate::link::LinkConfig;
+use crate::node::{Node, NodeId, TimerId};
+use crate::observer::Tap;
+use crate::packet::Packet;
+use crate::time::{Duration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Aggregate counters the engine maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Packets handed to a link (after shaping, before loss).
+    pub sent: u64,
+    /// Packets delivered to their destination node.
+    pub delivered: u64,
+    /// Packets dropped by link loss.
+    pub lost: u64,
+    /// Packets dropped because no link connects src and dst.
+    pub no_route: u64,
+    /// Total wire bytes transmitted.
+    pub wire_bytes: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver(Packet),
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        tag: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+enum Effect {
+    Send {
+        packet: Packet,
+        extra_delay: Duration,
+    },
+    SetTimer {
+        node: NodeId,
+        timer: TimerId,
+        after: Duration,
+        tag: u64,
+    },
+    CancelTimer(TimerId),
+}
+
+/// The world a node callback can act on: send packets, arm timers, read
+/// the clock.
+pub struct Context<'a> {
+    id: NodeId,
+    now: SimTime,
+    effects: &'a mut Vec<Effect>,
+    next_timer: &'a mut u64,
+}
+
+impl<'a> Context<'a> {
+    /// The node this callback belongs to.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `packet` to `to` over the direct link (must exist, else the
+    /// packet is dropped and counted in [`NetworkStats::no_route`]).
+    pub fn send(&mut self, to: NodeId, mut packet: Packet) {
+        packet.src = self.id;
+        packet.dst = to;
+        self.effects.push(Effect::Send {
+            packet,
+            extra_delay: Duration::ZERO,
+        });
+    }
+
+    /// Sends after an additional sender-side delay (the traffic-shaping
+    /// primitive).
+    pub fn send_after(&mut self, to: NodeId, mut packet: Packet, delay: Duration) {
+        packet.src = self.id;
+        packet.dst = to;
+        self.effects.push(Effect::Send {
+            packet,
+            extra_delay: delay,
+        });
+    }
+
+    /// Arms a one-shot timer that fires after `after`, delivering `tag`
+    /// back to [`Node::on_timer`].
+    pub fn set_timer(&mut self, after: Duration, tag: u64) -> TimerId {
+        let timer = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::SetTimer {
+            node: self.id,
+            timer,
+            after,
+            tag,
+        });
+        timer
+    }
+
+    /// Cancels a previously armed timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.effects.push(Effect::CancelTimer(timer));
+    }
+}
+
+/// A deterministic simulated network.
+pub struct Network {
+    nodes: Vec<Option<Box<dyn Node>>>,
+    links: HashMap<(NodeId, NodeId), LinkConfig>,
+    queue: BinaryHeap<Reverse<Event>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    taps: Vec<Box<dyn Tap>>,
+    cancelled: HashSet<u64>,
+    next_timer: u64,
+    /// Nodes with index below this have had `on_start` dispatched.
+    started_upto: usize,
+    stats: NetworkStats,
+    /// Hard cap on processed events, preventing runaway feedback loops.
+    pub max_events: u64,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("now", &self.now)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with a deterministic RNG seed (drives
+    /// packet loss only).
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            taps: Vec::new(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            started_upto: 0,
+            stats: NetworkStats::default(),
+            max_events: 20_000_000,
+        }
+    }
+
+    /// Registers a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId::from_raw(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Connects two nodes with a bidirectional link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is unknown or `a == b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        assert_ne!(a, b, "cannot self-link {a}");
+        assert!((a.raw() as usize) < self.nodes.len(), "unknown node {a}");
+        assert!((b.raw() as usize) < self.nodes.len(), "unknown node {b}");
+        self.links.insert((a, b), config);
+        self.links.insert((b, a), config);
+    }
+
+    /// Attaches a promiscuous tap observing every transmission.
+    pub fn add_tap(&mut self, tap: Box<dyn Tap>) {
+        self.taps.push(tap);
+    }
+
+    /// Looks up the link between two nodes.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<&LinkConfig> {
+        self.links.get(&(a, b))
+    }
+
+    /// Queues a packet for delivery as if `src` had sent it (bootstraps
+    /// traffic from outside any node callback). Honors links, loss, and
+    /// observers exactly like [`Context::send`].
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, mut packet: Packet) {
+        packet.src = src;
+        packet.dst = dst;
+        self.transmit(packet, Duration::ZERO);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Engine counters so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Immutable access to a node (for post-run inspection via downcast
+    /// helpers in higher layers).
+    pub fn node(&self, id: NodeId) -> Option<&dyn Node> {
+        self.nodes
+            .get(id.raw() as usize)
+            .and_then(|slot| slot.as_deref())
+    }
+
+    /// Mutable access to a node between runs.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut (dyn Node + '_)> {
+        match self.nodes.get_mut(id.raw() as usize) {
+            Some(Some(node)) => Some(node.as_mut()),
+            _ => None,
+        }
+    }
+
+    /// Downcasts a node to its concrete type for inspection.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.node(id).and_then(|n| n.as_any().downcast_ref::<T>())
+    }
+
+    /// Downcasts a node mutably (e.g. to reconfigure it between runs).
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        match self.nodes.get_mut(id.raw() as usize) {
+            Some(Some(node)) => node.as_any_mut().downcast_mut::<T>(),
+            _ => None,
+        }
+    }
+
+    fn transmit(&mut self, packet: Packet, extra_delay: Duration) {
+        let key = (packet.src, packet.dst);
+        let Some(link) = self.links.get(&key).copied() else {
+            self.stats.no_route += 1;
+            return;
+        };
+        self.stats.sent += 1;
+        self.stats.wire_bytes += packet.wire_size as u64;
+        let at = self.now + extra_delay + link.delay_for(packet.wire_size);
+        for tap in self.taps.iter_mut() {
+            tap.on_transmit(self.now + extra_delay, &packet, &link);
+        }
+        if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
+            self.stats.lost += 1;
+            return;
+        }
+        self.push_event(at, EventKind::Deliver(packet));
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn apply_effects(&mut self, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    packet,
+                    extra_delay,
+                } => self.transmit(packet, extra_delay),
+                Effect::SetTimer {
+                    node,
+                    timer,
+                    after,
+                    tag,
+                } => {
+                    let at = self.now + after;
+                    self.push_event(at, EventKind::Timer { node, timer, tag });
+                }
+                Effect::CancelTimer(timer) => {
+                    self.cancelled.insert(timer.0);
+                }
+            }
+        }
+    }
+
+    /// Dispatches `on_start` for any node that has not yet been started
+    /// (including nodes added between runs).
+    fn dispatch_start(&mut self) {
+        while self.started_upto < self.nodes.len() {
+            let id = NodeId::from_raw(self.started_upto as u32);
+            self.started_upto += 1;
+            self.with_node(id, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs `f` with the node temporarily removed from the registry (so
+    /// the callback can borrow the network through `Context` effects).
+    fn with_node<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Context<'_>),
+    {
+        let slot = id.raw() as usize;
+        let Some(mut node) = self.nodes.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let mut effects = Vec::new();
+        let mut next_timer = self.next_timer;
+        {
+            let mut ctx = Context {
+                id,
+                now: self.now,
+                effects: &mut effects,
+                next_timer: &mut next_timer,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.next_timer = next_timer;
+        self.nodes[slot] = Some(node);
+        self.apply_effects(effects);
+    }
+
+    /// Runs the simulation until the event queue is empty (or the event
+    /// cap is hit). Returns the final counters.
+    pub fn run(&mut self) -> NetworkStats {
+        self.run_until(SimTime::from_micros(u64::MAX))
+    }
+
+    /// Runs the simulation until `deadline` (inclusive) or queue
+    /// exhaustion. Events scheduled after the deadline remain queued.
+    pub fn run_until(&mut self, deadline: SimTime) -> NetworkStats {
+        self.dispatch_start();
+        let mut processed = 0u64;
+        while let Some(next_at) = self.queue.peek().map(|Reverse(e)| e.at) {
+            if next_at > deadline {
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            self.now = event.at;
+            processed += 1;
+            if processed > self.max_events {
+                panic!("event cap exceeded ({}) — runaway feedback loop?", self.max_events);
+            }
+            match event.kind {
+                EventKind::Deliver(packet) => {
+                    self.stats.delivered += 1;
+                    let dst = packet.dst;
+                    self.with_node(dst, |node, ctx| node.on_packet(ctx, packet));
+                }
+                EventKind::Timer { node, timer, tag } => {
+                    if self.cancelled.remove(&timer.0) {
+                        continue;
+                    }
+                    self.stats.timers_fired += 1;
+                    self.with_node(node, |n, ctx| n.on_timer(ctx, timer, tag));
+                }
+            }
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medium::Medium;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Echo;
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+            let reply = Packet::new(ctx.id(), packet.src, "echo", packet.payload.clone());
+            ctx.send(packet.src, reply);
+        }
+    }
+
+    #[derive(Default)]
+    struct Sink {
+        received: Rc<RefCell<Vec<(SimTime, Packet)>>>,
+    }
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+            self.received.borrow_mut().push((ctx.now(), packet));
+        }
+    }
+
+    #[test]
+    fn ping_pong_delivers_both_directions() {
+        let mut net = Network::new(1);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let echo = net.add_node(Box::new(Echo));
+        let sink = net.add_node(Box::new(Sink {
+            received: received.clone(),
+        }));
+        net.connect(echo, sink, Medium::Ethernet.link());
+        net.inject(sink, echo, Packet::new(sink, echo, "ping", b"hi".to_vec()));
+        let stats = net.run();
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(received.borrow().len(), 1);
+        assert_eq!(received.borrow()[0].1.kind, "echo");
+    }
+
+    #[test]
+    fn delivery_time_respects_link_delay() {
+        let mut net = Network::new(1);
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let a = net.add_node(Box::new(Sink {
+            received: received.clone(),
+        }));
+        let b = net.add_node(Box::new(Sink::default()));
+        net.connect(a, b, Medium::Zigbee.link().with_loss(0.0));
+        net.inject(b, a, Packet::new(b, a, "reading", vec![0u8; 60]));
+        net.run();
+        let at = received.borrow()[0].0;
+        let expected = Medium::Zigbee.link().delay_for(100); // 60 + 40 overhead
+        assert_eq!(at, SimTime::ZERO + expected);
+    }
+
+    #[test]
+    fn no_route_counts_instead_of_panicking() {
+        let mut net = Network::new(1);
+        let a = net.add_node(Box::new(Sink::default()));
+        let b = net.add_node(Box::new(Sink::default()));
+        net.inject(a, b, Packet::new(a, b, "x", vec![1u8]));
+        let stats = net.run();
+        assert_eq!(stats.no_route, 1);
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_a_fraction() {
+        let mut net = Network::new(7);
+        let a = net.add_node(Box::new(Sink::default()));
+        let b = net.add_node(Box::new(Sink::default()));
+        net.connect(a, b, Medium::Wifi.link().with_loss(0.5));
+        for _ in 0..400 {
+            net.inject(a, b, Packet::new(a, b, "x", vec![1u8]));
+        }
+        let stats = net.run();
+        assert!(stats.lost > 120 && stats.lost < 280, "lost = {}", stats.lost);
+        assert_eq!(stats.lost + stats.delivered, 400);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once() -> NetworkStats {
+            let mut net = Network::new(99);
+            let a = net.add_node(Box::new(Sink::default()));
+            let b = net.add_node(Box::new(Echo));
+            net.connect(a, b, Medium::Wifi.link().with_loss(0.3));
+            for i in 0..100 {
+                net.inject(a, b, Packet::new(a, b, "x", vec![i as u8]));
+            }
+            net.run()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    struct Beeper {
+        fired: Rc<RefCell<Vec<u64>>>,
+        cancel_second: bool,
+    }
+    impl Node for Beeper {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(Duration::from_millis(5), 1);
+            let second = ctx.set_timer(Duration::from_millis(10), 2);
+            if self.cancel_second {
+                ctx.cancel_timer(second);
+            }
+            ctx.set_timer(Duration::from_millis(15), 3);
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerId, tag: u64) {
+            self.fired.borrow_mut().push(tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        net.add_node(Box::new(Beeper {
+            fired: fired.clone(),
+            cancel_second: false,
+        }));
+        net.run();
+        assert_eq!(*fired.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        net.add_node(Box::new(Beeper {
+            fired: fired.clone(),
+            cancel_second: true,
+        }));
+        let stats = net.run();
+        assert_eq!(*fired.borrow(), vec![1, 3]);
+        assert_eq!(stats.timers_fired, 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        net.add_node(Box::new(Beeper {
+            fired: fired.clone(),
+            cancel_second: false,
+        }));
+        net.run_until(SimTime::from_millis(7));
+        assert_eq!(*fired.borrow(), vec![1]);
+        net.run_until(SimTime::from_millis(20));
+        assert_eq!(*fired.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn send_after_adds_sender_delay() {
+        struct Delayer;
+        impl Node for Delayer {
+            fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+                let fwd = Packet::new(ctx.id(), packet.src, "delayed", packet.payload.clone());
+                ctx.send_after(packet.src, fwd, Duration::from_millis(50));
+            }
+        }
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        let sink = net.add_node(Box::new(Sink {
+            received: received.clone(),
+        }));
+        let delayer = net.add_node(Box::new(Delayer));
+        net.connect(sink, delayer, Medium::Ethernet.link());
+        net.inject(sink, delayer, Packet::new(sink, delayer, "x", vec![0u8]));
+        net.run();
+        let at = received.borrow()[0].0;
+        assert!(at.as_micros() >= 50_000);
+    }
+}

@@ -1,0 +1,177 @@
+//! Packets and flows: the unit of traffic every XLF mechanism observes.
+
+use crate::node::NodeId;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Transport/application protocol tag carried by a packet.
+///
+/// This is deliberately a coarse label (the granularity a middlebox sees
+/// after port/heuristic classification), not a full header stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// Plain UDP datagram.
+    Udp,
+    /// TCP segment (connection handling abstracted away).
+    Tcp,
+    /// DNS query/response.
+    Dns,
+    /// TLS record (possibly carrying DoT/DoH).
+    Tls,
+    /// HTTP request/response.
+    Http,
+    /// IEEE 802.15.4 frame (ZigBee/6LoWPAN).
+    Ieee802154,
+    /// SSDP/UPnP discovery.
+    Ssdp,
+    /// Application-level event/report (already decapsulated).
+    App,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Protocol::Udp => "UDP",
+            Protocol::Tcp => "TCP",
+            Protocol::Dns => "DNS",
+            Protocol::Tls => "TLS",
+            Protocol::Http => "HTTP",
+            Protocol::Ieee802154 => "802.15.4",
+            Protocol::Ssdp => "SSDP",
+            Protocol::App => "APP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifies a unidirectional flow: (src, dst, kind label).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Application-chosen flow label (e.g. `"telemetry"`).
+    pub kind: String,
+}
+
+/// A simulated packet.
+///
+/// `payload` carries application bytes; `wire_size` is what an observer
+/// sees on the link (payload + header overhead, or a shaped/padded size).
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Flow label chosen by the sender (e.g. `"telemetry"`, `"ota"`).
+    pub kind: String,
+    /// Protocol tag (defaults to [`Protocol::App`]).
+    pub protocol: Protocol,
+    /// Application payload.
+    pub payload: Bytes,
+    /// Bytes on the wire as seen by observers; defaults to
+    /// `payload.len() + 40` (IP+transport overhead) and may be raised by
+    /// padding (traffic shaping) but never below the payload.
+    pub wire_size: usize,
+    /// Free-form metadata (header fields, auth tokens, markers) consumed
+    /// by higher layers. Kept sorted for deterministic iteration.
+    pub meta: BTreeMap<String, String>,
+}
+
+/// Default per-packet header overhead included in `wire_size`.
+pub const HEADER_OVERHEAD: usize = 40;
+
+impl Packet {
+    /// Creates a packet with default protocol/overhead.
+    pub fn new(src: NodeId, dst: NodeId, kind: &str, payload: impl Into<Bytes>) -> Self {
+        let payload = payload.into();
+        let wire_size = payload.len() + HEADER_OVERHEAD;
+        Packet {
+            src,
+            dst,
+            kind: kind.to_string(),
+            protocol: Protocol::App,
+            payload,
+            wire_size,
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the protocol tag (builder-style).
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Attaches a metadata key/value (builder-style).
+    pub fn with_meta(mut self, key: &str, value: &str) -> Self {
+        self.meta.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Pads the observable wire size up to `size` (no-op if already
+    /// larger) — the primitive traffic shaping uses.
+    pub fn pad_to(&mut self, size: usize) {
+        self.wire_size = self.wire_size.max(size);
+    }
+
+    /// The flow this packet belongs to.
+    pub fn flow(&self) -> FlowKey {
+        FlowKey {
+            src: self.src,
+            dst: self.dst,
+            kind: self.kind.clone(),
+        }
+    }
+
+    /// Metadata lookup convenience.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.get(key).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(n: u32) -> NodeId {
+        NodeId::from_raw(n)
+    }
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let p = Packet::new(node(1), node(2), "telemetry", vec![0u8; 100]);
+        assert_eq!(p.wire_size, 140);
+    }
+
+    #[test]
+    fn padding_never_shrinks() {
+        let mut p = Packet::new(node(1), node(2), "t", vec![0u8; 100]);
+        p.pad_to(64);
+        assert_eq!(p.wire_size, 140);
+        p.pad_to(512);
+        assert_eq!(p.wire_size, 512);
+    }
+
+    #[test]
+    fn builder_metadata_and_protocol() {
+        let p = Packet::new(node(1), node(2), "dns", b"query".to_vec())
+            .with_protocol(Protocol::Dns)
+            .with_meta("qname", "nest.example.com");
+        assert_eq!(p.protocol, Protocol::Dns);
+        assert_eq!(p.meta("qname"), Some("nest.example.com"));
+        assert_eq!(p.meta("missing"), None);
+    }
+
+    #[test]
+    fn flow_key_groups_by_src_dst_kind() {
+        let a = Packet::new(node(1), node(2), "telemetry", vec![1u8]);
+        let b = Packet::new(node(1), node(2), "telemetry", vec![2u8; 50]);
+        let c = Packet::new(node(1), node(2), "ota", vec![1u8]);
+        assert_eq!(a.flow(), b.flow());
+        assert_ne!(a.flow(), c.flow());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests over the simulator: time algebra, link delay
+//! monotonicity, engine conservation laws, and determinism.
+
+use proptest::prelude::*;
+use xlf_simnet::{Duration, Medium, Network, Node, Packet, SimTime};
+
+struct Quiet;
+impl Node for Quiet {}
+
+fn media() -> impl Strategy<Value = Medium> {
+    prop::sample::select(vec![
+        Medium::Ethernet,
+        Medium::Wifi,
+        Medium::Zigbee,
+        Medium::Zwave,
+        Medium::Ble,
+        Medium::SixLowpan,
+        Medium::Wan,
+    ])
+}
+
+proptest! {
+    /// Time arithmetic: associativity with durations, ordering, and
+    /// saturating subtraction.
+    #[test]
+    fn time_algebra(a in 0u64..1_000_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let t = SimTime::from_micros(a);
+        let d1 = Duration::from_micros(b);
+        let d2 = Duration::from_micros(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+        prop_assert!(t + d1 >= t);
+        prop_assert_eq!((t + d1) - t, d1);
+        prop_assert_eq!(t - (t + d1), Duration::ZERO); // saturating
+        prop_assert_eq!(t.since(t + d1), Duration::ZERO);
+    }
+
+    /// Link delay is monotone in packet size and never below the latency.
+    #[test]
+    fn link_delay_monotone(medium in media(), small in 1usize..512, extra in 1usize..2048) {
+        let link = medium.link();
+        let d_small = link.delay_for(small);
+        let d_big = link.delay_for(small + extra);
+        prop_assert!(d_big >= d_small);
+        prop_assert!(d_small >= link.latency);
+    }
+
+    /// Conservation: every injected packet is delivered, lost, or
+    /// unroutable — nothing vanishes, nothing duplicates.
+    #[test]
+    fn packet_conservation(n in 1usize..64, loss in 0.0f64..0.9, seed in any::<u64>()) {
+        let mut net = Network::new(seed);
+        let a = net.add_node(Box::new(Quiet));
+        let b = net.add_node(Box::new(Quiet));
+        net.connect(a, b, Medium::Wifi.link().with_loss(loss));
+        for i in 0..n {
+            net.inject(a, b, Packet::new(a, b, "x", vec![i as u8]));
+        }
+        let stats = net.run();
+        prop_assert_eq!(stats.sent as usize, n);
+        prop_assert_eq!((stats.delivered + stats.lost) as usize, n);
+        prop_assert_eq!(stats.no_route, 0);
+    }
+
+    /// Unconnected destinations are all counted as unroutable.
+    #[test]
+    fn no_route_accounting(n in 1usize..32) {
+        let mut net = Network::new(1);
+        let a = net.add_node(Box::new(Quiet));
+        let b = net.add_node(Box::new(Quiet));
+        for _ in 0..n {
+            net.inject(a, b, Packet::new(a, b, "x", vec![0u8]));
+        }
+        let stats = net.run();
+        prop_assert_eq!(stats.no_route as usize, n);
+        prop_assert_eq!(stats.delivered, 0);
+    }
+
+    /// Determinism: identical seeds and workloads give identical stats.
+    #[test]
+    fn engine_is_deterministic(seed in any::<u64>(), n in 1usize..48) {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let a = net.add_node(Box::new(Quiet));
+            let b = net.add_node(Box::new(Quiet));
+            net.connect(a, b, Medium::Wifi.link().with_loss(0.3));
+            for i in 0..n {
+                net.inject(a, b, Packet::new(a, b, "x", vec![i as u8]));
+            }
+            net.run()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Padding never shrinks the observable size and is idempotent at the
+    /// target.
+    #[test]
+    fn packet_padding(payload_len in 0usize..512, pad in 0usize..2048) {
+        let a = xlf_simnet::NodeId::from_raw(0);
+        let b = xlf_simnet::NodeId::from_raw(1);
+        let mut p = Packet::new(a, b, "x", vec![0u8; payload_len]);
+        let before = p.wire_size;
+        p.pad_to(pad);
+        prop_assert!(p.wire_size >= before);
+        prop_assert!(p.wire_size >= pad.min(before).min(p.wire_size));
+        let once = p.wire_size;
+        p.pad_to(pad);
+        prop_assert_eq!(p.wire_size, once);
+    }
+}

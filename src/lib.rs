@@ -1,0 +1,59 @@
+//! # xlf — a cross-layer framework to secure the Internet of Things
+//!
+//! A full reproduction of *"XLF: A Cross-layer Framework to Secure the
+//! Internet of Things (IoT)"* (Wang, Mohaisen, Chen — ICDCS 2019) as a
+//! Rust workspace: the framework itself plus every substrate it needs
+//! (discrete-event IoT simulator, lightweight cryptography, protocol
+//! models, a SmartThings-style cloud, learning algorithms, and an attack
+//! library).
+//!
+//! This crate is the facade: it re-exports the workspace crates under one
+//! name and hosts the runnable examples.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xlf::core::framework::{HomeDevice, XlfConfig, XlfHome};
+//! use xlf::device::SensorKind;
+//! use xlf::simnet::SimTime;
+//!
+//! // Build a home with two devices and the full XLF deployment.
+//! let mut home = XlfHome::build(
+//!     7,
+//!     XlfConfig::full(),
+//!     &[
+//!         HomeDevice::new("thermo", SensorKind::Temperature),
+//!         HomeDevice::new("cam", SensorKind::Camera),
+//!     ],
+//! );
+//! home.net.run_until(SimTime::from_secs(300));
+//! assert!(home.gateway_ref().forwarded > 0);
+//! ```
+//!
+//! ## Layout
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `xlf-core` | the paper's contribution: XLF Core + layer mechanisms |
+//! | [`simnet`] | `xlf-simnet` | deterministic discrete-event network simulator |
+//! | [`device`] | `xlf-device` | Table I catalog, firmware/OTA, credentials, device runtime |
+//! | [`protocols`] | `xlf-protocols` | DNS(+DoT/DoH/DNSSEC), TLS-lite, 802.15.4, REST, SSDP |
+//! | [`cloud`] | `xlf-cloud` | SmartThings-style service layer |
+//! | [`analytics`] | `xlf-analytics` | MKL, graphs, DFA, time series, fingerprinting |
+//! | [`attacks`] | `xlf-attacks` | the executable Table II / Figure 3 adversary library |
+//! | [`lwcrypto`] | `xlf-lwcrypto` | the Table III lightweight cipher suite |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use xlf_analytics as analytics;
+pub use xlf_attacks as attacks;
+pub use xlf_cloud as cloud;
+pub use xlf_core as core;
+pub use xlf_device as device;
+pub use xlf_lwcrypto as lwcrypto;
+pub use xlf_protocols as protocols;
+pub use xlf_simnet as simnet;
