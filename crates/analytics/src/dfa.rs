@@ -92,7 +92,10 @@ impl Dfa {
                 state: state.to_string(),
             };
         }
-        match self.transitions.get(&(state.to_string(), symbol.to_string())) {
+        match self
+            .transitions
+            .get(&(state.to_string(), symbol.to_string()))
+        {
             Some((expected, count)) if *count >= self.min_support && expected == next => {
                 DfaVerdict::Normal
             }

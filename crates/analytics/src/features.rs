@@ -111,8 +111,7 @@ mod tests {
     #[test]
     fn streaming_windows_differ_from_idle_windows() {
         // The property the traffic-analysis experiments rely on.
-        let idle: Vec<(f64, usize, bool)> =
-            (0..5).map(|i| (i as f64 * 30.0, 88, true)).collect();
+        let idle: Vec<(f64, usize, bool)> = (0..5).map(|i| (i as f64 * 30.0, 88, true)).collect();
         let streaming: Vec<(f64, usize, bool)> =
             (0..50).map(|i| (i as f64 * 0.2, 940, true)).collect();
         let wi = window_features(&idle);

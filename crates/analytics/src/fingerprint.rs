@@ -74,7 +74,12 @@ impl SequenceClassifier {
         let best = self
             .exemplars
             .iter()
-            .map(|(label, ex)| (label.as_str(), normalized_distance(ex, sequence, self.slack)))
+            .map(|(label, ex)| {
+                (
+                    label.as_str(),
+                    normalized_distance(ex, sequence, self.slack),
+                )
+            })
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))?;
         if best.1 <= self.max_distance {
             Some(best)

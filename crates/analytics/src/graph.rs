@@ -23,10 +23,8 @@ pub fn similarity_graph(features: &[Vec<f64>], k: usize, gamma: f64) -> Vec<Vec<
     let mut adj = vec![Vec::new(); n];
     #[allow(clippy::needless_range_loop)]
     for i in 0..n {
-        let mut neighbours: Vec<(usize, f64)> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| (j, sim(i, j)))
-            .collect();
+        let mut neighbours: Vec<(usize, f64)> =
+            (0..n).filter(|&j| j != i).map(|j| (j, sim(i, j))).collect();
         neighbours.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         neighbours.truncate(k);
         adj[i] = neighbours;
@@ -57,7 +55,8 @@ pub fn label_propagation(adj: &[Vec<(usize, f64)>], max_iters: usize) -> Vec<usi
                 continue;
             }
             // Weighted vote of neighbour labels.
-            let mut votes: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+            let mut votes: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
             for &(j, w) in &adj[i] {
                 *votes.entry(labels[j]).or_insert(0.0) += w;
             }

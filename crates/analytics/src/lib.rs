@@ -15,12 +15,14 @@ pub mod fingerprint;
 pub mod graph;
 pub mod kernel;
 pub mod mkl;
+pub mod multipattern;
 pub mod timeseries;
 
 pub use dfa::{Dfa, DfaVerdict};
 pub use features::{window_features, FeatureWindow};
 pub use fingerprint::{levenshtein, SequenceClassifier};
-pub use graph::{label_propagation, similarity_graph, deviation_scores};
+pub use graph::{deviation_scores, label_propagation, similarity_graph};
 pub use kernel::Kernel;
 pub use mkl::MklClassifier;
+pub use multipattern::{AcAutomaton, AcMatch};
 pub use timeseries::{EwmaDetector, SeasonalDetector};

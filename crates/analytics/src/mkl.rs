@@ -228,11 +228,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "labels must be ±1")]
     fn bad_labels_panic() {
-        MklClassifier::train(
-            vec![Kernel::Linear],
-            vec![vec![vec![1.0]]],
-            &[0.5],
-            1,
-        );
+        MklClassifier::train(vec![Kernel::Linear], vec![vec![vec![1.0]]], &[0.5], 1);
     }
 }

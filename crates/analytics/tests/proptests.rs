@@ -133,3 +133,55 @@ proptest! {
         }
     }
 }
+
+use xlf_analytics::multipattern::{naive_first_per_pattern, AcAutomaton};
+
+/// Pattern sets over a tiny alphabet so overlaps, nestings, duplicates,
+/// and empty patterns all occur; haystacks over the same alphabet.
+fn ac_patterns() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(97u8..100, 0..6), 1..12)
+}
+
+fn ac_haystack() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(97u8..100, 0..64)
+}
+
+proptest! {
+    /// The automaton's first-match-per-pattern answer equals the naive
+    /// per-pattern window scan for arbitrary (overlapping, duplicated,
+    /// empty) patterns and haystacks.
+    #[test]
+    fn automaton_first_matches_equal_naive(patterns in ac_patterns(),
+                                           haystack in ac_haystack()) {
+        let ac = AcAutomaton::build(&patterns);
+        prop_assert_eq!(
+            ac.find_first_per_pattern(&haystack),
+            naive_first_per_pattern(&patterns, &haystack)
+        );
+    }
+
+    /// `find_all` reports exactly the occurrences a brute-force scan
+    /// finds: every occurrence of every non-empty pattern, overlaps
+    /// included.
+    #[test]
+    fn automaton_find_all_is_exhaustive(patterns in ac_patterns(),
+                                        haystack in ac_haystack()) {
+        let ac = AcAutomaton::build(&patterns);
+        let mut got: Vec<(usize, usize)> =
+            ac.find_all(&haystack).iter().map(|m| (m.pattern, m.start)).collect();
+        got.sort_unstable();
+        let mut expected = Vec::new();
+        for (id, p) in patterns.iter().enumerate() {
+            if p.is_empty() || p.len() > haystack.len() {
+                continue;
+            }
+            for (start, w) in haystack.windows(p.len()).enumerate() {
+                if w == p.as_slice() {
+                    expected.push((id, start));
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -90,7 +90,13 @@ mod tests {
     #[test]
     fn naive_resolver_poisoned_by_a_single_blind_packet() {
         let mut r = Resolver::new(ResolverConfig::naive());
-        let result = poison(&mut r, NAME, Position::OffPath { attempts: 1 }, 1, SimTime::ZERO);
+        let result = poison(
+            &mut r,
+            NAME,
+            Position::OffPath { attempts: 1 },
+            1,
+            SimTime::ZERO,
+        );
         assert!(result.poisoned);
         assert_eq!(result.responses_sent, 1);
     }
@@ -103,7 +109,13 @@ mod tests {
             check_txid: true,
             validate_dnssec: false,
         });
-        let result = poison(&mut r, NAME, Position::OffPath { attempts: 50 }, 2, SimTime::ZERO);
+        let result = poison(
+            &mut r,
+            NAME,
+            Position::OffPath { attempts: 50 },
+            2,
+            SimTime::ZERO,
+        );
         assert!(!result.poisoned);
         assert_eq!(result.responses_sent, 50);
     }
@@ -131,7 +143,9 @@ mod tests {
     fn poisoned_cache_redirects_subsequent_lookups() {
         let mut r = Resolver::new(ResolverConfig::naive());
         poison(&mut r, NAME, Position::OnPath, 5, SimTime::ZERO);
-        let cached = r.cached(NAME, RecordType::A, SimTime::from_secs(100)).unwrap();
+        let cached = r
+            .cached(NAME, RecordType::A, SimTime::from_secs(100))
+            .unwrap();
         assert_eq!(cached.value, "n666");
     }
 }

@@ -61,10 +61,9 @@ impl Node for Scanner {
                 ctx.send(packet.src, login);
             }
             "login-result" if packet.meta("outcome") == Some("success") => {
-                self.recruited.borrow_mut().push((
-                    packet.meta("device").unwrap_or("?").to_string(),
-                    packet.src,
-                ));
+                self.recruited
+                    .borrow_mut()
+                    .push((packet.meta("device").unwrap_or("?").to_string(), packet.src));
             }
             _ => {}
         }

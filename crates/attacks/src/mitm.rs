@@ -82,7 +82,13 @@ mod tests {
     #[test]
     fn leaked_psk_allows_valid_forgery() {
         let record = client_record(b"oven: preheat 400F");
-        let outcome = mitm_attempt(PSK, "oven-session", 0, &record, Some(b"oven: self-clean 900F"));
+        let outcome = mitm_attempt(
+            PSK,
+            "oven-session",
+            0,
+            &record,
+            Some(b"oven: self-clean 900F"),
+        );
         let MitmOutcome::Tampered(forged) = outcome else {
             panic!("expected tampering to succeed");
         };

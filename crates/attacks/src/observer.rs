@@ -36,9 +36,7 @@ pub fn segment_bursts(records: &[PacketRecord], max_gap: Duration) -> Vec<Burst>
     let mut bursts: Vec<Burst> = Vec::new();
     for rec in sorted {
         let extend = bursts.last().is_some_and(|b| {
-            b.src == rec.src
-                && b.dst == rec.dst
-                && rec.at.since(last_time(b, rec)) <= max_gap
+            b.src == rec.src && b.dst == rec.dst && rec.at.since(last_time(b, rec)) <= max_gap
         });
         if extend {
             let b = bursts.last_mut().expect("just checked");
@@ -249,8 +247,8 @@ mod tests {
         // arbitrary. We assert it cannot be reliably correct.
         let acc = analyst.accuracy(&victim);
         assert!(acc <= 1.0); // sanity
-        // Re-run with "streaming" as truth; at most one of the two can be
-        // classified correctly, never both.
+                             // Re-run with "streaming" as truth; at most one of the two can be
+                             // classified correctly, never both.
         let mut victim2 = Vec::new();
         for i in 0..10 {
             victim2.push(rec(i * 500, 5, 9, 1000, "streaming"));

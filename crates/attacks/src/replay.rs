@@ -20,7 +20,11 @@ pub fn replay_frame(receiver: &mut FrameReceiver, frame: &SecuredFrame, copies: 
 
 /// Replays a captured TLS-lite record against a session endpoint; returns
 /// the per-copy outcomes.
-pub fn replay_record(session: &mut Session, record: &[u8], copies: u32) -> Vec<Result<(), TlsError>> {
+pub fn replay_record(
+    session: &mut Session,
+    record: &[u8],
+    copies: u32,
+) -> Vec<Result<(), TlsError>> {
     (0..copies)
         .map(|_| session.open(record).map(|_| ()))
         .collect()

@@ -58,10 +58,10 @@ impl Node for EventSpoofer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xlf_cloud::{
-        Capability, CloudNode, DeviceHandler, EventPolicy, SmartCloud,
+    use xlf_cloud::smartapp::{
+        Action, AppPermissions, PermissionModel, Predicate, SmartApp, Trigger,
     };
-    use xlf_cloud::smartapp::{Action, AppPermissions, PermissionModel, Predicate, SmartApp, Trigger};
+    use xlf_cloud::{Capability, CloudNode, DeviceHandler, EventPolicy, SmartCloud};
     use xlf_simnet::{Medium, Network, SimTime};
 
     struct Sink;

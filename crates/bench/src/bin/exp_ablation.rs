@@ -3,8 +3,8 @@
 //! choice contributes to the end-to-end outcome (detection score,
 //! quarantine, flood containment, evidence mix).
 
-use xlf_bench::scenarios::{run_scenario, AttackScenario, SCENARIO_END_S};
 use xlf_bench::print_table;
+use xlf_bench::scenarios::{run_scenario, AttackScenario, SCENARIO_END_S};
 use xlf_core::framework::XlfConfig;
 use xlf_simnet::SimTime;
 

@@ -39,8 +39,8 @@ fn main() {
         for class in device_classes {
             let spec = DeviceSpec::of(class);
             // Affordable when one query costs under 0.1% of a second of CPU.
-            let affordable = transport.device_cycles_per_query() as f64
-                <= spec.core_hz as f64 * 0.001;
+            let affordable =
+                transport.device_cycles_per_query() as f64 <= spec.core_hz as f64 * 0.001;
             cells.push(if affordable { "✓" } else { "too costly" }.to_string());
         }
         rows.push(cells);
@@ -63,7 +63,9 @@ fn main() {
     // Part 2: poisoning outcomes by resolver posture × attacker position.
     type MakeResolver = fn() -> Resolver;
     let postures: [(&str, MakeResolver); 3] = [
-        ("naive (IoT default)", || Resolver::new(ResolverConfig::naive())),
+        ("naive (IoT default)", || {
+            Resolver::new(ResolverConfig::naive())
+        }),
         ("txid checking", || {
             Resolver::new(ResolverConfig {
                 check_txid: true,
@@ -84,7 +86,13 @@ fn main() {
             ("on-path", Position::OnPath),
         ] {
             let mut resolver = make();
-            let result = poison(&mut resolver, "hub.vendor.example", position, 7, SimTime::ZERO);
+            let result = poison(
+                &mut resolver,
+                "hub.vendor.example",
+                position,
+                7,
+                SimTime::ZERO,
+            );
             cells.push(format!(
                 "{} ({} spoofs)",
                 if result.poisoned { "POISONED" } else { "safe" },

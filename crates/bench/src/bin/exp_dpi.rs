@@ -4,10 +4,12 @@
 //! encrypted DPI preserves detection exactly, at a constant-factor
 //! throughput cost, without breaking end-to-end encryption.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
-use xlf_bench::{print_table, prf};
-use xlf_core::dpi::{default_rules, EncryptedDpi, PlaintextDpi};
-use xlf_lwcrypto::searchable::Tokenizer;
+use xlf_bench::{prf, print_table};
+use xlf_core::dpi::{default_rules, match_batch_sharded, EncryptedDpi, PlaintextDpi, Rule};
+use xlf_lwcrypto::searchable::{Token, Tokenizer};
 use xlf_simnet::SimTime;
 
 /// Builds the corpus: (payload, is_malicious).
@@ -34,6 +36,179 @@ fn corpus() -> Vec<(Vec<u8>, bool)> {
         out.push((format!("{m} #{round}").into_bytes(), true));
     }
     out
+}
+
+/// Synthetic signature set of `n` distinct keywords (shaped like the C&C
+/// markers of the default rules, but guaranteed disjoint).
+fn synthetic_rules(n: usize) -> Vec<Rule> {
+    (0..n)
+        .map(|i| Rule {
+            name: format!("sig-{i:04}"),
+            keyword: format!("xlf:{i:04x}:c2-marker").into_bytes(),
+        })
+        .collect()
+}
+
+/// Random printable payloads of `size` bytes; every 8th payload gets one
+/// rule keyword planted so the sweep also exercises the match path.
+fn synthetic_payloads(rng: &mut StdRng, count: usize, size: usize, rules: &[Rule]) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            let mut payload: Vec<u8> = (0..size).map(|_| rng.gen_range(0x20u8..0x7f)).collect();
+            if i % 8 == 0 {
+                let keyword = &rules[i % rules.len()].keyword;
+                if keyword.len() <= size {
+                    let at = rng.gen_range(0..=size - keyword.len());
+                    payload[at..at + keyword.len()].copy_from_slice(keyword);
+                }
+            }
+            payload
+        })
+        .collect()
+}
+
+/// Seconds per invocation of `f`, repeating until the sample is long
+/// enough to trust.
+fn measure<F: FnMut()>(mut f: F) -> f64 {
+    let mut reps = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.01 || reps >= 1 << 20 {
+            return elapsed / f64::from(reps);
+        }
+        reps *= 4;
+    }
+}
+
+struct SweepCell {
+    rules: usize,
+    payload_bytes: usize,
+    /// MB/s per engine over the same payload batch.
+    naive: f64,
+    automaton: f64,
+    batched: f64,
+    enc_naive: f64,
+    enc_indexed: f64,
+    enc_sharded: f64,
+}
+
+impl SweepCell {
+    fn automaton_speedup(&self) -> f64 {
+        self.automaton / self.naive.max(1e-9)
+    }
+
+    fn index_speedup(&self) -> f64 {
+        self.enc_indexed / self.enc_naive.max(1e-9)
+    }
+}
+
+/// The fast-path sweep: rule-set size × payload size, naive vs automaton
+/// vs batched (plaintext) and naive vs token-index vs sharded (encrypted).
+fn fastpath_sweep() -> Vec<SweepCell> {
+    const PAYLOADS_PER_CELL: usize = 48;
+    const SHARDS: usize = 4;
+    let mut rng = StdRng::seed_from_u64(0x517f_d719);
+    let mut cells = Vec::new();
+    for &rule_count in &[8usize, 64, 256, 1024] {
+        let rules = synthetic_rules(rule_count);
+        for &size in &[256usize, 1024, 4096] {
+            let payloads = synthetic_payloads(&mut rng, PAYLOADS_PER_CELL, size, &rules);
+            let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+            let batch_bytes = (size * PAYLOADS_PER_CELL) as f64 / 1e6;
+            let mbps = |secs_per_batch: f64| batch_bytes / secs_per_batch.max(1e-12);
+
+            let plain = PlaintextDpi::new(rules.clone());
+            let naive = mbps(measure(|| {
+                for p in &refs {
+                    std::hint::black_box(plain.inspect_naive(p));
+                }
+            }));
+            let automaton = mbps(measure(|| {
+                for p in &refs {
+                    std::hint::black_box(plain.inspect(p));
+                }
+            }));
+            let batched = mbps(measure(|| {
+                std::hint::black_box(plain.inspect_batch(&refs));
+            }));
+
+            let endpoint = Tokenizer::new(b"sweep session").expect("tokenizer");
+            let streams: Vec<Vec<Token>> = refs.iter().map(|p| endpoint.tokenize(p)).collect();
+            let mut enc_naive_engine = EncryptedDpi::new(rules.clone()).with_naive_matching(true);
+            enc_naive_engine
+                .bind_session(b"sweep session")
+                .expect("bind");
+            let mut enc_indexed_engine = EncryptedDpi::new(rules.clone());
+            enc_indexed_engine
+                .bind_session(b"sweep session")
+                .expect("bind");
+            let enc_naive = mbps(measure(|| {
+                for t in &streams {
+                    std::hint::black_box(enc_naive_engine.match_stream(t));
+                }
+            }));
+            let enc_indexed = mbps(measure(|| {
+                std::hint::black_box(enc_indexed_engine.inspect_batch(
+                    "dev",
+                    &streams,
+                    SimTime::ZERO,
+                ));
+            }));
+            let enc_sharded = mbps(measure(|| {
+                std::hint::black_box(match_batch_sharded(&enc_indexed_engine, &streams, SHARDS));
+            }));
+
+            cells.push(SweepCell {
+                rules: rule_count,
+                payload_bytes: size,
+                naive,
+                automaton,
+                batched,
+                enc_naive,
+                enc_indexed,
+                enc_sharded,
+            });
+        }
+    }
+    cells
+}
+
+/// Hand-rolled JSON trajectory point (no serde in the tree).
+fn write_bench_json(cells: &[SweepCell], path: &str) -> std::io::Result<()> {
+    let mut body = String::from("{\n  \"experiment\": \"dpi-fastpath-sweep\",\n  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"rules\": {}, \"payload_bytes\": {}, \
+             \"naive_mbps\": {:.2}, \"automaton_mbps\": {:.2}, \"batched_mbps\": {:.2}, \
+             \"enc_naive_mbps\": {:.2}, \"enc_indexed_mbps\": {:.2}, \"enc_sharded_mbps\": {:.2}, \
+             \"automaton_speedup\": {:.2}, \"index_speedup\": {:.2}}}{}\n",
+            c.rules,
+            c.payload_bytes,
+            c.naive,
+            c.automaton,
+            c.batched,
+            c.enc_naive,
+            c.enc_indexed,
+            c.enc_sharded,
+            c.automaton_speedup(),
+            c.index_speedup(),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    let acceptance = cells
+        .iter()
+        .find(|c| c.rules == 256 && c.payload_bytes == 1024)
+        .expect("acceptance cell swept");
+    body.push_str(&format!(
+        "  ],\n  \"acceptance\": {{\"rules\": 256, \"payload_bytes\": 1024, \
+         \"automaton_speedup\": {:.2}, \"required\": 5.0}}\n}}\n",
+        acceptance.automaton_speedup()
+    ));
+    std::fs::write(path, body)
 }
 
 fn main() {
@@ -127,4 +302,53 @@ fn main() {
         default_rules().len(),
         (mbps(plain_elapsed) / mbps(enc_elapsed)).round()
     );
+
+    // Fast-path sweep: single-pass engines vs the per-rule scans across
+    // rule-set sizes and payload sizes.
+    let cells = fastpath_sweep();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}", c.rules),
+                format!("{} B", c.payload_bytes),
+                format!("{:.0} MB/s", c.naive),
+                format!("{:.0} MB/s", c.automaton),
+                format!("{:.0} MB/s", c.batched),
+                format!("{:.0} MB/s", c.enc_naive),
+                format!("{:.0} MB/s", c.enc_indexed),
+                format!("{:.0} MB/s", c.enc_sharded),
+                format!("{:.1}×", c.automaton_speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        "DPI fast path — rules × payload sweep (single-pass vs per-rule)",
+        &[
+            "Rules",
+            "Payload",
+            "Plain naive",
+            "Automaton",
+            "AC batched",
+            "Enc naive",
+            "Token index",
+            "Idx sharded",
+            "AC speedup",
+        ],
+        &rows,
+    );
+    let acceptance = cells
+        .iter()
+        .find(|c| c.rules == 256 && c.payload_bytes == 1024)
+        .expect("acceptance cell swept");
+    println!(
+        "\nAcceptance: automaton is {:.1}× the naive scan at 256 rules × 1 KiB \
+         (required ≥ 5×); token index is {:.1}× the naive encrypted scan there.",
+        acceptance.automaton_speedup(),
+        acceptance.index_speedup()
+    );
+    match write_bench_json(&cells, "BENCH_dpi.json") {
+        Ok(()) => println!("Trajectory point written to BENCH_dpi.json."),
+        Err(e) => eprintln!("could not write BENCH_dpi.json: {e}"),
+    }
 }

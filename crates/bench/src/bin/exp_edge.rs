@@ -67,9 +67,8 @@ fn run(response_delay: Duration) -> (u64, Option<Duration>) {
     }));
     home.net
         .connect(attacker, home.gateway, Medium::Wan.link().with_loss(0.0));
-    let (tap, records) = xlf_simnet::observer::RecordingTap::filtered(move |p| {
-        p.kind == "ddos" && p.dst == cloud
-    });
+    let (tap, records) =
+        xlf_simnet::observer::RecordingTap::filtered(move |p| p.kind == "ddos" && p.dst == cloud);
     home.net.add_tap(Box::new(tap));
     home.net.run_until(SimTime::from_secs(300));
     let records = records.borrow();

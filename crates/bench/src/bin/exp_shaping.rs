@@ -30,7 +30,11 @@ impl Node for StateDriver {
         ctx.set_timer(Duration::from_secs(30), 1);
     }
     fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerId, _tag: u64) {
-        let action = if self.phase.is_multiple_of(2) { "stream" } else { "idle" };
+        let action = if self.phase.is_multiple_of(2) {
+            "stream"
+        } else {
+            "idle"
+        };
         self.phase += 1;
         let cmd = Packet::new(ctx.id(), self.gateway, "cmd", Vec::new())
             .with_meta("device", "cam")
@@ -43,14 +47,12 @@ impl Node for StateDriver {
 /// Runs the camera home under one shaping mode; returns the gateway→cloud
 /// records and the shaping cost.
 #[allow(clippy::type_complexity)]
-fn run_trace(
-    seed: u64,
-    mode: ShapingMode,
-) -> (Vec<PacketRecord>, xlf_core::shaping::ShapingCost) {
+fn run_trace(seed: u64, mode: ShapingMode) -> (Vec<PacketRecord>, xlf_core::shaping::ShapingCost) {
     let mut config = XlfConfig::off(); // isolate shaping from other mechanisms
     config.shaping = mode;
-    let devices = vec![HomeDevice::new("cam", SensorKind::Camera)
-        .with_telemetry_period(Duration::from_secs(5))];
+    let devices =
+        vec![HomeDevice::new("cam", SensorKind::Camera)
+            .with_telemetry_period(Duration::from_secs(5))];
     let mut home = XlfHome::build(seed, config, &devices);
     let driver = home.net.add_node(Box::new(StateDriver {
         gateway: home.gateway,
@@ -90,8 +92,12 @@ fn main() {
     // size/timing signal from that single stream.
     {
         let (trace, _) = run_trace(50, ShapingMode::Off);
-        let home_nodes: Vec<xlf_simnet::NodeId> =
-            trace.iter().map(|r| r.src).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let home_nodes: Vec<xlf_simnet::NodeId> = trace
+            .iter()
+            .map(|r| r.src)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         let streams = xlf_simnet::nat::distinct_streams(&trace, &home_nodes);
         println!(
             "

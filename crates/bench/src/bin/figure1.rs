@@ -20,18 +20,26 @@ fn main() {
     println!("│ SmartThings-style cloud ({})", home.cloud);
     println!("│   device handlers : {}", cloud.cloud().handlers.len());
     println!("│   installed apps  : {}", cloud.cloud().apps.len());
-    println!("│   event log       : {} events", cloud.cloud().bus.log.len());
+    println!(
+        "│   event log       : {} events",
+        cloud.cloud().bus.log.len()
+    );
     println!("│   API gateway     : token auth + scopes + rate limiting");
     println!("└──────────────────────────────────────────────────────────────┘");
     println!("                               │ WAN (TLS)");
     println!("┌─ NETWORK LAYER ─────────────────────────────────────────────┐");
     let gateway = home.gateway_ref();
     println!("│ XLF smart gateway ({})", home.gateway);
-    println!("│   forwarded {} packets, dropped {}", gateway.forwarded, gateway.dropped);
+    println!(
+        "│   forwarded {} packets, dropped {}",
+        gateway.forwarded, gateway.dropped
+    );
     println!("│   functions: NAC · traffic shaping · encrypted DPI · DFA/rate monitor");
-    println!("│   XLF Core: {} evidence records, {} alerts",
+    println!(
+        "│   XLF Core: {} evidence records, {} alerts",
         home.core.borrow().store.len(),
-        home.core.borrow().alerts.alerts().len());
+        home.core.borrow().alerts.alerts().len()
+    );
     println!("└──────────────────────────────────────────────────────────────┘");
     println!("             │ ZigBee / WiFi (802.15.4 security model)");
     println!("┌─ DEVICE LAYER ──────────────────────────────────────────────┐");

@@ -33,11 +33,11 @@ fn exercise(protocol: &str) -> String {
             Medium::Wifi.latency()
         ),
         "Bluetooth LE" => format!("media model: {} MTU", Medium::Ble.mtu()),
-        "Ethernet" => format!("media model: {} Gbps", Medium::Ethernet.bandwidth_bps() / 1_000_000_000),
-        "6LoWPAN" => format!(
-            "adaptation: {} MTU over 802.15.4",
-            Medium::SixLowpan.mtu()
+        "Ethernet" => format!(
+            "media model: {} Gbps",
+            Medium::Ethernet.bandwidth_bps() / 1_000_000_000
         ),
+        "6LoWPAN" => format!("adaptation: {} MTU over 802.15.4", Medium::SixLowpan.mtu()),
         "IPv4/IPv6" => "NodeId addressing + link routing in xlf-simnet".to_string(),
         "UDP" => "Protocol::Udp datagrams (see DDoS flood path)".to_string(),
         "TCP" => "Protocol::Tcp segments (see API traffic)".to_string(),

@@ -10,7 +10,7 @@
 //! threshold. Ground truth is whether the attacker targeted that device.
 
 use xlf_bench::scenarios::{run_scenario, AttackScenario, SCENARIO_END_S};
-use xlf_bench::{print_table, prf};
+use xlf_bench::{prf, print_table};
 use xlf_core::correlation::{CorrelationConfig, CorrelationEngine};
 use xlf_core::evidence::Layer;
 use xlf_core::framework::XlfConfig;
@@ -46,7 +46,10 @@ fn main() {
         let mut examples = Vec::new();
         for (home, scenario, devices) in &runs {
             // Training split: seed 1 == the first run of each scenario.
-            if !std::ptr::eq(home, &runs.iter().find(|(_, s, _)| s == scenario).unwrap().0) {
+            if !std::ptr::eq(
+                home,
+                &runs.iter().find(|(_, s, _)| s == scenario).unwrap().0,
+            ) {
                 continue;
             }
             let core = home.core.borrow();
@@ -139,13 +142,24 @@ fn main() {
                     let core = home.core.borrow();
                     engine.evaluate_device(&core.store, target, now).score >= THRESHOLD
                 });
-            cells.push(if detected { "✓".to_string() } else { "–".to_string() });
+            cells.push(if detected {
+                "✓".to_string()
+            } else {
+                "–".to_string()
+            });
         }
         detail_rows.push(cells);
     }
     print_table(
         "Per-attack detection (all seeds)",
-        &["Scenario", "Target", "device", "network", "service", "cross-layer"],
+        &[
+            "Scenario",
+            "Target",
+            "device",
+            "network",
+            "service",
+            "cross-layer",
+        ],
         &detail_rows,
     );
 

@@ -52,10 +52,8 @@ fn main() {
     };
 
     // Row 1 — smart light bulb: static password.
-    let undefended = run_device_attack(
-        VulnSet::of(&[Vulnerability::StaticPassword]),
-        "credentials",
-    );
+    let undefended =
+        run_device_attack(VulnSet::of(&[Vulnerability::StaticPassword]), "credentials");
     let defended = run_device_attack(VulnSet::hardened(), "credentials");
     rows.push(vec![
         "Smart light bulb".into(),
@@ -84,10 +82,7 @@ fn main() {
     // Row 3 — network camera: firmware integrity. The XLF answer is the
     // gateway update vetter, which blocks the image before the device
     // even sees it.
-    let undefended = run_device_attack(
-        VulnSet::of(&[Vulnerability::UnsignedFirmware]),
-        "firmware",
-    );
+    let undefended = run_device_attack(VulnSet::of(&[Vulnerability::UnsignedFirmware]), "firmware");
     let mut vetter = UpdateVetter::new(&[b"BOTNET"]);
     vetter.trust_vendor("acme", b"acme vendor secret");
     let image = FirmwareTamperer::malicious_image();
@@ -105,10 +100,8 @@ fn main() {
     ]);
 
     // Row 4 — Chromecast: rickrolling.
-    let undefended = run_device_attack(
-        VulnSet::of(&[Vulnerability::RickrollReconnect]),
-        "rickroll",
-    );
+    let undefended =
+        run_device_attack(VulnSet::of(&[Vulnerability::RickrollReconnect]), "rickroll");
     let defended = run_device_attack(VulnSet::hardened(), "rickroll");
     rows.push(vec![
         "Chromecast".into(),
@@ -120,12 +113,15 @@ fn main() {
     ]);
 
     // Row 5 — coffee machine: unprotected UPnP channel.
-    let leaky_setup = vec![SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe")
-        .with_field("X-Setup-Wifi-Pass", "home-network-password-123")];
+    let leaky_setup = vec![
+        SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe")
+            .with_field("X-Setup-Wifi-Pass", "home-network-password-123"),
+    ];
     let sniffed = upnp_sniff(&leaky_setup);
-    let protected_setup =
-        vec![SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe")
-            .with_field("LOCATION", "http://10.0.0.9/secure-setup")];
+    let protected_setup = vec![
+        SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe")
+            .with_field("LOCATION", "http://10.0.0.9/secure-setup"),
+    ];
     let sniffed_protected = upnp_sniff(&protected_setup);
     rows.push(vec![
         "Coffee machine".into(),
@@ -148,7 +144,10 @@ fn main() {
         "Malicious code infection".into(),
         "Send malicious mail".into(),
         outcome(undefended),
-        format!("per-device credentials + SSO delegation: {}", outcome(defended)),
+        format!(
+            "per-device credentials + SSO delegation: {}",
+            outcome(defended)
+        ),
     ]);
 
     // Row 7 — oven: unsecured WiFi → MitM. The XLF answer is the TLS-lite

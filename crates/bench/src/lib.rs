@@ -92,7 +92,11 @@ pub fn prf(outcomes: &[(bool, bool)]) -> Prf {
     let fp = outcomes.iter().filter(|&&(p, a)| p && !a).count() as f64;
     let fne = outcomes.iter().filter(|&&(p, a)| !p && a).count() as f64;
     let precision = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
-    let recall = if tp + fne == 0.0 { 0.0 } else { tp / (tp + fne) };
+    let recall = if tp + fne == 0.0 {
+        0.0
+    } else {
+        tp / (tp + fne)
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {

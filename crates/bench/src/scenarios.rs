@@ -64,10 +64,8 @@ pub fn standard_devices() -> Vec<HomeDevice> {
         HomeDevice::new("wallpad", SensorKind::Motion)
             .with_vulns(VulnSet::of(&[Vulnerability::BufferOverflow]))
             .with_telemetry_period(Duration::from_secs(15)),
-        HomeDevice::new("lamp", SensorKind::Power)
-            .with_telemetry_period(Duration::from_secs(20)),
-        HomeDevice::new("window", SensorKind::Power)
-            .with_telemetry_period(Duration::from_secs(20)),
+        HomeDevice::new("lamp", SensorKind::Power).with_telemetry_period(Duration::from_secs(20)),
+        HomeDevice::new("window", SensorKind::Power).with_telemetry_period(Duration::from_secs(20)),
     ]
 }
 

@@ -185,7 +185,13 @@ mod tests {
 
     fn service_with_token(scopes: &[&str]) -> (TokenService, String) {
         let mut svc = TokenService::new();
-        let t = svc.issue("user", scopes, SimTime::ZERO, Duration::from_secs(3600), false);
+        let t = svc.issue(
+            "user",
+            scopes,
+            SimTime::ZERO,
+            Duration::from_secs(3600),
+            false,
+        );
         (svc, t.value)
     }
 
@@ -275,7 +281,13 @@ mod tests {
     fn expired_token_is_unauthorized() {
         let mut gw = ApiGateway::new();
         let mut svc = TokenService::new();
-        let t = svc.issue("u", &["devices:read"], SimTime::ZERO, Duration::from_secs(1), false);
+        let t = svc.issue(
+            "u",
+            &["devices:read"],
+            SimTime::ZERO,
+            Duration::from_secs(1),
+            false,
+        );
         let req = Request::new(Method::Get, "/devices").with_token(&t.value);
         assert_eq!(
             gw.route(&req, &mut svc, SimTime::from_secs(2)),

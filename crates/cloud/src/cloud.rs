@@ -64,7 +64,8 @@ impl SmartCloud {
     pub fn install_app(&mut self, app: SmartApp) {
         for (device, attribute) in app.subscriptions() {
             let sensitive = app.permissions.sensitive_grant(&device);
-            self.bus.subscribe(&app.name, &device, &attribute, sensitive);
+            self.bus
+                .subscribe(&app.name, &device, &attribute, sensitive);
         }
         self.apps.push(app);
     }
@@ -245,9 +246,7 @@ impl Node for CloudNode {
                 ) else {
                     return;
                 };
-                let actions = self
-                    .cloud
-                    .ingest(ctx.now(), &device, "state", &to, trusted);
+                let actions = self.cloud.ingest(ctx.now(), &device, "state", &to, trusted);
                 self.dispatch_actions(ctx, actions);
             }
             "spoofed-event" => {

@@ -83,7 +83,12 @@ impl TokenService {
     /// # Errors
     ///
     /// See [`TokenError`].
-    pub fn validate(&mut self, value: &str, scope: &str, now: SimTime) -> Result<&Token, TokenError> {
+    pub fn validate(
+        &mut self,
+        value: &str,
+        scope: &str,
+        now: SimTime,
+    ) -> Result<&Token, TokenError> {
         self.validations += 1;
         let Some(token) = self.tokens.get(value) else {
             return Err(TokenError::Unknown);

@@ -185,7 +185,10 @@ pub fn authorize_actions(
             match model {
                 PermissionModel::Permissive => ActionVerdict::Allowed(action),
                 PermissionModel::Scoped => {
-                    if app.permissions.allows_command(&action.device, &action.command) {
+                    if app
+                        .permissions
+                        .allows_command(&action.device, &action.command)
+                    {
                         ActionVerdict::Allowed(action)
                     } else {
                         ActionVerdict::DeniedScope(action)
@@ -266,12 +269,12 @@ mod tests {
             device: "front-door".into(),
             command: "unlock".into(),
         }];
-        let verdicts = authorize_actions(PermissionModel::Scoped, &app, actions.clone(), &handlers());
+        let verdicts =
+            authorize_actions(PermissionModel::Scoped, &app, actions.clone(), &handlers());
         assert!(matches!(verdicts[0], ActionVerdict::DeniedScope(_)));
 
         // Under the permissive model the same action goes through.
-        let verdicts =
-            authorize_actions(PermissionModel::Permissive, &app, actions, &handlers());
+        let verdicts = authorize_actions(PermissionModel::Permissive, &app, actions, &handlers());
         assert!(matches!(verdicts[0], ActionVerdict::Allowed(_)));
     }
 
@@ -290,7 +293,10 @@ mod tests {
             }],
             &handlers(),
         );
-        assert!(matches!(verdicts[0], ActionVerdict::DeniedUnknownCommand(_)));
+        assert!(matches!(
+            verdicts[0],
+            ActionVerdict::DeniedUnknownCommand(_)
+        ));
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl AlertSink {
 
     /// Alerts at or above a severity.
     pub fn at_least(&self, severity: Severity) -> Vec<&Alert> {
-        self.alerts.iter().filter(|a| a.severity >= severity).collect()
+        self.alerts
+            .iter()
+            .filter(|a| a.severity >= severity)
+            .collect()
     }
 
     /// True if any alert at/above severity exists for the device.

@@ -125,9 +125,9 @@ impl CloudOnlyAuth {
             // Fresh login: issue, and for advanced users redirect to the
             // device for the SSO handshake (a second WAN leg in Barreto's
             // design) plus MFA.
-            let token = self
-                .tokens
-                .issue(&request.user, &["auth"], now, self.session_lifetime, true);
+            let token =
+                self.tokens
+                    .issue(&request.user, &["auth"], now, self.session_lifetime, true);
             self.sessions.insert(request.user.clone(), token);
             latency += self.latency.mfa_challenge;
             if request.tier == PrivilegeTier::Advanced {
@@ -202,9 +202,13 @@ impl DelegationProxy {
                 // Cache miss: fetch an SSO token from the cloud once, then
                 // serve locally until it expires.
                 self.cloud_validations += 1;
-                let token =
-                    self.cloud_tokens
-                        .issue(&request.user, &["auth"], now, self.token_lifetime, true);
+                let token = self.cloud_tokens.issue(
+                    &request.user,
+                    &["auth"],
+                    now,
+                    self.token_lifetime,
+                    true,
+                );
                 self.cache.insert(request.user.clone(), token);
                 AuthResult {
                     granted: true,
@@ -298,7 +302,9 @@ mod tests {
         let mut proxy_total = Duration::ZERO;
         let mut baseline_total = Duration::ZERO;
         for i in 0..50 {
-            proxy_total += proxy.authenticate(&lan_basic("alice"), SimTime::from_secs(i)).latency;
+            proxy_total += proxy
+                .authenticate(&lan_basic("alice"), SimTime::from_secs(i))
+                .latency;
             baseline_total += baseline
                 .authenticate(&lan_basic("alice"), SimTime::from_secs(i))
                 .latency;
@@ -341,6 +347,9 @@ mod tests {
         proxy.authenticate(&lan_basic("alice"), SimTime::ZERO);
         assert!(proxy.revoke("alice"));
         let after = proxy.authenticate(&lan_basic("alice"), SimTime::from_secs(1));
-        assert!(after.hit_cloud, "revoked user must re-authenticate at the cloud");
+        assert!(
+            after.hit_cloud,
+            "revoked user must re-authenticate at the cloud"
+        );
     }
 }

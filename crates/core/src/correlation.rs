@@ -84,10 +84,7 @@ fn layer_features(evidence: &[&Evidence], layer: Layer) -> Vec<f64> {
     let in_layer: Vec<&&Evidence> = evidence.iter().filter(|e| e.layer == layer).collect();
     let suspicious: Vec<&&&Evidence> = in_layer.iter().filter(|e| !is_benign(&e.kind)).collect();
     let weight_sum: f64 = suspicious.iter().map(|e| e.weight).sum();
-    let max_weight = suspicious
-        .iter()
-        .map(|e| e.weight)
-        .fold(0.0f64, f64::max);
+    let max_weight = suspicious.iter().map(|e| e.weight).fold(0.0f64, f64::max);
     vec![
         in_layer.len() as f64,
         suspicious.len() as f64,
@@ -142,12 +139,7 @@ impl CorrelationEngine {
         let window = store.for_device(device, now, self.config.window);
         let relevant: Vec<&Evidence> = window
             .into_iter()
-            .filter(|e| {
-                self.config
-                    .only_layer
-                    .map(|l| e.layer == l)
-                    .unwrap_or(true)
-            })
+            .filter(|e| self.config.only_layer.map(|l| e.layer == l).unwrap_or(true))
             .collect();
 
         let mut layers = Vec::new();
@@ -164,7 +156,7 @@ impl CorrelationEngine {
                 layers.push(e.layer);
             }
             if !kinds.contains(&e.kind) {
-                kinds.push(e.kind.clone());
+                kinds.push(e.kind);
             }
         }
         for s in per_layer_score.iter_mut() {
@@ -230,14 +222,32 @@ mod tests {
         // Device A: one layer, many signals.
         let mut store_a = EvidenceStore::new();
         for i in 0..6 {
-            store_a.push(ev(10 + i, "a", Layer::Network, EvidenceKind::TrafficAnomaly, 0.6));
+            store_a.push(ev(
+                10 + i,
+                "a",
+                Layer::Network,
+                EvidenceKind::TrafficAnomaly,
+                0.6,
+            ));
         }
         // Device B: three layers, two signals each.
         let mut store_b = EvidenceStore::new();
         for i in 0..2 {
-            store_b.push(ev(10 + i, "b", Layer::Device, EvidenceKind::AuthFailure, 0.6));
+            store_b.push(ev(
+                10 + i,
+                "b",
+                Layer::Device,
+                EvidenceKind::AuthFailure,
+                0.6,
+            ));
             store_b.push(ev(20 + i, "b", Layer::Network, EvidenceKind::DpiMatch, 0.6));
-            store_b.push(ev(30 + i, "b", Layer::Service, EvidenceKind::ActionDenied, 0.6));
+            store_b.push(ev(
+                30 + i,
+                "b",
+                Layer::Service,
+                EvidenceKind::ActionDenied,
+                0.6,
+            ));
         }
         let va = engine.evaluate_device(&store_a, "a", now());
         let vb = engine.evaluate_device(&store_b, "b", now());
@@ -255,7 +265,13 @@ mod tests {
         let engine = CorrelationEngine::new(CorrelationConfig::default());
         let mut store = EvidenceStore::new();
         for i in 0..20 {
-            store.push(ev(i, "lamp", Layer::Service, EvidenceKind::StateTransition, 1.0));
+            store.push(ev(
+                i,
+                "lamp",
+                Layer::Service,
+                EvidenceKind::StateTransition,
+                1.0,
+            ));
             store.push(ev(i, "lamp", Layer::Device, EvidenceKind::AuthSuccess, 1.0));
         }
         let v = engine.evaluate_device(&store, "lamp", now());
@@ -271,9 +287,18 @@ mod tests {
         });
         let mut store = EvidenceStore::new();
         store.push(ev(10, "cam", Layer::Network, EvidenceKind::DpiMatch, 0.9));
-        store.push(ev(11, "cam", Layer::Network, EvidenceKind::TrafficAnomaly, 0.9));
+        store.push(ev(
+            11,
+            "cam",
+            Layer::Network,
+            EvidenceKind::TrafficAnomaly,
+            0.9,
+        ));
         let v = engine.evaluate_device(&store, "cam", now());
-        assert_eq!(v.score, 0.0, "device-only monitor must not see network evidence");
+        assert_eq!(
+            v.score, 0.0,
+            "device-only monitor must not see network evidence"
+        );
     }
 
     #[test]
@@ -300,7 +325,13 @@ mod tests {
                 ev(i, "x", Layer::Service, EvidenceKind::ActionDenied, 0.7),
             ];
             examples.push((malicious, true));
-            let benign = vec![ev(i, "y", Layer::Network, EvidenceKind::TrafficAnomaly, 0.2)];
+            let benign = vec![ev(
+                i,
+                "y",
+                Layer::Network,
+                EvidenceKind::TrafficAnomaly,
+                0.2,
+            )];
             examples.push((benign, false));
         }
         let mut engine = CorrelationEngine::new(CorrelationConfig::default());
@@ -310,9 +341,21 @@ mod tests {
         let mut bad_store = EvidenceStore::new();
         bad_store.push(ev(90, "bot", Layer::Device, EvidenceKind::AuthFailure, 0.8));
         bad_store.push(ev(91, "bot", Layer::Network, EvidenceKind::DpiMatch, 0.8));
-        bad_store.push(ev(92, "bot", Layer::Service, EvidenceKind::ActionDenied, 0.7));
+        bad_store.push(ev(
+            92,
+            "bot",
+            Layer::Service,
+            EvidenceKind::ActionDenied,
+            0.7,
+        ));
         let mut ok_store = EvidenceStore::new();
-        ok_store.push(ev(90, "tv", Layer::Network, EvidenceKind::TrafficAnomaly, 0.2));
+        ok_store.push(ev(
+            90,
+            "tv",
+            Layer::Network,
+            EvidenceKind::TrafficAnomaly,
+            0.2,
+        ));
 
         let bad = engine.evaluate_device(&bad_store, "bot", now());
         let ok = engine.evaluate_device(&ok_store, "tv", now());

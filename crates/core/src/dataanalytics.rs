@@ -150,7 +150,11 @@ mod tests {
         }
         // Day 4: heater attack at 3 AM.
         for h in 0..24usize {
-            let value = if h == 3 { diurnal(h) + 18.0 } else { diurnal(h) };
+            let value = if h == 3 {
+                diurnal(h) + 18.0
+            } else {
+                diurnal(h)
+            };
             let at = SimTime::from_secs((3 * 24 + h as u64) * 3600);
             let anomalous = analytics.observe("thermostat", "temperature", value, at);
             assert_eq!(anomalous, h == 3, "hour {h}");

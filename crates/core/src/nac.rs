@@ -232,7 +232,10 @@ mod tests {
         let cloud = NodeId::from_raw(9);
         let victim = NodeId::from_raw(5);
         nac.allow_node("cam", cloud);
-        assert_eq!(nac.check_node("cam", cloud, SimTime::ZERO), AccessDecision::Allow);
+        assert_eq!(
+            nac.check_node("cam", cloud, SimTime::ZERO),
+            AccessDecision::Allow
+        );
         assert_eq!(
             nac.check_node("cam", victim, SimTime::ZERO),
             AccessDecision::BlockedDestination
@@ -255,7 +258,8 @@ mod tests {
         let (bus, drain) = EvidenceBus::new();
         let mut nac = Nac::new().with_bus(bus);
         nac.allow_destination("cam", "hub.vendor.example");
-        nac.resolver.add_trust_anchor("vendor.example", b"zone secret");
+        nac.resolver
+            .add_trust_anchor("vendor.example", b"zone secret");
 
         // A spoofed, unsigned record with a guessed txid.
         let spoof = DnsRecord::new("hub.vendor.example", RecordType::A, "n666", 300);
@@ -263,14 +267,18 @@ mod tests {
         assert!(result.is_err());
         let mut store = EvidenceStore::new();
         drain.drain_into(&mut store);
-        assert!(store.all().iter().any(|e| e.kind == EvidenceKind::DnsBlocked));
+        assert!(store
+            .all()
+            .iter()
+            .any(|e| e.kind == EvidenceKind::DnsBlocked));
     }
 
     #[test]
     fn legitimate_signed_resolution_succeeds() {
         let mut nac = Nac::new();
         nac.allow_destination("cam", "hub.vendor.example");
-        nac.resolver.add_trust_anchor("vendor.example", b"zone secret");
+        nac.resolver
+            .add_trust_anchor("vendor.example", b"zone secret");
         let record =
             DnsRecord::new("hub.vendor.example", RecordType::A, "n3", 300).sign(b"zone secret");
         // The resolver requires the txid it generated; mirror it by

@@ -134,7 +134,9 @@ mod tests {
     fn sensors_get_a_lightweight_cipher() {
         let negotiator = CipherNegotiator::new(b"home master");
         let spec = DeviceSpec::of(DeviceClass::SensorDevice);
-        let session = negotiator.negotiate("soil-sensor", &spec, 500.0, SimTime::ZERO).unwrap();
+        let session = negotiator
+            .negotiate("soil-sensor", &spec, 500.0, SimTime::ZERO)
+            .unwrap();
         assert!(session.throughput_bps >= 500.0);
         assert!(!session.session_key.is_empty());
     }
@@ -143,7 +145,9 @@ mod tests {
     fn tvs_get_a_256_bit_capable_cipher() {
         let negotiator = CipherNegotiator::new(b"home master");
         let spec = DeviceSpec::of(DeviceClass::SamsungSmartTv);
-        let session = negotiator.negotiate("tv", &spec, 100_000.0, SimTime::ZERO).unwrap();
+        let session = negotiator
+            .negotiate("tv", &spec, 100_000.0, SimTime::ZERO)
+            .unwrap();
         assert!(session.cipher.key_bits.contains(&256));
     }
 
@@ -164,9 +168,15 @@ mod tests {
     fn session_keys_are_per_device_and_deterministic() {
         let negotiator = CipherNegotiator::new(b"home master");
         let spec = DeviceSpec::of(DeviceClass::SensorDevice);
-        let a = negotiator.negotiate("s1", &spec, 100.0, SimTime::ZERO).unwrap();
-        let b = negotiator.negotiate("s2", &spec, 100.0, SimTime::ZERO).unwrap();
-        let a2 = negotiator.negotiate("s1", &spec, 100.0, SimTime::ZERO).unwrap();
+        let a = negotiator
+            .negotiate("s1", &spec, 100.0, SimTime::ZERO)
+            .unwrap();
+        let b = negotiator
+            .negotiate("s2", &spec, 100.0, SimTime::ZERO)
+            .unwrap();
+        let a2 = negotiator
+            .negotiate("s1", &spec, 100.0, SimTime::ZERO)
+            .unwrap();
         assert_ne!(a.session_key, b.session_key);
         assert_eq!(a.session_key, a2.session_key);
     }

@@ -80,7 +80,14 @@ impl NetMonitor {
     /// Feeds one state-transition event (from hub-observed `event`
     /// packets). During learning, transitions train the DFA; afterwards,
     /// unknown transitions raise evidence.
-    pub fn observe_transition(&mut self, device: &str, from: &str, symbol: &str, to: &str, now: SimTime) {
+    pub fn observe_transition(
+        &mut self,
+        device: &str,
+        from: &str,
+        symbol: &str,
+        to: &str,
+        now: SimTime,
+    ) {
         let (dfa, _) = self
             .dfa
             .entry(device.to_string())
@@ -133,7 +140,7 @@ mod tests {
     fn drain_kinds(drain: &crate::bus::EvidenceDrain) -> Vec<EvidenceKind> {
         let mut store = EvidenceStore::new();
         drain.drain_into(&mut store);
-        store.all().iter().map(|e| e.kind.clone()).collect()
+        store.all().iter().map(|e| e.kind).collect()
     }
 
     #[test]
@@ -188,7 +195,13 @@ mod tests {
         }
         mon.finish_learning();
         mon.observe_transition("cam", "idle", "cmd", "streaming", SimTime::from_secs(1));
-        mon.observe_transition("cam", "idle", "exploit", "compromised", SimTime::from_secs(2));
+        mon.observe_transition(
+            "cam",
+            "idle",
+            "exploit",
+            "compromised",
+            SimTime::from_secs(2),
+        );
         let kinds = drain_kinds(&drain);
         assert_eq!(
             kinds

@@ -54,7 +54,8 @@ impl UpdateVetter {
 
     /// Trusts a vendor's signing secret.
     pub fn trust_vendor(&mut self, vendor: &str, secret: &[u8]) {
-        self.trusted_vendors.push((vendor.to_string(), secret.to_vec()));
+        self.trusted_vendors
+            .push((vendor.to_string(), secret.to_vec()));
     }
 
     /// Attaches the evidence bus.
@@ -70,7 +71,12 @@ impl UpdateVetter {
     /// [`VetRejection`] describing why the image may not pass; every
     /// rejection is reported to the Core as
     /// [`EvidenceKind::FirmwareRejected`].
-    pub fn vet(&mut self, device: &str, bytes: &[u8], now: SimTime) -> Result<FirmwareImage, VetRejection> {
+    pub fn vet(
+        &mut self,
+        device: &str,
+        bytes: &[u8],
+        now: SimTime,
+    ) -> Result<FirmwareImage, VetRejection> {
         let result = self.vet_inner(bytes);
         match &result {
             Ok(_) => self.decisions.0 += 1,
@@ -109,7 +115,11 @@ impl UpdateVetter {
             return Err(VetRejection::BadSignature);
         }
         for sig in &self.signatures {
-            if image.payload.windows(sig.len().max(1)).any(|w| w == &sig[..]) {
+            if image
+                .payload
+                .windows(sig.len().max(1))
+                .any(|w| w == &sig[..])
+            {
                 return Err(VetRejection::SignatureHit {
                     signature: String::from_utf8_lossy(sig).to_string(),
                 });
@@ -136,7 +146,12 @@ mod tests {
     #[test]
     fn clean_signed_updates_pass() {
         let mut v = vetter();
-        let image = FirmwareImage::signed(Version(2, 0, 0), "acme", b"clean v2".to_vec(), VENDOR_SECRET);
+        let image = FirmwareImage::signed(
+            Version(2, 0, 0),
+            "acme",
+            b"clean v2".to_vec(),
+            VENDOR_SECRET,
+        );
         assert!(v.vet("cam", &image.to_bytes(), SimTime::ZERO).is_ok());
         assert_eq!(v.decisions, (1, 0));
     }

@@ -32,7 +32,7 @@ fn store_from(items: &[(Layer, EvidenceKind, f64)]) -> EvidenceStore {
             SimTime::from_secs(10),
             *layer,
             "dev",
-            kind.clone(),
+            *kind,
             *weight,
             "prop",
         ));

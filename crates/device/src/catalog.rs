@@ -131,8 +131,8 @@ pub fn catalog() -> Vec<DeviceSpec> {
             class: SensorDevice,
             name: "Sensor Devices",
             chipset: "Microcontroller",
-            core_hz: 16_000_000, // midpoint of 4–32 MHz
-            ram_bytes: 8 * KB,   // midpoint of 4–16 KB
+            core_hz: 16_000_000,  // midpoint of 4–32 MHz
+            ram_bytes: 8 * KB,    // midpoint of 4–16 KB
             flash_bytes: 64 * KB, // midpoint of 16–128 KB
             power: PowerSource::Battery,
         },

@@ -149,10 +149,7 @@ mod tests {
         let mut store = CredentialStore::hardened();
         store.add_user("alice", "correct horse battery");
         for _ in 0..5 {
-            assert_eq!(
-                store.login("alice", "wrong"),
-                LoginOutcome::WrongPassword
-            );
+            assert_eq!(store.login("alice", "wrong"), LoginOutcome::WrongPassword);
         }
         assert_eq!(store.login("alice", "wrong"), LoginOutcome::LockedOut);
         // Even the correct password is refused while locked.

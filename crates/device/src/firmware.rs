@@ -131,7 +131,10 @@ impl FirmwareImage {
             let cipher = vendor_cipher(&self.vendor, vendor_secret);
             let mac = CbcMac::new(&cipher);
             let ok = mac
-                .verify(&signing_input(self.version, &self.vendor, &self.digest), sig)
+                .verify(
+                    &signing_input(self.version, &self.vendor, &self.digest),
+                    sig,
+                )
                 .expect("verification cannot fail");
             if !ok {
                 return Err(FirmwareError::BadSignature);
@@ -365,10 +368,16 @@ mod tests {
         );
         let mut bytes = factory().to_bytes();
         bytes.truncate(bytes.len() - 1);
-        assert_eq!(FirmwareImage::from_bytes(&bytes), Err(FirmwareError::Malformed));
+        assert_eq!(
+            FirmwareImage::from_bytes(&bytes),
+            Err(FirmwareError::Malformed)
+        );
         bytes = factory().to_bytes();
         bytes.push(0);
-        assert_eq!(FirmwareImage::from_bytes(&bytes), Err(FirmwareError::Malformed));
+        assert_eq!(
+            FirmwareImage::from_bytes(&bytes),
+            Err(FirmwareError::Malformed)
+        );
     }
 
     #[test]

@@ -276,8 +276,8 @@ impl SimDevice {
     }
 
     fn handle_ota(&mut self, ctx: &mut Context<'_>, packet: &Packet) {
-        let result = FirmwareImage::from_bytes(&packet.payload)
-            .and_then(|image| self.firmware.apply(image));
+        let result =
+            FirmwareImage::from_bytes(&packet.payload).and_then(|image| self.firmware.apply(image));
         let (ok, detail) = match &result {
             Ok(()) => (true, String::from("applied")),
             Err(e) => (false, e.to_string()),
@@ -300,8 +300,10 @@ impl SimDevice {
                 self.config.vulns.has(Vulnerability::StaticPassword)
                     || self.config.vulns.has(Vulnerability::GenericAuth)
             }
-            "1900" => self.config.vulns.has(Vulnerability::OpenUpnpPorts)
-                || self.config.vulns.has(Vulnerability::UnprotectedChannel),
+            "1900" => {
+                self.config.vulns.has(Vulnerability::OpenUpnpPorts)
+                    || self.config.vulns.has(Vulnerability::UnprotectedChannel)
+            }
             _ => false,
         };
         let reply = Packet::new(ctx.id(), packet.src, "probe-result", Vec::new())
@@ -379,14 +381,12 @@ impl Node for SimDevice {
             // Table II "Chromecast" row: a forged deauthentication makes a
             // rickroll-vulnerable device drop its session and reconnect to
             // the sender, handing over the stream.
-            "deauth"
-                if self.config.vulns.has(Vulnerability::RickrollReconnect) => {
-                    self.set_state(ctx, DeviceState::Compromised);
-                    let reconnect =
-                        Packet::new(ctx.id(), packet.src, "reconnect", Vec::new())
-                            .with_meta("device", &self.config.name);
-                    ctx.send(packet.src, reconnect);
-                }
+            "deauth" if self.config.vulns.has(Vulnerability::RickrollReconnect) => {
+                self.set_state(ctx, DeviceState::Compromised);
+                let reconnect = Packet::new(ctx.id(), packet.src, "reconnect", Vec::new())
+                    .with_meta("device", &self.config.name);
+                ctx.send(packet.src, reconnect);
+            }
             _ => {}
         }
     }
@@ -489,8 +489,7 @@ mod tests {
     #[test]
     fn default_credentials_grant_takeover_only_when_vulnerable() {
         // Vulnerable path.
-        let (mut net, _hub, dev, heard) =
-            setup(VulnSet::of(&[Vulnerability::StaticPassword]));
+        let (mut net, _hub, dev, heard) = setup(VulnSet::of(&[Vulnerability::StaticPassword]));
         let attacker = net.add_node(Box::new(HubStub::default()));
         net.connect(attacker, dev, Medium::Wifi.link().with_loss(0.0));
         net.inject(

@@ -72,8 +72,11 @@ impl Sensor {
                 }
             }
             SensorKind::Smoke => (noise(self.seed, t) + 0.5) * 0.05,
-            SensorKind::Power => 120.0 + 40.0 * (hours * std::f64::consts::TAU / 24.0).cos().abs()
-                + noise(self.seed, t) * 5.0,
+            SensorKind::Power => {
+                120.0
+                    + 40.0 * (hours * std::f64::consts::TAU / 24.0).cos().abs()
+                    + noise(self.seed, t) * 5.0
+            }
             SensorKind::Camera => {
                 let active = noise(self.seed, t) + 0.5 < 0.3;
                 if active {

@@ -46,12 +46,8 @@ fn build_sboxes() -> ([u8; 256], [u8; 256]) {
     let mut inv = [0u8; 256];
     for x in 0..=255u8 {
         let i = gf_inv(x);
-        let s = i
-            ^ i.rotate_left(1)
-            ^ i.rotate_left(2)
-            ^ i.rotate_left(3)
-            ^ i.rotate_left(4)
-            ^ 0x63;
+        let s =
+            i ^ i.rotate_left(1) ^ i.rotate_left(2) ^ i.rotate_left(3) ^ i.rotate_left(4) ^ 0x63;
         sbox[x as usize] = s;
         inv[s as usize] = x;
     }
@@ -195,7 +191,12 @@ impl Aes {
 
     fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
             state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
             state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -205,7 +206,12 @@ impl Aes {
 
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] =
                 gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
             state[4 * c + 1] =

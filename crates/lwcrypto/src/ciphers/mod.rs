@@ -11,8 +11,8 @@ mod hight;
 mod hummingbird2;
 mod iceberg;
 mod lea;
-mod pride;
 mod present;
+mod pride;
 mod rc5;
 mod seed;
 mod simon;
@@ -26,7 +26,7 @@ pub use hight::Hight;
 pub use hummingbird2::Hummingbird2;
 pub use iceberg::Iceberg;
 pub use lea::Lea;
-pub use present::{Present80, Present128};
+pub use present::{Present128, Present80};
 pub use pride::Pride;
 pub use rc5::Rc5;
 pub use seed::Seed;
@@ -50,7 +50,12 @@ pub(crate) mod proptests {
             let mut block: Vec<u8> = (0..cipher.block_size()).map(|_| rng.gen()).collect();
             let original = block.clone();
             cipher.encrypt_block(&mut block).unwrap();
-            assert_ne!(block, original, "{}: encryption is identity", cipher.info().name);
+            assert_ne!(
+                block,
+                original,
+                "{}: encryption is identity",
+                cipher.info().name
+            );
             cipher.decrypt_block(&mut block).unwrap();
             assert_eq!(block, original, "{}: roundtrip failed", cipher.info().name);
         }
@@ -99,6 +104,11 @@ pub(crate) mod proptests {
         let mut b2 = b1.clone();
         c1.encrypt_block(&mut b1).unwrap();
         c2.encrypt_block(&mut b2).unwrap();
-        assert_ne!(b1, b2, "{}: key changes must change ciphertext", c1.info().name);
+        assert_ne!(
+            b1,
+            b2,
+            "{}: key changes must change ciphertext",
+            c1.info().name
+        );
     }
 }

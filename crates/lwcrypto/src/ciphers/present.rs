@@ -106,7 +106,7 @@ impl Present80 {
         let mut round_keys = [0u64; ROUNDS + 1];
         for (round, rk) in round_keys.iter_mut().enumerate() {
             *rk = hi; // round key = leftmost 64 bits
-            // Rotate the 80-bit register left by 61.
+                      // Rotate the 80-bit register left by 61.
             let reg = ((hi as u128) << 16) | lo as u128;
             let rotated = ((reg << 61) | (reg >> 19)) & ((1u128 << 80) - 1);
             hi = (rotated >> 16) as u64;

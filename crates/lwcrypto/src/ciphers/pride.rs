@@ -177,7 +177,13 @@ mod tests {
 
     #[test]
     fn linear_layer_is_invertible() {
-        for x in [0u64, 1, u64::MAX, 0x0123_4567_89AB_CDEF, 0xA5A5_A5A5_5A5A_5A5A] {
+        for x in [
+            0u64,
+            1,
+            u64::MAX,
+            0x0123_4567_89AB_CDEF,
+            0xA5A5_A5A5_5A5A_5A5A,
+        ] {
             assert_eq!(inv_linear(linear(x)), x);
         }
     }

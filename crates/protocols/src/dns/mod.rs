@@ -15,5 +15,5 @@ mod transport;
 
 pub use authoritative::Authoritative;
 pub use records::{DnsRecord, RecordType};
-pub use resolver::{Resolver, ResolverConfig, ResolveOutcome};
+pub use resolver::{ResolveOutcome, Resolver, ResolverConfig};
 pub use transport::{encode_query, encode_response, DnsTransport, WireQuery};

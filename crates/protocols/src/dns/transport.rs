@@ -35,9 +35,9 @@ impl DnsTransport {
     /// Per-message byte overhead added on top of the raw query.
     pub fn overhead_bytes(self) -> usize {
         match self {
-            DnsTransport::Plain => 12,          // DNS header
-            DnsTransport::DoT => 12 + 29,       // + TLS record framing
-            DnsTransport::DoH => 12 + 29 + 120, // + HTTP/2 framing
+            DnsTransport::Plain => 12,               // DNS header
+            DnsTransport::DoT => 12 + 29,            // + TLS record framing
+            DnsTransport::DoH => 12 + 29 + 120,      // + HTTP/2 framing
             DnsTransport::XlfLightweight => 12 + 10, // + token & nonce
         }
     }
@@ -47,8 +47,8 @@ impl DnsTransport {
     pub fn device_cycles_per_query(self) -> u64 {
         match self {
             DnsTransport::Plain => 200,
-            DnsTransport::DoT => 60_000,  // full TLS stack
-            DnsTransport::DoH => 110_000, // TLS + HTTP
+            DnsTransport::DoT => 60_000,           // full TLS stack
+            DnsTransport::DoH => 110_000,          // TLS + HTTP
             DnsTransport::XlfLightweight => 4_000, // one lightweight cipher pass
         }
     }
@@ -185,7 +185,9 @@ mod tests {
 
     #[test]
     fn overheads_order_matches_the_paper() {
-        assert!(DnsTransport::Plain.overhead_bytes() < DnsTransport::XlfLightweight.overhead_bytes());
+        assert!(
+            DnsTransport::Plain.overhead_bytes() < DnsTransport::XlfLightweight.overhead_bytes()
+        );
         assert!(DnsTransport::XlfLightweight.overhead_bytes() < DnsTransport::DoT.overhead_bytes());
         assert!(DnsTransport::DoT.overhead_bytes() < DnsTransport::DoH.overhead_bytes());
     }
@@ -200,7 +202,12 @@ mod tests {
 
     #[test]
     fn wrong_secret_cannot_decode() {
-        let q = encode_query(DnsTransport::XlfLightweight, "hub.vendor.example", 5, SECRET);
+        let q = encode_query(
+            DnsTransport::XlfLightweight,
+            "hub.vendor.example",
+            5,
+            SECRET,
+        );
         let decoded = encode_response(DnsTransport::XlfLightweight, &q, b"wrong secret");
         if let Some((txid, name)) = decoded {
             // Brute-force decode may coincidentally produce printable junk,

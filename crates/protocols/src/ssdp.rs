@@ -117,7 +117,10 @@ impl SsdpMessage {
                 .iter()
                 .filter(|(k, _)| {
                     let k = k.to_ascii_lowercase();
-                    k.contains("key") || k.contains("pass") || k.contains("secret") || k.contains("psk")
+                    k.contains("key")
+                        || k.contains("pass")
+                        || k.contains("secret")
+                        || k.contains("psk")
                 })
                 .map(|(k, v)| (k.as_str(), v.as_str()))
                 .collect(),
@@ -153,13 +156,16 @@ mod tests {
         let msg = SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe-1")
             .with_field("X-Setup-Wifi-Pass", "home-network-password-123");
         let leaks = msg.disclosed_secrets();
-        assert_eq!(leaks, vec![("X-Setup-Wifi-Pass", "home-network-password-123")]);
+        assert_eq!(
+            leaks,
+            vec![("X-Setup-Wifi-Pass", "home-network-password-123")]
+        );
     }
 
     #[test]
     fn benign_fields_are_not_flagged() {
-        let msg = SsdpMessage::notify("urn:x:tv:1", "uuid:tv")
-            .with_field("LOCATION", "http://10.0.0.5/");
+        let msg =
+            SsdpMessage::notify("urn:x:tv:1", "uuid:tv").with_field("LOCATION", "http://10.0.0.5/");
         assert!(msg.disclosed_secrets().is_empty());
     }
 

@@ -100,8 +100,8 @@ impl fmt::Debug for Session {
 }
 
 fn key_for(psk: &[u8], session_id: &str, direction: &str) -> Speck128 {
-    let key = derive_key(psk, &format!("tls-lite/{session_id}/{direction}"), 16)
-        .expect("non-empty psk");
+    let key =
+        derive_key(psk, &format!("tls-lite/{session_id}/{direction}"), 16).expect("non-empty psk");
     Speck128::new(&key).expect("16-byte key")
 }
 
@@ -262,7 +262,10 @@ mod tests {
         // Out-of-order old record now rejected.
         let (mut c2, _) = pair();
         let old = c2.seal(b"old seq 0").unwrap();
-        assert!(matches!(server.open(&old), Err(TlsError::Replay { .. }) | Err(TlsError::BadRecordMac)));
+        assert!(matches!(
+            server.open(&old),
+            Err(TlsError::Replay { .. }) | Err(TlsError::BadRecordMac)
+        ));
     }
 
     #[test]

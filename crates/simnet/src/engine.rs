@@ -368,7 +368,10 @@ impl Network {
             self.now = event.at;
             processed += 1;
             if processed > self.max_events {
-                panic!("event cap exceeded ({}) — runaway feedback loop?", self.max_events);
+                panic!(
+                    "event cap exceeded ({}) — runaway feedback loop?",
+                    self.max_events
+                );
             }
             match event.kind {
                 EventKind::Deliver(packet) => {
@@ -467,7 +470,11 @@ mod tests {
             net.inject(a, b, Packet::new(a, b, "x", vec![1u8]));
         }
         let stats = net.run();
-        assert!(stats.lost > 120 && stats.lost < 280, "lost = {}", stats.lost);
+        assert!(
+            stats.lost > 120 && stats.lost < 280,
+            "lost = {}",
+            stats.lost
+        );
         assert_eq!(stats.lost + stats.delivered, 400);
     }
 

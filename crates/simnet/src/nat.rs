@@ -38,11 +38,7 @@ pub struct StreamStats {
 /// `home` is the set of node ids behind the NAT; everything else is
 /// treated as a remote endpoint. Packets between two home nodes are
 /// invisible to this observer and skipped.
-pub fn streams(
-    records: &[PacketRecord],
-    home: &[NodeId],
-    window: Duration,
-) -> Vec<StreamStats> {
+pub fn streams(records: &[PacketRecord], home: &[NodeId], window: Duration) -> Vec<StreamStats> {
     let is_home = |n: NodeId| home.contains(&n);
     let mut map: BTreeMap<RemoteEndpoint, StreamStats> = BTreeMap::new();
     for rec in records {
@@ -173,7 +169,11 @@ mod tests {
 
     #[test]
     fn rate_series_buckets_by_time() {
-        let records = vec![rec(0, 1, 10, 100), rec(1500, 1, 10, 300), rec(1800, 10, 1, 50)];
+        let records = vec![
+            rec(0, 1, 10, 100),
+            rec(1500, 1, 10, 300),
+            rec(1800, 10, 1, 50),
+        ];
         let series = rate_series(
             &records,
             &home(),

@@ -13,22 +13,22 @@ impl SimTime {
     pub const ZERO: SimTime = SimTime(0);
 
     /// Builds an instant from raw microseconds.
-    pub fn from_micros(micros: u64) -> Self {
+    pub const fn from_micros(micros: u64) -> Self {
         SimTime(micros)
     }
 
     /// Builds an instant from milliseconds.
-    pub fn from_millis(millis: u64) -> Self {
+    pub const fn from_millis(millis: u64) -> Self {
         SimTime(millis * 1_000)
     }
 
     /// Builds an instant from whole seconds.
-    pub fn from_secs(secs: u64) -> Self {
+    pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs * 1_000_000)
     }
 
     /// Raw microseconds since the simulation epoch.
-    pub fn as_micros(self) -> u64 {
+    pub const fn as_micros(self) -> u64 {
         self.0
     }
 
@@ -58,22 +58,22 @@ impl Duration {
     pub const ZERO: Duration = Duration(0);
 
     /// Builds a span from raw microseconds.
-    pub fn from_micros(micros: u64) -> Self {
+    pub const fn from_micros(micros: u64) -> Self {
         Duration(micros)
     }
 
     /// Builds a span from milliseconds.
-    pub fn from_millis(millis: u64) -> Self {
+    pub const fn from_millis(millis: u64) -> Self {
         Duration(millis * 1_000)
     }
 
     /// Builds a span from whole seconds.
-    pub fn from_secs(secs: u64) -> Self {
+    pub const fn from_secs(secs: u64) -> Self {
         Duration(secs * 1_000_000)
     }
 
     /// Raw microseconds.
-    pub fn as_micros(self) -> u64 {
+    pub const fn as_micros(self) -> u64 {
         self.0
     }
 

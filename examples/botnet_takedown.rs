@@ -86,7 +86,11 @@ fn run(config: XlfConfig, label: &str) {
     let core = home.core.borrow();
     let cam_compromised = home.device_ref("cam").is_compromised();
     let quarantined = home.gateway_ref().nac.is_quarantined("cam");
-    let flood_hits = home.net.node_as::<Victim>(victim).map(|v| v.hits).unwrap_or(0);
+    let flood_hits = home
+        .net
+        .node_as::<Victim>(victim)
+        .map(|v| v.hits)
+        .unwrap_or(0);
 
     println!("camera compromised : {cam_compromised}");
     println!("camera quarantined : {quarantined}");

@@ -23,7 +23,11 @@ impl Node for Routine {
         ctx.set_timer(Duration::from_secs(30), 1);
     }
     fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerId, _tag: u64) {
-        let action = if self.phase.is_multiple_of(2) { "stream" } else { "idle" };
+        let action = if self.phase.is_multiple_of(2) {
+            "stream"
+        } else {
+            "idle"
+        };
         self.phase += 1;
         let cmd = Packet::new(ctx.id(), self.gateway, "cmd", Vec::new())
             .with_meta("device", "cam")
@@ -36,8 +40,9 @@ impl Node for Routine {
 fn trace(seed: u64, mode: ShapingMode) -> (Vec<PacketRecord>, f64, f64) {
     let mut config = XlfConfig::off();
     config.shaping = mode;
-    let devices = [HomeDevice::new("cam", SensorKind::Camera)
-        .with_telemetry_period(Duration::from_secs(5))];
+    let devices = [
+        HomeDevice::new("cam", SensorKind::Camera).with_telemetry_period(Duration::from_secs(5))
+    ];
     let mut home = XlfHome::build(seed, config, &devices);
     let driver = home.net.add_node(Box::new(Routine {
         gateway: home.gateway,

@@ -35,7 +35,10 @@ fn main() {
     println!("evidence       : {} records", core.store.len());
     println!("alerts         : {}", core.alerts.alerts().len());
     for alert in core.alerts.alerts() {
-        println!("  [{}] {} — {}", alert.severity, alert.device, alert.explanation);
+        println!(
+            "  [{}] {} — {}",
+            alert.severity, alert.device, alert.explanation
+        );
     }
     println!("\nA benign home stays quiet: no alerts is the expected output.");
 }

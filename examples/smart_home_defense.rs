@@ -36,7 +36,10 @@ fn service_layer_demo() {
     let spoof = CloudEvent::new(SimTime::ZERO, "thermo", "temperature", "95");
 
     for (label, policy) in [
-        ("permissive cloud (SmartThings 2016)", EventPolicy::permissive()),
+        (
+            "permissive cloud (SmartThings 2016)",
+            EventPolicy::permissive(),
+        ),
         ("hardened cloud (event integrity)", EventPolicy::hardened()),
     ] {
         let mut bus = EventBus::new(policy, b"hub secret");
@@ -62,12 +65,19 @@ fn device_layer_demo() {
     let mut vetter = UpdateVetter::new(&[b"BOTNET"]);
     vetter.trust_vendor("acme", b"acme vendor secret");
 
-    let clean = FirmwareImage::signed(Version(2, 0, 0), "acme", b"v2 ok".to_vec(), b"acme vendor secret");
+    let clean = FirmwareImage::signed(
+        Version(2, 0, 0),
+        "acme",
+        b"v2 ok".to_vec(),
+        b"acme vendor secret",
+    );
     let unsigned = FirmwareImage::unsigned(Version(9, 9, 9), "mallory", b"BOTNET implant".to_vec());
 
     println!(
         "  vendor-signed clean image : {:?}",
-        vetter.vet("cam", &clean.to_bytes(), SimTime::ZERO).map(|i| i.version)
+        vetter
+            .vet("cam", &clean.to_bytes(), SimTime::ZERO)
+            .map(|i| i.version)
     );
     println!(
         "  unsigned BOTNET image     : {:?}",

@@ -49,7 +49,10 @@ fn table2_rows_are_exactly_the_papers_seven() {
 
 #[test]
 fn table3_covers_all_sixteen_algorithms_with_fidelity_tags() {
-    let mut names: Vec<&str> = registry(b"contract").iter().map(|c| c.info().name).collect();
+    let mut names: Vec<&str> = registry(b"contract")
+        .iter()
+        .map(|c| c.info().name)
+        .collect();
     names.sort();
     names.dedup();
     // The paper's sixteen plus SPECK/SIMON from the cited NIST report.

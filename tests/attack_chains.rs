@@ -15,8 +15,10 @@ use xlf::protocols::tls::{Role, Session};
 #[test]
 fn upnp_leak_enables_the_oven_mitm_pivot() {
     // Step 1: the vulnerable setup broadcast.
-    let setup = vec![SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe")
-        .with_field("X-Setup-Wifi-Pass", "home-network-password-123")];
+    let setup = vec![
+        SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe")
+            .with_field("X-Setup-Wifi-Pass", "home-network-password-123"),
+    ];
     let leaked = upnp_sniff(&setup);
     assert_eq!(leaked.len(), 1);
     let leaked_psk = leaked[0].1.as_bytes();
@@ -34,8 +36,10 @@ fn upnp_leak_enables_the_oven_mitm_pivot() {
 
     // Mitigated chain: the hardened setup discloses nothing, so the
     // attacker has only guesses — and stays blind.
-    let hardened_setup = vec![SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe")
-        .with_field("LOCATION", "https://10.0.0.9/secure-setup")];
+    let hardened_setup = vec![
+        SsdpMessage::notify("urn:acme:device:coffeemaker:1", "uuid:cafe")
+            .with_field("LOCATION", "https://10.0.0.9/secure-setup"),
+    ];
     assert!(upnp_sniff(&hardened_setup).is_empty());
     let blind = mitm_attempt(b"attacker guess", "oven", 0, &record, None);
     assert_eq!(blind, MitmOutcome::Blind);
@@ -80,7 +84,10 @@ fn overprivileged_app_contained_by_scoped_permissions() {
         (PermissionModel::Scoped, false),
     ] {
         let mut cloud = SmartCloud::new(EventPolicy::permissive(), model, b"hub secret");
-        cloud.register_device(DeviceHandler::new("hall-motion", &[Capability::MotionSensor]));
+        cloud.register_device(DeviceHandler::new(
+            "hall-motion",
+            &[Capability::MotionSensor],
+        ));
         cloud.register_device(DeviceHandler::new("lamp", &[Capability::Switch]));
         cloud.register_device(DeviceHandler::new("front-door", &[Capability::Lock]));
         cloud.install_app(malicious_unlock_app("hall-motion", "lamp", "front-door"));

@@ -142,8 +142,7 @@ fn benign_month_of_telemetry_raises_no_alarms() {
     let devices = [
         HomeDevice::new("thermo", SensorKind::Temperature)
             .with_telemetry_period(Duration::from_secs(60)),
-        HomeDevice::new("meter", SensorKind::Power)
-            .with_telemetry_period(Duration::from_secs(60)),
+        HomeDevice::new("meter", SensorKind::Power).with_telemetry_period(Duration::from_secs(60)),
     ];
     let mut home = XlfHome::build(3, XlfConfig::full(), &devices);
     // Three simulated days.

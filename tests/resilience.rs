@@ -85,14 +85,15 @@ fn heavy_loss_degrades_gracefully_without_panics_or_false_positives() {
 fn gateway_keeps_enforcing_when_the_cloud_goes_silent() {
     // Cut the cloud link entirely after learning: local mechanisms
     // (DPI, monitors, quarantine) are gateway-resident and keep working.
-    let devices = [
-        HomeDevice::new("cam", SensorKind::Camera)
-            .with_vulns(VulnSet::of(&[Vulnerability::StaticPassword])),
-    ];
+    let devices = [HomeDevice::new("cam", SensorKind::Camera)
+        .with_vulns(VulnSet::of(&[Vulnerability::StaticPassword]))];
     let mut home = XlfHome::build(7, XlfConfig::full(), &devices);
     // "Sever" the WAN by making it lose everything.
-    home.net
-        .connect(home.gateway, home.cloud, Medium::Wan.link().with_loss(0.999));
+    home.net.connect(
+        home.gateway,
+        home.cloud,
+        Medium::Wan.link().with_loss(0.999),
+    );
     let attacker = home.net.add_node(Box::new(Recruiter {
         gateway: home.gateway,
     }));
@@ -110,10 +111,8 @@ fn attack_during_learning_window_is_still_contained_by_dpi() {
     // The attacker strikes *before* the monitors finish learning: the DFA
     // is silent, but DPI (signature-based, no learning) still fires and
     // the device-layer compromise report corroborates.
-    let devices = [
-        HomeDevice::new("cam", SensorKind::Camera)
-            .with_vulns(VulnSet::of(&[Vulnerability::StaticPassword])),
-    ];
+    let devices = [HomeDevice::new("cam", SensorKind::Camera)
+        .with_vulns(VulnSet::of(&[Vulnerability::StaticPassword]))];
     let mut config = XlfConfig::full();
     config.learning_period = Duration::from_secs(3600); // never finishes here
     let mut home = XlfHome::build(7, config, &devices);

@@ -1,0 +1,261 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Implements the slice the XLF bench harness uses — benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! calibrate-then-sample measurement loop (median of `sample_size`
+//! samples). Statistical depth (outlier analysis, HTML reports) is out of
+//! scope; numbers print as `name  time: [median ns/iter]  thrpt: [..]`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per sample during calibration.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// Re-exported for `b.iter(|| black_box(..))` call sites that import it
+/// from criterion rather than `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure; runs the measured routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`: calibrates an iteration count to roughly
+    /// [`SAMPLE_TARGET`] per sample, then records `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64();
+                ((iters as f64 * scale.clamp(1.1, 16.0)) as u64).max(iters + 1)
+            };
+        }
+        self.iters_per_sample = iters;
+        // Sample.
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    fn median_secs(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, mut bencher: Bencher) {
+        let secs = bencher.median_secs();
+        let time = if secs >= 1e-3 {
+            format!("{:.4} ms", secs * 1e3)
+        } else if secs >= 1e-6 {
+            format!("{:.4} µs", secs * 1e6)
+        } else {
+            format!("{:.2} ns", secs * 1e9)
+        };
+        let thrpt = match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  thrpt: {:.2} MiB/s", b as f64 / secs / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  thrpt: {:.0} elem/s", e as f64 / secs)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}  time: [{time}]{thrpt}  ({} iters/sample × {} samples)",
+            self.name, id.id, bencher.iters_per_sample, self.sample_size
+        );
+    }
+
+    /// Ends the group (no-op; parity with upstream API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function list (upstream-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,41 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy picking one element of a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Uniformly selects one of `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selects_only_listed_values() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = select(vec![0usize, 1, 2]).new_value(&mut rng);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all options should appear");
+    }
+}

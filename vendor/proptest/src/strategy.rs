@@ -1,0 +1,164 @@
+//! The [`Strategy`] trait and the built-in strategies over ranges,
+//! tuples, and constants.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values of `Self::Value` from an RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing the predicate by resampling
+    /// (bounded retries; panics if the predicate is too restrictive).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Strategy returning a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String literals are regex-lite strategies producing matching strings.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_map_filter() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = (0i64..10).new_value(&mut rng);
+            assert!((0..10).contains(&v));
+            let (a, b) = (0u8..4, 10usize..=11).new_value(&mut rng);
+            assert!(a < 4 && (10..=11).contains(&b));
+            let doubled = (0u16..5).prop_map(|x| x * 2).new_value(&mut rng);
+            assert!(doubled % 2 == 0 && doubled < 10);
+            let even = (0u32..100)
+                .prop_filter("even", |x| x % 2 == 0)
+                .new_value(&mut rng);
+            assert_eq!(even % 2, 0);
+            assert_eq!(Just(9).new_value(&mut rng), 9);
+        }
+    }
+}

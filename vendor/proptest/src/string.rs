@@ -1,0 +1,223 @@
+//! Regex-lite string generation: the subset of regex syntax the
+//! workspace's string strategies use — literals, escapes, character
+//! classes with ranges, groups, and `{m}` / `{m,n}` / `?` / `*` / `+`
+//! quantifiers. Anything else panics loudly at generation time.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Upper repetition bound for open-ended quantifiers (`*`, `+`).
+const UNBOUNDED_MAX: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<(Atom, u32, u32)>),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "regex-lite: unsupported {what} in pattern {:?}",
+            self.pattern
+        );
+    }
+
+    fn parse_sequence(&mut self, in_group: bool) -> Vec<(Atom, u32, u32)> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ')' {
+                if in_group {
+                    break;
+                }
+                self.fail("unbalanced ')'");
+            }
+            let atom = match c {
+                '[' => self.parse_class(),
+                '(' => {
+                    self.chars.next();
+                    let inner = self.parse_sequence(true);
+                    match self.chars.next() {
+                        Some(')') => Atom::Group(inner),
+                        _ => self.fail("unterminated group"),
+                    }
+                }
+                '\\' => {
+                    self.chars.next();
+                    match self.chars.next() {
+                        Some(escaped) => Atom::Literal(escaped),
+                        None => self.fail("trailing backslash"),
+                    }
+                }
+                '.' | '^' | '$' | '|' => self.fail("metacharacter"),
+                _ => {
+                    self.chars.next();
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = self.parse_quantifier();
+            out.push((atom, min, max));
+        }
+        out
+    }
+
+    fn parse_class(&mut self) -> Atom {
+        self.chars.next(); // consume '['
+        let mut options = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            match self.chars.next() {
+                Some(']') => break,
+                Some('^') if options.is_empty() && prev.is_none() => self.fail("negated class"),
+                Some('-') => {
+                    // Range if between two chars, literal '-' at the edges.
+                    match (prev, self.chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            self.chars.next();
+                            assert!(lo <= hi, "bad class range in regex-lite");
+                            for c in lo..=hi {
+                                if c != lo {
+                                    options.push(c);
+                                }
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            options.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                Some('\\') => match self.chars.next() {
+                    Some(escaped) => {
+                        options.push(escaped);
+                        prev = Some(escaped);
+                    }
+                    None => self.fail("trailing backslash in class"),
+                },
+                Some(c) => {
+                    options.push(c);
+                    prev = Some(c);
+                }
+                None => self.fail("unterminated class"),
+            }
+        }
+        assert!(!options.is_empty(), "empty class in regex-lite");
+        Atom::Class(options)
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut in_max = false;
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(',') => in_max = true,
+                        Some(d) if d.is_ascii_digit() => {
+                            if in_max {
+                                max.push(d);
+                            } else {
+                                min.push(d);
+                            }
+                        }
+                        _ => self.fail("malformed quantifier"),
+                    }
+                }
+                let min: u32 = min.parse().expect("quantifier minimum");
+                let max: u32 = if !in_max {
+                    min
+                } else if max.is_empty() {
+                    min + UNBOUNDED_MAX
+                } else {
+                    max.parse().expect("quantifier maximum")
+                };
+                assert!(min <= max, "inverted quantifier in regex-lite");
+                (min, max)
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, UNBOUNDED_MAX)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+fn emit(seq: &[(Atom, u32, u32)], rng: &mut TestRng, out: &mut String) {
+    for (atom, min, max) in seq {
+        let reps = rng.gen_range(*min..=*max);
+        for _ in 0..reps {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(options) => {
+                    out.push(options[rng.gen_range(0..options.len())]);
+                }
+                Atom::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    };
+    let seq = parser.parse_sequence(false);
+    let mut out = String::new();
+    emit(&seq, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn workspace_patterns_generate_matching_strings() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9-]{0,15}", &mut rng);
+            assert!((1..=16).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+
+            let q = generate("[a-z0-9]{1,12}(\\.[a-z0-9]{1,12}){0,3}", &mut rng);
+            for label in q.split('.') {
+                assert!((1..=12).contains(&label.len()), "{q:?}");
+            }
+
+            let p = generate("/[a-z0-9/]{0,32}", &mut rng);
+            assert!(p.starts_with('/') && p.len() <= 33);
+
+            let t = generate("[a-zA-Z0-9_-]{1,24}", &mut rng);
+            assert!((1..=24).contains(&t.len()));
+
+            let c = generate("[a-c]", &mut rng);
+            assert!(("a"..="c").contains(&c.as_str()));
+        }
+    }
+}

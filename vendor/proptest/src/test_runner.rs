@@ -1,0 +1,65 @@
+//! The minimal test runner: deterministic per-test RNG, fixed case count
+//! (no shrinking).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG handed to strategies while generating one case.
+pub type TestRng = StdRng;
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// FNV-1a over the test name: stable seed per property.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` over the configured number of generated inputs; panics on
+/// the first failure with the case index and message.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let seed = name_seed(name);
+    let total = cases();
+    for i in 0..total {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(message) = case(&mut rng) {
+            panic!("proptest `{name}` failed at case {i}/{total} (seed {seed:#x}):\n{message}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases() {
+        let mut count = 0;
+        run("counting", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, cases());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_failures() {
+        run("failing", |_| Err("boom".to_string()));
+    }
+}
