@@ -14,4 +14,7 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "== smoke: fleet orchestration (32 homes, 4 workers)"
+./target/release/exp_fleet --homes 32 --workers 4 --horizon 420 --json BENCH_fleet.json
+
 echo "CI OK"

@@ -101,6 +101,57 @@ pub fn deviation_scores(adj: &[Vec<(usize, f64)>], labels: &[usize]) -> Vec<f64>
         .collect()
 }
 
+/// Scales each feature dimension by its max absolute value so raw counts
+/// do not dominate the RBF distance. Dimensions that are zero everywhere
+/// are left untouched.
+pub fn normalize_features(features: &mut [Vec<f64>]) {
+    let Some(first) = features.first() else {
+        return;
+    };
+    for d in 0..first.len() {
+        let max = features.iter().map(|f| f[d].abs()).fold(0.0f64, f64::max);
+        if max > 1e-12 {
+            for f in features.iter_mut() {
+                f[d] /= max;
+            }
+        }
+    }
+}
+
+/// Output of the batch community-scoring entry point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityReport {
+    /// Community label per node (label-propagation output).
+    pub labels: Vec<usize>,
+    /// Deviation score per node (high = unlike its own community).
+    pub scores: Vec<f64>,
+}
+
+/// Batch entry point for fleet-scale graph scoring: normalizes the
+/// feature matrix, builds the kNN similarity graph, runs deterministic
+/// label propagation, and scores per-node deviation — the whole E-M6
+/// pipeline in one call. `k` is clamped to the population size.
+pub fn community_report(
+    features: &[Vec<f64>],
+    k: usize,
+    gamma: f64,
+    max_iters: usize,
+) -> CommunityReport {
+    if features.is_empty() {
+        return CommunityReport {
+            labels: Vec::new(),
+            scores: Vec::new(),
+        };
+    }
+    let mut normalized = features.to_vec();
+    normalize_features(&mut normalized);
+    let k = k.min(normalized.len().saturating_sub(1)).max(1);
+    let adj = similarity_graph(&normalized, k, gamma);
+    let labels = label_propagation(&adj, max_iters);
+    let scores = deviation_scores(&adj, &labels);
+    CommunityReport { labels, scores }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +217,38 @@ mod tests {
     fn propagation_is_deterministic() {
         let adj = similarity_graph(&features(), 3, 0.5);
         assert_eq!(label_propagation(&adj, 50), label_propagation(&adj, 50));
+    }
+
+    #[test]
+    fn normalize_scales_each_dimension_to_unit_max() {
+        let mut f = vec![vec![10.0, 0.0], vec![-5.0, 0.0]];
+        normalize_features(&mut f);
+        assert_eq!(f, vec![vec![1.0, 0.0], vec![-0.5, 0.0]]);
+    }
+
+    #[test]
+    fn community_report_flags_the_outlier_end_to_end() {
+        // Scale one dimension up so the raw features would mislead an
+        // unnormalized graph; the batch entry point normalizes first.
+        let mut scaled = features();
+        for f in &mut scaled {
+            f[0] *= 1000.0;
+        }
+        let report = community_report(&scaled, 3, 8.0, 50);
+        assert_eq!(report.labels.len(), 11);
+        let deviant = 10usize;
+        for i in 0..10 {
+            assert!(report.scores[deviant] > report.scores[i]);
+        }
+        // And it is reproducible.
+        assert_eq!(report, community_report(&scaled, 3, 8.0, 50));
+    }
+
+    #[test]
+    fn community_report_handles_tiny_populations() {
+        assert!(community_report(&[], 3, 1.0, 10).labels.is_empty());
+        let one = community_report(&[vec![1.0]], 3, 1.0, 10);
+        assert_eq!(one.labels, vec![0]);
+        assert_eq!(one.scores, vec![1.0]); // no neighbours at all
     }
 }

@@ -1,0 +1,51 @@
+//! Fleet-tier bench — end-to-end fleet runs across home counts and
+//! worker counts, plus the aggregation stage in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xlf_fleet::{run_fleet, FleetAggregator, FleetAttack, FleetMetrics, FleetSpec};
+use xlf_simnet::Duration;
+
+fn fleet_spec(homes: usize, workers: usize) -> FleetSpec {
+    FleetSpec::new(0xBE7C_0001, homes)
+        .with_workers(workers)
+        .with_horizon(Duration::from_secs(240))
+        .with_attacks(vec![
+            (FleetAttack::None, 15),
+            (FleetAttack::BotnetRecruit, 1),
+        ])
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+
+    for homes in [8usize, 32] {
+        for workers in [1usize, 4] {
+            group.throughput(Throughput::Elements(homes as u64));
+            group.bench_function(
+                BenchmarkId::new(format!("run_{homes}_homes"), format!("{workers}w")),
+                |b| {
+                    let spec = fleet_spec(homes, workers);
+                    b.iter(|| std::hint::black_box(run_fleet(&spec, &FleetMetrics::new())));
+                },
+            );
+        }
+    }
+
+    // Aggregation alone: correlate a pre-collected batch of home reports.
+    let spec = fleet_spec(64, 1);
+    let full = run_fleet(&spec, &FleetMetrics::new());
+    let collected: Vec<_> = spec
+        .stamp()
+        .into_iter()
+        .zip(full.rows.iter().map(|r| r.report.clone()))
+        .collect();
+    group.throughput(Throughput::Elements(collected.len() as u64));
+    group.bench_function("aggregate_64_reports", |b| {
+        b.iter(|| std::hint::black_box(FleetAggregator::new(&spec).aggregate(collected.clone())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! E-M6 at fleet scale: stamps a sharded multi-home fleet from one
+//! master seed, runs it on 1 worker and on `--workers` workers, checks
+//! the two fleet reports are byte-identical, verifies the cross-home
+//! aggregator flags every injected deviant, and records throughput and
+//! speedup in `BENCH_fleet.json`.
+//!
+//! ```text
+//! cargo run --release -p xlf-bench --bin exp_fleet -- \
+//!     --homes 1000 --workers 8 --horizon 420 --json BENCH_fleet.json
+//! ```
+
+use std::time::Instant;
+use xlf_bench::print_table;
+use xlf_fleet::{run_fleet, FleetAttack, FleetMetrics, FleetReport, FleetSpec};
+use xlf_simnet::Duration;
+
+struct Args {
+    homes: usize,
+    workers: usize,
+    horizon_s: u64,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        homes: 1000,
+        workers: 8,
+        horizon_s: 420,
+        json: "BENCH_fleet.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a {what} value"))
+        };
+        match flag.as_str() {
+            "--homes" => args.homes = value("count").parse().expect("--homes: integer"),
+            "--workers" => args.workers = value("count").parse().expect("--workers: integer"),
+            "--horizon" => {
+                args.horizon_s = value("seconds")
+                    .parse()
+                    .expect("--horizon: integer seconds")
+            }
+            "--json" => args.json = value("path"),
+            other => panic!("unknown flag {other} (use --homes --workers --horizon --json)"),
+        }
+    }
+    args
+}
+
+fn spec(args: &Args, workers: usize) -> FleetSpec {
+    FleetSpec::new(0xF1EE_2019, args.homes)
+        .with_workers(workers)
+        .with_horizon(Duration::from_secs(args.horizon_s))
+        .with_attacks(vec![
+            (FleetAttack::None, 30),
+            (FleetAttack::BotnetRecruit, 1),
+            (FleetAttack::FirmwareTamper, 1),
+        ])
+}
+
+fn timed_run(spec: &FleetSpec) -> (FleetReport, FleetMetrics, f64) {
+    let metrics = FleetMetrics::new();
+    let t0 = Instant::now();
+    let report = run_fleet(spec, &metrics);
+    (report, metrics, t0.elapsed().as_secs_f64())
+}
+
+fn write_bench_json(
+    args: &Args,
+    report: &FleetReport,
+    metrics: &FleetMetrics,
+    baseline_s: f64,
+    sharded_s: f64,
+    deterministic: bool,
+    deviants_flagged: bool,
+) -> std::io::Result<()> {
+    let attacked = report.rows.iter().filter(|r| r.attack != "none").count();
+    let json = format!(
+        "{{\n  \"experiment\": \"fleet\",\n  \"homes\": {},\n  \"workers\": {},\n  \
+         \"horizon_s\": {},\n  \"baseline_s\": {:.3},\n  \"sharded_s\": {:.3},\n  \
+         \"homes_per_sec\": {:.1},\n  \"speedup\": {:.2},\n  \"deterministic\": {},\n  \
+         \"attacked_homes\": {},\n  \"flagged_homes\": {},\n  \"deviants_flagged\": {},\n  \
+         \"communities\": {},\n  \"threshold\": {:.6},\n  \"metrics\": {}\n}}\n",
+        args.homes,
+        args.workers,
+        args.horizon_s,
+        baseline_s,
+        sharded_s,
+        args.homes as f64 / sharded_s,
+        baseline_s / sharded_s,
+        deterministic,
+        attacked,
+        report.flagged.len(),
+        deviants_flagged,
+        report.communities,
+        report.threshold,
+        metrics.to_json(),
+    );
+    std::fs::write(&args.json, json)
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "xlf-fleet: {} homes, horizon {} s, 1 worker vs {} workers",
+        args.homes, args.horizon_s, args.workers
+    );
+
+    let (baseline, _, baseline_s) = timed_run(&spec(&args, 1));
+    let (report, metrics, sharded_s) = timed_run(&spec(&args, args.workers));
+
+    let deterministic = report.to_json() == baseline.to_json();
+    let attacked: Vec<u64> = report
+        .rows
+        .iter()
+        .filter(|r| r.attack != "none")
+        .map(|r| r.id)
+        .collect();
+    let deviants_flagged =
+        !attacked.is_empty() && attacked.iter().all(|id| report.flagged.contains(id));
+
+    print_table(
+        "Fleet run",
+        &["Config", "Wall (s)", "Homes/s"],
+        &[
+            vec![
+                "1 worker".to_string(),
+                format!("{baseline_s:.2}"),
+                format!("{:.1}", args.homes as f64 / baseline_s),
+            ],
+            vec![
+                format!("{} workers", args.workers),
+                format!("{sharded_s:.2}"),
+                format!("{:.1}", args.homes as f64 / sharded_s),
+            ],
+        ],
+    );
+    print_table(
+        "Cross-home correlation",
+        &[
+            "Communities",
+            "Threshold",
+            "Attacked",
+            "Flagged",
+            "All deviants flagged",
+        ],
+        &[vec![
+            report.communities.to_string(),
+            format!("{:.3}", report.threshold),
+            attacked.len().to_string(),
+            report.flagged.len().to_string(),
+            deviants_flagged.to_string(),
+        ]],
+    );
+    println!(
+        "\nSpeedup {}→{} workers: {:.2}×  (deterministic across worker counts: {})",
+        1,
+        args.workers,
+        baseline_s / sharded_s,
+        deterministic
+    );
+    println!("Fleet metrics: {}", metrics.to_json());
+
+    assert!(deterministic, "fleet report changed with worker count");
+    assert!(
+        deviants_flagged,
+        "aggregator missed injected deviants: attacked={attacked:?} flagged={:?}",
+        report.flagged
+    );
+
+    match write_bench_json(
+        &args,
+        &report,
+        &metrics,
+        baseline_s,
+        sharded_s,
+        deterministic,
+        deviants_flagged,
+    ) {
+        Ok(()) => println!("Trajectory point written to {}.", args.json),
+        Err(e) => eprintln!("could not write {}: {e}", args.json),
+    }
+}

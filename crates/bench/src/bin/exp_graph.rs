@@ -5,17 +5,18 @@
 //!
 //! Method: simulate 12 homes (8 "apartment" profiles, 4 "house" profiles);
 //! compromise one apartment's camera. Per-home behaviour features come
-//! from each home's own traffic trace; community detection and deviation
-//! scoring run in the XLF Core.
+//! from each home's own traffic trace (via the reusable
+//! [`xlf_core::framework::HomeRunner`] handle); community detection and
+//! deviation scoring run through the batch
+//! [`xlf_analytics::graph::community_report`] entry point — the same
+//! pipeline `exp_fleet` drives at 1000-home scale.
 
-use xlf_analytics::features::window_features;
-use xlf_analytics::graph::{deviation_scores, label_propagation, similarity_graph};
+use xlf_analytics::graph::community_report;
 use xlf_bench::print_table;
 use xlf_bench::scenarios::{run_scenario, AttackScenario};
-use xlf_core::framework::XlfConfig;
-use xlf_simnet::observer::RecordingTap;
+use xlf_core::framework::{HomeRunner, XlfConfig};
 
-/// Behaviour features of one home from its gateway→cloud trace.
+/// Behaviour features of one home from its traffic trace.
 fn home_features(seed: u64, scenario: AttackScenario, profile: &str) -> Vec<f64> {
     // Re-run the standard scenario home with a tap; profiles differ by
     // seed class (apartments share seeds 1..=8, houses 101..=104 — the
@@ -34,20 +35,13 @@ fn home_features(seed: u64, scenario: AttackScenario, profile: &str) -> Vec<f64>
     // The deviant home runs the attack scenario first, then we observe
     // its (compromised) behaviour window; healthy homes are observed
     // directly.
-    let mut home = if scenario != AttackScenario::None {
-        run_scenario(seed, XlfConfig::off(), scenario)
+    let mut runner = if scenario != AttackScenario::None {
+        run_scenario(seed, XlfConfig::off(), scenario).into_runner()
     } else {
-        xlf_core::framework::XlfHome::build(seed, config, &home_devices)
+        HomeRunner::build(seed, config, &home_devices)
     };
-    let (tap, records) = RecordingTap::new();
-    home.net.add_tap(Box::new(tap));
-    home.net.run_until(xlf_simnet::SimTime::from_secs(600));
-    let samples: Vec<(f64, usize, bool)> = records
-        .borrow()
-        .iter()
-        .map(|r| (r.at.as_secs_f64(), r.wire_size, true))
-        .collect();
-    window_features(&samples).to_vec()
+    runner.run_until(xlf_simnet::SimTime::from_secs(600));
+    runner.report(xlf_simnet::SimTime::from_secs(600)).features
 }
 
 fn main() {
@@ -70,22 +64,13 @@ fn main() {
         names.push(format!("house-{}", seed - 100));
     }
 
-    // Normalize features per dimension so counts do not dominate.
-    let dims = features[0].len();
-    for d in 0..dims {
-        let max = features.iter().map(|f| f[d].abs()).fold(1e-9, f64::max);
-        for f in &mut features {
-            f[d] /= max;
-        }
-    }
-
-    let adj = similarity_graph(&features, 3, 8.0);
-    let labels = label_propagation(&adj, 100);
-    let scores = deviation_scores(&adj, &labels);
+    // Normalization, kNN graph, label propagation, and deviation scoring
+    // all live behind the batch entry point.
+    let report = community_report(&features, 3, 8.0, 100);
 
     let mut rows: Vec<Vec<String>> = names
         .iter()
-        .zip(labels.iter().zip(scores.iter()))
+        .zip(report.labels.iter().zip(report.scores.iter()))
         .map(|(name, (label, score))| {
             vec![
                 name.clone(),

@@ -5,15 +5,22 @@
 //!
 //! Built on a crossbeam MPSC channel: every mechanism holds a cheap
 //! cloneable [`EvidenceBus`] sender; the Core drains the receiver when it
-//! evaluates.
+//! evaluates. Evidence reported after the Core's drain end is gone cannot
+//! be delivered; the bus counts those losses instead of discarding them
+//! silently (see [`EvidenceBus::dropped`]).
 
 use crate::evidence::{Evidence, EvidenceStore};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A cloneable handle mechanisms use to report evidence.
 #[derive(Debug, Clone)]
 pub struct EvidenceBus {
     tx: Sender<Evidence>,
+    /// Observations that had nowhere to go (Core drain end gone). Shared
+    /// across clones so the count is bus-wide, not per-handle.
+    dropped: Arc<AtomicU64>,
 }
 
 impl EvidenceBus {
@@ -21,14 +28,29 @@ impl EvidenceBus {
     /// drain end.
     pub fn new() -> (EvidenceBus, EvidenceDrain) {
         let (tx, rx) = unbounded();
-        (EvidenceBus { tx }, EvidenceDrain { rx })
+        (
+            EvidenceBus {
+                tx,
+                dropped: Arc::new(AtomicU64::new(0)),
+            },
+            EvidenceDrain { rx },
+        )
     }
 
     /// Reports one observation (never blocks; the channel is unbounded).
+    /// A send failure means the Core is gone and the observation is lost;
+    /// the loss is counted rather than silently discarded.
     pub fn report(&self, evidence: Evidence) {
-        // The receiver lives as long as the Core; a send failure means the
-        // Core is gone and the observation has nowhere to go.
-        let _ = self.tx.send(evidence);
+        if self.tx.send(evidence).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// How many observations were lost because the Core's drain end was
+    /// gone when they were reported (aggregated across all clones of this
+    /// bus).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -48,6 +70,29 @@ impl EvidenceDrain {
             n += 1;
         }
         n
+    }
+
+    /// Moves at most `max` pending observations into the store; returns
+    /// how many moved. Anything beyond `max` stays queued for the next
+    /// drain — a fleet worker multiplexing many homes uses this so one
+    /// chatty home cannot stall its whole shard.
+    pub fn drain_up_to(&self, store: &mut EvidenceStore, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.rx.try_recv() {
+                Ok(evidence) => {
+                    store.push(evidence);
+                    n += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        n
+    }
+
+    /// Observations queued but not yet drained.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
     }
 }
 
@@ -77,6 +122,7 @@ mod tests {
         let mut store = EvidenceStore::new();
         assert_eq!(drain.drain_into(&mut store), 2);
         assert_eq!(store.len(), 2);
+        assert_eq!(bus.dropped(), 0);
     }
 
     #[test]
@@ -94,5 +140,45 @@ mod tests {
         drain.drain_into(&mut store);
         bus.report(ev("cam"));
         assert_eq!(drain.drain_into(&mut store), 1);
+    }
+
+    #[test]
+    fn reports_after_the_core_is_gone_are_counted_not_silent() {
+        let (bus, drain) = EvidenceBus::new();
+        let bus2 = bus.clone();
+        bus.report(ev("cam"));
+        drop(drain); // the Core goes away with one observation pending
+        bus.report(ev("cam"));
+        bus2.report(ev("lamp"));
+        // Both clones see the bus-wide count.
+        assert_eq!(bus.dropped(), 2);
+        assert_eq!(bus2.dropped(), 2);
+    }
+
+    #[test]
+    fn drain_up_to_respects_the_limit_and_keeps_leftovers() {
+        let (bus, drain) = EvidenceBus::new();
+        for i in 0..5 {
+            bus.report(ev(&format!("dev{i}")));
+        }
+        let mut store = EvidenceStore::new();
+        assert_eq!(drain.drain_up_to(&mut store, 3), 3);
+        assert_eq!(store.len(), 3);
+        assert_eq!(drain.pending(), 2);
+        // FIFO order is preserved across the split drains.
+        assert_eq!(store.all()[0].device, "dev0");
+        assert_eq!(drain.drain_up_to(&mut store, 10), 2);
+        assert_eq!(store.all()[3].device, "dev3");
+        assert_eq!(drain.drain_up_to(&mut store, 10), 0);
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn drain_up_to_zero_moves_nothing() {
+        let (bus, drain) = EvidenceBus::new();
+        bus.report(ev("cam"));
+        let mut store = EvidenceStore::new();
+        assert_eq!(drain.drain_up_to(&mut store, 0), 0);
+        assert_eq!(drain.pending(), 1);
     }
 }

@@ -160,6 +160,20 @@ impl XlfCore {
         all_actions
     }
 
+    /// Moves at most `max` pending bus observations into the store
+    /// without evaluating; returns how many moved. A fleet worker
+    /// multiplexing many homes calls this between simulation slices so
+    /// one chatty home cannot stall its whole shard (the remainder stays
+    /// queued for the next slice or the next [`XlfCore::evaluate`]).
+    pub fn drain_pending(&mut self, max: usize) -> usize {
+        self.drain.drain_up_to(&mut self.store, max)
+    }
+
+    /// Observations queued on the bus but not yet drained.
+    pub fn pending_evidence(&self) -> usize {
+        self.drain.pending()
+    }
+
     /// Fuses a verdict for one device right now (used by experiments).
     pub fn verdict_for(&mut self, device: &str, now: SimTime) -> Verdict {
         self.drain.drain_into(&mut self.store);
@@ -734,6 +748,163 @@ impl XlfHome {
         let id = self.devices[name];
         self.net.node_as::<SimDevice>(id).expect("device exists")
     }
+
+    /// Wraps this home in a reusable [`HomeRunner`] (installs the traffic
+    /// tap the behaviour features come from).
+    pub fn into_runner(self) -> HomeRunner {
+        HomeRunner::new(self)
+    }
+}
+
+/// Deterministic, thread-portable summary of one finished home run: what
+/// a higher aggregation tier (the fleet Core) consumes. Everything here
+/// is `Send + Clone` and derived only from the simulation state, so the
+/// same seed always yields the same report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeReport {
+    /// The seed the home was built from.
+    pub seed: u64,
+    /// Evidence records aggregated by this home's Core.
+    pub evidence_total: usize,
+    /// Observations lost because the Core drain end was gone.
+    pub evidence_dropped: u64,
+    /// Evidence counts per layer: `[device, network, service]`.
+    pub evidence_by_layer: [usize; 3],
+    /// Warning-or-higher alerts raised.
+    pub warning_alerts: usize,
+    /// Critical alerts raised.
+    pub critical_alerts: usize,
+    /// Devices quarantined by NAC at the end of the run.
+    pub quarantined: Vec<String>,
+    /// The most suspicious device and its fused verdict score.
+    pub top_device: String,
+    /// Fused suspicion score of `top_device` in `[0, 1]`.
+    pub top_score: f64,
+    /// Packets the gateway forwarded.
+    pub forwarded: u64,
+    /// Packets the gateway dropped (quarantine / NAC / vetting).
+    pub dropped_packets: u64,
+    /// Behaviour feature vector of the home's traffic trace (see
+    /// [`xlf_analytics::features::window_features`]).
+    pub features: Vec<f64>,
+}
+
+/// A reusable run handle over one [`XlfHome`]: owns the home, a traffic
+/// tap, and the stepping/summary logic the multi-home experiments and
+/// the fleet engine previously wired up ad hoc. Not `Send` (the home's
+/// Core is `Rc`-shared) — build and drive it on one thread, then ship
+/// the [`HomeReport`] across threads.
+pub struct HomeRunner {
+    home: XlfHome,
+    records: Rc<RefCell<Vec<xlf_simnet::observer::PacketRecord>>>,
+}
+
+impl std::fmt::Debug for HomeRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HomeRunner")
+            .field("devices", &self.home.devices.len())
+            .field("records", &self.records.borrow().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HomeRunner {
+    /// Wraps `home`, installing the recording tap its behaviour features
+    /// come from. Install before running: features cover the whole run.
+    pub fn new(mut home: XlfHome) -> Self {
+        let (tap, records) = xlf_simnet::observer::RecordingTap::new();
+        home.net.add_tap(Box::new(tap));
+        HomeRunner { home, records }
+    }
+
+    /// Builds a fresh home from a spec and wraps it.
+    pub fn build(seed: u64, config: XlfConfig, devices: &[HomeDevice]) -> Self {
+        Self::new(XlfHome::build(seed, config, devices))
+    }
+
+    /// The wrapped home (e.g. to add attacker nodes before running).
+    pub fn home_mut(&mut self) -> &mut XlfHome {
+        &mut self.home
+    }
+
+    /// The wrapped home, read-only.
+    pub fn home(&self) -> &XlfHome {
+        &self.home
+    }
+
+    /// Steps the simulation to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.home.net.run_until(t);
+    }
+
+    /// Finishes the run at `now`: one final Core evaluation sweep (so
+    /// late evidence is fused), then the summary a fleet tier consumes.
+    pub fn finish(self, now: SimTime) -> HomeReport {
+        self.home.core.borrow_mut().evaluate(now);
+        self.report(now)
+    }
+
+    /// Summarizes the run so far without consuming the runner (no final
+    /// evaluation sweep; call [`XlfCore::evaluate`] yourself if needed).
+    pub fn report(&self, now: SimTime) -> HomeReport {
+        let core = self.home.core.borrow();
+        let mut by_layer = [0usize; 3];
+        for e in core.store.all() {
+            let idx = match e.layer {
+                crate::evidence::Layer::Device => 0,
+                crate::evidence::Layer::Network => 1,
+                crate::evidence::Layer::Service => 2,
+            };
+            by_layer[idx] += 1;
+        }
+        drop(core);
+
+        // Fused verdict per device; the most suspicious one is the
+        // home's headline. Iteration is in BTreeMap (name) order, ties
+        // keep the first name — deterministic.
+        let mut top_device = String::new();
+        let mut top_score = 0.0f64;
+        let device_names: Vec<String> = self.home.devices.keys().cloned().collect();
+        for name in &device_names {
+            let verdict = self.home.core.borrow_mut().verdict_for(name, now);
+            if verdict.score > top_score || top_device.is_empty() {
+                top_score = verdict.score;
+                top_device = name.clone();
+            }
+        }
+
+        let gateway = self.home.gateway_ref();
+        let quarantined: Vec<String> = device_names
+            .iter()
+            .filter(|name| gateway.nac.is_quarantined(name))
+            .cloned()
+            .collect();
+
+        let cloud = self.home.cloud;
+        let samples: Vec<(f64, usize, bool)> = self
+            .records
+            .borrow()
+            .iter()
+            .map(|r| (r.at.as_secs_f64(), r.wire_size, r.dst == cloud))
+            .collect();
+        let features = xlf_analytics::features::window_features(&samples).to_vec();
+
+        let core = self.home.core.borrow();
+        HomeReport {
+            seed: self.home.net.seed(),
+            evidence_total: core.store.len(),
+            evidence_dropped: core.bus.dropped(),
+            evidence_by_layer: by_layer,
+            warning_alerts: core.alerts.at_least(Severity::Warning).len(),
+            critical_alerts: core.alerts.at_least(Severity::Critical).len(),
+            quarantined,
+            top_device,
+            top_score,
+            forwarded: gateway.forwarded,
+            dropped_packets: gateway.dropped,
+            features,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -911,6 +1082,29 @@ mod tests {
             Duration::from_secs(300),
             "suspicion must shorten token lifetimes (§IV-A1)"
         );
+    }
+
+    #[test]
+    fn home_runner_report_summarizes_a_benign_run() {
+        let mut runner = HomeRunner::new(basic_home(XlfConfig::full()));
+        runner.run_until(SimTime::from_secs(300));
+        let report = runner.finish(SimTime::from_secs(300));
+        assert_eq!(report.seed, 7);
+        assert_eq!(report.critical_alerts, 0);
+        assert!(report.quarantined.is_empty());
+        assert!(report.forwarded > 50, "telemetry must flow");
+        assert!(report.features[0] > 0.0, "tap must have seen traffic");
+        assert_eq!(report.evidence_dropped, 0);
+    }
+
+    #[test]
+    fn home_runner_reports_are_deterministic() {
+        let run = || {
+            let mut runner = HomeRunner::new(basic_home(XlfConfig::full()));
+            runner.run_until(SimTime::from_secs(300));
+            runner.finish(SimTime::from_secs(300))
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

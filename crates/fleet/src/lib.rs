@@ -1,0 +1,37 @@
+//! # xlf-fleet — sharded multi-home fleet orchestration
+//!
+//! The paper deploys XLF per home but argues its real power is the
+//! *group*: "the knowledge obtained from the group of smart homes is
+//! used to detect deviations" (§IV-D). This crate productionizes that
+//! tier. It stamps N independent homes (each a full xlf-simnet +
+//! xlf-core deployment with its own derived seed) from one master seed,
+//! shards them across a worker-thread pool, and correlates the per-home
+//! summaries with graph-based community learning to flag deviant homes
+//! fleet-wide.
+//!
+//! Pipeline:
+//!
+//! 1. [`FleetSpec`] + [`HomeTemplate`]s → [`FleetSpec::stamp`] derives a
+//!    [`HomeSpec`] per home (template, attack, seed) by pure hashing.
+//! 2. [`run_fleet`] feeds the specs down an MPMC job channel to
+//!    `workers` threads; each worker builds its homes locally (a home's
+//!    Core is `Rc`-shared and never crosses threads), steps them in
+//!    slices with bounded evidence drains, and ships `HomeReport`s back
+//!    over a bounded channel.
+//! 3. [`FleetAggregator`] sorts the reports, correlates them with
+//!    [`xlf_analytics::graph::community_report`], flags deviants, and
+//!    publishes fleet alerts through the standard alert pipeline.
+//! 4. [`FleetMetrics`] (atomic counters / gauges / histograms, zero new
+//!    dependencies) records throughput and stage latencies, dumpable as
+//!    JSON. Wall-clock lives only there: the [`FleetReport`] itself is
+//!    byte-identical for any worker count.
+
+pub mod aggregate;
+pub mod engine;
+pub mod metrics;
+pub mod spec;
+
+pub use aggregate::{FleetAggregator, FleetHomeRow, FleetReport, FleetTotals};
+pub use engine::{build_home, run_fleet};
+pub use metrics::{Counter, FleetMetrics, Gauge, Histogram};
+pub use spec::{FleetAttack, FleetSpec, HomeSpec, HomeTemplate};

@@ -1,0 +1,247 @@
+//! Self-contained fleet metrics: atomic counters, gauges, and
+//! fixed-bucket histograms — no external dependencies, safe to update
+//! from every worker thread concurrently, dumpable as JSON.
+//!
+//! Wall-clock timings live here and **only** here: the deterministic
+//! [`FleetReport`](crate::aggregate::FleetReport) never contains them,
+//! which is what keeps fleet reports byte-identical across worker
+//! counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge that also tracks its high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// Records a new value.
+    pub fn set(&self, v: u64) {
+        self.current.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Last recorded value.
+    pub fn get(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever recorded.
+    pub fn high_water(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bucket bounds (µs) for stage-latency histograms: roughly
+/// half-decade steps from 100 µs to 1 s, plus an overflow bucket.
+pub const LATENCY_BUCKETS_US: [u64; 9] = [
+    100, 316, 1_000, 3_162, 10_000, 31_623, 100_000, 316_228, 1_000_000,
+];
+
+/// A fixed-bucket histogram (bounds in µs, cumulative-free counts).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: Default::default(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation (µs).
+    pub fn observe(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (µs).
+    pub fn sum_us(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (µs; 0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us() as f64 / n as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let bound = LATENCY_BUCKETS_US
+                    .get(i)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "\"+Inf\"".to_string());
+                format!("[{bound},{}]", c.load(Ordering::Relaxed))
+            })
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum_us\":{},\"mean_us\":{:.1},\"buckets\":[{}]}}",
+            self.count(),
+            self.sum_us(),
+            self.mean_us(),
+            buckets.join(",")
+        )
+    }
+}
+
+/// All metrics of one fleet run.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Homes fully stepped to the horizon.
+    pub homes_stepped: Counter,
+    /// Evidence items ingested by worker-side bounded drains.
+    pub evidence_drained: Counter,
+    /// Evidence items aggregated into home stores over the whole run.
+    pub evidence_total: Counter,
+    /// Home reports received by the aggregator.
+    pub reports_received: Counter,
+    /// Depth of the bounded report channel, sampled at each send.
+    pub report_channel_depth: Gauge,
+    /// Per-home build time (µs).
+    pub build_us: Histogram,
+    /// Per-home simulation time to horizon (µs).
+    pub step_us: Histogram,
+    /// Per-home summary-extraction time (µs).
+    pub report_us: Histogram,
+    /// Cross-home aggregation time (µs) — one observation per run.
+    pub aggregate_us: Histogram,
+}
+
+impl FleetMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serializes every counter/gauge/histogram as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"homes_stepped\":{},\"evidence_drained\":{},\"evidence_total\":{},\
+             \"reports_received\":{},\"report_channel_depth\":{},\
+             \"report_channel_high_water\":{},\"build\":{},\"step\":{},\
+             \"report\":{},\"aggregate\":{}}}",
+            self.homes_stepped.get(),
+            self.evidence_drained.get(),
+            self.evidence_total.get(),
+            self.reports_received.get(),
+            self.report_channel_depth.get(),
+            self.report_channel_depth.high_water(),
+            self.build_us.to_json(),
+            self.step_us.to_json(),
+            self.report_us.to_json(),
+            self.aggregate_us.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let m = FleetMetrics::new();
+        m.homes_stepped.inc();
+        m.homes_stepped.add(4);
+        assert_eq!(m.homes_stepped.get(), 5);
+        m.report_channel_depth.set(3);
+        m.report_channel_depth.set(1);
+        assert_eq!(m.report_channel_depth.get(), 1);
+        assert_eq!(m.report_channel_depth.high_water(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let h = Histogram::default();
+        h.observe(50); // → first bucket (<= 100)
+        h.observe(2_000); // → <= 3162
+        h.observe(5_000_000); // → overflow
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_us(), 5_002_050);
+        let json = h.to_json();
+        assert!(json.contains("\"count\":3"), "{json}");
+        assert!(json.contains("+Inf"), "{json}");
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let m = FleetMetrics::new();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.homes_stepped.inc();
+                        m.build_us.observe(10);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.homes_stepped.get(), 4000);
+        assert_eq!(m.build_us.count(), 4000);
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed_enough() {
+        let m = FleetMetrics::new();
+        m.evidence_drained.add(12);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"evidence_drained\":12"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Fleet specification: templates describing *kinds* of homes (device
+//! mix, automation recipes, defense config) and the deterministic
+//! stamping that turns a master seed + home count into concrete
+//! [`HomeSpec`]s. Stamping is pure hashing — it never depends on worker
+//! count or scheduling, which is what makes fleet reports reproducible.
+
+use xlf_core::framework::{HomeDevice, XlfConfig};
+use xlf_device::{SensorKind, VulnSet, Vulnerability};
+use xlf_simnet::Duration;
+
+/// SplitMix64: the stateless mixer the stamping pipeline is built on.
+/// Every derived quantity (template pick, attack pick, per-home seed) is
+/// one more mix of the previous word, so the whole fleet layout is a
+/// pure function of `(master_seed, home id)`.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The attack injected into one home of the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FleetAttack {
+    /// Benign home.
+    None,
+    /// Mirai-style recruitment of the weak camera (C&C bootstrap string
+    /// in a default-credential login), followed by a flood order.
+    BotnetRecruit,
+    /// Unsigned malicious OTA pushed at the camera through the gateway.
+    FirmwareTamper,
+}
+
+impl FleetAttack {
+    /// Stable short name (used in reports and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetAttack::None => "none",
+            FleetAttack::BotnetRecruit => "botnet-recruit",
+            FleetAttack::FirmwareTamper => "firmware-tamper",
+        }
+    }
+}
+
+/// A parameterized kind of home the fleet stamps out.
+#[derive(Debug, Clone)]
+pub struct HomeTemplate {
+    /// Template name (used in reports).
+    pub name: String,
+    /// Device mix.
+    pub devices: Vec<HomeDevice>,
+    /// XLF deployment config for homes of this kind.
+    pub config: XlfConfig,
+    /// Whether to install the §IV-C3 auto-window automation recipe.
+    pub automation: bool,
+    /// Relative share of the fleet running this template.
+    pub share: u32,
+}
+
+/// The standard five-device home (thermostat, weak camera, vulnerable
+/// wall pad, lamp, window actuator) shared by the experiment harnesses.
+fn standard_devices() -> Vec<HomeDevice> {
+    vec![
+        HomeDevice::new("thermo", SensorKind::Temperature)
+            .with_telemetry_period(Duration::from_secs(10)),
+        HomeDevice::new("cam", SensorKind::Camera)
+            .with_vulns(VulnSet::of(&[
+                Vulnerability::StaticPassword,
+                Vulnerability::UnsignedFirmware,
+            ]))
+            .with_telemetry_period(Duration::from_secs(10)),
+        HomeDevice::new("wallpad", SensorKind::Motion)
+            .with_vulns(VulnSet::of(&[Vulnerability::BufferOverflow]))
+            .with_telemetry_period(Duration::from_secs(15)),
+        HomeDevice::new("lamp", SensorKind::Power).with_telemetry_period(Duration::from_secs(20)),
+        HomeDevice::new("window", SensorKind::Power).with_telemetry_period(Duration::from_secs(20)),
+    ]
+}
+
+impl HomeTemplate {
+    /// The "apartment" profile: the standard device mix at standard
+    /// telemetry rates, full XLF deployed, automation installed.
+    pub fn apartment() -> Self {
+        HomeTemplate {
+            name: "apartment".to_string(),
+            devices: standard_devices(),
+            config: XlfConfig::full(),
+            automation: true,
+            share: 3,
+        }
+    }
+
+    /// The "house" profile: same device mix but chattier telemetry
+    /// (larger dwellings poll faster) — a distinct behavioural community.
+    pub fn house() -> Self {
+        let mut devices = standard_devices();
+        for d in &mut devices {
+            d.telemetry_period = Duration::from_secs(3);
+        }
+        HomeTemplate {
+            name: "house".to_string(),
+            devices,
+            config: XlfConfig::full(),
+            automation: true,
+            share: 1,
+        }
+    }
+
+    /// Replaces the deployment config (builder-style).
+    pub fn with_config(mut self, config: XlfConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the fleet share (builder-style).
+    pub fn with_share(mut self, share: u32) -> Self {
+        self.share = share;
+        self
+    }
+}
+
+/// Timing of the per-home scenario (mirrors the single-home experiment
+/// harness): monitors learn, then the attack fires, then the run ends.
+pub const LEARNING_END_S: u64 = 120;
+/// When an injected attack fires.
+pub const ATTACK_AT_S: u64 = 180;
+
+/// The complete description of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Master seed every per-home seed is derived from.
+    pub master_seed: u64,
+    /// Number of homes to stamp out.
+    pub homes: usize,
+    /// Worker threads stepping home event loops.
+    pub workers: usize,
+    /// Simulated horizon per home.
+    pub horizon: Duration,
+    /// Home kinds and their fleet shares.
+    pub templates: Vec<HomeTemplate>,
+    /// Attack mix: `(attack, share)` — shares are relative weights.
+    pub attacks: Vec<(FleetAttack, u32)>,
+    /// Simulation slices per home (evidence is drained between slices).
+    pub slices: u32,
+    /// Max evidence items a worker ingests per home per slice
+    /// ([`xlf_core::framework::XlfCore::drain_pending`] bound).
+    pub drain_batch: usize,
+    /// Capacity of the bounded report channel (worker → aggregator
+    /// backpressure).
+    pub report_capacity: usize,
+    /// kNN graph degree for cross-home correlation.
+    pub graph_k: usize,
+    /// RBF kernel width for the similarity graph.
+    pub graph_gamma: f64,
+    /// Label-propagation iteration cap.
+    pub graph_iters: usize,
+    /// Deviation threshold floor for flagging (the effective threshold
+    /// is `max(min_deviation, median + sigma·MAD)` over the fleet —
+    /// median/MAD so deviants can't inflate the spread they are
+    /// compared against).
+    pub min_deviation: f64,
+    /// How many (robust) standard deviations above the fleet median a
+    /// home's deviation score must sit to be flagged.
+    pub sigma: f64,
+}
+
+impl FleetSpec {
+    /// A fleet of `homes` homes with the default template/attack mix
+    /// (3:1 apartment:house, all benign), 420 s horizon, one worker.
+    pub fn new(master_seed: u64, homes: usize) -> Self {
+        FleetSpec {
+            master_seed,
+            homes,
+            workers: 1,
+            horizon: Duration::from_secs(420),
+            templates: vec![HomeTemplate::apartment(), HomeTemplate::house()],
+            attacks: vec![(FleetAttack::None, 1)],
+            slices: 8,
+            drain_batch: 256,
+            report_capacity: 64,
+            graph_k: 8,
+            graph_gamma: 8.0,
+            graph_iters: 100,
+            min_deviation: 0.15,
+            sigma: 4.0,
+        }
+    }
+
+    /// Sets the worker-pool size (builder-style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-home simulated horizon (builder-style).
+    pub fn with_horizon(mut self, horizon: Duration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Replaces the template mix (builder-style).
+    pub fn with_templates(mut self, templates: Vec<HomeTemplate>) -> Self {
+        assert!(!templates.is_empty(), "fleet needs at least one template");
+        self.templates = templates;
+        self
+    }
+
+    /// Replaces the attack mix (builder-style). Shares are relative:
+    /// `[(None, 99), (BotnetRecruit, 1)]` compromises ~1% of homes.
+    pub fn with_attacks(mut self, attacks: Vec<(FleetAttack, u32)>) -> Self {
+        assert!(
+            attacks.iter().any(|&(_, share)| share > 0),
+            "attack mix needs at least one positive share"
+        );
+        self.attacks = attacks;
+        self
+    }
+
+    /// Stamps the concrete per-home specs. Pure function of the spec —
+    /// independent of worker count, scheduling, and wall-clock.
+    pub fn stamp(&self) -> Vec<HomeSpec> {
+        let template_total: u64 = self.templates.iter().map(|t| t.share.max(1) as u64).sum();
+        let attack_total: u64 = self.attacks.iter().map(|&(_, s)| s as u64).sum();
+        (0..self.homes as u64)
+            .map(|id| {
+                let h0 = splitmix64(self.master_seed ^ splitmix64(id));
+                let template = weighted_pick(
+                    h0 % template_total,
+                    self.templates.iter().map(|t| t.share.max(1) as u64),
+                );
+                let h1 = splitmix64(h0);
+                let attack_idx = weighted_pick(
+                    h1 % attack_total,
+                    self.attacks.iter().map(|&(_, s)| s as u64),
+                );
+                let seed = splitmix64(h1 ^ 0xF1EE_7000_0000_0000);
+                HomeSpec {
+                    id,
+                    seed,
+                    template,
+                    attack: self.attacks[attack_idx].0,
+                }
+            })
+            .collect()
+    }
+}
+
+fn weighted_pick(mut point: u64, shares: impl Iterator<Item = u64>) -> usize {
+    for (i, share) in shares.enumerate() {
+        if point < share {
+            return i;
+        }
+        point -= share;
+    }
+    0
+}
+
+/// One stamped home: everything a worker needs to build and run it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomeSpec {
+    /// Fleet-wide home id (stable across runs).
+    pub id: u64,
+    /// Derived simulation seed.
+    pub seed: u64,
+    /// Index into [`FleetSpec::templates`].
+    pub template: usize,
+    /// Injected attack.
+    pub attack: FleetAttack,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamping_is_deterministic_and_seed_sensitive() {
+        let spec = FleetSpec::new(42, 64);
+        let a = spec.stamp();
+        let b = spec.stamp();
+        assert_eq!(a, b);
+        let c = FleetSpec::new(43, 64).stamp();
+        assert_ne!(a, c, "different master seed must relayout the fleet");
+        // Per-home seeds are all distinct.
+        let mut seeds: Vec<u64> = a.iter().map(|h| h.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    fn template_and_attack_shares_are_roughly_respected() {
+        let spec = FleetSpec::new(7, 1000).with_attacks(vec![
+            (FleetAttack::None, 9),
+            (FleetAttack::BotnetRecruit, 1),
+        ]);
+        let homes = spec.stamp();
+        let apartments = homes.iter().filter(|h| h.template == 0).count();
+        let attacked = homes
+            .iter()
+            .filter(|h| h.attack == FleetAttack::BotnetRecruit)
+            .count();
+        // 3:1 template mix → ~750 apartments; 10% attack share → ~100.
+        assert!(
+            (650..=850).contains(&apartments),
+            "apartments: {apartments}"
+        );
+        assert!((60..=140).contains(&attacked), "attacked: {attacked}");
+    }
+
+    #[test]
+    fn zero_attack_share_is_never_picked() {
+        let spec = FleetSpec::new(11, 256).with_attacks(vec![
+            (FleetAttack::None, 1),
+            (FleetAttack::FirmwareTamper, 0),
+        ]);
+        assert!(spec.stamp().iter().all(|h| h.attack == FleetAttack::None));
+    }
+}

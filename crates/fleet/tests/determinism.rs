@@ -1,0 +1,70 @@
+//! Fleet determinism: the same master seed must produce a byte-identical
+//! fleet report no matter how many workers shard the homes — worker
+//! count is an execution detail, not an input to the science.
+
+use xlf_fleet::{run_fleet, FleetAttack, FleetMetrics, FleetSpec};
+
+fn spec(workers: usize) -> FleetSpec {
+    FleetSpec::new(0xF1EE_7001, 24)
+        .with_workers(workers)
+        .with_attacks(vec![
+            (FleetAttack::None, 10),
+            (FleetAttack::BotnetRecruit, 1),
+            (FleetAttack::FirmwareTamper, 1),
+        ])
+}
+
+#[test]
+fn same_master_seed_is_byte_identical_across_worker_counts() {
+    let baseline = run_fleet(&spec(1), &FleetMetrics::new());
+    let json = baseline.to_json();
+    assert_eq!(baseline.rows.len(), 24);
+
+    for workers in [2, 8] {
+        let metrics = FleetMetrics::new();
+        let report = run_fleet(&spec(workers), &metrics);
+        assert_eq!(
+            report.to_json(),
+            json,
+            "worker count {workers} changed the fleet report"
+        );
+        assert_eq!(metrics.homes_stepped.get(), 24);
+        assert_eq!(metrics.reports_received.get(), 24);
+    }
+}
+
+#[test]
+fn different_master_seed_changes_the_report() {
+    let a = run_fleet(&spec(2), &FleetMetrics::new());
+    let mut other = spec(2);
+    other.master_seed ^= 1;
+    let b = run_fleet(&other, &FleetMetrics::new());
+    assert_ne!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn injected_deviants_are_flagged_by_the_aggregator() {
+    // A mostly-benign fleet with a couple of compromised homes: the
+    // cross-home tier must flag every attacked home (their own Cores
+    // raise criticals, which the aggregator escalates fleet-wide).
+    let report = run_fleet(&spec(2), &FleetMetrics::new());
+    let attacked: Vec<u64> = report
+        .rows
+        .iter()
+        .filter(|r| r.attack != "none")
+        .map(|r| r.id)
+        .collect();
+    assert!(
+        !attacked.is_empty(),
+        "attack mix should hit at least one home"
+    );
+    for id in &attacked {
+        assert!(
+            report.flagged.contains(id),
+            "attacked home {id} not flagged; flagged={:?}",
+            report.flagged
+        );
+    }
+    // And the flags come with fleet alerts through the alert pipeline.
+    assert!(report.alerts.len() >= attacked.len());
+}

@@ -145,6 +145,7 @@ pub struct Network {
     queue: BinaryHeap<Reverse<Event>>,
     now: SimTime,
     seq: u64,
+    seed: u64,
     rng: StdRng,
     taps: Vec<Box<dyn Tap>>,
     cancelled: HashSet<u64>,
@@ -177,6 +178,7 @@ impl Network {
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
+            seed,
             rng: StdRng::seed_from_u64(seed),
             taps: Vec::new(),
             cancelled: HashSet::new(),
@@ -185,6 +187,11 @@ impl Network {
             stats: NetworkStats::default(),
             max_events: 20_000_000,
         }
+    }
+
+    /// The RNG seed this network was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Registers a node, returning its id.

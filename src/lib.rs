@@ -42,6 +42,7 @@
 //! | [`analytics`] | `xlf-analytics` | MKL, graphs, DFA, time series, fingerprinting |
 //! | [`attacks`] | `xlf-attacks` | the executable Table II / Figure 3 adversary library |
 //! | [`lwcrypto`] | `xlf-lwcrypto` | the Table III lightweight cipher suite |
+//! | [`fleet`] | `xlf-fleet` | sharded multi-home fleet orchestration + cross-home correlation |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -54,6 +55,7 @@ pub use xlf_attacks as attacks;
 pub use xlf_cloud as cloud;
 pub use xlf_core as core;
 pub use xlf_device as device;
+pub use xlf_fleet as fleet;
 pub use xlf_lwcrypto as lwcrypto;
 pub use xlf_protocols as protocols;
 pub use xlf_simnet as simnet;

@@ -1,26 +1,47 @@
 //! Offline vendored subset of the `crossbeam` API used by the XLF
-//! workspace: cloneable MPMC channels (`channel::unbounded`) and scoped
-//! threads (`thread::scope`, delegating to `std::thread::scope`).
+//! workspace: cloneable MPMC channels (`channel::unbounded` and
+//! `channel::bounded`) with disconnect detection, and scoped threads
+//! (`thread::scope`, delegating to `std::thread::scope`).
 
 #![forbid(unsafe_code)]
 
-/// Cloneable unbounded MPMC channel (the slice of `crossbeam-channel`
-/// the evidence bus and sharded DPI use).
+/// Cloneable MPMC channels (the slice of `crossbeam-channel` the
+/// evidence bus, sharded DPI, and fleet engine use): unbounded and
+/// bounded flavours, blocking `send`/`recv`, and disconnect detection
+/// via sender/receiver reference counts.
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
 
-    struct Shared<T> {
-        queue: Mutex<VecDeque<T>>,
-        ready: Condvar,
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
     }
 
-    /// Error returned when the channel is empty (or disconnected).
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a value arrives or the last sender leaves.
+        not_empty: Condvar,
+        /// Signalled when space frees up or the last receiver leaves.
+        not_full: Condvar,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+    }
+
+    /// Error returned by [`Receiver::try_recv`] when the channel is
+    /// empty (or disconnected).
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct TryRecvError;
 
-    /// Error returned when every receiver is gone.
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned when every receiver is gone; carries the value
+    /// that could not be delivered.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -36,6 +57,7 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            self.shared.inner.lock().expect("channel poisoned").senders += 1;
             Sender {
                 shared: self.shared.clone(),
             }
@@ -44,8 +66,35 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .receivers += 1;
             Receiver {
                 shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.not_full.notify_all();
             }
         }
     }
@@ -62,11 +111,16 @@ pub mod channel {
         }
     }
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
         });
         (
             Sender {
@@ -76,26 +130,93 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded channel: `send` blocks while `cap` values are
+    /// pending (backpressure). `cap` must be at least 1 (zero-capacity
+    /// rendezvous channels are not part of this subset).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        channel(Some(cap))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues a value (never blocks).
+        /// Enqueues a value. Blocks while a bounded channel is full;
+        /// fails when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut queue = self.shared.queue.lock().expect("channel poisoned");
-            queue.push_back(value);
-            self.shared.ready.notify_one();
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.shared.not_full.wait(inner).expect("channel poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(value);
+            self.shared.not_empty.notify_one();
             Ok(())
+        }
+
+        /// Number of pending values (snapshot).
+        pub fn len(&self) -> usize {
+            self.shared
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
+        }
+
+        /// True when no values are pending.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
     impl<T> Receiver<T> {
         /// Dequeues a value if one is pending.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut queue = self.shared.queue.lock().expect("channel poisoned");
-            queue.pop_front().ok_or(TryRecvError)
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            match inner.queue.pop_front() {
+                Some(value) => {
+                    self.shared.not_full.notify_one();
+                    Ok(value)
+                }
+                None => Err(TryRecvError),
+            }
         }
 
-        /// Number of pending values.
+        /// Dequeues a value, blocking until one arrives; fails once the
+        /// channel is empty and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).expect("channel poisoned");
+            }
+        }
+
+        /// Number of pending values (snapshot).
         pub fn len(&self) -> usize {
-            self.shared.queue.lock().expect("channel poisoned").len()
+            self.shared
+                .inner
+                .lock()
+                .expect("channel poisoned")
+                .queue
+                .len()
         }
 
         /// True when no values are pending.
@@ -151,7 +272,7 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::unbounded;
+    use super::channel::{bounded, unbounded, RecvError};
 
     #[test]
     fn fifo_and_clone_handles() {
@@ -162,6 +283,91 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(1));
         assert_eq!(rx.try_recv(), Ok(2));
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn send_fails_once_all_receivers_are_gone() {
+        let (tx, rx) = unbounded();
+        tx.send(1u32).unwrap();
+        drop(rx);
+        let err = tx.send(2u32).unwrap_err();
+        assert_eq!(err.0, 2);
+    }
+
+    #[test]
+    fn recv_drains_then_reports_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_receiver_keeps_channel_alive() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(5u32).unwrap();
+        assert_eq!(rx2.try_recv(), Ok(5));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let unblocked = super::thread::scope(|s| {
+            let h = s.spawn(move || {
+                // Blocks until the main thread drains the slot.
+                tx.send(2u32).unwrap();
+                true
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert!(unblocked);
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        let res = super::thread::scope(|s| {
+            let h = s.spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(tx);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(res, Err(RecvError));
+    }
+
+    #[test]
+    fn mpmc_work_distribution_covers_all_items() {
+        let (tx, rx) = unbounded();
+        for i in 0..100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 4950);
     }
 
     #[test]
