@@ -17,4 +17,18 @@ cargo test -q
 echo "== smoke: fleet orchestration (32 homes, 4 workers)"
 ./target/release/exp_fleet --homes 32 --workers 4 --horizon 420 --json BENCH_fleet.json
 
+echo "== schema stability: byte-identical fleet reports across reruns"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/exp_fleet --homes 16 --workers 2 --horizon 420 --capacity 64 \
+    --report "$tmpdir/report_a.json" --json "$tmpdir/bench_a.json" >/dev/null
+./target/release/exp_fleet --homes 16 --workers 2 --horizon 420 --capacity 64 \
+    --report "$tmpdir/report_b.json" --json "$tmpdir/bench_b.json" >/dev/null
+diff "$tmpdir/report_a.json" "$tmpdir/report_b.json" \
+    || { echo "fleet report is not stable across reruns"; exit 1; }
+grep -q '"schema_version":' "$tmpdir/report_a.json" \
+    || { echo "fleet report JSON is missing schema_version"; exit 1; }
+grep -q '"schema_version":' BENCH_fleet.json \
+    || { echo "fleet metrics JSON is missing schema_version"; exit 1; }
+
 echo "CI OK"

@@ -38,7 +38,7 @@ fn bench_fleet(c: &mut Criterion) {
     let collected: Vec<_> = spec
         .stamp()
         .into_iter()
-        .zip(full.rows.iter().map(|r| r.report.clone()))
+        .zip(full.rows.iter().map(|r| Ok(r.report.clone())))
         .collect();
     group.throughput(Throughput::Elements(collected.len() as u64));
     group.bench_function("aggregate_64_reports", |b| {

@@ -1,23 +1,33 @@
 //! E-M6 at fleet scale: stamps a sharded multi-home fleet from one
 //! master seed, runs it on 1 worker and on `--workers` workers, checks
 //! the two fleet reports are byte-identical, verifies the cross-home
-//! aggregator flags every injected deviant, and records throughput and
-//! speedup in `BENCH_fleet.json`.
+//! aggregator flags every injected deviant, sweeps the bounded
+//! evidence-bus capacity (unbounded vs 1024/256/64) to measure overload
+//! shedding vs verdict quality, and records throughput and speedup in
+//! `BENCH_fleet.json`.
 //!
 //! ```text
 //! cargo run --release -p xlf-bench --bin exp_fleet -- \
-//!     --homes 1000 --workers 8 --horizon 420 --json BENCH_fleet.json
+//!     --homes 1000 --workers 8 --horizon 420 --capacity 64 \
+//!     --report FLEET_report.json --json BENCH_fleet.json
 //! ```
 
 use std::time::Instant;
 use xlf_bench::print_table;
-use xlf_fleet::{run_fleet, FleetAttack, FleetMetrics, FleetReport, FleetSpec};
+use xlf_fleet::{
+    run_fleet, FleetAttack, FleetMetrics, FleetReport, FleetSpec, HomeTemplate,
+    FLEET_REPORT_SCHEMA_VERSION,
+};
 use xlf_simnet::Duration;
 
 struct Args {
     homes: usize,
     workers: usize,
     horizon_s: u64,
+    /// Evidence-bus capacity for the main run (None = unbounded).
+    capacity: Option<usize>,
+    /// Where to dump the main run's full `FleetReport::to_json` ("" = skip).
+    report: String,
     json: String,
 }
 
@@ -26,6 +36,8 @@ fn parse_args() -> Args {
         homes: 1000,
         workers: 8,
         horizon_s: 420,
+        capacity: None,
+        report: String::new(),
         json: "BENCH_fleet.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -42,22 +54,34 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--horizon: integer seconds")
             }
+            "--capacity" => {
+                args.capacity = Some(value("count").parse().expect("--capacity: integer"))
+            }
+            "--report" => args.report = value("path"),
             "--json" => args.json = value("path"),
-            other => panic!("unknown flag {other} (use --homes --workers --horizon --json)"),
+            other => panic!(
+                "unknown flag {other} (use --homes --workers --horizon --capacity --report --json)"
+            ),
         }
     }
     args
 }
 
-fn spec(args: &Args, workers: usize) -> FleetSpec {
+fn spec(args: &Args, workers: usize, capacity: Option<usize>) -> FleetSpec {
     FleetSpec::new(0xF1EE_2019, args.homes)
         .with_workers(workers)
         .with_horizon(Duration::from_secs(args.horizon_s))
+        .with_templates(vec![
+            HomeTemplate::apartment(),
+            HomeTemplate::house(),
+            HomeTemplate::retrofit(),
+        ])
         .with_attacks(vec![
             (FleetAttack::None, 30),
             (FleetAttack::BotnetRecruit, 1),
             (FleetAttack::FirmwareTamper, 1),
         ])
+        .with_evidence_capacity(capacity)
 }
 
 fn timed_run(spec: &FleetSpec) -> (FleetReport, FleetMetrics, f64) {
@@ -67,59 +91,55 @@ fn timed_run(spec: &FleetSpec) -> (FleetReport, FleetMetrics, f64) {
     (report, metrics, t0.elapsed().as_secs_f64())
 }
 
-fn write_bench_json(
-    args: &Args,
-    report: &FleetReport,
-    metrics: &FleetMetrics,
-    baseline_s: f64,
-    sharded_s: f64,
-    deterministic: bool,
-    deviants_flagged: bool,
-) -> std::io::Result<()> {
-    let attacked = report.rows.iter().filter(|r| r.attack != "none").count();
-    let json = format!(
-        "{{\n  \"experiment\": \"fleet\",\n  \"homes\": {},\n  \"workers\": {},\n  \
-         \"horizon_s\": {},\n  \"baseline_s\": {:.3},\n  \"sharded_s\": {:.3},\n  \
-         \"homes_per_sec\": {:.1},\n  \"speedup\": {:.2},\n  \"deterministic\": {},\n  \
-         \"attacked_homes\": {},\n  \"flagged_homes\": {},\n  \"deviants_flagged\": {},\n  \
-         \"communities\": {},\n  \"threshold\": {:.6},\n  \"metrics\": {}\n}}\n",
-        args.homes,
-        args.workers,
-        args.horizon_s,
-        baseline_s,
-        sharded_s,
-        args.homes as f64 / sharded_s,
-        baseline_s / sharded_s,
-        deterministic,
-        attacked,
-        report.flagged.len(),
-        deviants_flagged,
-        report.communities,
-        report.threshold,
-        metrics.to_json(),
-    );
-    std::fs::write(&args.json, json)
+fn attacked_ids(report: &FleetReport) -> Vec<u64> {
+    report
+        .rows
+        .iter()
+        .filter(|r| r.attack != "none")
+        .map(|r| r.id)
+        .collect()
+}
+
+fn deviants_flagged(report: &FleetReport) -> bool {
+    let attacked = attacked_ids(report);
+    !attacked.is_empty() && attacked.iter().all(|id| report.flagged.contains(id))
+}
+
+/// One row of the capacity sweep.
+struct SweepPoint {
+    label: String,
+    capacity: Option<usize>,
+    report: FleetReport,
+    wall_s: f64,
+}
+
+impl SweepPoint {
+    fn homes_shedding(&self) -> usize {
+        self.report
+            .rows
+            .iter()
+            .filter(|r| r.report.evidence_shed > 0)
+            .count()
+    }
 }
 
 fn main() {
     let args = parse_args();
     println!(
-        "xlf-fleet: {} homes, horizon {} s, 1 worker vs {} workers",
-        args.homes, args.horizon_s, args.workers
+        "xlf-fleet: {} homes, horizon {} s, 1 worker vs {} workers, capacity {}",
+        args.homes,
+        args.horizon_s,
+        args.workers,
+        args.capacity
+            .map_or("unbounded".to_string(), |c| c.to_string()),
     );
 
-    let (baseline, _, baseline_s) = timed_run(&spec(&args, 1));
-    let (report, metrics, sharded_s) = timed_run(&spec(&args, args.workers));
+    let (baseline, _, baseline_s) = timed_run(&spec(&args, 1, args.capacity));
+    let (report, metrics, sharded_s) = timed_run(&spec(&args, args.workers, args.capacity));
 
     let deterministic = report.to_json() == baseline.to_json();
-    let attacked: Vec<u64> = report
-        .rows
-        .iter()
-        .filter(|r| r.attack != "none")
-        .map(|r| r.id)
-        .collect();
-    let deviants_flagged =
-        !attacked.is_empty() && attacked.iter().all(|id| report.flagged.contains(id));
+    let attacked = attacked_ids(&report);
+    let main_deviants_flagged = deviants_flagged(&report);
 
     print_table(
         "Fleet run",
@@ -151,9 +171,61 @@ fn main() {
             format!("{:.3}", report.threshold),
             attacked.len().to_string(),
             report.flagged.len().to_string(),
-            deviants_flagged.to_string(),
+            main_deviants_flagged.to_string(),
         ]],
     );
+
+    // Capacity sweep: how hard can the per-home evidence bus be bounded
+    // before the fleet verdict degrades? Retrofit homes under a Mirai
+    // flood burst ~300 NAC observations into one evaluation window, so
+    // small capacities shed heavily there while benign homes lose
+    // nothing.
+    let sweep_caps: [Option<usize>; 4] = [None, Some(1024), Some(256), Some(64)];
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    for cap in sweep_caps {
+        let label = cap.map_or("unbounded".to_string(), |c| c.to_string());
+        let (rep, wall_s) = if cap == args.capacity {
+            (report.clone(), sharded_s)
+        } else {
+            let (rep, _, secs) = timed_run(&spec(&args, args.workers, cap));
+            (rep, secs)
+        };
+        sweep.push(SweepPoint {
+            label,
+            capacity: cap,
+            report: rep,
+            wall_s,
+        });
+    }
+    print_table(
+        "Evidence-capacity sweep",
+        &[
+            "Capacity",
+            "Evidence",
+            "Shed",
+            "Shed rate",
+            "Homes shedding",
+            "Flagged",
+            "Deviants flagged",
+            "Wall (s)",
+        ],
+        &sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.clone(),
+                    p.report.totals.evidence.to_string(),
+                    p.report.totals.evidence_shed.to_string(),
+                    format!("{:.4}", p.report.totals.evidence_shed_rate()),
+                    p.homes_shedding().to_string(),
+                    p.report.flagged.len().to_string(),
+                    deviants_flagged(&p.report).to_string(),
+                    format!("{:.2}", p.wall_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
     println!(
         "\nSpeedup {}→{} workers: {:.2}×  (deterministic across worker counts: {})",
         1,
@@ -165,21 +237,127 @@ fn main() {
 
     assert!(deterministic, "fleet report changed with worker count");
     assert!(
-        deviants_flagged,
+        main_deviants_flagged,
         "aggregator missed injected deviants: attacked={attacked:?} flagged={:?}",
         report.flagged
     );
+
+    // Schema guarantees: both longitudinal JSON surfaces are versioned.
+    let report_json = report.to_json();
+    assert!(
+        report_json.starts_with(&format!(
+            "{{\"schema_version\":{FLEET_REPORT_SCHEMA_VERSION},"
+        )),
+        "fleet report JSON lost its schema version"
+    );
+    assert!(
+        metrics.to_json().starts_with("{\"schema_version\":"),
+        "fleet metrics JSON lost its schema version"
+    );
+
+    // Sweep invariants: unbounded runs never shed; bounded runs shed
+    // exactly when a flooding retrofit home is in the stamped mix, and
+    // even the tightest capacity still catches every deviant (the Core
+    // evaluates on drained evidence, and the newest observations always
+    // survive a shed-oldest bus).
+    let flooding_homes = report
+        .rows
+        .iter()
+        .filter(|r| r.template == "retrofit" && r.attack == "botnet-recruit")
+        .count();
+    for p in &sweep {
+        match p.capacity {
+            None => assert_eq!(
+                p.report.totals.evidence_shed, 0,
+                "unbounded fleet must not shed"
+            ),
+            Some(cap) if cap <= 256 && flooding_homes > 0 => assert!(
+                p.report.totals.evidence_shed > 0,
+                "capacity {cap} with {flooding_homes} flooding homes must shed"
+            ),
+            Some(_) => {}
+        }
+        assert!(
+            deviants_flagged(&p.report) || attacked_ids(&p.report).is_empty(),
+            "capacity {} degraded the fleet verdict",
+            p.label
+        );
+    }
+
+    if !args.report.is_empty() {
+        match std::fs::write(&args.report, format!("{report_json}\n")) {
+            Ok(()) => println!("Fleet report written to {}.", args.report),
+            Err(e) => eprintln!("could not write {}: {e}", args.report),
+        }
+    }
 
     match write_bench_json(
         &args,
         &report,
         &metrics,
+        &sweep,
         baseline_s,
         sharded_s,
         deterministic,
-        deviants_flagged,
+        main_deviants_flagged,
     ) {
         Ok(()) => println!("Trajectory point written to {}.", args.json),
         Err(e) => eprintln!("could not write {}: {e}", args.json),
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_bench_json(
+    args: &Args,
+    report: &FleetReport,
+    metrics: &FleetMetrics,
+    sweep: &[SweepPoint],
+    baseline_s: f64,
+    sharded_s: f64,
+    deterministic: bool,
+    deviants_flagged: bool,
+) -> std::io::Result<()> {
+    let attacked = report.rows.iter().filter(|r| r.attack != "none").count();
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"capacity\": {}, \"evidence\": {}, \"shed\": {}, \"shed_rate\": {:.6}, \
+                 \"homes_shedding\": {}, \"flagged\": {}, \"wall_s\": {:.3}}}",
+                p.capacity.map_or("null".to_string(), |c| c.to_string()),
+                p.report.totals.evidence,
+                p.report.totals.evidence_shed,
+                p.report.totals.evidence_shed_rate(),
+                p.homes_shedding(),
+                p.report.flagged.len(),
+                p.wall_s,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"fleet\",\n  \"homes\": {},\n  \"workers\": {},\n  \
+         \"horizon_s\": {},\n  \"capacity\": {},\n  \"baseline_s\": {:.3},\n  \
+         \"sharded_s\": {:.3},\n  \"homes_per_sec\": {:.1},\n  \"speedup\": {:.2},\n  \
+         \"deterministic\": {},\n  \"attacked_homes\": {},\n  \"flagged_homes\": {},\n  \
+         \"deviants_flagged\": {},\n  \"communities\": {},\n  \"threshold\": {:.6},\n  \
+         \"evidence_shed\": {},\n  \"capacity_sweep\": [\n    {}\n  ],\n  \"metrics\": {}\n}}\n",
+        args.homes,
+        args.workers,
+        args.horizon_s,
+        args.capacity.map_or("null".to_string(), |c| c.to_string()),
+        baseline_s,
+        sharded_s,
+        args.homes as f64 / sharded_s,
+        baseline_s / sharded_s,
+        deterministic,
+        attacked,
+        report.flagged.len(),
+        deviants_flagged,
+        report.communities,
+        report.threshold,
+        report.totals.evidence_shed,
+        sweep_json.join(",\n    "),
+        metrics.to_json(),
+    );
+    std::fs::write(&args.json, json)
 }

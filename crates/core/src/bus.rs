@@ -5,12 +5,26 @@
 //!
 //! Built on a crossbeam MPSC channel: every mechanism holds a cheap
 //! cloneable [`EvidenceBus`] sender; the Core drains the receiver when it
-//! evaluates. Evidence reported after the Core's drain end is gone cannot
-//! be delivered; the bus counts those losses instead of discarding them
-//! silently (see [`EvidenceBus::dropped`]).
+//! evaluates. The bus comes in two flavours:
+//!
+//! - [`EvidenceBus::new`] — unbounded: every observation queues until the
+//!   Core drains it (the single-home deployments, where one Core serves
+//!   one home and memory is not contended).
+//! - [`EvidenceBus::bounded`] — capacity-limited with a **shed-oldest**
+//!   policy: when the queue is full the oldest queued observation is
+//!   evicted to make room (newest intelligence wins — the Core would
+//!   rather see the freshest picture of an overload than a stale prefix
+//!   of it). Fleet workers multiplexing many homes run on bounded buses
+//!   so one chatty home cannot OOM its shard.
+//!
+//! Either way, no loss is silent: observations that had nowhere to go
+//! (Core drain end gone) and observations shed under overload are both
+//! charged to [`EvidenceBus::dropped`], with the overload subset
+//! separately visible through [`EvidenceBus::shed`] so disconnect-losses
+//! and overload-sheds stay distinguishable.
 
 use crate::evidence::{Evidence, EvidenceStore};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -18,39 +32,83 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct EvidenceBus {
     tx: Sender<Evidence>,
-    /// Observations that had nowhere to go (Core drain end gone). Shared
-    /// across clones so the count is bus-wide, not per-handle.
+    /// Observations lost for any reason — drain end gone *or* shed under
+    /// overload. Shared across clones so the count is bus-wide, not
+    /// per-handle.
     dropped: Arc<AtomicU64>,
+    /// The overload-shed subset of `dropped` (oldest observations
+    /// evicted by [`EvidenceBus::report`] on a full bounded bus).
+    shed: Arc<AtomicU64>,
 }
 
 impl EvidenceBus {
-    /// Creates the bus, returning the shared sender handle and the Core's
-    /// drain end.
+    /// Creates an unbounded bus, returning the shared sender handle and
+    /// the Core's drain end.
     pub fn new() -> (EvidenceBus, EvidenceDrain) {
         let (tx, rx) = unbounded();
         (
             EvidenceBus {
                 tx,
                 dropped: Arc::new(AtomicU64::new(0)),
+                shed: Arc::new(AtomicU64::new(0)),
             },
             EvidenceDrain { rx },
         )
     }
 
-    /// Reports one observation (never blocks; the channel is unbounded).
-    /// A send failure means the Core is gone and the observation is lost;
-    /// the loss is counted rather than silently discarded.
+    /// Creates a bounded bus holding at most `cap` queued observations.
+    /// When a report arrives on a full queue the **oldest** queued
+    /// observation is shed to make room (see [`EvidenceBus::shed`]).
+    /// `cap` must be at least 1.
+    pub fn bounded(cap: usize) -> (EvidenceBus, EvidenceDrain) {
+        let (tx, rx) = bounded(cap);
+        (
+            EvidenceBus {
+                tx,
+                dropped: Arc::new(AtomicU64::new(0)),
+                shed: Arc::new(AtomicU64::new(0)),
+            },
+            EvidenceDrain { rx },
+        )
+    }
+
+    /// Reports one observation (never blocks). On a full bounded bus the
+    /// oldest queued observation is evicted in its favour and the
+    /// eviction is charged to both [`EvidenceBus::dropped`] and
+    /// [`EvidenceBus::shed`]. A send failure means the Core is gone and
+    /// the observation itself is lost; that loss is counted in
+    /// [`EvidenceBus::dropped`] only.
     pub fn report(&self, evidence: Evidence) {
-        if self.tx.send(evidence).is_err() {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        match self.tx.force_send(evidence) {
+            Ok(None) => {}
+            Ok(Some(_evicted_oldest)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
-    /// How many observations were lost because the Core's drain end was
-    /// gone when they were reported (aggregated across all clones of this
-    /// bus).
+    /// How many observations were lost, for any reason (drain end gone
+    /// when they were reported, or shed under overload), aggregated
+    /// across all clones of this bus. Always `>=` [`EvidenceBus::shed`];
+    /// the difference is the disconnect-loss count.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// How many queued observations were shed (evicted oldest-first) to
+    /// make room for newer ones on a full bounded bus. Always 0 for an
+    /// unbounded bus.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The queue capacity (`None` for an unbounded bus).
+    pub fn capacity(&self) -> Option<usize> {
+        self.tx.capacity()
     }
 }
 
@@ -150,9 +208,10 @@ mod tests {
         drop(drain); // the Core goes away with one observation pending
         bus.report(ev("cam"));
         bus2.report(ev("lamp"));
-        // Both clones see the bus-wide count.
+        // Both clones see the bus-wide count; nothing was shed.
         assert_eq!(bus.dropped(), 2);
         assert_eq!(bus2.dropped(), 2);
+        assert_eq!(bus.shed(), 0);
     }
 
     #[test]
@@ -180,5 +239,78 @@ mod tests {
         let mut store = EvidenceStore::new();
         assert_eq!(drain.drain_up_to(&mut store, 0), 0);
         assert_eq!(drain.pending(), 1);
+    }
+
+    #[test]
+    fn unbounded_bus_has_no_capacity_and_never_sheds() {
+        let (bus, drain) = EvidenceBus::new();
+        assert_eq!(bus.capacity(), None);
+        for i in 0..1000 {
+            bus.report(ev(&format!("dev{i}")));
+        }
+        assert_eq!(bus.shed(), 0);
+        assert_eq!(bus.dropped(), 0);
+        assert_eq!(drain.pending(), 1000);
+    }
+
+    #[test]
+    fn bounded_bus_sheds_oldest_and_survivors_keep_fifo_order() {
+        let (bus, drain) = EvidenceBus::bounded(3);
+        assert_eq!(bus.capacity(), Some(3));
+        for i in 0..5 {
+            bus.report(ev(&format!("dev{i}")));
+        }
+        // dev0 and dev1 (the two oldest) were shed; dev2..dev4 survive
+        // in FIFO order.
+        assert_eq!(bus.shed(), 2);
+        assert_eq!(bus.dropped(), 2);
+        let mut store = EvidenceStore::new();
+        assert_eq!(drain.drain_into(&mut store), 3);
+        let names: Vec<&str> = store.all().iter().map(|e| e.device.as_str()).collect();
+        assert_eq!(names, ["dev2", "dev3", "dev4"]);
+    }
+
+    #[test]
+    fn draining_frees_capacity_so_later_reports_do_not_shed() {
+        let (bus, drain) = EvidenceBus::bounded(2);
+        bus.report(ev("a"));
+        bus.report(ev("b"));
+        let mut store = EvidenceStore::new();
+        assert_eq!(drain.drain_into(&mut store), 2);
+        bus.report(ev("c"));
+        bus.report(ev("d"));
+        assert_eq!(bus.shed(), 0);
+        assert_eq!(drain.drain_into(&mut store), 2);
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
+    fn shed_and_dropped_accounting_is_shared_across_cloned_handles() {
+        let (bus, drain) = EvidenceBus::bounded(1);
+        let bus2 = bus.clone();
+        bus.report(ev("a"));
+        bus2.report(ev("b")); // sheds "a"
+        bus.report(ev("c")); // sheds "b"
+        assert_eq!(bus.shed(), 2);
+        assert_eq!(bus2.shed(), 2);
+        assert_eq!(bus.dropped(), 2);
+        // Disconnect losses pile onto dropped() but not shed().
+        drop(drain);
+        bus2.report(ev("d"));
+        assert_eq!(bus.dropped(), 3);
+        assert_eq!(bus.shed(), 2);
+        assert_eq!(bus2.shed(), 2);
+    }
+
+    #[test]
+    fn bounded_bus_at_capacity_one_always_holds_the_newest() {
+        let (bus, drain) = EvidenceBus::bounded(1);
+        for i in 0..10 {
+            bus.report(ev(&format!("dev{i}")));
+        }
+        assert_eq!(bus.shed(), 9);
+        let mut store = EvidenceStore::new();
+        assert_eq!(drain.drain_into(&mut store), 1);
+        assert_eq!(store.all()[0].device, "dev9");
     }
 }

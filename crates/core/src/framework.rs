@@ -52,6 +52,11 @@ pub struct XlfConfig {
     pub policy: PolicyConfig,
     /// How often the Core evaluates.
     pub evaluation_interval: Duration,
+    /// Evidence-bus queue capacity. `None` = unbounded (the single-home
+    /// default); `Some(cap)` bounds the queue with a shed-oldest policy
+    /// (see [`EvidenceBus::bounded`]) — fleet workers multiplexing many
+    /// homes use this so one chatty home cannot OOM its shard.
+    pub evidence_capacity: Option<usize>,
     /// Delay between a policy decision and its enforcement at the
     /// gateway. Zero when the Core runs *on* the gateway (the paper's
     /// edge deployment); a WAN round trip plus processing when the Core
@@ -74,6 +79,7 @@ impl XlfConfig {
             correlation: CorrelationConfig::default(),
             policy: PolicyConfig::default(),
             evaluation_interval: Duration::from_secs(5),
+            evidence_capacity: None,
             response_delay: Duration::ZERO,
         }
     }
@@ -96,8 +102,16 @@ impl XlfConfig {
                 act_threshold: 2.0,
             },
             evaluation_interval: Duration::from_secs(5),
+            evidence_capacity: None,
             response_delay: Duration::ZERO,
         }
+    }
+
+    /// Bounds the evidence bus (builder-style); see
+    /// [`XlfConfig::evidence_capacity`].
+    pub fn with_evidence_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.evidence_capacity = capacity;
+        self
     }
 }
 
@@ -126,9 +140,25 @@ impl std::fmt::Debug for XlfCore {
 }
 
 impl XlfCore {
-    /// Creates a Core with the given tuning.
+    /// Creates a Core with the given tuning and an unbounded evidence
+    /// bus.
     pub fn new(correlation: CorrelationConfig, policy: PolicyConfig) -> Self {
-        let (bus, drain) = EvidenceBus::new();
+        Self::with_evidence_capacity(correlation, policy, None)
+    }
+
+    /// Creates a Core whose evidence bus is bounded to `capacity` queued
+    /// observations (`None` = unbounded). On overload the bus sheds its
+    /// oldest queued observation per excess report; sheds are visible
+    /// through [`EvidenceBus::shed`] on [`XlfCore::bus`].
+    pub fn with_evidence_capacity(
+        correlation: CorrelationConfig,
+        policy: PolicyConfig,
+        capacity: Option<usize>,
+    ) -> Self {
+        let (bus, drain) = match capacity {
+            Some(cap) => EvidenceBus::bounded(cap),
+            None => EvidenceBus::new(),
+        };
         XlfCore {
             store: EvidenceStore::new(),
             drain,
@@ -681,9 +711,10 @@ impl XlfHome {
     /// to cloud over WAN).
     pub fn build(seed: u64, config: XlfConfig, home_devices: &[HomeDevice]) -> XlfHome {
         let mut net = Network::new(seed);
-        let core: CoreHandle = Rc::new(RefCell::new(XlfCore::new(
+        let core: CoreHandle = Rc::new(RefCell::new(XlfCore::with_evidence_capacity(
             config.correlation.clone(),
             config.policy.clone(),
+            config.evidence_capacity,
         )));
 
         let cloud_id = NodeId::from_raw(0);
@@ -766,8 +797,14 @@ pub struct HomeReport {
     pub seed: u64,
     /// Evidence records aggregated by this home's Core.
     pub evidence_total: usize,
-    /// Observations lost because the Core drain end was gone.
+    /// Observations lost for any reason: drain end gone when they were
+    /// reported, plus observations shed under overload (always `>=`
+    /// [`HomeReport::evidence_shed`]).
     pub evidence_dropped: u64,
+    /// Observations shed (evicted oldest-first) by a bounded evidence
+    /// bus under overload — the overload subset of
+    /// [`HomeReport::evidence_dropped`]. 0 on an unbounded bus.
+    pub evidence_shed: u64,
     /// Evidence counts per layer: `[device, network, service]`.
     pub evidence_by_layer: [usize; 3],
     /// Warning-or-higher alerts raised.
@@ -894,6 +931,7 @@ impl HomeRunner {
             seed: self.home.net.seed(),
             evidence_total: core.store.len(),
             evidence_dropped: core.bus.dropped(),
+            evidence_shed: core.bus.shed(),
             evidence_by_layer: by_layer,
             warning_alerts: core.alerts.at_least(Severity::Warning).len(),
             critical_alerts: core.alerts.at_least(Severity::Critical).len(),
@@ -1095,6 +1133,30 @@ mod tests {
         assert!(report.forwarded > 50, "telemetry must flow");
         assert!(report.features[0] > 0.0, "tap must have seen traffic");
         assert_eq!(report.evidence_dropped, 0);
+        assert_eq!(report.evidence_shed, 0);
+    }
+
+    #[test]
+    fn bounded_evidence_capacity_reaches_the_home_core_bus() {
+        let config = XlfConfig::full().with_evidence_capacity(Some(16));
+        let home = basic_home(config);
+        assert_eq!(home.core.borrow().bus.capacity(), Some(16));
+        // The unbounded default is preserved.
+        let home = basic_home(XlfConfig::full());
+        assert_eq!(home.core.borrow().bus.capacity(), None);
+    }
+
+    #[test]
+    fn a_tightly_bounded_home_still_runs_and_accounts_its_sheds() {
+        // Capacity 1: all but the newest queued observation between Core
+        // evaluations is shed; the run completes and the loss is
+        // accounted, not silent.
+        let config = XlfConfig::full().with_evidence_capacity(Some(1));
+        let mut runner = HomeRunner::new(basic_home(config));
+        runner.run_until(SimTime::from_secs(300));
+        let report = runner.finish(SimTime::from_secs(300));
+        assert_eq!(report.evidence_shed, report.evidence_dropped);
+        assert!(report.forwarded > 50, "telemetry must still flow");
     }
 
     #[test]

@@ -146,4 +146,59 @@ proptest! {
         let second = sink.raise(mk(gap_s));
         prop_assert_eq!(second, gap_s > 60, "gap {}", gap_s);
     }
+
+    /// Bounded-bus conservation: for any interleaving of reports and
+    /// (bounded) drains at any capacity, every reported observation is
+    /// either drained into the store, still pending, or accounted as
+    /// shed — nothing is lost silently, and drains never exceed the
+    /// capacity in flight.
+    #[test]
+    fn bounded_bus_conserves_observations(
+        cap in 1usize..24,
+        ops in prop::collection::vec((0usize..5, 1usize..16), 1..64),
+    ) {
+        use xlf_core::bus::EvidenceBus;
+        use xlf_core::evidence::{Evidence, EvidenceStore};
+
+        let (bus, drain) = EvidenceBus::bounded(cap);
+        let bus2 = bus.clone();
+        let mut store = EvidenceStore::new();
+        let mut reported = 0u64;
+        let mut drained = 0u64;
+        for (op, n) in ops {
+            match op {
+                // Report n observations, alternating handles.
+                0..=2 => {
+                    for i in 0..n {
+                        let handle = if i % 2 == 0 { &bus } else { &bus2 };
+                        handle.report(Evidence::new(
+                            SimTime::ZERO,
+                            Layer::Network,
+                            "dev",
+                            EvidenceKind::DpiMatch,
+                            0.5,
+                            "prop",
+                        ));
+                        reported += 1;
+                    }
+                }
+                // Bounded drain of at most n.
+                3 => drained += drain.drain_up_to(&mut store, n) as u64,
+                // Full drain.
+                _ => drained += drain.drain_into(&mut store) as u64,
+            }
+            prop_assert!(drain.pending() <= cap, "pending exceeds capacity");
+            prop_assert_eq!(
+                drained + drain.pending() as u64 + bus.shed(),
+                reported,
+                "drained {} + pending {} + shed {} != reported {}",
+                drained, drain.pending(), bus.shed(), reported
+            );
+            // No disconnect happened, so every loss is an overload shed.
+            prop_assert_eq!(bus.dropped(), bus.shed());
+        }
+        drained += drain.drain_into(&mut store) as u64;
+        prop_assert_eq!(drained + bus2.shed(), reported);
+        prop_assert_eq!(store.len() as u64, drained);
+    }
 }

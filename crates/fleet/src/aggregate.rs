@@ -3,12 +3,28 @@
 //! community learning (the paper's §IV-D "knowledge obtained from the
 //! group", productionizing experiment E-M6), and publishes fleet-wide
 //! alerts through the existing alert pipeline.
+//!
+//! The JSON emitted by [`FleetReport::to_json`] and
+//! [`FleetMetrics::to_json`](crate::metrics::FleetMetrics::to_json) is a
+//! **versioned, stable schema** (see `schema_version` and the
+//! field-by-field description in EXPERIMENTS.md) so longitudinal fleet
+//! runs can be diffed byte-for-byte.
 
+use crate::engine::HomeBuildError;
 use crate::spec::{FleetSpec, HomeSpec};
 use xlf_analytics::graph::community_report;
 use xlf_core::alerts::{Alert, AlertSink, Severity};
 use xlf_core::framework::HomeReport;
 use xlf_simnet::SimTime;
+
+/// Version of the [`FleetReport::to_json`] schema. Bump on any
+/// field add/remove/rename/reorder; goldens under `crates/fleet/tests/`
+/// pin the current shape.
+///
+/// History: v1 — ad hoc (unversioned) PR-2 shape; v2 — adds
+/// `schema_version`, per-home `evidence_shed`/`evidence_drop_rate`,
+/// fleet `failed` rows, and totals drop/shed accounting.
+pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// One home's row in the fleet report.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,7 +37,9 @@ pub struct FleetHomeRow {
     pub attack: &'static str,
     /// Behavioural community the home landed in.
     pub community: usize,
-    /// Deviation from its community (high = suspicious).
+    /// Deviation from its community (high = suspicious). May be
+    /// non-finite for degenerate feature columns; non-finite deviations
+    /// never flag a home and serialize as `null`.
     pub deviation: f64,
     /// Whether the fleet tier flagged this home.
     pub flagged: bool,
@@ -29,13 +47,32 @@ pub struct FleetHomeRow {
     pub report: HomeReport,
 }
 
+impl FleetHomeRow {
+    /// Fraction of this home's observations that were lost (shed under
+    /// overload or dropped on a dead bus) out of everything it reported:
+    /// `dropped / (aggregated + dropped)`; 0 when nothing was reported.
+    pub fn evidence_drop_rate(&self) -> f64 {
+        let lost = self.report.evidence_dropped;
+        let total = self.report.evidence_total as u64 + lost;
+        if total == 0 {
+            0.0
+        } else {
+            lost as f64 / total as f64
+        }
+    }
+}
+
 /// Fleet-wide totals over every home report.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetTotals {
     /// Evidence records aggregated across all home Cores.
     pub evidence: u64,
-    /// Evidence observations lost on dead buses.
+    /// Evidence observations lost for any reason (dead buses and
+    /// overload sheds; always `>=` `evidence_shed`).
     pub evidence_dropped: u64,
+    /// Evidence observations shed oldest-first by bounded buses under
+    /// overload (the overload subset of `evidence_dropped`).
+    pub evidence_shed: u64,
     /// Packets forwarded by all gateways.
     pub forwarded: u64,
     /// Packets dropped by all gateways.
@@ -44,18 +81,48 @@ pub struct FleetTotals {
     pub homes_with_critical: u64,
     /// Homes with at least one quarantined device.
     pub homes_with_quarantine: u64,
+    /// Homes that failed to build/run (recorded in
+    /// [`FleetReport::failed`], absent from the rows).
+    pub homes_failed: u64,
+}
+
+impl FleetTotals {
+    /// Fleet-wide evidence loss rate: `dropped / (aggregated + dropped)`;
+    /// 0 when the fleet reported nothing.
+    pub fn evidence_drop_rate(&self) -> f64 {
+        let total = self.evidence + self.evidence_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.evidence_dropped as f64 / total as f64
+        }
+    }
+
+    /// Fleet-wide overload shed rate: `shed / (aggregated + dropped)`;
+    /// 0 when the fleet reported nothing.
+    pub fn evidence_shed_rate(&self) -> f64 {
+        let total = self.evidence + self.evidence_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.evidence_shed as f64 / total as f64
+        }
+    }
 }
 
 /// The deterministic output of one fleet run: rows sorted by home id,
-/// community structure, flagged homes, and the fleet alert stream.
-/// Contains **no wall-clock quantities** — the same spec produces a
-/// byte-identical [`FleetReport::to_json`] for any worker count.
+/// community structure, flagged homes, failed homes, and the fleet alert
+/// stream. Contains **no wall-clock quantities** — the same spec
+/// produces a byte-identical [`FleetReport::to_json`] for any worker
+/// count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// Master seed the fleet was stamped from.
     pub master_seed: u64,
-    /// Per-home rows, sorted by id.
+    /// Per-home rows, sorted by id (failed homes excluded).
     pub rows: Vec<FleetHomeRow>,
+    /// Homes that could not be built/run, sorted by id.
+    pub failed: Vec<HomeBuildError>,
     /// Number of distinct behavioural communities found.
     pub communities: usize,
     /// Effective deviation threshold used for flagging.
@@ -68,38 +135,74 @@ pub struct FleetReport {
     pub alerts: Vec<Alert>,
 }
 
+/// Fixed-precision float for the stable schema: 6 decimal places,
+/// `null` for non-finite values (raw NaN/inf would not be valid JSON).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal JSON string escaping for the deterministic serializer.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 impl FleetReport {
-    /// Serializes the report as deterministic JSON (stable field order,
-    /// fixed float precision, rows sorted by home id).
+    /// Serializes the report as deterministic JSON, schema version
+    /// [`FLEET_REPORT_SCHEMA_VERSION`] (stable field order, fixed float
+    /// precision, rows and failures sorted by home id).
     pub fn to_json(&self) -> String {
         let rows: Vec<String> = self
             .rows
             .iter()
             .map(|r| {
                 format!(
-                    "{{\"id\":{},\"seed\":{},\"template\":\"{}\",\"attack\":\"{}\",\
-                     \"community\":{},\"deviation\":{:.6},\"flagged\":{},\
-                     \"evidence\":{},\"evidence_dropped\":{},\"warnings\":{},\
-                     \"criticals\":{},\"quarantined\":{},\"top_device\":\"{}\",\
-                     \"top_score\":{:.6},\"forwarded\":{},\"dropped\":{}}}",
+                    "{{\"id\":{},\"seed\":{},\"template\":{},\"attack\":\"{}\",\
+                     \"community\":{},\"deviation\":{},\"flagged\":{},\
+                     \"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
+                     \"evidence_drop_rate\":{},\"warnings\":{},\
+                     \"criticals\":{},\"quarantined\":{},\"top_device\":{},\
+                     \"top_score\":{},\"forwarded\":{},\"dropped\":{}}}",
                     r.id,
                     r.report.seed,
-                    r.template,
+                    json_str(&r.template),
                     r.attack,
                     r.community,
-                    r.deviation,
+                    json_f64(r.deviation),
                     r.flagged,
                     r.report.evidence_total,
                     r.report.evidence_dropped,
+                    r.report.evidence_shed,
+                    json_f64(r.evidence_drop_rate()),
                     r.report.warning_alerts,
                     r.report.critical_alerts,
                     r.report.quarantined.len(),
-                    r.report.top_device,
-                    r.report.top_score,
+                    json_str(&r.report.top_device),
+                    json_f64(r.report.top_score),
                     r.report.forwarded,
                     r.report.dropped_packets,
                 )
             })
+            .collect();
+        let failed: Vec<String> = self
+            .failed
+            .iter()
+            .map(|f| format!("{{\"id\":{},\"reason\":{}}}", f.home, json_str(&f.reason)))
             .collect();
         let flagged: Vec<String> = self.flagged.iter().map(|id| id.to_string()).collect();
         let alerts: Vec<String> = self
@@ -107,41 +210,53 @@ impl FleetReport {
             .iter()
             .map(|a| {
                 format!(
-                    "{{\"device\":\"{}\",\"severity\":\"{}\",\"score\":{:.6}}}",
-                    a.device, a.severity, a.score
+                    "{{\"device\":{},\"severity\":\"{}\",\"score\":{}}}",
+                    json_str(&a.device),
+                    a.severity,
+                    json_f64(a.score)
                 )
             })
             .collect();
         format!(
-            "{{\"master_seed\":{},\"homes\":{},\"communities\":{},\
-             \"threshold\":{:.6},\"flagged\":[{}],\
-             \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"forwarded\":{},\
+            "{{\"schema_version\":{},\"master_seed\":{},\"homes\":{},\"communities\":{},\
+             \"threshold\":{},\"flagged\":[{}],\
+             \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
+             \"evidence_drop_rate\":{},\"evidence_shed_rate\":{},\"forwarded\":{},\
              \"dropped_packets\":{},\"homes_with_critical\":{},\
-             \"homes_with_quarantine\":{}}},\"alerts\":[{}],\"rows\":[{}]}}",
+             \"homes_with_quarantine\":{},\"homes_failed\":{}}},\
+             \"failed\":[{}],\"alerts\":[{}],\"rows\":[{}]}}",
+            FLEET_REPORT_SCHEMA_VERSION,
             self.master_seed,
             self.rows.len(),
             self.communities,
-            self.threshold,
+            json_f64(self.threshold),
             flagged.join(","),
             self.totals.evidence,
             self.totals.evidence_dropped,
+            self.totals.evidence_shed,
+            json_f64(self.totals.evidence_drop_rate()),
+            json_f64(self.totals.evidence_shed_rate()),
             self.totals.forwarded,
             self.totals.dropped_packets,
             self.totals.homes_with_critical,
             self.totals.homes_with_quarantine,
+            self.totals.homes_failed,
+            failed.join(","),
             alerts.join(","),
             rows.join(","),
         )
     }
 }
 
-/// Median of a slice (0 when empty). Used for the robust flag threshold.
+/// Median of a slice (0 when empty). Total order via [`f64::total_cmp`]
+/// so arbitrary inputs (including NaN) can never panic the sort; callers
+/// that need a *meaningful* median filter non-finite values first.
 fn median_of(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("deviation scores are finite"));
+    sorted.sort_by(f64::total_cmp);
     let mid = sorted.len() / 2;
     if sorted.len().is_multiple_of(2) {
         (sorted[mid - 1] + sorted[mid]) / 2.0
@@ -189,16 +304,40 @@ impl FleetAggregator {
         f.push(report.evidence_total as f64);
         f.push(report.dropped_packets as f64);
         f.push(report.top_score);
+        // One NaN feature would poison every RBF similarity touching this
+        // home and, through graph symmetrization, its neighbours' scores
+        // too — degrading the *whole* fleet correlation instead of one
+        // row. Zero the bad dimension so the home is scored on what it
+        // did report.
+        for v in &mut f {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
         f
     }
 
-    /// Fuses the collected `(spec, report)` pairs into the fleet report,
-    /// publishing an alert for every flagged home. Input order does not
-    /// matter (rows are sorted by home id first).
-    pub fn aggregate(mut self, mut items: Vec<(HomeSpec, HomeReport)>) -> FleetReport {
+    /// Fuses the collected `(spec, result)` pairs into the fleet report:
+    /// successful homes are correlated and flagged, failed homes are
+    /// recorded (with a warning alert each) instead of panicking the
+    /// aggregation. Input order does not matter (everything is sorted by
+    /// home id first).
+    pub fn aggregate(
+        mut self,
+        mut items: Vec<(HomeSpec, Result<HomeReport, HomeBuildError>)>,
+    ) -> FleetReport {
         items.sort_by_key(|(hs, _)| hs.id);
 
-        let features: Vec<Vec<f64>> = items
+        let mut failed: Vec<HomeBuildError> = Vec::new();
+        let mut ok_items: Vec<(HomeSpec, HomeReport)> = Vec::with_capacity(items.len());
+        for (hs, result) in items {
+            match result {
+                Ok(report) => ok_items.push((hs, report)),
+                Err(e) => failed.push(e),
+            }
+        }
+
+        let features: Vec<Vec<f64>> = ok_items
             .iter()
             .map(|(_, report)| Self::fleet_features(report))
             .collect();
@@ -207,9 +346,17 @@ impl FleetAggregator {
         // Flag threshold: robustly above the fleet's own deviation
         // spread. Median + σ·MAD (MAD scaled to a std estimate) instead
         // of mean + σ·std — a handful of extreme deviants would inflate
-        // the mean/std enough to mask themselves.
-        let median = median_of(&graph.scores);
-        let abs_dev: Vec<f64> = graph.scores.iter().map(|s| (s - median).abs()).collect();
+        // the mean/std enough to mask themselves. Non-finite scores
+        // (degenerate feature columns) are excluded so one NaN cannot
+        // poison the threshold for the whole fleet.
+        let finite: Vec<f64> = graph
+            .scores
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .collect();
+        let median = median_of(&finite);
+        let abs_dev: Vec<f64> = finite.iter().map(|s| (s - median).abs()).collect();
         let spread = 1.4826 * median_of(&abs_dev);
         let threshold = self.min_deviation.max(median + self.sigma * spread);
 
@@ -217,12 +364,16 @@ impl FleetAggregator {
         communities.sort_unstable();
         communities.dedup();
 
-        let mut totals = FleetTotals::default();
+        let mut totals = FleetTotals {
+            homes_failed: failed.len() as u64,
+            ..FleetTotals::default()
+        };
         let mut flagged_ids = Vec::new();
-        let mut rows = Vec::with_capacity(items.len());
-        for (i, (hs, report)) in items.into_iter().enumerate() {
+        let mut rows = Vec::with_capacity(ok_items.len());
+        for (i, (hs, report)) in ok_items.into_iter().enumerate() {
             totals.evidence += report.evidence_total as u64;
             totals.evidence_dropped += report.evidence_dropped;
+            totals.evidence_shed += report.evidence_shed;
             totals.forwarded += report.forwarded;
             totals.dropped_packets += report.dropped_packets;
             if report.critical_alerts > 0 {
@@ -233,7 +384,7 @@ impl FleetAggregator {
             }
 
             let deviation = graph.scores[i];
-            let deviant = deviation >= threshold;
+            let deviant = deviation.is_finite() && deviation >= threshold;
             let flagged = deviant || report.critical_alerts > 0;
             if flagged {
                 flagged_ids.push(hs.id);
@@ -246,7 +397,11 @@ impl FleetAggregator {
                     at: self.horizon,
                     device: format!("home-{:06}", hs.id),
                     severity,
-                    score: deviation.clamp(0.0, 1.0),
+                    score: if deviation.is_finite() {
+                        deviation.clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    },
                     explanation: format!(
                         "fleet correlation: community {} deviation {:.3}{}{}",
                         graph.labels[i],
@@ -276,9 +431,22 @@ impl FleetAggregator {
             });
         }
 
+        // Failed homes are part of the record: a fleet that silently
+        // shrinks looks healthier than it is.
+        for f in &failed {
+            self.alerts.raise(Alert {
+                at: self.horizon,
+                device: format!("home-{:06}", f.home),
+                severity: Severity::Warning,
+                score: 0.0,
+                explanation: format!("fleet: home failed to build/run: {}", f.reason),
+            });
+        }
+
         FleetReport {
             master_seed: self.master_seed,
             rows,
+            failed,
             communities: communities.len(),
             threshold,
             flagged: flagged_ids,
@@ -298,6 +466,7 @@ mod tests {
             seed,
             evidence_total: 10,
             evidence_dropped: 0,
+            evidence_shed: 0,
             evidence_by_layer: [3, 4, 3],
             warning_alerts: criticals,
             critical_alerts: criticals,
@@ -310,7 +479,10 @@ mod tests {
         }
     }
 
-    fn items(n: usize, outlier: Option<usize>) -> Vec<(HomeSpec, HomeReport)> {
+    fn items(
+        n: usize,
+        outlier: Option<usize>,
+    ) -> Vec<(HomeSpec, Result<HomeReport, HomeBuildError>)> {
         (0..n)
             .map(|i| {
                 let traffic = if Some(i) == outlier {
@@ -325,7 +497,7 @@ mod tests {
                         template: 0,
                         attack: FleetAttack::None,
                     },
-                    fake_report(i as u64, traffic, 0),
+                    Ok(fake_report(i as u64, traffic, 0)),
                 )
             })
             .collect()
@@ -358,7 +530,7 @@ mod tests {
     fn home_core_criticals_escalate_to_critical_fleet_alerts() {
         let spec = FleetSpec::new(1, 8);
         let mut all = items(8, None);
-        all[2].1 = fake_report(2, 52.0, 3);
+        all[2].1 = Ok(fake_report(2, 52.0, 3));
         let report = FleetAggregator::new(&spec).aggregate(all);
         assert!(report.flagged.contains(&2));
         assert!(report
@@ -369,12 +541,106 @@ mod tests {
     }
 
     #[test]
-    fn json_shape_is_stable() {
+    fn json_shape_is_stable_and_versioned() {
         let spec = FleetSpec::new(9, 4);
         let report = FleetAggregator::new(&spec).aggregate(items(4, None));
         let json = report.to_json();
-        assert!(json.starts_with("{\"master_seed\":9,\"homes\":4,"));
+        assert!(
+            json.starts_with(&format!(
+                "{{\"schema_version\":{FLEET_REPORT_SCHEMA_VERSION},\"master_seed\":9,\"homes\":4,"
+            )),
+            "{json}"
+        );
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(report.to_json(), json);
+    }
+
+    #[test]
+    fn nan_deviation_scores_do_not_panic_or_poison_the_threshold() {
+        // Regression: `median_of` used `partial_cmp().expect(...)` and
+        // panicked on the first NaN deviation score (e.g. a degenerate
+        // feature column). A NaN-featured home must degrade to one
+        // unflagged row, not take down the whole aggregation.
+        let spec = FleetSpec::new(1, 12);
+        let mut all = items(12, Some(3));
+        all[7].1 = Ok(fake_report(7, f64::NAN, 0));
+        let report = FleetAggregator::new(&spec).aggregate(all);
+        assert_eq!(report.rows.len(), 12);
+        assert!(
+            report.threshold.is_finite(),
+            "threshold poisoned: {}",
+            report.threshold
+        );
+        // The genuine outlier is still caught.
+        assert!(report.flagged.contains(&3), "flagged: {:?}", report.flagged);
+        // A NaN deviation never flags its own home.
+        let nan_row = report.rows.iter().find(|r| r.id == 7).unwrap();
+        if !nan_row.deviation.is_finite() {
+            assert!(!nan_row.flagged);
+        }
+        // And the serialized report stays valid JSON (no bare NaN).
+        let json = report.to_json();
+        assert!(!json.contains("NaN"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn failed_homes_are_recorded_not_fatal() {
+        let spec = FleetSpec::new(1, 12);
+        let mut all = items(12, Some(3));
+        all[5].1 = Err(HomeBuildError {
+            home: 5,
+            reason: "no cloud node to host automation".to_string(),
+        });
+        let report = FleetAggregator::new(&spec).aggregate(all);
+        assert_eq!(report.rows.len(), 11, "failed home must not get a row");
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].home, 5);
+        assert_eq!(report.totals.homes_failed, 1);
+        // The failure is visible in the alert stream and the JSON.
+        assert!(report
+            .alerts
+            .iter()
+            .any(|a| a.device == "home-000005" && a.severity == Severity::Warning));
+        let json = report.to_json();
+        assert!(
+            json.contains("\"failed\":[{\"id\":5,\"reason\":\"no cloud node"),
+            "{json}"
+        );
+        // The genuine outlier is still flagged despite the hole.
+        assert!(report.flagged.contains(&3));
+    }
+
+    #[test]
+    fn drop_and_shed_rates_accumulate_into_totals() {
+        let spec = FleetSpec::new(1, 8);
+        let mut all = items(8, None);
+        if let Ok(r) = &mut all[1].1 {
+            r.evidence_dropped = 30; // 10 aggregated + 30 lost
+            r.evidence_shed = 20;
+        }
+        let report = FleetAggregator::new(&spec).aggregate(all);
+        assert_eq!(report.totals.evidence, 80);
+        assert_eq!(report.totals.evidence_dropped, 30);
+        assert_eq!(report.totals.evidence_shed, 20);
+        let expected_drop = 30.0 / 110.0;
+        let expected_shed = 20.0 / 110.0;
+        assert!((report.totals.evidence_drop_rate() - expected_drop).abs() < 1e-12);
+        assert!((report.totals.evidence_shed_rate() - expected_shed).abs() < 1e-12);
+        let row = report.rows.iter().find(|r| r.id == 1).unwrap();
+        assert!((row.evidence_drop_rate() - 30.0 / 40.0).abs() < 1e-12);
+        let json = report.to_json();
+        assert!(json.contains("\"evidence_shed\":20"), "{json}");
+        assert!(json.contains("\"evidence_shed_rate\":0.181818"), "{json}");
+    }
+
+    #[test]
+    fn median_is_total_ordered_and_nan_tolerant() {
+        assert_eq!(median_of(&[]), 0.0);
+        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        // NaN inputs must not panic (total_cmp sorts them to the end).
+        let v = median_of(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(v, 2.0);
     }
 }

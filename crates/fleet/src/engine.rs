@@ -15,9 +15,30 @@ use crate::aggregate::{FleetAggregator, FleetReport};
 use crate::metrics::FleetMetrics;
 use crate::spec::{FleetAttack, FleetSpec, HomeSpec, ATTACK_AT_S, LEARNING_END_S};
 use crossbeam::channel::{Receiver, Sender};
+use std::fmt;
 use std::time::Instant;
 use xlf_core::framework::{HomeReport, HomeRunner, XlfHome};
 use xlf_simnet::{Context, Duration, Medium, Node, NodeId, Packet, SimTime, TimerId};
+
+/// A home that could not be built or run. Workers ship this to the
+/// aggregator instead of panicking, so one malformed home degrades the
+/// fleet report by one row rather than taking down its whole worker
+/// scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomeBuildError {
+    /// Fleet-wide id of the home that failed.
+    pub home: u64,
+    /// What went wrong (stable, human-readable).
+    pub reason: String,
+}
+
+impl fmt::Display for HomeBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "home {} failed to build: {}", self.home, self.reason)
+    }
+}
+
+impl std::error::Error for HomeBuildError {}
 
 const TIMER_GO: u64 = 900;
 const TIMER_FLOOD_ORDER: u64 = 901;
@@ -82,16 +103,33 @@ impl Node for FleetAttacker {
 struct VictimSink;
 impl Node for VictimSink {}
 
-/// Builds one home from its stamped spec: template device mix + config,
-/// the §IV-C3 automation recipe, and the injected attacker.
-pub fn build_home(spec: &FleetSpec, hs: &HomeSpec) -> HomeRunner {
-    let template = &spec.templates[hs.template];
+/// Builds one home from its stamped spec: template device mix + config
+/// (evidence bus bounded per [`FleetSpec::evidence_capacity`]), the
+/// §IV-C3 automation recipe, and the injected attacker. Structural
+/// problems (template index out of range, missing cloud node) come back
+/// as a [`HomeBuildError`] instead of a panic.
+pub fn build_home(spec: &FleetSpec, hs: &HomeSpec) -> Result<HomeRunner, HomeBuildError> {
+    let template = spec
+        .templates
+        .get(hs.template)
+        .ok_or_else(|| HomeBuildError {
+            home: hs.id,
+            reason: format!(
+                "template index {} out of range ({} templates)",
+                hs.template,
+                spec.templates.len()
+            ),
+        })?;
     let mut config = template.config.clone();
     config.learning_period = Duration::from_secs(LEARNING_END_S);
+    config.evidence_capacity = spec.evidence_capacity;
     let mut home = XlfHome::build(hs.seed, config, &template.devices);
 
     if template.automation {
-        install_auto_window(&mut home);
+        install_auto_window(&mut home).map_err(|reason| HomeBuildError {
+            home: hs.id,
+            reason,
+        })?;
     }
 
     if hs.attack != FleetAttack::None {
@@ -107,17 +145,18 @@ pub fn build_home(spec: &FleetSpec, hs: &HomeSpec) -> HomeRunner {
             .connect(attacker, home.gateway, Medium::Wan.link().with_loss(0.0));
     }
 
-    HomeRunner::new(home)
+    Ok(HomeRunner::new(home))
 }
 
 /// Installs the §IV-C3 automation: open the window above 80°F (only
-/// spoofed/manipulated readings ever fire it).
-fn install_auto_window(home: &mut XlfHome) {
+/// spoofed/manipulated readings ever fire it). Fails (instead of
+/// panicking) when the home has no cloud node to host the app.
+fn install_auto_window(home: &mut XlfHome) -> Result<(), String> {
     use xlf_cloud::smartapp::{Action, AppPermissions, Predicate, SmartApp, Trigger};
     let cloud = home
         .net
         .node_as_mut::<xlf_cloud::CloudNode>(home.cloud)
-        .expect("cloud node");
+        .ok_or_else(|| format!("no cloud node at {:?} to host automation", home.cloud))?;
     cloud.cloud_mut().install_app(
         SmartApp::new(
             "auto-window",
@@ -135,13 +174,25 @@ fn install_auto_window(home: &mut XlfHome) {
             },
         ),
     );
+    Ok(())
 }
 
 /// Runs one home to the fleet horizon in evidence-bounded slices and
-/// returns its report.
-fn run_one_home(spec: &FleetSpec, hs: &HomeSpec, metrics: &FleetMetrics) -> HomeReport {
+/// returns its report; build failures come back as errors the
+/// aggregator records as failed homes.
+fn run_one_home(
+    spec: &FleetSpec,
+    hs: &HomeSpec,
+    metrics: &FleetMetrics,
+) -> Result<HomeReport, HomeBuildError> {
     let t0 = Instant::now();
-    let mut runner = build_home(spec, hs);
+    let mut runner = match build_home(spec, hs) {
+        Ok(runner) => runner,
+        Err(e) => {
+            metrics.homes_failed.inc();
+            return Err(e);
+        }
+    };
     metrics.build_us.observe(t0.elapsed().as_micros() as u64);
 
     let t1 = Instant::now();
@@ -165,13 +216,14 @@ fn run_one_home(spec: &FleetSpec, hs: &HomeSpec, metrics: &FleetMetrics) -> Home
     metrics.report_us.observe(t2.elapsed().as_micros() as u64);
     metrics.homes_stepped.inc();
     metrics.evidence_total.add(report.evidence_total as u64);
-    report
+    metrics.evidence_shed.add(report.evidence_shed);
+    Ok(report)
 }
 
 fn worker_loop(
     spec: &FleetSpec,
     jobs: Receiver<HomeSpec>,
-    results: Sender<(HomeSpec, HomeReport)>,
+    results: Sender<(HomeSpec, Result<HomeReport, HomeBuildError>)>,
     metrics: &FleetMetrics,
 ) {
     while let Ok(hs) = jobs.recv() {
@@ -197,10 +249,11 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> FleetReport {
     }
     drop(job_tx); // workers exit once the queue runs dry
 
+    type WorkerResult = (HomeSpec, Result<HomeReport, HomeBuildError>);
     let (report_tx, report_rx) =
-        crossbeam::channel::bounded::<(HomeSpec, HomeReport)>(spec.report_capacity.max(1));
+        crossbeam::channel::bounded::<WorkerResult>(spec.report_capacity.max(1));
 
-    let collected: Vec<(HomeSpec, HomeReport)> = crossbeam::thread::scope(|s| {
+    let collected: Vec<WorkerResult> = crossbeam::thread::scope(|s| {
         for _ in 0..spec.workers.max(1) {
             let jobs = job_rx.clone();
             let results = report_tx.clone();
@@ -231,6 +284,7 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> FleetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::HomeTemplate;
     use xlf_core::alerts::Severity;
 
     #[test]
@@ -243,7 +297,7 @@ mod tests {
             attack: FleetAttack::BotnetRecruit,
         };
         let metrics = FleetMetrics::new();
-        let report = run_one_home(&spec, &hs, &metrics);
+        let report = run_one_home(&spec, &hs, &metrics).expect("home builds");
         assert!(report.warning_alerts > 0, "report: {report:?}");
         assert_eq!(report.top_device, "cam");
         assert_eq!(metrics.homes_stepped.get(), 1);
@@ -259,7 +313,7 @@ mod tests {
             template: 0,
             attack: FleetAttack::None,
         };
-        let report = run_one_home(&spec, &hs, &FleetMetrics::new());
+        let report = run_one_home(&spec, &hs, &FleetMetrics::new()).expect("home builds");
         assert_eq!(report.critical_alerts, 0);
         assert!(report.quarantined.is_empty());
         assert!(report.forwarded > 0);
@@ -277,8 +331,74 @@ mod tests {
         sliced_spec.slices = 16;
         let mut oneshot_spec = FleetSpec::new(5, 1);
         oneshot_spec.slices = 1;
-        let sliced = run_one_home(&sliced_spec, &hs, &FleetMetrics::new());
-        let oneshot = run_one_home(&oneshot_spec, &hs, &FleetMetrics::new());
+        let sliced = run_one_home(&sliced_spec, &hs, &FleetMetrics::new()).expect("home builds");
+        let oneshot = run_one_home(&oneshot_spec, &hs, &FleetMetrics::new()).expect("home builds");
         assert_eq!(sliced, oneshot, "slicing must not change the outcome");
+    }
+
+    #[test]
+    fn out_of_range_template_is_a_structured_error_not_a_panic() {
+        let spec = FleetSpec::new(5, 1);
+        let hs = HomeSpec {
+            id: 42,
+            seed: 1,
+            template: 99,
+            attack: FleetAttack::None,
+        };
+        let metrics = FleetMetrics::new();
+        let err = run_one_home(&spec, &hs, &metrics).expect_err("bad template must fail");
+        assert_eq!(err.home, 42);
+        assert!(err.reason.contains("out of range"), "{err}");
+        assert_eq!(metrics.homes_failed.get(), 1);
+        assert_eq!(metrics.homes_stepped.get(), 0);
+    }
+
+    #[test]
+    fn a_failing_home_degrades_the_fleet_report_instead_of_killing_the_run() {
+        // A fleet whose stamped specs include one malformed home: the
+        // worker ships the build error to the aggregator and every other
+        // home still gets its row.
+        let spec = FleetSpec::new(5, 3);
+        let mut homes = spec.stamp();
+        homes[1].template = 99;
+        let metrics = FleetMetrics::new();
+        let results: Vec<_> = homes
+            .iter()
+            .map(|hs| (hs.clone(), run_one_home(&spec, hs, &metrics)))
+            .collect();
+        let report = FleetAggregator::new(&spec).aggregate(results);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.totals.homes_failed, 1);
+        assert_eq!(metrics.homes_failed.get(), 1);
+    }
+
+    #[test]
+    fn bounded_evidence_capacity_sheds_under_attack_but_not_at_rest() {
+        // A retrofit (no-DPI) home is the overload case: the recruit
+        // login is not caught at the payload layer, so the Mirai flood
+        // actually fires and NAC reports ~300 blocked packets inside one
+        // evaluation window — far over a 4-slot bus.
+        let hs = HomeSpec {
+            id: 0,
+            seed: 1,
+            template: 0,
+            attack: FleetAttack::BotnetRecruit,
+        };
+        let mut spec = FleetSpec::new(5, 1).with_templates(vec![HomeTemplate::retrofit()]);
+        spec.evidence_capacity = Some(4);
+        let bounded = run_one_home(&spec, &hs, &FleetMetrics::new()).expect("home builds");
+        assert!(
+            bounded.evidence_shed > 0,
+            "a flooding home on a tiny bus must shed: {bounded:?}"
+        );
+        assert_eq!(bounded.evidence_dropped, bounded.evidence_shed);
+        // The same home unbounded loses nothing.
+        let spec = FleetSpec::new(5, 1).with_templates(vec![HomeTemplate::retrofit()]);
+        let unbounded = run_one_home(&spec, &hs, &FleetMetrics::new()).expect("home builds");
+        assert_eq!(unbounded.evidence_shed, 0);
+        assert!(unbounded.evidence_total > bounded.evidence_total);
+        // Shed or not, the attack is still caught by the home's own Core.
+        assert!(bounded.warning_alerts > 0, "report: {bounded:?}");
     }
 }

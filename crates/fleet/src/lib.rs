@@ -31,7 +31,9 @@ pub mod engine;
 pub mod metrics;
 pub mod spec;
 
-pub use aggregate::{FleetAggregator, FleetHomeRow, FleetReport, FleetTotals};
-pub use engine::{build_home, run_fleet};
-pub use metrics::{Counter, FleetMetrics, Gauge, Histogram};
+pub use aggregate::{
+    FleetAggregator, FleetHomeRow, FleetReport, FleetTotals, FLEET_REPORT_SCHEMA_VERSION,
+};
+pub use engine::{build_home, run_fleet, HomeBuildError};
+pub use metrics::{Counter, FleetMetrics, Gauge, Histogram, FLEET_METRICS_SCHEMA_VERSION};
 pub use spec::{FleetAttack, FleetSpec, HomeSpec, HomeTemplate};

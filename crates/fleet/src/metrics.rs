@@ -9,6 +9,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Version of the [`FleetMetrics::to_json`] schema. Bump on any field
+/// add/remove/rename/reorder (mirrors
+/// [`crate::aggregate::FLEET_REPORT_SCHEMA_VERSION`] for the report).
+pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 2;
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -139,10 +144,16 @@ impl Histogram {
 pub struct FleetMetrics {
     /// Homes fully stepped to the horizon.
     pub homes_stepped: Counter,
+    /// Homes that failed to build/run (shipped to the aggregator as
+    /// failed rows instead of panicking the worker).
+    pub homes_failed: Counter,
     /// Evidence items ingested by worker-side bounded drains.
     pub evidence_drained: Counter,
     /// Evidence items aggregated into home stores over the whole run.
     pub evidence_total: Counter,
+    /// Evidence items shed oldest-first by bounded per-home buses under
+    /// overload.
+    pub evidence_shed: Counter,
     /// Home reports received by the aggregator.
     pub reports_received: Counter,
     /// Depth of the bounded report channel, sampled at each send.
@@ -163,16 +174,21 @@ impl FleetMetrics {
         Self::default()
     }
 
-    /// Serializes every counter/gauge/histogram as one JSON object.
+    /// Serializes every counter/gauge/histogram as one JSON object,
+    /// schema version [`FLEET_METRICS_SCHEMA_VERSION`].
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"homes_stepped\":{},\"evidence_drained\":{},\"evidence_total\":{},\
+            "{{\"schema_version\":{},\"homes_stepped\":{},\"homes_failed\":{},\
+             \"evidence_drained\":{},\"evidence_total\":{},\"evidence_shed\":{},\
              \"reports_received\":{},\"report_channel_depth\":{},\
              \"report_channel_high_water\":{},\"build\":{},\"step\":{},\
              \"report\":{},\"aggregate\":{}}}",
+            FLEET_METRICS_SCHEMA_VERSION,
             self.homes_stepped.get(),
+            self.homes_failed.get(),
             self.evidence_drained.get(),
             self.evidence_total.get(),
+            self.evidence_shed.get(),
             self.reports_received.get(),
             self.report_channel_depth.get(),
             self.report_channel_depth.high_water(),

@@ -106,6 +106,28 @@ impl HomeTemplate {
         }
     }
 
+    /// The "retrofit" profile: the standard device mix behind an older
+    /// gateway that can only afford table-based access control — no
+    /// encrypted DPI (§IV-B2's searchable encryption needs gateway-side
+    /// crypto support) and no per-device behavioural DFA profiling. A
+    /// botnet recruit slips past the missing payload/behaviour layers,
+    /// the later flood actually fires, and every flood packet is denied
+    /// (and reported) at the NAC layer — the evidence burst that bounded
+    /// buses exist to absorb.
+    pub fn retrofit() -> Self {
+        HomeTemplate {
+            name: "retrofit".to_string(),
+            devices: standard_devices(),
+            config: XlfConfig {
+                dpi: false,
+                netmonitor: false,
+                ..XlfConfig::full()
+            },
+            automation: true,
+            share: 1,
+        }
+    }
+
     /// Replaces the deployment config (builder-style).
     pub fn with_config(mut self, config: XlfConfig) -> Self {
         self.config = config;
@@ -145,6 +167,12 @@ pub struct FleetSpec {
     /// Max evidence items a worker ingests per home per slice
     /// ([`xlf_core::framework::XlfCore::drain_pending`] bound).
     pub drain_batch: usize,
+    /// Per-home evidence-bus capacity. `None` = unbounded; `Some(cap)`
+    /// runs every home on a bounded shed-oldest bus
+    /// ([`xlf_core::bus::EvidenceBus::bounded`]) so overloaded homes
+    /// shed stale observations instead of growing without bound. Sheds
+    /// are charged to per-home and fleet-wide drop accounting.
+    pub evidence_capacity: Option<usize>,
     /// Capacity of the bounded report channel (worker → aggregator
     /// backpressure).
     pub report_capacity: usize,
@@ -177,6 +205,7 @@ impl FleetSpec {
             attacks: vec![(FleetAttack::None, 1)],
             slices: 8,
             drain_batch: 256,
+            evidence_capacity: None,
             report_capacity: 64,
             graph_k: 8,
             graph_gamma: 8.0,
@@ -198,9 +227,22 @@ impl FleetSpec {
         self
     }
 
-    /// Replaces the template mix (builder-style).
+    /// Bounds every home's evidence bus (builder-style); see
+    /// [`FleetSpec::evidence_capacity`].
+    pub fn with_evidence_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.evidence_capacity = capacity;
+        self
+    }
+
+    /// Replaces the template mix (builder-style). Shares are relative;
+    /// zero-share templates are kept in the list (indices stay stable
+    /// for reports) but are never stamped.
     pub fn with_templates(mut self, templates: Vec<HomeTemplate>) -> Self {
         assert!(!templates.is_empty(), "fleet needs at least one template");
+        assert!(
+            templates.iter().any(|t| t.share > 0),
+            "template mix needs at least one positive share"
+        );
         self.templates = templates;
         self
     }
@@ -219,14 +261,21 @@ impl FleetSpec {
     /// Stamps the concrete per-home specs. Pure function of the spec —
     /// independent of worker count, scheduling, and wall-clock.
     pub fn stamp(&self) -> Vec<HomeSpec> {
-        let template_total: u64 = self.templates.iter().map(|t| t.share.max(1) as u64).sum();
+        // Zero-share templates are excluded outright (consistent with the
+        // attack mix) — `with_share(0)` must mean "none of these", not
+        // a silent promotion to share 1.
+        let template_total: u64 = self.templates.iter().map(|t| t.share as u64).sum();
         let attack_total: u64 = self.attacks.iter().map(|&(_, s)| s as u64).sum();
+        assert!(
+            template_total > 0,
+            "template mix needs at least one positive share"
+        );
         (0..self.homes as u64)
             .map(|id| {
                 let h0 = splitmix64(self.master_seed ^ splitmix64(id));
                 let template = weighted_pick(
                     h0 % template_total,
-                    self.templates.iter().map(|t| t.share.max(1) as u64),
+                    self.templates.iter().map(|t| t.share as u64),
                 );
                 let h1 = splitmix64(h0);
                 let attack_idx = weighted_pick(
@@ -305,6 +354,47 @@ mod tests {
             "apartments: {apartments}"
         );
         assert!((60..=140).contains(&attacked), "attacked: {attacked}");
+    }
+
+    #[test]
+    fn zero_share_templates_are_never_stamped() {
+        // Regression: `with_share(0)` used to be silently promoted to
+        // share 1 by a `.max(1)` in stamping, so "excluded" templates
+        // still stamped homes.
+        let spec = FleetSpec::new(3, 512).with_templates(vec![
+            HomeTemplate::apartment(),
+            HomeTemplate::house().with_share(0),
+        ]);
+        assert!(
+            spec.stamp().iter().all(|h| h.template == 0),
+            "zero-share template was stamped"
+        );
+        // Zero-share templates elsewhere in the list don't shift the
+        // indices of live ones.
+        let spec = FleetSpec::new(3, 512).with_templates(vec![
+            HomeTemplate::apartment().with_share(0),
+            HomeTemplate::house(),
+        ]);
+        assert!(spec.stamp().iter().all(|h| h.template == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive share")]
+    fn all_zero_template_shares_are_rejected() {
+        let _ = FleetSpec::new(3, 8).with_templates(vec![
+            HomeTemplate::apartment().with_share(0),
+            HomeTemplate::house().with_share(0),
+        ]);
+    }
+
+    #[test]
+    fn evidence_capacity_knob_defaults_to_unbounded() {
+        let spec = FleetSpec::new(1, 4);
+        assert_eq!(spec.evidence_capacity, None);
+        assert_eq!(
+            spec.with_evidence_capacity(Some(64)).evidence_capacity,
+            Some(64)
+        );
     }
 
     #[test]

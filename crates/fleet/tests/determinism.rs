@@ -2,7 +2,7 @@
 //! fleet report no matter how many workers shard the homes — worker
 //! count is an execution detail, not an input to the science.
 
-use xlf_fleet::{run_fleet, FleetAttack, FleetMetrics, FleetSpec};
+use xlf_fleet::{run_fleet, FleetAttack, FleetMetrics, FleetSpec, HomeTemplate};
 
 fn spec(workers: usize) -> FleetSpec {
     FleetSpec::new(0xF1EE_7001, 24)
@@ -30,6 +30,44 @@ fn same_master_seed_is_byte_identical_across_worker_counts() {
         );
         assert_eq!(metrics.homes_stepped.get(), 24);
         assert_eq!(metrics.reports_received.get(), 24);
+    }
+}
+
+#[test]
+fn bounded_capacity_sheds_are_byte_identical_across_worker_counts() {
+    // Overload sheds are part of the science, not an execution detail:
+    // a bounded fleet (retrofit homes let the Mirai flood actually fire)
+    // must report the exact same shed counts for any worker count.
+    fn bounded_spec(workers: usize) -> FleetSpec {
+        FleetSpec::new(0xF1EE_7002, 24)
+            .with_workers(workers)
+            .with_templates(vec![HomeTemplate::apartment(), HomeTemplate::retrofit()])
+            .with_attacks(vec![
+                (FleetAttack::None, 4),
+                (FleetAttack::BotnetRecruit, 2),
+            ])
+            .with_evidence_capacity(Some(64))
+    }
+    let baseline = run_fleet(&bounded_spec(1), &FleetMetrics::new());
+    let json = baseline.to_json();
+    assert!(
+        baseline.totals.evidence_shed > 0,
+        "a bounded fleet under flood must shed: {:?}",
+        baseline.totals
+    );
+    assert!(
+        baseline.totals.evidence_dropped >= baseline.totals.evidence_shed,
+        "sheds are a subset of drops"
+    );
+    for workers in [2, 8] {
+        let metrics = FleetMetrics::new();
+        let report = run_fleet(&bounded_spec(workers), &metrics);
+        assert_eq!(
+            report.to_json(),
+            json,
+            "worker count {workers} changed the bounded fleet report"
+        );
+        assert_eq!(metrics.evidence_shed.get(), baseline.totals.evidence_shed);
     }
 }
 

@@ -1,0 +1,148 @@
+//! Golden pins for the versioned fleet JSON schemas.
+//!
+//! `FleetReport::to_json` and `FleetMetrics::to_json` are longitudinal
+//! interfaces: operators diff them across runs and revisions. These
+//! tests pin the exact bytes of schema v2 against goldens under
+//! `tests/golden/`. If a field is added/removed/renamed/reordered, bump
+//! the matching `*_SCHEMA_VERSION` constant and regenerate the goldens:
+//!
+//! ```text
+//! XLF_UPDATE_GOLDENS=1 cargo test -p xlf-fleet --test schema
+//! ```
+
+use std::path::PathBuf;
+use xlf_core::framework::HomeReport;
+use xlf_fleet::{
+    FleetAggregator, FleetAttack, FleetMetrics, FleetSpec, HomeBuildError, HomeSpec,
+    FLEET_METRICS_SCHEMA_VERSION, FLEET_REPORT_SCHEMA_VERSION,
+};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the golden file, or rewrites the golden
+/// when `XLF_UPDATE_GOLDENS=1` (then fails so the refreshed file gets
+/// reviewed and committed deliberately).
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("XLF_UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{actual}\n")).unwrap();
+        panic!("golden {name} regenerated; review the diff and rerun without XLF_UPDATE_GOLDENS");
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}; regenerate with XLF_UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        golden.trim_end_matches('\n'),
+        "{name} drifted from the pinned schema v{FLEET_REPORT_SCHEMA_VERSION}: \
+         if the change is intentional, bump the schema version and regenerate \
+         with XLF_UPDATE_GOLDENS=1"
+    );
+}
+
+fn fake_report(seed: u64, traffic: f64, criticals: usize) -> HomeReport {
+    HomeReport {
+        seed,
+        evidence_total: 10,
+        evidence_dropped: 0,
+        evidence_shed: 0,
+        evidence_by_layer: [3, 4, 3],
+        warning_alerts: criticals,
+        critical_alerts: criticals,
+        quarantined: Vec::new(),
+        top_device: "cam".to_string(),
+        top_score: if criticals > 0 { 0.9 } else { 0.1 },
+        forwarded: 100,
+        dropped_packets: 0,
+        features: vec![traffic, 100.0, 5.0, traffic * 100.0, 1.0, 0.5],
+    }
+}
+
+/// A small synthetic fleet exercising every row variant the schema can
+/// emit: healthy homes, a behavioural outlier, a home-core critical, a
+/// bounded home with sheds, and a failed home.
+fn synthetic_report_json() -> String {
+    let spec = FleetSpec::new(0x60_1D, 12);
+    let mut items: Vec<(HomeSpec, Result<HomeReport, HomeBuildError>)> = (0..12u64)
+        .map(|i| {
+            let traffic = if i == 3 { 900.0 } else { 50.0 + i as f64 };
+            (
+                HomeSpec {
+                    id: i,
+                    seed: i,
+                    template: (i % 2) as usize,
+                    attack: FleetAttack::None,
+                },
+                Ok(fake_report(i, traffic, 0)),
+            )
+        })
+        .collect();
+    if let Ok(r) = &mut items[2].1 {
+        r.critical_alerts = 2;
+        r.warning_alerts = 3;
+        r.quarantined.push("cam".to_string());
+    }
+    if let Ok(r) = &mut items[6].1 {
+        r.evidence_dropped = 40;
+        r.evidence_shed = 40;
+    }
+    items[9].1 = Err(HomeBuildError {
+        home: 9,
+        reason: "template index 7 out of range (2 templates)".to_string(),
+    });
+    FleetAggregator::new(&spec).aggregate(items).to_json()
+}
+
+#[test]
+fn fleet_report_json_matches_the_v2_golden() {
+    assert_eq!(
+        FLEET_REPORT_SCHEMA_VERSION, 2,
+        "bump goldens with the schema"
+    );
+    let json = synthetic_report_json();
+    assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
+    assert_matches_golden("fleet_report_v2.json", &json);
+}
+
+#[test]
+fn fleet_metrics_json_matches_the_v2_golden() {
+    assert_eq!(
+        FLEET_METRICS_SCHEMA_VERSION, 2,
+        "bump goldens with the schema"
+    );
+    let m = FleetMetrics::new();
+    m.homes_stepped.add(11);
+    m.homes_failed.inc();
+    m.evidence_drained.add(420);
+    m.evidence_total.add(480);
+    m.evidence_shed.add(60);
+    m.reports_received.add(11);
+    m.report_channel_depth.set(3);
+    m.report_channel_depth.set(1);
+    m.build_us.observe(250);
+    m.step_us.observe(12_000);
+    m.report_us.observe(80);
+    m.aggregate_us.observe(1_500);
+    let json = m.to_json();
+    assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
+    assert_matches_golden("fleet_metrics_v2.json", &json);
+}
+
+#[test]
+fn report_and_metrics_jsons_are_parseable_shapes() {
+    // Cheap structural sanity on top of the byte pins: balanced braces
+    // and brackets, no bare non-finite floats.
+    for json in [synthetic_report_json(), FleetMetrics::new().to_json()] {
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+}

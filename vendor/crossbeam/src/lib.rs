@@ -45,6 +45,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]; carries the value that
+    /// could not be enqueued.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
     /// The sending half (cloneable).
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -164,6 +174,44 @@ pub mod channel {
             Ok(())
         }
 
+        /// Enqueues a value without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity
+        /// and with [`TrySendError::Disconnected`] when every receiver
+        /// is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.cap {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            inner.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues a value without blocking, evicting the **oldest**
+        /// queued value if a bounded channel is at capacity (shed-oldest:
+        /// the newest value always gets in). Returns the evicted value
+        /// when one was displaced; fails only when every receiver is
+        /// gone.
+        pub fn force_send(&self, value: T) -> Result<Option<T>, SendError<T>> {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let evicted = match self.shared.cap {
+                Some(cap) if inner.queue.len() >= cap => inner.queue.pop_front(),
+                _ => None,
+            };
+            inner.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(evicted)
+        }
+
         /// Number of pending values (snapshot).
         pub fn len(&self) -> usize {
             self.shared
@@ -177,6 +225,11 @@ pub mod channel {
         /// True when no values are pending.
         pub fn is_empty(&self) -> bool {
             self.len() == 0
+        }
+
+        /// The channel capacity (`None` for unbounded).
+        pub fn capacity(&self) -> Option<usize> {
+            self.shared.cap
         }
     }
 
@@ -272,7 +325,7 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, unbounded, RecvError};
+    use super::channel::{bounded, unbounded, RecvError, SendError, TrySendError};
 
     #[test]
     fn fifo_and_clone_handles() {
@@ -329,6 +382,42 @@ mod tests {
         })
         .unwrap();
         assert!(unblocked);
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1u32), Ok(()));
+        assert_eq!(tx.try_send(2u32), Err(TrySendError::Full(2)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(tx.try_send(3u32), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4u32), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn force_send_evicts_the_oldest_when_full() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(tx.force_send(1u32), Ok(None));
+        assert_eq!(tx.force_send(2u32), Ok(None));
+        // Full: 1 (the oldest) is displaced, survivors keep FIFO order.
+        assert_eq!(tx.force_send(3u32), Ok(Some(1)));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert!(rx.try_recv().is_err());
+        drop(rx);
+        assert_eq!(tx.force_send(4u32), Err(SendError(4)));
+    }
+
+    #[test]
+    fn force_send_on_unbounded_never_evicts() {
+        let (tx, rx) = unbounded();
+        for i in 0..100u32 {
+            assert_eq!(tx.force_send(i), Ok(None));
+        }
+        assert_eq!(rx.len(), 100);
+        assert_eq!(tx.capacity(), None);
+        assert_eq!(bounded::<u32>(7).0.capacity(), Some(7));
     }
 
     #[test]
