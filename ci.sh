@@ -31,4 +31,9 @@ grep -q '"schema_version":' "$tmpdir/report_a.json" \
 grep -q '"schema_version":' BENCH_fleet.json \
     || { echo "fleet metrics JSON is missing schema_version"; exit 1; }
 
+echo "== smoke: fault injection + supervised execution (18 homes, 2 workers)"
+./target/release/exp_faults --homes 18 --workers 2 --json "$tmpdir/bench_faults.json"
+grep -q '"conservation":' "$tmpdir/bench_faults.json" \
+    || { echo "fault bench JSON is missing the conservation note"; exit 1; }
+
 echo "CI OK"

@@ -2,7 +2,7 @@
 //! worker counts, plus the aggregation stage in isolation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use xlf_fleet::{run_fleet, FleetAggregator, FleetAttack, FleetMetrics, FleetSpec};
+use xlf_fleet::{run_fleet, FleetAggregator, FleetAttack, FleetMetrics, FleetSpec, HomeOutcome};
 use xlf_simnet::Duration;
 
 fn fleet_spec(homes: usize, workers: usize) -> FleetSpec {
@@ -34,11 +34,14 @@ fn bench_fleet(c: &mut Criterion) {
 
     // Aggregation alone: correlate a pre-collected batch of home reports.
     let spec = fleet_spec(64, 1);
-    let full = run_fleet(&spec, &FleetMetrics::new());
+    let full = run_fleet(&spec, &FleetMetrics::new()).expect("fleet runs");
     let collected: Vec<_> = spec
         .stamp()
         .into_iter()
-        .zip(full.rows.iter().map(|r| Ok(r.report.clone())))
+        .zip(full.rows.iter().map(|r| HomeOutcome::Ok {
+            report: r.report.clone(),
+            observer_accuracy: r.observer_accuracy,
+        }))
         .collect();
     group.throughput(Throughput::Elements(collected.len() as u64));
     group.bench_function("aggregate_64_reports", |b| {

@@ -80,6 +80,9 @@ fn spec(args: &Args, workers: usize, capacity: Option<usize>) -> FleetSpec {
             (FleetAttack::None, 30),
             (FleetAttack::BotnetRecruit, 1),
             (FleetAttack::FirmwareTamper, 1),
+            (FleetAttack::Replay, 1),
+            (FleetAttack::DnsPoison, 1),
+            (FleetAttack::TrafficObserver, 1),
         ])
         .with_evidence_capacity(capacity)
 }
@@ -87,15 +90,19 @@ fn spec(args: &Args, workers: usize, capacity: Option<usize>) -> FleetSpec {
 fn timed_run(spec: &FleetSpec) -> (FleetReport, FleetMetrics, f64) {
     let metrics = FleetMetrics::new();
     let t0 = Instant::now();
-    let report = run_fleet(spec, &metrics);
+    let report = run_fleet(spec, &metrics).expect("fleet engine lost work");
     (report, metrics, t0.elapsed().as_secs_f64())
 }
 
+/// Homes under an *active* attack — the ones the home/fleet tiers can be
+/// expected to flag. Passive observation (traffic-observer) injects no
+/// traffic and is invisible from inside; it is scored via
+/// `observer_accuracy` instead.
 fn attacked_ids(report: &FleetReport) -> Vec<u64> {
     report
         .rows
         .iter()
-        .filter(|r| r.attack != "none")
+        .filter(|r| r.attack != "none" && r.attack != "traffic-observer")
         .map(|r| r.id)
         .collect()
 }
@@ -317,7 +324,7 @@ fn write_bench_json(
     deterministic: bool,
     deviants_flagged: bool,
 ) -> std::io::Result<()> {
-    let attacked = report.rows.iter().filter(|r| r.attack != "none").count();
+    let attacked = attacked_ids(report).len();
     let sweep_json: Vec<String> = sweep
         .iter()
         .map(|p| {

@@ -25,7 +25,12 @@ use xlf_cloud::{CloudNode, DeviceHandler, EventPolicy, SmartCloud};
 use xlf_device::{DeviceConfig, SensorKind, SimDevice, VulnSet};
 use xlf_lwcrypto::kdf::derive_key;
 use xlf_lwcrypto::searchable::Tokenizer;
+use xlf_protocols::dns::{DnsRecord, RecordType};
 use xlf_simnet::{Context, Duration, Medium, Network, Node, NodeId, Packet, SimTime, TimerId};
+
+/// The vendor hub name every registered device is allowed to resolve
+/// (the destination a DNS-poisoning attacker tries to hijack).
+pub const VENDOR_DNS_NAME: &str = "hub.vendor.example";
 
 /// Per-mechanism switches and tuning for one XLF deployment.
 #[derive(Debug, Clone)]
@@ -298,10 +303,12 @@ impl XlfGateway {
         }
     }
 
-    /// Registers a device behind the gateway, allowlisting its cloud path.
+    /// Registers a device behind the gateway, allowlisting its cloud path
+    /// and its vendor hub name (the only destination NAC lets it resolve).
     pub fn register_device(&mut self, name: &str, node: NodeId) {
         self.devices.insert(name.to_string(), node);
         self.nac.allow_node(name, self.cloud);
+        self.nac.allow_destination(name, VENDOR_DNS_NAME);
     }
 
     /// Shaping cost so far (the E-M3 overhead axis).
@@ -510,6 +517,34 @@ impl XlfGateway {
                 self.scan_payload(&device, &packet.payload, now);
                 self.forwarded += 1;
                 ctx.send(node, packet);
+            }
+            "dns-response" => {
+                // A WAN-side DNS answer claiming to resolve a name for a
+                // device. NAC's hardened resolver adjudicates it (txid +
+                // DNSSEC checks); rejected spoofs are dropped and show up
+                // as `DnsBlocked` evidence. Without NAC the gateway
+                // blindly forwards — the unprotected baseline.
+                if !self.config.nac {
+                    self.forwarded += 1;
+                    ctx.send(node, packet);
+                    return;
+                }
+                let name = packet.meta("name").unwrap_or(VENDOR_DNS_NAME).to_string();
+                let value = packet.meta("value").unwrap_or("").to_string();
+                let txid = packet
+                    .meta("txid")
+                    .and_then(|t| t.parse::<u16>().ok())
+                    .unwrap_or(0);
+                let record = DnsRecord::new(&name, RecordType::A, &value, 300);
+                match self.nac.resolve_for(&device, &name, (record, txid), now) {
+                    Ok(_) => {
+                        self.forwarded += 1;
+                        ctx.send(node, packet);
+                    }
+                    Err(_) => {
+                        self.dropped += 1;
+                    }
+                }
             }
             _ => {
                 self.forwarded += 1;
@@ -872,6 +907,14 @@ impl HomeRunner {
     /// Steps the simulation to `t`.
     pub fn run_until(&mut self, t: SimTime) {
         self.home.net.run_until(t);
+    }
+
+    /// Steps the simulation to `t`, processing at most `budget` events.
+    /// Returns `(events_processed, truncated)`; a truncated home keeps
+    /// whatever evidence it drained so far and can still be summarized
+    /// via [`HomeRunner::finish`] — the fleet tier's degraded mode.
+    pub fn run_until_capped(&mut self, t: SimTime, budget: u64) -> (u64, bool) {
+        self.home.net.run_until_capped(t, budget)
     }
 
     /// Finishes the run at `now`: one final Core evaluation sweep (so

@@ -153,13 +153,17 @@ impl Nac {
         let _txid = self.resolver.start_query(name, RecordType::A);
         // The caller supplies the (possibly attacker-injected) response;
         // the hardened resolver decides.
+        let accepted_record = response.0.clone();
         let outcome = self.resolver.handle_response(response.0, response.1, now);
         match outcome {
+            // Prefer the cache entry; a zero-TTL record can be accepted
+            // yet already expired, in which case the validated response
+            // itself is the answer (no panic on a cold cache).
             ResolveOutcome::Accepted => Ok(self
                 .resolver
                 .cached(name, RecordType::A, now)
-                .expect("just cached")
-                .clone()),
+                .cloned()
+                .unwrap_or(accepted_record)),
             _ => {
                 if let Some(bus) = &self.bus {
                     bus.report(Evidence::new(

@@ -4,6 +4,14 @@
 //! group", productionizing experiment E-M6), and publishes fleet-wide
 //! alerts through the existing alert pipeline.
 //!
+//! **Degraded mode.** Only homes that ran to the horizon participate in
+//! the cross-home correlation (a truncated home's features would look
+//! like a deviant simply for being cut short). Degraded, failed, and
+//! build-failed homes are quarantined into their own report sections,
+//! and the report satisfies the conservation law
+//! `rows + degraded + run_failed + build_failed == homes` — a fleet that
+//! silently loses homes looks healthier than it is.
+//!
 //! The JSON emitted by [`FleetReport::to_json`] and
 //! [`FleetMetrics::to_json`](crate::metrics::FleetMetrics::to_json) is a
 //! **versioned, stable schema** (see `schema_version` and the
@@ -11,7 +19,8 @@
 //! runs can be diffed byte-for-byte.
 
 use crate::engine::HomeBuildError;
-use crate::spec::{FleetSpec, HomeSpec};
+use crate::spec::{FleetSpec, HomeSpec, FLEET_FAULT_KINDS};
+use crate::supervise::{HomeOutcome, HomeRunError};
 use xlf_analytics::graph::community_report;
 use xlf_core::alerts::{Alert, AlertSink, Severity};
 use xlf_core::framework::HomeReport;
@@ -23,10 +32,16 @@ use xlf_simnet::SimTime;
 ///
 /// History: v1 — ad hoc (unversioned) PR-2 shape; v2 — adds
 /// `schema_version`, per-home `evidence_shed`/`evidence_drop_rate`,
-/// fleet `failed` rows, and totals drop/shed accounting.
-pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 2;
+/// fleet `failed` rows, and totals drop/shed accounting; v3 — fault
+/// injection + supervision: per-row `fault`/`observer_accuracy`,
+/// `degraded` and `run_failed` sections (`failed` renamed
+/// `build_failed`), outcome conservation totals
+/// (`homes_ok`/`homes_degraded`/`homes_run_failed`/`homes_build_failed`),
+/// fault-correlated fleet alerts.
+pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 3;
 
-/// One home's row in the fleet report.
+/// One home's row in the fleet report (homes that ran to the horizon —
+/// the only homes the cross-home graph correlates).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetHomeRow {
     /// Fleet-wide home id.
@@ -35,6 +50,8 @@ pub struct FleetHomeRow {
     pub template: String,
     /// Injected attack (ground truth for scoring the aggregator).
     pub attack: &'static str,
+    /// Infrastructure fault the home ran under ("none" = healthy).
+    pub fault: &'static str,
     /// Behavioural community the home landed in.
     pub community: usize,
     /// Deviation from its community (high = suspicious). May be
@@ -43,6 +60,9 @@ pub struct FleetHomeRow {
     pub deviation: f64,
     /// Whether the fleet tier flagged this home.
     pub flagged: bool,
+    /// Traffic-analysis accuracy for `traffic-observer` homes
+    /// (`None` for every other attack; serializes as `null`).
+    pub observer_accuracy: Option<f64>,
     /// The home's own summary.
     pub report: HomeReport,
 }
@@ -62,10 +82,32 @@ impl FleetHomeRow {
     }
 }
 
-/// Fleet-wide totals over every home report.
+/// A home truncated by its step event budget: excluded from the
+/// correlation, quarantined here with whatever evidence it drained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedHome {
+    /// Fleet-wide home id.
+    pub id: u64,
+    /// Template name the home was stamped from.
+    pub template: String,
+    /// Injected attack.
+    pub attack: &'static str,
+    /// Infrastructure fault the home ran under.
+    pub fault: &'static str,
+    /// Simulation events processed before truncation.
+    pub events_used: u64,
+    /// The partial summary (drained evidence up to truncation).
+    pub report: HomeReport,
+}
+
+/// Fleet-wide totals. Evidence/traffic totals cover **correlated rows
+/// only** (degraded homes' partial counts would skew overload-rate
+/// comparisons); the `homes_*` outcome counters cover every stamped home
+/// and satisfy `homes_ok + homes_degraded + homes_run_failed +
+/// homes_build_failed == homes`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetTotals {
-    /// Evidence records aggregated across all home Cores.
+    /// Evidence records aggregated across correlated home Cores.
     pub evidence: u64,
     /// Evidence observations lost for any reason (dead buses and
     /// overload sheds; always `>=` `evidence_shed`).
@@ -73,17 +115,24 @@ pub struct FleetTotals {
     /// Evidence observations shed oldest-first by bounded buses under
     /// overload (the overload subset of `evidence_dropped`).
     pub evidence_shed: u64,
-    /// Packets forwarded by all gateways.
+    /// Packets forwarded by correlated homes' gateways.
     pub forwarded: u64,
-    /// Packets dropped by all gateways.
+    /// Packets dropped by correlated homes' gateways.
     pub dropped_packets: u64,
-    /// Homes with at least one critical alert from their own Core.
+    /// Correlated homes with at least one critical alert from their own
+    /// Core.
     pub homes_with_critical: u64,
-    /// Homes with at least one quarantined device.
+    /// Correlated homes with at least one quarantined device.
     pub homes_with_quarantine: u64,
-    /// Homes that failed to build/run (recorded in
-    /// [`FleetReport::failed`], absent from the rows).
-    pub homes_failed: u64,
+    /// Homes that ran to the horizon (one report row each).
+    pub homes_ok: u64,
+    /// Homes truncated by the step event budget
+    /// ([`FleetReport::degraded`]).
+    pub homes_degraded: u64,
+    /// Homes that panicked on every attempt ([`FleetReport::run_failed`]).
+    pub homes_run_failed: u64,
+    /// Homes that never built ([`FleetReport::build_failed`]).
+    pub homes_build_failed: u64,
 }
 
 impl FleetTotals {
@@ -108,21 +157,30 @@ impl FleetTotals {
             self.evidence_shed as f64 / total as f64
         }
     }
+
+    /// All homes accounted for, by outcome.
+    pub fn homes_accounted(&self) -> u64 {
+        self.homes_ok + self.homes_degraded + self.homes_run_failed + self.homes_build_failed
+    }
 }
 
 /// The deterministic output of one fleet run: rows sorted by home id,
-/// community structure, flagged homes, failed homes, and the fleet alert
-/// stream. Contains **no wall-clock quantities** — the same spec
-/// produces a byte-identical [`FleetReport::to_json`] for any worker
-/// count.
+/// community structure, flagged homes, quarantined
+/// degraded/failed/build-failed sections, and the fleet alert stream.
+/// Contains **no wall-clock quantities** — the same spec produces a
+/// byte-identical [`FleetReport::to_json`] for any worker count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
     /// Master seed the fleet was stamped from.
     pub master_seed: u64,
-    /// Per-home rows, sorted by id (failed homes excluded).
+    /// Per-home rows, sorted by id (only homes that ran to the horizon).
     pub rows: Vec<FleetHomeRow>,
-    /// Homes that could not be built/run, sorted by id.
-    pub failed: Vec<HomeBuildError>,
+    /// Homes truncated by the step event budget, sorted by id.
+    pub degraded: Vec<DegradedHome>,
+    /// Homes that panicked past their retry budget, sorted by id.
+    pub run_failed: Vec<HomeRunError>,
+    /// Homes that could not be built, sorted by id.
+    pub build_failed: Vec<HomeBuildError>,
     /// Number of distinct behavioural communities found.
     pub communities: usize,
     /// Effective deviation threshold used for flagging.
@@ -145,6 +203,14 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// `json_f64` lifted over `Option`: `None` serializes as `null`.
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
 /// Minimal JSON string escaping for the deterministic serializer.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -163,6 +229,17 @@ fn json_str(s: &str) -> String {
 }
 
 impl FleetReport {
+    /// Total homes accounted for across every outcome section.
+    pub fn homes_accounted(&self) -> usize {
+        self.rows.len() + self.degraded.len() + self.run_failed.len() + self.build_failed.len()
+    }
+
+    /// Checks the conservation law against the number of homes stamped:
+    /// `ok + degraded + failed + build_failed == homes`.
+    pub fn accounting_ok(&self, homes: usize) -> bool {
+        self.homes_accounted() == homes
+    }
+
     /// Serializes the report as deterministic JSON, schema version
     /// [`FLEET_REPORT_SCHEMA_VERSION`] (stable field order, fixed float
     /// precision, rows and failures sorted by home id).
@@ -173,7 +250,8 @@ impl FleetReport {
             .map(|r| {
                 format!(
                     "{{\"id\":{},\"seed\":{},\"template\":{},\"attack\":\"{}\",\
-                     \"community\":{},\"deviation\":{},\"flagged\":{},\
+                     \"fault\":\"{}\",\"community\":{},\"deviation\":{},\"flagged\":{},\
+                     \"observer_accuracy\":{},\
                      \"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
                      \"evidence_drop_rate\":{},\"warnings\":{},\
                      \"criticals\":{},\"quarantined\":{},\"top_device\":{},\
@@ -182,9 +260,11 @@ impl FleetReport {
                     r.report.seed,
                     json_str(&r.template),
                     r.attack,
+                    r.fault,
                     r.community,
                     json_f64(r.deviation),
                     r.flagged,
+                    json_opt_f64(r.observer_accuracy),
                     r.report.evidence_total,
                     r.report.evidence_dropped,
                     r.report.evidence_shed,
@@ -199,8 +279,42 @@ impl FleetReport {
                 )
             })
             .collect();
-        let failed: Vec<String> = self
-            .failed
+        let degraded: Vec<String> = self
+            .degraded
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"id\":{},\"template\":{},\"attack\":\"{}\",\"fault\":\"{}\",\
+                     \"events_used\":{},\"evidence\":{},\"warnings\":{},\"criticals\":{},\
+                     \"forwarded\":{},\"dropped\":{}}}",
+                    d.id,
+                    json_str(&d.template),
+                    d.attack,
+                    d.fault,
+                    d.events_used,
+                    d.report.evidence_total,
+                    d.report.warning_alerts,
+                    d.report.critical_alerts,
+                    d.report.forwarded,
+                    d.report.dropped_packets,
+                )
+            })
+            .collect();
+        let run_failed: Vec<String> = self
+            .run_failed
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"id\":{},\"attempts\":{},\"fault\":\"{}\",\"panic\":{}}}",
+                    f.home,
+                    f.attempts,
+                    f.fault,
+                    json_str(&f.panic)
+                )
+            })
+            .collect();
+        let build_failed: Vec<String> = self
+            .build_failed
             .iter()
             .map(|f| format!("{{\"id\":{},\"reason\":{}}}", f.home, json_str(&f.reason)))
             .collect();
@@ -223,11 +337,13 @@ impl FleetReport {
              \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
              \"evidence_drop_rate\":{},\"evidence_shed_rate\":{},\"forwarded\":{},\
              \"dropped_packets\":{},\"homes_with_critical\":{},\
-             \"homes_with_quarantine\":{},\"homes_failed\":{}}},\
-             \"failed\":[{}],\"alerts\":[{}],\"rows\":[{}]}}",
+             \"homes_with_quarantine\":{},\"homes_ok\":{},\"homes_degraded\":{},\
+             \"homes_run_failed\":{},\"homes_build_failed\":{}}},\
+             \"degraded\":[{}],\"run_failed\":[{}],\"build_failed\":[{}],\
+             \"alerts\":[{}],\"rows\":[{}]}}",
             FLEET_REPORT_SCHEMA_VERSION,
             self.master_seed,
-            self.rows.len(),
+            self.homes_accounted(),
             self.communities,
             json_f64(self.threshold),
             flagged.join(","),
@@ -240,8 +356,13 @@ impl FleetReport {
             self.totals.dropped_packets,
             self.totals.homes_with_critical,
             self.totals.homes_with_quarantine,
-            self.totals.homes_failed,
-            failed.join(","),
+            self.totals.homes_ok,
+            self.totals.homes_degraded,
+            self.totals.homes_run_failed,
+            self.totals.homes_build_failed,
+            degraded.join(","),
+            run_failed.join(","),
+            build_failed.join(","),
             alerts.join(","),
             rows.join(","),
         )
@@ -265,7 +386,7 @@ fn median_of(values: &[f64]) -> f64 {
     }
 }
 
-/// Collects per-home reports and fuses them into fleet intelligence.
+/// Collects per-home outcomes and fuses them into fleet intelligence.
 pub struct FleetAggregator {
     master_seed: u64,
     template_names: Vec<String>,
@@ -295,6 +416,13 @@ impl FleetAggregator {
         }
     }
 
+    fn template_name(&self, idx: usize) -> String {
+        self.template_names
+            .get(idx)
+            .cloned()
+            .unwrap_or_else(|| format!("template-{idx}"))
+    }
+
     /// Feature vector the cross-home graph correlates: the home's
     /// traffic-behaviour window plus its evidence-store summary and
     /// fused verdict — "aggregates the raw and the detection results …
@@ -317,29 +445,46 @@ impl FleetAggregator {
         f
     }
 
-    /// Fuses the collected `(spec, result)` pairs into the fleet report:
-    /// successful homes are correlated and flagged, failed homes are
-    /// recorded (with a warning alert each) instead of panicking the
-    /// aggregation. Input order does not matter (everything is sorted by
-    /// home id first).
-    pub fn aggregate(
-        mut self,
-        mut items: Vec<(HomeSpec, Result<HomeReport, HomeBuildError>)>,
-    ) -> FleetReport {
+    /// Fuses the collected `(spec, outcome)` pairs into the fleet report:
+    /// homes that ran to the horizon are correlated and flagged; degraded,
+    /// failed, and build-failed homes are quarantined into their own
+    /// sections (with a warning alert each) instead of panicking the
+    /// aggregation or skewing the correlation. Input order does not
+    /// matter (everything is sorted by home id first).
+    pub fn aggregate(mut self, mut items: Vec<(HomeSpec, HomeOutcome)>) -> FleetReport {
         items.sort_by_key(|(hs, _)| hs.id);
 
-        let mut failed: Vec<HomeBuildError> = Vec::new();
-        let mut ok_items: Vec<(HomeSpec, HomeReport)> = Vec::with_capacity(items.len());
-        for (hs, result) in items {
-            match result {
-                Ok(report) => ok_items.push((hs, report)),
-                Err(e) => failed.push(e),
+        let mut ok_items: Vec<(HomeSpec, HomeReport, Option<f64>)> =
+            Vec::with_capacity(items.len());
+        let mut degraded: Vec<DegradedHome> = Vec::new();
+        let mut run_failed: Vec<HomeRunError> = Vec::new();
+        let mut build_failed: Vec<HomeBuildError> = Vec::new();
+        for (hs, outcome) in items {
+            match outcome {
+                HomeOutcome::Ok {
+                    report,
+                    observer_accuracy,
+                } => ok_items.push((hs, report, observer_accuracy)),
+                HomeOutcome::Degraded {
+                    report,
+                    events_used,
+                    ..
+                } => degraded.push(DegradedHome {
+                    id: hs.id,
+                    template: self.template_name(hs.template),
+                    attack: hs.attack.name(),
+                    fault: hs.fault.name(),
+                    events_used,
+                    report,
+                }),
+                HomeOutcome::Failed(e) => run_failed.push(e),
+                HomeOutcome::BuildFailed(e) => build_failed.push(e),
             }
         }
 
         let features: Vec<Vec<f64>> = ok_items
             .iter()
-            .map(|(_, report)| Self::fleet_features(report))
+            .map(|(_, report, _)| Self::fleet_features(report))
             .collect();
         let graph = community_report(&features, self.graph_k, self.graph_gamma, self.graph_iters);
 
@@ -365,12 +510,15 @@ impl FleetAggregator {
         communities.dedup();
 
         let mut totals = FleetTotals {
-            homes_failed: failed.len() as u64,
+            homes_ok: ok_items.len() as u64,
+            homes_degraded: degraded.len() as u64,
+            homes_run_failed: run_failed.len() as u64,
+            homes_build_failed: build_failed.len() as u64,
             ..FleetTotals::default()
         };
         let mut flagged_ids = Vec::new();
         let mut rows = Vec::with_capacity(ok_items.len());
-        for (i, (hs, report)) in ok_items.into_iter().enumerate() {
+        for (i, (hs, report, observer_accuracy)) in ok_items.into_iter().enumerate() {
             totals.evidence += report.evidence_total as u64;
             totals.evidence_dropped += report.evidence_dropped;
             totals.evidence_shed += report.evidence_shed;
@@ -393,6 +541,14 @@ impl FleetAggregator {
                 } else {
                     Severity::Warning
                 };
+                // A flagged home running under an injected fault is
+                // called out: its deviation may be the fault, not an
+                // attack, and the operator should read it that way.
+                let fault_note = if hs.fault.name() == "none" {
+                    String::new()
+                } else {
+                    format!(", under fault {}", hs.fault.name())
+                };
                 self.alerts.raise(Alert {
                     at: self.horizon,
                     device: format!("home-{:06}", hs.id),
@@ -403,7 +559,7 @@ impl FleetAggregator {
                         0.0
                     },
                     explanation: format!(
-                        "fleet correlation: community {} deviation {:.3}{}{}",
+                        "fleet correlation: community {} deviation {:.3}{}{}{}",
                         graph.labels[i],
                         deviation,
                         if deviant { " (deviant)" } else { "" },
@@ -412,28 +568,52 @@ impl FleetAggregator {
                         } else {
                             ""
                         },
+                        fault_note,
                     ),
                 });
             }
 
             rows.push(FleetHomeRow {
                 id: hs.id,
-                template: self
-                    .template_names
-                    .get(hs.template)
-                    .cloned()
-                    .unwrap_or_else(|| format!("template-{}", hs.template)),
+                template: self.template_name(hs.template),
                 attack: hs.attack.name(),
+                fault: hs.fault.name(),
                 community: graph.labels[i],
                 deviation,
                 flagged,
+                observer_accuracy,
                 report,
             });
         }
 
-        // Failed homes are part of the record: a fleet that silently
-        // shrinks looks healthier than it is.
-        for f in &failed {
+        // Quarantined homes are part of the record: one warning alert
+        // each, in deterministic section order (degraded, run-failed,
+        // build-failed; each sorted by id).
+        for d in &degraded {
+            self.alerts.raise(Alert {
+                at: self.horizon,
+                device: format!("home-{:06}", d.id),
+                severity: Severity::Warning,
+                score: 0.0,
+                explanation: format!(
+                    "fleet: home truncated after {} events (fault {}): excluded from correlation",
+                    d.events_used, d.fault
+                ),
+            });
+        }
+        for f in &run_failed {
+            self.alerts.raise(Alert {
+                at: self.horizon,
+                device: format!("home-{:06}", f.home),
+                severity: Severity::Warning,
+                score: 0.0,
+                explanation: format!(
+                    "fleet: home panicked on all {} attempts (fault {}): {}",
+                    f.attempts, f.fault, f.panic
+                ),
+            });
+        }
+        for f in &build_failed {
             self.alerts.raise(Alert {
                 at: self.horizon,
                 device: format!("home-{:06}", f.home),
@@ -443,10 +623,36 @@ impl FleetAggregator {
             });
         }
 
+        // Fault-correlated degradation summary: when homes under the same
+        // injected fault kind were lost (degraded or failed), that is a
+        // fleet-level signal, not a per-home anomaly.
+        for fault in FLEET_FAULT_KINDS {
+            let name = fault.name();
+            if name == "none" {
+                continue;
+            }
+            let affected = degraded.iter().filter(|d| d.fault == name).count()
+                + run_failed.iter().filter(|f| f.fault == name).count();
+            if affected > 0 {
+                self.alerts.raise(Alert {
+                    at: self.horizon,
+                    device: format!("fleet-fault-{name}"),
+                    severity: Severity::Warning,
+                    score: 0.0,
+                    explanation: format!(
+                        "fault-correlated degradation: {name} cost {affected} home(s) \
+                         their full run"
+                    ),
+                });
+            }
+        }
+
         FleetReport {
             master_seed: self.master_seed,
             rows,
-            failed,
+            degraded,
+            run_failed,
+            build_failed,
             communities: communities.len(),
             threshold,
             flagged: flagged_ids,
@@ -459,7 +665,7 @@ impl FleetAggregator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::FleetAttack;
+    use crate::spec::{FleetAttack, FleetFault};
 
     fn fake_report(seed: u64, traffic: f64, criticals: usize) -> HomeReport {
         HomeReport {
@@ -479,10 +685,14 @@ mod tests {
         }
     }
 
-    fn items(
-        n: usize,
-        outlier: Option<usize>,
-    ) -> Vec<(HomeSpec, Result<HomeReport, HomeBuildError>)> {
+    fn ok(report: HomeReport) -> HomeOutcome {
+        HomeOutcome::Ok {
+            report,
+            observer_accuracy: None,
+        }
+    }
+
+    fn items(n: usize, outlier: Option<usize>) -> Vec<(HomeSpec, HomeOutcome)> {
         (0..n)
             .map(|i| {
                 let traffic = if Some(i) == outlier {
@@ -496,8 +706,9 @@ mod tests {
                         seed: i as u64,
                         template: 0,
                         attack: FleetAttack::None,
+                        fault: FleetFault::None,
                     },
-                    Ok(fake_report(i as u64, traffic, 0)),
+                    ok(fake_report(i as u64, traffic, 0)),
                 )
             })
             .collect()
@@ -530,7 +741,7 @@ mod tests {
     fn home_core_criticals_escalate_to_critical_fleet_alerts() {
         let spec = FleetSpec::new(1, 8);
         let mut all = items(8, None);
-        all[2].1 = Ok(fake_report(2, 52.0, 3));
+        all[2].1 = ok(fake_report(2, 52.0, 3));
         let report = FleetAggregator::new(&spec).aggregate(all);
         assert!(report.flagged.contains(&2));
         assert!(report
@@ -563,7 +774,7 @@ mod tests {
         // unflagged row, not take down the whole aggregation.
         let spec = FleetSpec::new(1, 12);
         let mut all = items(12, Some(3));
-        all[7].1 = Ok(fake_report(7, f64::NAN, 0));
+        all[7].1 = ok(fake_report(7, f64::NAN, 0));
         let report = FleetAggregator::new(&spec).aggregate(all);
         assert_eq!(report.rows.len(), 12);
         assert!(
@@ -585,18 +796,19 @@ mod tests {
     }
 
     #[test]
-    fn failed_homes_are_recorded_not_fatal() {
+    fn build_failed_homes_are_recorded_not_fatal() {
         let spec = FleetSpec::new(1, 12);
         let mut all = items(12, Some(3));
-        all[5].1 = Err(HomeBuildError {
+        all[5].1 = HomeOutcome::BuildFailed(HomeBuildError {
             home: 5,
             reason: "no cloud node to host automation".to_string(),
         });
         let report = FleetAggregator::new(&spec).aggregate(all);
         assert_eq!(report.rows.len(), 11, "failed home must not get a row");
-        assert_eq!(report.failed.len(), 1);
-        assert_eq!(report.failed[0].home, 5);
-        assert_eq!(report.totals.homes_failed, 1);
+        assert_eq!(report.build_failed.len(), 1);
+        assert_eq!(report.build_failed[0].home, 5);
+        assert_eq!(report.totals.homes_build_failed, 1);
+        assert!(report.accounting_ok(12));
         // The failure is visible in the alert stream and the JSON.
         assert!(report
             .alerts
@@ -604,7 +816,7 @@ mod tests {
             .any(|a| a.device == "home-000005" && a.severity == Severity::Warning));
         let json = report.to_json();
         assert!(
-            json.contains("\"failed\":[{\"id\":5,\"reason\":\"no cloud node"),
+            json.contains("\"build_failed\":[{\"id\":5,\"reason\":\"no cloud node"),
             "{json}"
         );
         // The genuine outlier is still flagged despite the hole.
@@ -612,12 +824,100 @@ mod tests {
     }
 
     #[test]
+    fn degraded_and_run_failed_homes_are_quarantined_with_conservation() {
+        let spec = FleetSpec::new(1, 12);
+        let mut all = items(12, Some(3));
+        all[6].0.fault = FleetFault::WanDegrade;
+        all[6].1 = HomeOutcome::Degraded {
+            report: fake_report(6, 55.0, 0),
+            observer_accuracy: None,
+            events_used: 5000,
+        };
+        all[9].0.fault = FleetFault::ChaosPanic;
+        all[9].1 = HomeOutcome::Failed(HomeRunError {
+            home: 9,
+            attempts: 2,
+            fault: "chaos-panic",
+            panic: "chaos-panic: injected simulation fault in home 9".to_string(),
+        });
+        let report = FleetAggregator::new(&spec).aggregate(all);
+        assert_eq!(report.rows.len(), 10);
+        assert_eq!(report.degraded.len(), 1);
+        assert_eq!(report.run_failed.len(), 1);
+        assert!(report.accounting_ok(12));
+        assert_eq!(report.totals.homes_accounted(), 12);
+        // Quarantined homes never appear among correlated rows or flags.
+        assert!(report.rows.iter().all(|r| r.id != 6 && r.id != 9));
+        assert!(!report.flagged.contains(&6) && !report.flagged.contains(&9));
+        // Both get warning alerts, plus fault-correlated summaries.
+        assert!(report
+            .alerts
+            .iter()
+            .any(|a| a.device == "home-000006" && a.explanation.contains("truncated")));
+        assert!(report
+            .alerts
+            .iter()
+            .any(|a| a.device == "home-000009" && a.explanation.contains("panicked")));
+        assert!(report
+            .alerts
+            .iter()
+            .any(|a| a.device == "fleet-fault-wan-degrade"));
+        assert!(report
+            .alerts
+            .iter()
+            .any(|a| a.device == "fleet-fault-chaos-panic"));
+        // The surviving outlier is still caught.
+        assert!(report.flagged.contains(&3));
+        let json = report.to_json();
+        assert!(json.contains("\"homes\":12"), "{json}");
+        assert!(
+            json.contains("\"run_failed\":[{\"id\":9,\"attempts\":2,\"fault\":\"chaos-panic\""),
+            "{json}"
+        );
+        assert!(json.contains("\"events_used\":5000"), "{json}");
+    }
+
+    #[test]
+    fn flagged_homes_under_faults_get_annotated_alerts() {
+        let spec = FleetSpec::new(1, 8);
+        let mut all = items(8, None);
+        all[2].0.fault = FleetFault::WanFlap;
+        all[2].1 = ok(fake_report(2, 52.0, 3));
+        let report = FleetAggregator::new(&spec).aggregate(all);
+        let alert = report
+            .alerts
+            .iter()
+            .find(|a| a.device == "home-000002")
+            .expect("flagged home must alert");
+        assert!(
+            alert.explanation.contains("under fault wan-flap"),
+            "{}",
+            alert.explanation
+        );
+    }
+
+    #[test]
+    fn observer_accuracy_serializes_per_row() {
+        let spec = FleetSpec::new(1, 4);
+        let mut all = items(4, None);
+        all[1].0.attack = FleetAttack::TrafficObserver;
+        all[1].1 = HomeOutcome::Ok {
+            report: fake_report(1, 51.0, 0),
+            observer_accuracy: Some(0.75),
+        };
+        let report = FleetAggregator::new(&spec).aggregate(all);
+        let json = report.to_json();
+        assert!(json.contains("\"observer_accuracy\":0.750000"), "{json}");
+        assert!(json.contains("\"observer_accuracy\":null"), "{json}");
+    }
+
+    #[test]
     fn drop_and_shed_rates_accumulate_into_totals() {
         let spec = FleetSpec::new(1, 8);
         let mut all = items(8, None);
-        if let Ok(r) = &mut all[1].1 {
-            r.evidence_dropped = 30; // 10 aggregated + 30 lost
-            r.evidence_shed = 20;
+        if let HomeOutcome::Ok { report, .. } = &mut all[1].1 {
+            report.evidence_dropped = 30; // 10 aggregated + 30 lost
+            report.evidence_shed = 20;
         }
         let report = FleetAggregator::new(&spec).aggregate(all);
         assert_eq!(report.totals.evidence, 80);

@@ -3,27 +3,42 @@
 //! builds its homes locally (a home's Core is `Rc`-shared and never
 //! crosses threads), steps their event loops in slices, drains their
 //! evidence buses between slices with a bounded batch, and ships the
-//! finished [`HomeReport`]s to the aggregator over a *bounded* channel —
+//! finished [`HomeOutcome`]s to the aggregator over a *bounded* channel —
 //! a slow aggregator back-pressures the workers instead of buffering
 //! unboundedly.
 //!
-//! Determinism: each home's simulation depends only on its stamped seed,
-//! and the aggregator sorts reports by home id before correlating, so
-//! the fleet report is byte-identical for any worker count.
+//! **Supervision.** Every home attempt runs under `catch_unwind`: a
+//! panicking home becomes a structured [`HomeRunError`] row instead of
+//! poisoning its worker's scoped-thread join. Panicked homes get
+//! `retry_budget` re-attempts with deterministic attempt-count backoff
+//! (a failed home goes to the back of its worker's retry queue, behind
+//! all fresh work), and a home that exceeds its step event budget is
+//! truncated and reported `degraded` with whatever evidence it drained.
+//!
+//! Determinism: each home's simulation depends only on its stamped seed
+//! and fault plan, and the aggregator sorts outcomes by home id before
+//! correlating, so the fleet report is byte-identical for any worker
+//! count — with or without faults.
 
 use crate::aggregate::{FleetAggregator, FleetReport};
 use crate::metrics::FleetMetrics;
-use crate::spec::{FleetAttack, FleetSpec, HomeSpec, ATTACK_AT_S, LEARNING_END_S};
+use crate::spec::{FleetAttack, FleetFault, FleetSpec, HomeSpec, ATTACK_AT_S, LEARNING_END_S};
+use crate::supervise::{panic_message, FleetError, HomeOutcome, HomeRunError};
 use crossbeam::channel::{Receiver, Sender};
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 use std::time::Instant;
-use xlf_core::framework::{HomeReport, HomeRunner, XlfHome};
-use xlf_simnet::{Context, Duration, Medium, Node, NodeId, Packet, SimTime, TimerId};
+use xlf_attacks::observer::TrafficAnalyst;
+use xlf_core::framework::{HomeReport, HomeRunner, XlfHome, VENDOR_DNS_NAME};
+use xlf_simnet::observer::PacketRecord;
+use xlf_simnet::{Context, Duration, FaultPlan, Medium, Node, NodeId, Packet, SimTime, TimerId};
 
-/// A home that could not be built or run. Workers ship this to the
-/// aggregator instead of panicking, so one malformed home degrades the
-/// fleet report by one row rather than taking down its whole worker
-/// scope.
+/// A home that could not be built. Workers ship this to the aggregator
+/// instead of panicking, so one malformed home degrades the fleet report
+/// by one row rather than taking down its whole worker scope.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HomeBuildError {
     /// Fleet-wide id of the home that failed.
@@ -42,6 +57,11 @@ impl std::error::Error for HomeBuildError {}
 
 const TIMER_GO: u64 = 900;
 const TIMER_FLOOD_ORDER: u64 = 901;
+const TIMER_CHAOS: u64 = 910;
+
+/// When the chaos node panics its home's simulation (past the attack
+/// window, so a chaos home has real work to lose).
+const CHAOS_PANIC_AT_S: u64 = 210;
 
 /// WAN attacker node injecting this home's stamped attack.
 struct FleetAttacker {
@@ -94,6 +114,36 @@ impl Node for FleetAttacker {
                     ctx.send_after(self.gateway, ota, Duration::from_secs(i));
                 }
             }
+            (TIMER_GO, FleetAttack::Replay) => {
+                // A command captured during the learning window, replayed
+                // at the actuator long after its triggering event: app
+                // verification has no witnessed cause and denies each one.
+                for i in 0..20u64 {
+                    let cmd = Packet::new(ctx.id(), self.gateway, "cmd", b"on".to_vec())
+                        .with_meta("device", "window")
+                        .with_meta("command", "on");
+                    ctx.send_after(self.gateway, cmd, Duration::from_secs(i));
+                }
+            }
+            (TIMER_GO, FleetAttack::DnsPoison) => {
+                // Off-path spoofing: the attacker cannot see the
+                // resolver's txids, so every guess misses and the
+                // hardened resolver reports each rejection.
+                for i in 0..30u64 {
+                    let txid = 40_000 + 17 * i;
+                    let spoof = Packet::new(
+                        ctx.id(),
+                        self.gateway,
+                        "dns-response",
+                        b"A 6.6.6.6".to_vec(),
+                    )
+                    .with_meta("device", "cam")
+                    .with_meta("name", VENDOR_DNS_NAME)
+                    .with_meta("value", "n666")
+                    .with_meta("txid", &txid.to_string());
+                    ctx.send_after(self.gateway, spoof, Duration::from_secs(i));
+                }
+            }
             _ => {}
         }
     }
@@ -103,12 +153,72 @@ impl Node for FleetAttacker {
 struct VictimSink;
 impl Node for VictimSink {}
 
+/// Chaos node for [`FleetFault::ChaosPanic`]: deterministically panics
+/// the home's simulation at a scheduled sim-time, exercising the
+/// supervisor's catch_unwind + retry path end to end.
+struct PanicNode {
+    home: u64,
+}
+
+impl Node for PanicNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(Duration::from_secs(CHAOS_PANIC_AT_S), TIMER_CHAOS);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerId, tag: u64) {
+        if tag == TIMER_CHAOS {
+            panic!(
+                "chaos-panic: injected simulation fault in home {}",
+                self.home
+            );
+        }
+    }
+}
+
+/// The fault plan a stamped [`FleetFault`] expands to for one concrete
+/// home. Timings are fixed relative to the scenario (learning ends at
+/// 120 s, attacks fire at 180 s) so faults overlap the interesting
+/// windows.
+fn fault_plan_for(home: &XlfHome, fault: FleetFault) -> FaultPlan {
+    let gw = home.gateway;
+    let cloud = home.cloud;
+    let s = SimTime::from_secs;
+    let d = Duration::from_secs;
+    match fault {
+        FleetFault::None | FleetFault::ChaosPanic => FaultPlan::new(),
+        FleetFault::WanFlap => FaultPlan::new()
+            .link_flap(gw, cloud, s(150), d(10))
+            .link_flap(gw, cloud, s(210), d(10))
+            .link_flap(gw, cloud, s(300), d(10)),
+        FleetFault::CloudOutage => FaultPlan::new().link_flap(gw, cloud, s(170), d(110)),
+        FleetFault::WanDegrade => {
+            FaultPlan::new().burst_loss(gw, cloud, s(160), d(100), 0.3, Duration::from_millis(200))
+        }
+        FleetFault::DeviceCrash => match home.devices.values().next().copied() {
+            Some(dev) => FaultPlan::new().node_crash(dev, s(200), Some(d(60))),
+            None => FaultPlan::new(),
+        },
+        FleetFault::GatewaySkew => FaultPlan::new().clock_skew(gw, s(150), d(30)),
+    }
+}
+
+/// A built home plus the extra observation channel a passive
+/// traffic-analysis attack needs.
+struct BuiltHome {
+    runner: HomeRunner,
+    observer: Option<Rc<RefCell<Vec<PacketRecord>>>>,
+}
+
 /// Builds one home from its stamped spec: template device mix + config
 /// (evidence bus bounded per [`FleetSpec::evidence_capacity`]), the
-/// §IV-C3 automation recipe, and the injected attacker. Structural
-/// problems (template index out of range, missing cloud node) come back
-/// as a [`HomeBuildError`] instead of a panic.
+/// §IV-C3 automation recipe, the injected attacker, and the stamped
+/// fault plan. Structural problems (template index out of range, missing
+/// cloud node) come back as a [`HomeBuildError`] instead of a panic.
 pub fn build_home(spec: &FleetSpec, hs: &HomeSpec) -> Result<HomeRunner, HomeBuildError> {
+    build_home_inner(spec, hs).map(|b| b.runner)
+}
+
+fn build_home_inner(spec: &FleetSpec, hs: &HomeSpec) -> Result<BuiltHome, HomeBuildError> {
     let template = spec
         .templates
         .get(hs.template)
@@ -132,7 +242,7 @@ pub fn build_home(spec: &FleetSpec, hs: &HomeSpec) -> Result<HomeRunner, HomeBui
         })?;
     }
 
-    if hs.attack != FleetAttack::None {
+    if hs.attack.is_active() {
         let victim = home.net.add_node(Box::new(VictimSink));
         home.net
             .connect(victim, home.gateway, Medium::Wan.link().with_loss(0.0));
@@ -145,7 +255,29 @@ pub fn build_home(spec: &FleetSpec, hs: &HomeSpec) -> Result<HomeRunner, HomeBui
             .connect(attacker, home.gateway, Medium::Wan.link().with_loss(0.0));
     }
 
-    Ok(HomeRunner::new(home))
+    // A passive observer adds no nodes and no traffic — the home's
+    // simulation is byte-identical to a benign one. The analyst is
+    // scored on the tap records after the run.
+    let observer = if hs.attack == FleetAttack::TrafficObserver {
+        let (tap, records) = xlf_simnet::observer::RecordingTap::new();
+        home.net.add_tap(Box::new(tap));
+        Some(records)
+    } else {
+        None
+    };
+
+    let plan = fault_plan_for(&home, hs.fault);
+    if !plan.is_empty() {
+        home.net.set_fault_plan(plan);
+    }
+    if hs.fault == FleetFault::ChaosPanic {
+        home.net.add_node(Box::new(PanicNode { home: hs.id }));
+    }
+
+    Ok(BuiltHome {
+        runner: HomeRunner::new(home),
+        observer,
+    })
 }
 
 /// Installs the §IV-C3 automation: open the window above 80°F (only
@@ -177,79 +309,195 @@ fn install_auto_window(home: &mut XlfHome) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs one home to the fleet horizon in evidence-bounded slices and
-/// returns its report; build failures come back as errors the
-/// aggregator records as failed homes.
-fn run_one_home(
+/// Scores a passive traffic analyst on one home's tap records: trained
+/// on the learning window (the adversary labeling their own devices'
+/// traffic), judged on everything after it.
+fn observer_accuracy(records: &[PacketRecord]) -> f64 {
+    let cut = SimTime::from_secs(LEARNING_END_S);
+    let train: Vec<PacketRecord> = records.iter().filter(|r| r.at <= cut).cloned().collect();
+    let test: Vec<PacketRecord> = records.iter().filter(|r| r.at > cut).cloned().collect();
+    let mut analyst = TrafficAnalyst::new();
+    analyst.train(&train);
+    analyst.accuracy(&test)
+}
+
+/// One finished attempt (the simulation neither panicked nor failed to
+/// build; it may still have been truncated by the event budget).
+struct AttemptSummary {
+    report: HomeReport,
+    observer_accuracy: Option<f64>,
+    events_used: u64,
+    truncated: bool,
+}
+
+/// Runs one home to the fleet horizon in evidence-bounded slices. Panics
+/// from the home's simulation propagate to the supervisor.
+fn attempt_home(
     spec: &FleetSpec,
     hs: &HomeSpec,
     metrics: &FleetMetrics,
-) -> Result<HomeReport, HomeBuildError> {
+) -> Result<AttemptSummary, HomeBuildError> {
     let t0 = Instant::now();
-    let mut runner = match build_home(spec, hs) {
-        Ok(runner) => runner,
-        Err(e) => {
-            metrics.homes_failed.inc();
-            return Err(e);
-        }
-    };
+    let built = build_home_inner(spec, hs)?;
     metrics.build_us.observe(t0.elapsed().as_micros() as u64);
+    let mut runner = built.runner;
 
     let t1 = Instant::now();
     let horizon_us = spec.horizon.as_micros();
     let slices = spec.slices.max(1) as u64;
+    let budget = spec.step_event_budget.unwrap_or(u64::MAX);
+    let mut events_used = 0u64;
+    let mut truncated = false;
     for i in 1..=slices {
-        runner.run_until(SimTime::from_micros(horizon_us * i / slices));
+        let (n, t) = runner.run_until_capped(
+            SimTime::from_micros(horizon_us * i / slices),
+            budget.saturating_sub(events_used),
+        );
+        events_used += n;
         // Bounded local drain: one chatty home ingests at most
-        // `drain_batch` items per slice; the rest stays queued.
+        // `drain_batch` items per slice; the rest stays queued. A
+        // truncated home still drains — degraded mode reports whatever
+        // evidence survived.
         let drained = runner
             .home()
             .core
             .borrow_mut()
             .drain_pending(spec.drain_batch);
         metrics.evidence_drained.add(drained as u64);
+        if t {
+            truncated = true;
+            break;
+        }
     }
     metrics.step_us.observe(t1.elapsed().as_micros() as u64);
 
     let t2 = Instant::now();
     let report = runner.finish(SimTime::from_micros(horizon_us));
     metrics.report_us.observe(t2.elapsed().as_micros() as u64);
-    metrics.homes_stepped.inc();
-    metrics.evidence_total.add(report.evidence_total as u64);
-    metrics.evidence_shed.add(report.evidence_shed);
-    Ok(report)
+    let observer_accuracy = built
+        .observer
+        .map(|records| observer_accuracy(&records.borrow()));
+    Ok(AttemptSummary {
+        report,
+        observer_accuracy,
+        events_used,
+        truncated,
+    })
+}
+
+/// What the supervisor decided after one attempt.
+enum Supervised {
+    /// Terminal: ship this outcome.
+    Done(HomeOutcome),
+    /// The attempt panicked with retry budget left: try again later.
+    Retry,
+}
+
+/// One supervised attempt: `catch_unwind` around the whole build+step
+/// so a panicking home becomes data, not a dead worker. `attempts_done`
+/// counts *previous* failed attempts of this home.
+fn supervised_attempt(
+    spec: &FleetSpec,
+    hs: &HomeSpec,
+    attempts_done: u32,
+    metrics: &FleetMetrics,
+) -> Supervised {
+    match catch_unwind(AssertUnwindSafe(|| attempt_home(spec, hs, metrics))) {
+        Ok(Ok(attempt)) => {
+            metrics.homes_stepped.inc();
+            metrics
+                .evidence_total
+                .add(attempt.report.evidence_total as u64);
+            metrics.evidence_shed.add(attempt.report.evidence_shed);
+            if attempt.truncated {
+                metrics.deadline_truncations.inc();
+                metrics.homes_degraded.inc();
+                Supervised::Done(HomeOutcome::Degraded {
+                    report: attempt.report,
+                    observer_accuracy: attempt.observer_accuracy,
+                    events_used: attempt.events_used,
+                })
+            } else {
+                Supervised::Done(HomeOutcome::Ok {
+                    report: attempt.report,
+                    observer_accuracy: attempt.observer_accuracy,
+                })
+            }
+        }
+        Ok(Err(build)) => {
+            metrics.homes_build_failed.inc();
+            Supervised::Done(HomeOutcome::BuildFailed(build))
+        }
+        Err(payload) => {
+            metrics.panics_caught.inc();
+            let attempts = attempts_done + 1;
+            if attempts > spec.retry_budget {
+                metrics.homes_run_failed.inc();
+                Supervised::Done(HomeOutcome::Failed(HomeRunError {
+                    home: hs.id,
+                    attempts,
+                    fault: hs.fault.name(),
+                    panic: panic_message(payload),
+                }))
+            } else {
+                metrics.retries.inc();
+                Supervised::Retry
+            }
+        }
+    }
 }
 
 fn worker_loop(
     spec: &FleetSpec,
     jobs: Receiver<HomeSpec>,
-    results: Sender<(HomeSpec, Result<HomeReport, HomeBuildError>)>,
+    results: Sender<(HomeSpec, HomeOutcome)>,
     metrics: &FleetMetrics,
 ) {
-    while let Ok(hs) = jobs.recv() {
-        let report = run_one_home(spec, &hs, metrics);
-        metrics.report_channel_depth.set(results.len() as u64);
-        if results.send((hs, report)).is_err() {
-            // Aggregator gone — nothing left to do.
-            break;
+    // Deterministic attempt-count backoff: a panicked home waits at the
+    // back of this queue behind every fresh job (and every earlier
+    // retry) its worker still has — no wall-clock involved.
+    let mut retries: VecDeque<(HomeSpec, u32)> = VecDeque::new();
+    loop {
+        let (hs, attempts_done) = match jobs.recv() {
+            Ok(hs) => (hs, 0),
+            Err(_) => match retries.pop_front() {
+                Some(deferred) => deferred,
+                None => break,
+            },
+        };
+        match supervised_attempt(spec, &hs, attempts_done, metrics) {
+            Supervised::Done(outcome) => {
+                metrics.report_channel_depth.set(results.len() as u64);
+                if results.send((hs, outcome)).is_err() {
+                    // Aggregator gone — nothing left to do.
+                    break;
+                }
+            }
+            Supervised::Retry => retries.push_back((hs, attempts_done + 1)),
         }
     }
 }
 
 /// Runs the whole fleet: stamps the homes, shards them across
-/// `spec.workers` threads, aggregates the per-home reports into the
-/// fleet report. `metrics` is updated live from every worker.
-pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> FleetReport {
+/// `spec.workers` threads under per-home supervision, aggregates the
+/// outcomes into the fleet report. `metrics` is updated live from every
+/// worker. Returns an error only when the *engine* lost work (worker
+/// thread panic outside the supervisor, accounting violation) — per-home
+/// failures are rows in the report, not errors.
+pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport, FleetError> {
     let homes = spec.stamp();
     let n = homes.len();
 
     let (job_tx, job_rx) = crossbeam::channel::unbounded::<HomeSpec>();
-    for hs in homes {
-        job_tx.send(hs).expect("job receiver alive");
+    for (sent, hs) in homes.into_iter().enumerate() {
+        metrics.faults_injected.inc(hs.fault);
+        if job_tx.send(hs).is_err() {
+            return Err(FleetError::JobFeed { sent, homes: n });
+        }
     }
     drop(job_tx); // workers exit once the queue runs dry
 
-    type WorkerResult = (HomeSpec, Result<HomeReport, HomeBuildError>);
+    type WorkerResult = (HomeSpec, HomeOutcome);
     let (report_tx, report_rx) =
         crossbeam::channel::bounded::<WorkerResult>(spec.report_capacity.max(1));
 
@@ -271,14 +519,23 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> FleetReport {
         }
         collected
     })
-    .expect("fleet worker scope");
+    .map_err(|payload| FleetError::WorkerPanic(panic_message(payload)))?;
+
+    // Conservation: every stamped home must come back as exactly one
+    // outcome (`ok + degraded + failed + build_failed == homes`).
+    if collected.len() != n {
+        return Err(FleetError::Accounting {
+            expected: n,
+            accounted: collected.len(),
+        });
+    }
 
     let t0 = Instant::now();
     let report = FleetAggregator::new(spec).aggregate(collected);
     metrics
         .aggregate_us
         .observe(t0.elapsed().as_micros() as u64);
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -287,15 +544,36 @@ mod tests {
     use crate::spec::HomeTemplate;
     use xlf_core::alerts::Severity;
 
+    fn home_spec(seed: u64, attack: FleetAttack) -> HomeSpec {
+        HomeSpec {
+            id: 0,
+            seed,
+            template: 0,
+            attack,
+            fault: FleetFault::None,
+        }
+    }
+
+    /// Test shim with the old `run_one_home` shape: one unsupervised
+    /// attempt, report or build error.
+    fn run_one_home(
+        spec: &FleetSpec,
+        hs: &HomeSpec,
+        metrics: &FleetMetrics,
+    ) -> Result<HomeReport, HomeBuildError> {
+        match supervised_attempt(spec, hs, 0, metrics) {
+            Supervised::Done(HomeOutcome::Ok { report, .. })
+            | Supervised::Done(HomeOutcome::Degraded { report, .. }) => Ok(report),
+            Supervised::Done(HomeOutcome::BuildFailed(e)) => Err(e),
+            Supervised::Done(HomeOutcome::Failed(e)) => panic!("unexpected run failure: {e}"),
+            Supervised::Retry => panic!("unexpected retry"),
+        }
+    }
+
     #[test]
     fn a_botnet_home_is_compromised_then_flagged_by_its_own_core() {
         let spec = FleetSpec::new(5, 1);
-        let hs = HomeSpec {
-            id: 0,
-            seed: 1,
-            template: 0,
-            attack: FleetAttack::BotnetRecruit,
-        };
+        let hs = home_spec(1, FleetAttack::BotnetRecruit);
         let metrics = FleetMetrics::new();
         let report = run_one_home(&spec, &hs, &metrics).expect("home builds");
         assert!(report.warning_alerts > 0, "report: {report:?}");
@@ -307,12 +585,7 @@ mod tests {
     #[test]
     fn benign_homes_stay_quiet() {
         let spec = FleetSpec::new(5, 1);
-        let hs = HomeSpec {
-            id: 0,
-            seed: 2,
-            template: 0,
-            attack: FleetAttack::None,
-        };
+        let hs = home_spec(2, FleetAttack::None);
         let report = run_one_home(&spec, &hs, &FleetMetrics::new()).expect("home builds");
         assert_eq!(report.critical_alerts, 0);
         assert!(report.quarantined.is_empty());
@@ -320,13 +593,140 @@ mod tests {
     }
 
     #[test]
-    fn sliced_runs_match_single_shot_runs() {
-        let hs = HomeSpec {
-            id: 0,
-            seed: 9,
-            template: 0,
-            attack: FleetAttack::BotnetRecruit,
+    fn a_replayed_command_is_denied_and_detected() {
+        let spec = FleetSpec::new(5, 1);
+        let hs = home_spec(3, FleetAttack::Replay);
+        let report = run_one_home(&spec, &hs, &FleetMetrics::new()).expect("home builds");
+        // Every replay is denied (dropped) and reported at the service
+        // layer; the repeated denials push the window actuator over the
+        // act threshold.
+        assert!(report.critical_alerts > 0, "report: {report:?}");
+        assert_eq!(report.top_device, "window");
+        assert!(report.dropped_packets >= 10, "report: {report:?}");
+    }
+
+    #[test]
+    fn dns_poisoning_is_rejected_by_the_hardened_resolver() {
+        let spec = FleetSpec::new(5, 1);
+        let hs = home_spec(4, FleetAttack::DnsPoison);
+        let report = run_one_home(&spec, &hs, &FleetMetrics::new()).expect("home builds");
+        // Off-path spoofs all miss the txid; each rejection is DnsBlocked
+        // evidence at the network layer.
+        assert!(report.critical_alerts > 0, "report: {report:?}");
+        assert_eq!(report.top_device, "cam");
+        assert!(report.dropped_packets >= 20, "report: {report:?}");
+    }
+
+    #[test]
+    fn a_passive_observer_home_raises_no_alarms_but_scores_accuracy() {
+        let spec = FleetSpec::new(5, 1);
+        let hs = home_spec(6, FleetAttack::TrafficObserver);
+        let metrics = FleetMetrics::new();
+        let outcome = match supervised_attempt(&spec, &hs, 0, &metrics) {
+            Supervised::Done(o) => o,
+            Supervised::Retry => panic!("unexpected retry"),
         };
+        let HomeOutcome::Ok {
+            report,
+            observer_accuracy,
+        } = outcome
+        else {
+            panic!("observer home must complete ok");
+        };
+        // Passive observation is invisible to the home's own Core...
+        assert_eq!(report.critical_alerts, 0);
+        // ...but the analyst got a score from the tap records.
+        let acc = observer_accuracy.expect("observer homes are scored");
+        assert!((0.0..=1.0).contains(&acc), "accuracy: {acc}");
+    }
+
+    #[test]
+    fn a_chaos_home_fails_after_its_retry_budget() {
+        let spec = FleetSpec::new(5, 1).with_retry_budget(2);
+        let hs = HomeSpec {
+            fault: FleetFault::ChaosPanic,
+            ..home_spec(7, FleetAttack::None)
+        };
+        let metrics = FleetMetrics::new();
+        // Attempts 1 and 2 are within budget: supervisor asks to retry.
+        assert!(matches!(
+            supervised_attempt(&spec, &hs, 0, &metrics),
+            Supervised::Retry
+        ));
+        assert!(matches!(
+            supervised_attempt(&spec, &hs, 1, &metrics),
+            Supervised::Retry
+        ));
+        // Attempt 3 exhausts the budget (2 retries + first run).
+        match supervised_attempt(&spec, &hs, 2, &metrics) {
+            Supervised::Done(HomeOutcome::Failed(err)) => {
+                assert_eq!(err.attempts, 3);
+                assert_eq!(err.fault, "chaos-panic");
+                assert!(err.panic.contains("chaos-panic"), "{}", err.panic);
+            }
+            _ => panic!("third attempt must be terminal"),
+        }
+        assert_eq!(metrics.panics_caught.get(), 3);
+        assert_eq!(metrics.retries.get(), 2);
+        assert_eq!(metrics.homes_run_failed.get(), 1);
+        assert_eq!(metrics.homes_stepped.get(), 0);
+    }
+
+    #[test]
+    fn a_step_event_budget_truncates_into_a_degraded_outcome() {
+        let spec = FleetSpec::new(5, 1).with_step_event_budget(Some(500));
+        let hs = home_spec(8, FleetAttack::None);
+        let metrics = FleetMetrics::new();
+        match supervised_attempt(&spec, &hs, 0, &metrics) {
+            Supervised::Done(HomeOutcome::Degraded {
+                report,
+                events_used,
+                ..
+            }) => {
+                assert_eq!(events_used, 500);
+                // Degraded mode still summarizes drained evidence.
+                assert!(report.forwarded > 0 || report.evidence_total > 0);
+            }
+            other => panic!(
+                "tiny budget must degrade the home, got {:?}",
+                match other {
+                    Supervised::Done(o) => o.label(),
+                    Supervised::Retry => "retry",
+                }
+            ),
+        }
+        assert_eq!(metrics.deadline_truncations.get(), 1);
+        assert_eq!(metrics.homes_degraded.get(), 1);
+    }
+
+    #[test]
+    fn infrastructure_faults_still_produce_complete_runs() {
+        // Every non-panicking fault kind yields an Ok outcome: the home
+        // may see degraded service, but the simulation completes.
+        for fault in [
+            FleetFault::WanFlap,
+            FleetFault::CloudOutage,
+            FleetFault::WanDegrade,
+            FleetFault::DeviceCrash,
+            FleetFault::GatewaySkew,
+        ] {
+            let spec = FleetSpec::new(5, 1);
+            let hs = HomeSpec {
+                fault,
+                ..home_spec(9, FleetAttack::None)
+            };
+            match supervised_attempt(&spec, &hs, 0, &FleetMetrics::new()) {
+                Supervised::Done(HomeOutcome::Ok { report, .. }) => {
+                    assert!(report.forwarded > 0, "{}: {report:?}", fault.name());
+                }
+                _ => panic!("{} home must complete", fault.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_runs_match_single_shot_runs() {
+        let hs = home_spec(9, FleetAttack::BotnetRecruit);
         let mut sliced_spec = FleetSpec::new(5, 1);
         sliced_spec.slices = 16;
         let mut oneshot_spec = FleetSpec::new(5, 1);
@@ -341,15 +741,14 @@ mod tests {
         let spec = FleetSpec::new(5, 1);
         let hs = HomeSpec {
             id: 42,
-            seed: 1,
             template: 99,
-            attack: FleetAttack::None,
+            ..home_spec(1, FleetAttack::None)
         };
         let metrics = FleetMetrics::new();
         let err = run_one_home(&spec, &hs, &metrics).expect_err("bad template must fail");
         assert_eq!(err.home, 42);
         assert!(err.reason.contains("out of range"), "{err}");
-        assert_eq!(metrics.homes_failed.get(), 1);
+        assert_eq!(metrics.homes_build_failed.get(), 1);
         assert_eq!(metrics.homes_stepped.get(), 0);
     }
 
@@ -364,13 +763,19 @@ mod tests {
         let metrics = FleetMetrics::new();
         let results: Vec<_> = homes
             .iter()
-            .map(|hs| (hs.clone(), run_one_home(&spec, hs, &metrics)))
+            .map(|hs| {
+                let outcome = match supervised_attempt(&spec, hs, 0, &metrics) {
+                    Supervised::Done(o) => o,
+                    Supervised::Retry => panic!("unexpected retry"),
+                };
+                (hs.clone(), outcome)
+            })
             .collect();
         let report = FleetAggregator::new(&spec).aggregate(results);
         assert_eq!(report.rows.len(), 2);
-        assert_eq!(report.failed.len(), 1);
-        assert_eq!(report.totals.homes_failed, 1);
-        assert_eq!(metrics.homes_failed.get(), 1);
+        assert_eq!(report.build_failed.len(), 1);
+        assert_eq!(report.totals.homes_build_failed, 1);
+        assert_eq!(metrics.homes_build_failed.get(), 1);
     }
 
     #[test]
@@ -379,12 +784,7 @@ mod tests {
         // login is not caught at the payload layer, so the Mirai flood
         // actually fires and NAC reports ~300 blocked packets inside one
         // evaluation window — far over a 4-slot bus.
-        let hs = HomeSpec {
-            id: 0,
-            seed: 1,
-            template: 0,
-            attack: FleetAttack::BotnetRecruit,
-        };
+        let hs = home_spec(1, FleetAttack::BotnetRecruit);
         let mut spec = FleetSpec::new(5, 1).with_templates(vec![HomeTemplate::retrofit()]);
         spec.evidence_capacity = Some(4);
         let bounded = run_one_home(&spec, &hs, &FleetMetrics::new()).expect("home builds");

@@ -5,35 +5,48 @@
 //! used to detect deviations" (§IV-D). This crate productionizes that
 //! tier. It stamps N independent homes (each a full xlf-simnet +
 //! xlf-core deployment with its own derived seed) from one master seed,
-//! shards them across a worker-thread pool, and correlates the per-home
-//! summaries with graph-based community learning to flag deviant homes
-//! fleet-wide.
+//! shards them across a worker-thread pool under per-home supervision,
+//! and correlates the per-home summaries with graph-based community
+//! learning to flag deviant homes fleet-wide.
 //!
 //! Pipeline:
 //!
 //! 1. [`FleetSpec`] + [`HomeTemplate`]s → [`FleetSpec::stamp`] derives a
-//!    [`HomeSpec`] per home (template, attack, seed) by pure hashing.
+//!    [`HomeSpec`] per home (template, attack, fault, seed) by pure
+//!    hashing.
 //! 2. [`run_fleet`] feeds the specs down an MPMC job channel to
 //!    `workers` threads; each worker builds its homes locally (a home's
 //!    Core is `Rc`-shared and never crosses threads), steps them in
-//!    slices with bounded evidence drains, and ships `HomeReport`s back
-//!    over a bounded channel.
-//! 3. [`FleetAggregator`] sorts the reports, correlates them with
-//!    [`xlf_analytics::graph::community_report`], flags deviants, and
-//!    publishes fleet alerts through the standard alert pipeline.
+//!    slices with bounded evidence drains — under `catch_unwind`
+//!    supervision with bounded retries and optional step event budgets —
+//!    and ships [`HomeOutcome`]s back over a bounded channel.
+//! 3. [`FleetAggregator`] sorts the outcomes, correlates the completed
+//!    homes with [`xlf_analytics::graph::community_report`], quarantines
+//!    degraded/failed homes into their own report sections under the
+//!    conservation law `ok + degraded + failed + build_failed == homes`,
+//!    flags deviants, and publishes fleet alerts through the standard
+//!    alert pipeline.
 //! 4. [`FleetMetrics`] (atomic counters / gauges / histograms, zero new
-//!    dependencies) records throughput and stage latencies, dumpable as
-//!    JSON. Wall-clock lives only there: the [`FleetReport`] itself is
-//!    byte-identical for any worker count.
+//!    dependencies) records throughput, stage latencies, supervision
+//!    counters, and the injected-fault histogram, dumpable as JSON.
+//!    Wall-clock lives only there: the [`FleetReport`] itself is
+//!    byte-identical for any worker count — with or without faults.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
 pub mod engine;
 pub mod metrics;
 pub mod spec;
+pub mod supervise;
 
 pub use aggregate::{
-    FleetAggregator, FleetHomeRow, FleetReport, FleetTotals, FLEET_REPORT_SCHEMA_VERSION,
+    DegradedHome, FleetAggregator, FleetHomeRow, FleetReport, FleetTotals,
+    FLEET_REPORT_SCHEMA_VERSION,
 };
 pub use engine::{build_home, run_fleet, HomeBuildError};
-pub use metrics::{Counter, FleetMetrics, Gauge, Histogram, FLEET_METRICS_SCHEMA_VERSION};
-pub use spec::{FleetAttack, FleetSpec, HomeSpec, HomeTemplate};
+pub use metrics::{
+    Counter, FaultCounts, FleetMetrics, Gauge, Histogram, FLEET_METRICS_SCHEMA_VERSION,
+};
+pub use spec::{FleetAttack, FleetFault, FleetSpec, HomeSpec, HomeTemplate, FLEET_FAULT_KINDS};
+pub use supervise::{FleetError, HomeOutcome, HomeRunError};

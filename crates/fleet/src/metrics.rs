@@ -7,12 +7,18 @@
 //! which is what keeps fleet reports byte-identical across worker
 //! counts.
 
+use crate::spec::{FleetFault, FLEET_FAULT_KINDS};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version of the [`FleetMetrics::to_json`] schema. Bump on any field
 /// add/remove/rename/reorder (mirrors
 /// [`crate::aggregate::FLEET_REPORT_SCHEMA_VERSION`] for the report).
-pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 2;
+///
+/// History: v2 — first versioned shape; v3 — supervision counters
+/// (`homes_degraded`, `homes_run_failed`, `panics_caught`, `retries`,
+/// `deadline_truncations`; `homes_failed` renamed `homes_build_failed`)
+/// and the `faults_injected` per-kind histogram.
+pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -139,14 +145,53 @@ impl Histogram {
     }
 }
 
+/// Per-fault-kind counts, indexed by [`FleetFault::index`]. Concurrent
+/// like every other metric here; serialized as a `{name: count}` object
+/// in [`FLEET_FAULT_KINDS`] order.
+#[derive(Debug, Default)]
+pub struct FaultCounts([AtomicU64; FLEET_FAULT_KINDS.len()]);
+
+impl FaultCounts {
+    /// Adds 1 to `fault`'s bucket.
+    pub fn inc(&self, fault: FleetFault) {
+        self.0[fault.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current count for `fault`.
+    pub fn get(&self, fault: FleetFault) -> u64 {
+        self.0[fault.index()].load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> String {
+        let fields: Vec<String> = FLEET_FAULT_KINDS
+            .iter()
+            .map(|f| format!("\"{}\":{}", f.name(), self.get(*f)))
+            .collect();
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
 /// All metrics of one fleet run.
 #[derive(Debug, Default)]
 pub struct FleetMetrics {
-    /// Homes fully stepped to the horizon.
+    /// Homes fully stepped to the horizon (ok + degraded outcomes).
     pub homes_stepped: Counter,
-    /// Homes that failed to build/run (shipped to the aggregator as
-    /// failed rows instead of panicking the worker).
-    pub homes_failed: Counter,
+    /// Homes truncated by the step event budget (degraded outcomes).
+    pub homes_degraded: Counter,
+    /// Homes that panicked past their retry budget (failed outcomes).
+    pub homes_run_failed: Counter,
+    /// Homes that failed to build (shipped to the aggregator as
+    /// build-failed rows instead of panicking the worker).
+    pub homes_build_failed: Counter,
+    /// Home-simulation panics caught by the per-home supervisor
+    /// (includes panics that were later retried successfully).
+    pub panics_caught: Counter,
+    /// Re-attempts scheduled after a caught panic (within budget).
+    pub retries: Counter,
+    /// Homes cut off by the per-home step event budget.
+    pub deadline_truncations: Counter,
+    /// Homes stamped per injected fault kind.
+    pub faults_injected: FaultCounts,
     /// Evidence items ingested by worker-side bounded drains.
     pub evidence_drained: Counter,
     /// Evidence items aggregated into home stores over the whole run.
@@ -178,20 +223,28 @@ impl FleetMetrics {
     /// schema version [`FLEET_METRICS_SCHEMA_VERSION`].
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"schema_version\":{},\"homes_stepped\":{},\"homes_failed\":{},\
+            "{{\"schema_version\":{},\"homes_stepped\":{},\"homes_degraded\":{},\
+             \"homes_run_failed\":{},\"homes_build_failed\":{},\"panics_caught\":{},\
+             \"retries\":{},\"deadline_truncations\":{},\
              \"evidence_drained\":{},\"evidence_total\":{},\"evidence_shed\":{},\
              \"reports_received\":{},\"report_channel_depth\":{},\
-             \"report_channel_high_water\":{},\"build\":{},\"step\":{},\
-             \"report\":{},\"aggregate\":{}}}",
+             \"report_channel_high_water\":{},\"faults_injected\":{},\
+             \"build\":{},\"step\":{},\"report\":{},\"aggregate\":{}}}",
             FLEET_METRICS_SCHEMA_VERSION,
             self.homes_stepped.get(),
-            self.homes_failed.get(),
+            self.homes_degraded.get(),
+            self.homes_run_failed.get(),
+            self.homes_build_failed.get(),
+            self.panics_caught.get(),
+            self.retries.get(),
+            self.deadline_truncations.get(),
             self.evidence_drained.get(),
             self.evidence_total.get(),
             self.evidence_shed.get(),
             self.reports_received.get(),
             self.report_channel_depth.get(),
             self.report_channel_depth.high_water(),
+            self.faults_injected.to_json(),
             self.build_us.to_json(),
             self.step_us.to_json(),
             self.report_us.to_json(),
@@ -258,6 +311,24 @@ mod tests {
             json.matches('{').count(),
             json.matches('}').count(),
             "balanced braces: {json}"
+        );
+    }
+
+    #[test]
+    fn fault_counts_bucket_by_kind_in_stable_order() {
+        let m = FleetMetrics::new();
+        m.faults_injected.inc(FleetFault::WanFlap);
+        m.faults_injected.inc(FleetFault::WanFlap);
+        m.faults_injected.inc(FleetFault::ChaosPanic);
+        assert_eq!(m.faults_injected.get(FleetFault::WanFlap), 2);
+        assert_eq!(m.faults_injected.get(FleetFault::None), 0);
+        let json = m.to_json();
+        assert!(
+            json.contains(
+                "\"faults_injected\":{\"none\":0,\"wan-flap\":2,\"cloud-outage\":0,\
+                 \"wan-degrade\":0,\"device-crash\":0,\"gateway-skew\":0,\"chaos-panic\":1}"
+            ),
+            "{json}"
         );
     }
 }

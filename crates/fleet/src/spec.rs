@@ -29,6 +29,18 @@ pub enum FleetAttack {
     BotnetRecruit,
     /// Unsigned malicious OTA pushed at the camera through the gateway.
     FirmwareTamper,
+    /// Captured automation command replayed at the window actuator after
+    /// learning ends (no witnessed trigger → app verification denies).
+    Replay,
+    /// Off-path DNS poisoning: spoofed `dns-response` packets for the
+    /// vendor hub name with guessed txids (the hardened resolver rejects
+    /// each one, raising `DnsBlocked` evidence).
+    DnsPoison,
+    /// Passive traffic analysis: an observer tap records the home's
+    /// wire metadata and a [`xlf_attacks::observer::TrafficAnalyst`]
+    /// is scored on it post-run. Produces no in-home evidence — the
+    /// stealth baseline for the fleet tier.
+    TrafficObserver,
 }
 
 impl FleetAttack {
@@ -38,6 +50,78 @@ impl FleetAttack {
             FleetAttack::None => "none",
             FleetAttack::BotnetRecruit => "botnet-recruit",
             FleetAttack::FirmwareTamper => "firmware-tamper",
+            FleetAttack::Replay => "replay",
+            FleetAttack::DnsPoison => "dns-poison",
+            FleetAttack::TrafficObserver => "traffic-observer",
+        }
+    }
+
+    /// Whether the attack actively injects traffic the home's own Core
+    /// can detect (passive observation cannot be flagged from inside).
+    pub fn is_active(&self) -> bool {
+        !matches!(self, FleetAttack::None | FleetAttack::TrafficObserver)
+    }
+}
+
+/// The infrastructure fault a home runs under (scheduled into its
+/// simulation as a [`xlf_simnet::FaultPlan`] by the fleet engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FleetFault {
+    /// Healthy infrastructure.
+    None,
+    /// The gateway↔cloud WAN link flaps down three times for 10 s each.
+    WanFlap,
+    /// The cloud is unreachable for 110 s covering the attack window.
+    CloudOutage,
+    /// The WAN link runs at 30% loss with +200 ms latency for 100 s.
+    WanDegrade,
+    /// The first device (BTreeMap name order) crashes at 200 s and cold
+    /// restarts at 260 s.
+    DeviceCrash,
+    /// The gateway's clock skews 30 s ahead at 150 s.
+    GatewaySkew,
+    /// A chaos node panics the home's simulation thread at 210 s —
+    /// exercises the supervisor's catch_unwind + retry path. The panic
+    /// is deterministic, so every retry fails too: the home ends up
+    /// `failed` after its retry budget.
+    ChaosPanic,
+}
+
+/// Every fault kind, in stable order (drives the metrics histogram).
+pub const FLEET_FAULT_KINDS: [FleetFault; 7] = [
+    FleetFault::None,
+    FleetFault::WanFlap,
+    FleetFault::CloudOutage,
+    FleetFault::WanDegrade,
+    FleetFault::DeviceCrash,
+    FleetFault::GatewaySkew,
+    FleetFault::ChaosPanic,
+];
+
+impl FleetFault {
+    /// Stable short name (used in reports and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetFault::None => "none",
+            FleetFault::WanFlap => "wan-flap",
+            FleetFault::CloudOutage => "cloud-outage",
+            FleetFault::WanDegrade => "wan-degrade",
+            FleetFault::DeviceCrash => "device-crash",
+            FleetFault::GatewaySkew => "gateway-skew",
+            FleetFault::ChaosPanic => "chaos-panic",
+        }
+    }
+
+    /// Index into [`FLEET_FAULT_KINDS`] (stable).
+    pub fn index(&self) -> usize {
+        match self {
+            FleetFault::None => 0,
+            FleetFault::WanFlap => 1,
+            FleetFault::CloudOutage => 2,
+            FleetFault::WanDegrade => 3,
+            FleetFault::DeviceCrash => 4,
+            FleetFault::GatewaySkew => 5,
+            FleetFault::ChaosPanic => 6,
         }
     }
 }
@@ -162,6 +246,17 @@ pub struct FleetSpec {
     pub templates: Vec<HomeTemplate>,
     /// Attack mix: `(attack, share)` — shares are relative weights.
     pub attacks: Vec<(FleetAttack, u32)>,
+    /// Fault mix: `(fault, share)` — which infrastructure fault each
+    /// home runs under. Stamped from an independent hash word, so
+    /// changing the fault mix never relayouts seeds/templates/attacks.
+    pub faults: Vec<(FleetFault, u32)>,
+    /// How many *re*-attempts a panicking home gets before it is
+    /// reported `failed` (total attempts = `retry_budget + 1`).
+    pub retry_budget: u32,
+    /// Per-home event budget across the whole stepped horizon. `None` =
+    /// unbounded; `Some(n)` truncates a home that exceeds `n` simulation
+    /// events and reports it `degraded` with the evidence drained so far.
+    pub step_event_budget: Option<u64>,
     /// Simulation slices per home (evidence is drained between slices).
     pub slices: u32,
     /// Max evidence items a worker ingests per home per slice
@@ -203,6 +298,9 @@ impl FleetSpec {
             horizon: Duration::from_secs(420),
             templates: vec![HomeTemplate::apartment(), HomeTemplate::house()],
             attacks: vec![(FleetAttack::None, 1)],
+            faults: vec![(FleetFault::None, 1)],
+            retry_budget: 1,
+            step_event_budget: None,
             slices: 8,
             drain_batch: 256,
             evidence_capacity: None,
@@ -258,6 +356,32 @@ impl FleetSpec {
         self
     }
 
+    /// Replaces the fault mix (builder-style). Shares are relative:
+    /// `[(None, 9), (WanFlap, 1)]` runs ~10% of homes under a flapping
+    /// WAN.
+    pub fn with_faults(mut self, faults: Vec<(FleetFault, u32)>) -> Self {
+        assert!(
+            faults.iter().any(|&(_, share)| share > 0),
+            "fault mix needs at least one positive share"
+        );
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the panic retry budget (builder-style); see
+    /// [`FleetSpec::retry_budget`].
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Bounds every home's stepped event count (builder-style); see
+    /// [`FleetSpec::step_event_budget`].
+    pub fn with_step_event_budget(mut self, budget: Option<u64>) -> Self {
+        self.step_event_budget = budget;
+        self
+    }
+
     /// Stamps the concrete per-home specs. Pure function of the spec —
     /// independent of worker count, scheduling, and wall-clock.
     pub fn stamp(&self) -> Vec<HomeSpec> {
@@ -266,6 +390,7 @@ impl FleetSpec {
         // a silent promotion to share 1.
         let template_total: u64 = self.templates.iter().map(|t| t.share as u64).sum();
         let attack_total: u64 = self.attacks.iter().map(|&(_, s)| s as u64).sum();
+        let fault_total: u64 = self.faults.iter().map(|&(_, s)| s as u64).sum();
         assert!(
             template_total > 0,
             "template mix needs at least one positive share"
@@ -283,11 +408,18 @@ impl FleetSpec {
                     self.attacks.iter().map(|&(_, s)| s as u64),
                 );
                 let seed = splitmix64(h1 ^ 0xF1EE_7000_0000_0000);
+                // Faults draw from an independent mix of h1 so a fleet
+                // with `faults = [(None, 1)]` stamps the exact same
+                // layout (seed/template/attack) as a pre-fault fleet.
+                let h2 = splitmix64(h1 ^ 0xFA17_0000_0000_0001);
+                let fault_idx =
+                    weighted_pick(h2 % fault_total, self.faults.iter().map(|&(_, s)| s as u64));
                 HomeSpec {
                     id,
                     seed,
                     template,
                     attack: self.attacks[attack_idx].0,
+                    fault: self.faults[fault_idx].0,
                 }
             })
             .collect()
@@ -315,6 +447,8 @@ pub struct HomeSpec {
     pub template: usize,
     /// Injected attack.
     pub attack: FleetAttack,
+    /// Infrastructure fault the home runs under.
+    pub fault: FleetFault,
 }
 
 #[cfg(test)]
@@ -395,6 +529,42 @@ mod tests {
             spec.with_evidence_capacity(Some(64)).evidence_capacity,
             Some(64)
         );
+    }
+
+    #[test]
+    fn fault_mix_is_stamped_independently_of_the_layout() {
+        // Changing the fault mix must not relayout seeds, templates or
+        // attacks — faults draw from their own hash word.
+        let base = FleetSpec::new(42, 256).stamp();
+        let faulted = FleetSpec::new(42, 256)
+            .with_faults(vec![(FleetFault::None, 9), (FleetFault::WanFlap, 1)])
+            .stamp();
+        for (a, b) in base.iter().zip(&faulted) {
+            assert_eq!(
+                (a.id, a.seed, a.template, a.attack),
+                (b.id, b.seed, b.template, b.attack)
+            );
+        }
+        assert!(base.iter().all(|h| h.fault == FleetFault::None));
+        let flapped = faulted
+            .iter()
+            .filter(|h| h.fault == FleetFault::WanFlap)
+            .count();
+        // 10% share over 256 homes → ~26 expected.
+        assert!((8..=48).contains(&flapped), "flapped: {flapped}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive share")]
+    fn all_zero_fault_shares_are_rejected() {
+        let _ = FleetSpec::new(3, 8).with_faults(vec![(FleetFault::WanFlap, 0)]);
+    }
+
+    #[test]
+    fn fault_kind_indices_match_the_stable_order() {
+        for (i, f) in FLEET_FAULT_KINDS.iter().enumerate() {
+            assert_eq!(f.index(), i, "{}", f.name());
+        }
     }
 
     #[test]

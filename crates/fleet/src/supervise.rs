@@ -1,0 +1,171 @@
+//! Supervision types for fault-tolerant fleet execution: every home run
+//! ends in exactly one [`HomeOutcome`], and a completed fleet satisfies
+//! the conservation law `ok + degraded + failed + build_failed == homes`
+//! — a fleet that silently loses homes looks healthier than it is.
+
+use crate::engine::HomeBuildError;
+use std::fmt;
+use xlf_core::framework::HomeReport;
+
+/// A home whose simulation panicked on every attempt its retry budget
+/// allowed. The panic payload is captured verbatim (it is deterministic
+/// for a deterministic home, so retries of a genuinely-broken home fail
+/// identically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomeRunError {
+    /// Fleet-wide id of the home.
+    pub home: u64,
+    /// Total attempts made (first run + retries).
+    pub attempts: u32,
+    /// Stable name of the fault the home was stamped with.
+    pub fault: &'static str,
+    /// The captured panic message.
+    pub panic: String,
+}
+
+impl fmt::Display for HomeRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "home {} panicked on all {} attempts (fault {}): {}",
+            self.home, self.attempts, self.fault, self.panic
+        )
+    }
+}
+
+impl std::error::Error for HomeRunError {}
+
+/// How one home's supervised run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HomeOutcome {
+    /// Ran to the horizon; full report.
+    Ok {
+        /// The home's summary.
+        report: HomeReport,
+        /// Traffic-analysis accuracy for `TrafficObserver` homes.
+        observer_accuracy: Option<f64>,
+    },
+    /// Exceeded its step event budget: truncated mid-run, summarized
+    /// from whatever evidence it had drained by then.
+    Degraded {
+        /// The (partial) summary.
+        report: HomeReport,
+        /// Traffic-analysis accuracy for `TrafficObserver` homes.
+        observer_accuracy: Option<f64>,
+        /// Simulation events processed before truncation.
+        events_used: u64,
+    },
+    /// Panicked on every attempt in the retry budget.
+    Failed(HomeRunError),
+    /// Never got a simulation: structural build error.
+    BuildFailed(HomeBuildError),
+}
+
+impl HomeOutcome {
+    /// Stable accounting label: `ok`/`degraded`/`failed`/`build-failed`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HomeOutcome::Ok { .. } => "ok",
+            HomeOutcome::Degraded { .. } => "degraded",
+            HomeOutcome::Failed(_) => "failed",
+            HomeOutcome::BuildFailed(_) => "build-failed",
+        }
+    }
+
+    /// The home report, when one exists (ok and degraded homes).
+    pub fn report(&self) -> Option<&HomeReport> {
+        match self {
+            HomeOutcome::Ok { report, .. } | HomeOutcome::Degraded { report, .. } => Some(report),
+            _ => None,
+        }
+    }
+}
+
+/// A fleet run that could not complete. Distinct from per-home failures
+/// (those become report rows): these mean the *engine itself* lost work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The job channel disconnected before every home was enqueued
+    /// (all workers died while the feed loop was still running).
+    JobFeed {
+        /// Homes enqueued before the channel closed.
+        sent: usize,
+        /// Homes the spec stamped.
+        homes: usize,
+    },
+    /// A worker thread itself panicked outside the per-home supervisor
+    /// (the supervisor catches home panics, so this is engine-level).
+    WorkerPanic(String),
+    /// Conservation violation: outcomes collected != homes stamped.
+    Accounting {
+        /// Homes the spec stamped.
+        expected: usize,
+        /// Outcomes the aggregator received.
+        accounted: usize,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::JobFeed { sent, homes } => write!(
+                f,
+                "job channel closed after {sent}/{homes} homes: all workers died during the feed"
+            ),
+            FleetError::WorkerPanic(msg) => write!(f, "fleet worker thread panicked: {msg}"),
+            FleetError::Accounting {
+                expected,
+                accounted,
+            } => write!(
+                f,
+                "home accounting violated: {accounted} outcomes for {expected} homes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Renders a `catch_unwind` payload as a stable string (`&str` and
+/// `String` payloads verbatim, anything else a fixed placeholder).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_messages_are_extracted_from_common_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p), "boom 7");
+        let p = std::panic::catch_unwind(|| panic!("static boom")).unwrap_err();
+        assert_eq!(panic_message(p), "static boom");
+        assert_eq!(panic_message(Box::new(42u32)), "non-string panic payload");
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        let err = HomeRunError {
+            home: 3,
+            attempts: 2,
+            fault: "chaos-panic",
+            panic: "x".into(),
+        };
+        assert_eq!(HomeOutcome::Failed(err.clone()).label(), "failed");
+        assert!(HomeOutcome::Failed(err.clone()).report().is_none());
+        assert!(err.to_string().contains("all 2 attempts"));
+        let build = HomeBuildError {
+            home: 1,
+            reason: "r".into(),
+        };
+        assert_eq!(HomeOutcome::BuildFailed(build).label(), "build-failed");
+    }
+}

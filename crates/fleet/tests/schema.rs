@@ -2,7 +2,7 @@
 //!
 //! `FleetReport::to_json` and `FleetMetrics::to_json` are longitudinal
 //! interfaces: operators diff them across runs and revisions. These
-//! tests pin the exact bytes of schema v2 against goldens under
+//! tests pin the exact bytes of schema v3 against goldens under
 //! `tests/golden/`. If a field is added/removed/renamed/reordered, bump
 //! the matching `*_SCHEMA_VERSION` constant and regenerate the goldens:
 //!
@@ -13,8 +13,8 @@
 use std::path::PathBuf;
 use xlf_core::framework::HomeReport;
 use xlf_fleet::{
-    FleetAggregator, FleetAttack, FleetMetrics, FleetSpec, HomeBuildError, HomeSpec,
-    FLEET_METRICS_SCHEMA_VERSION, FLEET_REPORT_SCHEMA_VERSION,
+    FleetAggregator, FleetAttack, FleetFault, FleetMetrics, FleetSpec, HomeBuildError, HomeOutcome,
+    HomeRunError, HomeSpec, FLEET_METRICS_SCHEMA_VERSION, FLEET_REPORT_SCHEMA_VERSION,
 };
 
 fn golden_path(name: &str) -> PathBuf {
@@ -66,12 +66,21 @@ fn fake_report(seed: u64, traffic: f64, criticals: usize) -> HomeReport {
     }
 }
 
+fn ok(report: HomeReport) -> HomeOutcome {
+    HomeOutcome::Ok {
+        report,
+        observer_accuracy: None,
+    }
+}
+
 /// A small synthetic fleet exercising every row variant the schema can
 /// emit: healthy homes, a behavioural outlier, a home-core critical, a
-/// bounded home with sheds, and a failed home.
+/// bounded home with sheds, an observer home with an accuracy score, a
+/// home under a fault, and one of each degraded/failed/build-failed
+/// outcome.
 fn synthetic_report_json() -> String {
     let spec = FleetSpec::new(0x60_1D, 12);
-    let mut items: Vec<(HomeSpec, Result<HomeReport, HomeBuildError>)> = (0..12u64)
+    let mut items: Vec<(HomeSpec, HomeOutcome)> = (0..12u64)
         .map(|i| {
             let traffic = if i == 3 { 900.0 } else { 50.0 + i as f64 };
             (
@@ -80,47 +89,75 @@ fn synthetic_report_json() -> String {
                     seed: i,
                     template: (i % 2) as usize,
                     attack: FleetAttack::None,
+                    fault: FleetFault::None,
                 },
-                Ok(fake_report(i, traffic, 0)),
+                ok(fake_report(i, traffic, 0)),
             )
         })
         .collect();
-    if let Ok(r) = &mut items[2].1 {
-        r.critical_alerts = 2;
-        r.warning_alerts = 3;
-        r.quarantined.push("cam".to_string());
+    if let HomeOutcome::Ok { report, .. } = &mut items[2].1 {
+        report.critical_alerts = 2;
+        report.warning_alerts = 3;
+        report.quarantined.push("cam".to_string());
     }
-    if let Ok(r) = &mut items[6].1 {
-        r.evidence_dropped = 40;
-        r.evidence_shed = 40;
+    if let HomeOutcome::Ok { report, .. } = &mut items[6].1 {
+        report.evidence_dropped = 40;
+        report.evidence_shed = 40;
     }
-    items[9].1 = Err(HomeBuildError {
+    items[4].0.attack = FleetAttack::TrafficObserver;
+    items[4].1 = HomeOutcome::Ok {
+        report: fake_report(4, 54.0, 0),
+        observer_accuracy: Some(0.8125),
+    };
+    items[5].0.fault = FleetFault::GatewaySkew;
+    items[8].0.fault = FleetFault::WanDegrade;
+    items[8].1 = HomeOutcome::Degraded {
+        report: fake_report(8, 58.0, 0),
+        observer_accuracy: None,
+        events_used: 5_000,
+    };
+    items[9].1 = HomeOutcome::BuildFailed(HomeBuildError {
         home: 9,
         reason: "template index 7 out of range (2 templates)".to_string(),
+    });
+    items[10].0.fault = FleetFault::ChaosPanic;
+    items[10].1 = HomeOutcome::Failed(HomeRunError {
+        home: 10,
+        attempts: 2,
+        fault: "chaos-panic",
+        panic: "chaos-panic: injected simulation fault in home 10".to_string(),
     });
     FleetAggregator::new(&spec).aggregate(items).to_json()
 }
 
 #[test]
-fn fleet_report_json_matches_the_v2_golden() {
+fn fleet_report_json_matches_the_v3_golden() {
     assert_eq!(
-        FLEET_REPORT_SCHEMA_VERSION, 2,
+        FLEET_REPORT_SCHEMA_VERSION, 3,
         "bump goldens with the schema"
     );
     let json = synthetic_report_json();
-    assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
-    assert_matches_golden("fleet_report_v2.json", &json);
+    assert!(json.starts_with("{\"schema_version\":3,"), "{json}");
+    assert_matches_golden("fleet_report_v3.json", &json);
 }
 
 #[test]
-fn fleet_metrics_json_matches_the_v2_golden() {
+fn fleet_metrics_json_matches_the_v3_golden() {
     assert_eq!(
-        FLEET_METRICS_SCHEMA_VERSION, 2,
+        FLEET_METRICS_SCHEMA_VERSION, 3,
         "bump goldens with the schema"
     );
     let m = FleetMetrics::new();
-    m.homes_stepped.add(11);
-    m.homes_failed.inc();
+    m.homes_stepped.add(10);
+    m.homes_degraded.inc();
+    m.homes_run_failed.inc();
+    m.homes_build_failed.inc();
+    m.panics_caught.add(3);
+    m.retries.add(2);
+    m.deadline_truncations.inc();
+    m.faults_injected.inc(FleetFault::None);
+    m.faults_injected.inc(FleetFault::WanDegrade);
+    m.faults_injected.inc(FleetFault::ChaosPanic);
     m.evidence_drained.add(420);
     m.evidence_total.add(480);
     m.evidence_shed.add(60);
@@ -132,8 +169,8 @@ fn fleet_metrics_json_matches_the_v2_golden() {
     m.report_us.observe(80);
     m.aggregate_us.observe(1_500);
     let json = m.to_json();
-    assert!(json.starts_with("{\"schema_version\":2,"), "{json}");
-    assert_matches_golden("fleet_metrics_v2.json", &json);
+    assert!(json.starts_with("{\"schema_version\":3,"), "{json}");
+    assert_matches_golden("fleet_metrics_v3.json", &json);
 }
 
 #[test]
@@ -145,4 +182,18 @@ fn report_and_metrics_jsons_are_parseable_shapes() {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
     }
+}
+
+#[test]
+fn synthetic_report_satisfies_outcome_conservation() {
+    let json = synthetic_report_json();
+    // 12 homes total: 9 correlated rows + 1 degraded + 1 run-failed +
+    // 1 build-failed.
+    assert!(json.contains("\"homes\":12"), "{json}");
+    assert!(
+        json.contains(
+            "\"homes_ok\":9,\"homes_degraded\":1,\"homes_run_failed\":1,\"homes_build_failed\":1"
+        ),
+        "{json}"
+    );
 }

@@ -65,6 +65,10 @@ pub struct WireQuery {
     pub wire_size: usize,
 }
 
+// Invariant, not input validation: the output lengths handed to
+// `derive_key` match the fixed key sizes of the ciphers constructed on the
+// same line, so these expects can only fire if that pairing is edited —
+// never from wire data or a caller-supplied secret.
 fn transport_cipher(transport: DnsTransport, session_secret: &[u8]) -> Box<dyn BlockCipher> {
     match transport {
         DnsTransport::XlfLightweight => Box::new(

@@ -74,6 +74,9 @@ pub struct SecuredFrame {
     pub mic: Option<Vec<u8>>,
 }
 
+// Invariant, not input validation: the requested 10-byte derived key is
+// exactly Present80's fixed key size, so these expects can only fire if
+// that pairing is edited — never from frame contents.
 fn network_cipher(network_key: &[u8]) -> Present80 {
     let key = derive_key(network_key, "802154-network", 10).expect("non-empty key");
     Present80::new(&key).expect("10-byte key")
@@ -126,6 +129,9 @@ impl FrameSender {
             None
         } else {
             let mac = CbcMac::new(&cipher);
+            // Invariant: CbcMac::tag only errors through the block cipher,
+            // which is keyed above with its fixed-size derived key — frame
+            // contents cannot trigger it.
             Some(
                 mac.tag(&mic_input(self.address, counter, level, &body))
                     .expect("tagging cannot fail"),
@@ -188,6 +194,9 @@ impl FrameReceiver {
                 return Err(FrameError::Malformed);
             };
             let mac = CbcMac::new(&cipher);
+            // Invariant: see `frame_sender` tagging — verification recomputes
+            // the tag under the same fixed-key cipher, so attacker-controlled
+            // frames can fail the comparison but never the computation.
             let ok = mac
                 .verify(
                     &mic_input(frame.sender, frame.counter, frame.level, &frame.body),

@@ -99,6 +99,10 @@ impl fmt::Debug for Session {
     }
 }
 
+// Invariant, not input validation: `derive_key` fails only on a zero
+// output length and `Speck128::new` only on a key that isn't 16 bytes —
+// both fixed by the constants on this line, never by peer-supplied data.
+// A panic here means the KDF contract itself changed.
 fn key_for(psk: &[u8], session_id: &str, direction: &str) -> Speck128 {
     let key =
         derive_key(psk, &format!("tls-lite/{session_id}/{direction}"), 16).expect("non-empty psk");
@@ -171,7 +175,8 @@ impl Session {
         if !mac.verify(signed, tag)? {
             return Err(TlsError::BadRecordMac);
         }
-        let seq = u64::from_be_bytes(signed[..8].try_into().expect("8 bytes"));
+        let seq_bytes: [u8; 8] = signed[..8].try_into().map_err(|_| TlsError::Malformed)?;
+        let seq = u64::from_be_bytes(seq_bytes);
         if let Some(highest) = self.recv_highest {
             if seq <= highest {
                 return Err(TlsError::Replay { seq });

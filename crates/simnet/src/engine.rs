@@ -1,6 +1,7 @@
 //! The discrete-event engine: event queue, dispatch loop, and the
 //! [`Context`] through which nodes act on the world.
 
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::link::LinkConfig;
 use crate::node::{Node, NodeId, TimerId};
 use crate::observer::Tap;
@@ -26,6 +27,11 @@ pub struct NetworkStats {
     pub wire_bytes: u64,
     /// Timers fired.
     pub timers_fired: u64,
+    /// Events suppressed by injected faults: packets to crashed nodes or
+    /// over severed links, plus timers voided by a crash.
+    pub fault_drops: u64,
+    /// Fault events applied from the installed [`FaultPlan`].
+    pub faults_applied: u64,
 }
 
 #[derive(Debug)]
@@ -35,6 +41,9 @@ enum EventKind {
         node: NodeId,
         timer: TimerId,
         tag: u64,
+        /// Crash epoch of the owning node when the timer was armed; a
+        /// crash bumps the node's epoch so pre-crash timers never fire.
+        epoch: u64,
     },
 }
 
@@ -155,6 +164,21 @@ pub struct Network {
     stats: NetworkStats,
     /// Hard cap on processed events, preventing runaway feedback loops.
     pub max_events: u64,
+    /// Installed fault schedule, sorted; `fault_cursor` indexes the next
+    /// unapplied fault.
+    fault_plan: Vec<FaultEvent>,
+    fault_cursor: usize,
+    /// Links severed by `LinkDown`, keyed per direction, holding the
+    /// original config for restore.
+    downed_links: HashMap<(NodeId, NodeId), LinkConfig>,
+    /// Original configs of links currently degraded by `LinkDegrade`.
+    degraded_links: HashMap<(NodeId, NodeId), LinkConfig>,
+    /// Nodes currently crashed (no callbacks, deliveries dropped).
+    crashed: HashSet<NodeId>,
+    /// Per-node crash epoch; bumped on crash to void pre-crash timers.
+    crash_epochs: HashMap<NodeId, u64>,
+    /// Per-node forward clock skew added to `Context::now`.
+    skew: HashMap<NodeId, Duration>,
 }
 
 impl std::fmt::Debug for Network {
@@ -186,7 +210,23 @@ impl Network {
             started_upto: 0,
             stats: NetworkStats::default(),
             max_events: 20_000_000,
+            fault_plan: Vec::new(),
+            fault_cursor: 0,
+            downed_links: HashMap::new(),
+            degraded_links: HashMap::new(),
+            crashed: HashSet::new(),
+            crash_epochs: HashMap::new(),
+            skew: HashMap::new(),
         }
+    }
+
+    /// Installs a fault schedule. Faults at or before the next event's
+    /// time are applied before that event dispatches, so a run with a
+    /// plan is as deterministic as one without. Replaces any previously
+    /// installed (unapplied remainder of a) plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan.into_sorted();
+        self.fault_cursor = 0;
     }
 
     /// The RNG seed this network was created with.
@@ -274,6 +314,12 @@ impl Network {
 
     fn transmit(&mut self, packet: Packet, extra_delay: Duration) {
         let key = (packet.src, packet.dst);
+        if self.downed_links.contains_key(&key) {
+            // The link exists but is currently severed by a fault: this
+            // is an outage drop, not a routing error.
+            self.stats.fault_drops += 1;
+            return;
+        }
         let Some(link) = self.links.get(&key).copied() else {
             self.stats.no_route += 1;
             return;
@@ -311,7 +357,16 @@ impl Network {
                     tag,
                 } => {
                     let at = self.now + after;
-                    self.push_event(at, EventKind::Timer { node, timer, tag });
+                    let epoch = self.crash_epochs.get(&node).copied().unwrap_or(0);
+                    self.push_event(
+                        at,
+                        EventKind::Timer {
+                            node,
+                            timer,
+                            tag,
+                            epoch,
+                        },
+                    );
                 }
                 Effect::CancelTimer(timer) => {
                     self.cancelled.insert(timer.0);
@@ -336,16 +391,20 @@ impl Network {
     where
         F: FnOnce(&mut dyn Node, &mut Context<'_>),
     {
+        if self.crashed.contains(&id) {
+            return;
+        }
         let slot = id.raw() as usize;
         let Some(mut node) = self.nodes.get_mut(slot).and_then(Option::take) else {
             return;
         };
         let mut effects = Vec::new();
         let mut next_timer = self.next_timer;
+        let local_now = self.now + self.skew.get(&id).copied().unwrap_or(Duration::ZERO);
         {
             let mut ctx = Context {
                 id,
-                now: self.now,
+                now: local_now,
                 effects: &mut effects,
                 next_timer: &mut next_timer,
             };
@@ -362,16 +421,106 @@ impl Network {
         self.run_until(SimTime::from_micros(u64::MAX))
     }
 
+    /// Applies one fault to the world at `self.now`.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        self.stats.faults_applied += 1;
+        match kind {
+            FaultKind::LinkDown { a, b } => {
+                for key in [(a, b), (b, a)] {
+                    // A degraded link goes down with its *original*
+                    // config saved, so a later restore is complete.
+                    let original = self.degraded_links.remove(&key);
+                    if let Some(cfg) = self.links.remove(&key) {
+                        let saved = original.unwrap_or(cfg);
+                        self.downed_links.entry(key).or_insert(saved);
+                    }
+                }
+            }
+            FaultKind::LinkRestore { a, b } => {
+                for key in [(a, b), (b, a)] {
+                    if let Some(cfg) = self.downed_links.remove(&key) {
+                        self.links.insert(key, cfg);
+                    } else if let Some(cfg) = self.degraded_links.remove(&key) {
+                        self.links.insert(key, cfg);
+                    }
+                }
+            }
+            FaultKind::LinkDegrade {
+                a,
+                b,
+                loss,
+                extra_latency,
+            } => {
+                for key in [(a, b), (b, a)] {
+                    if let Some(cfg) = self.links.get(&key).copied() {
+                        let original = *self.degraded_links.entry(key).or_insert(cfg);
+                        let mut degraded = original;
+                        degraded.loss = loss.clamp(0.0, 0.999_999);
+                        degraded.latency = original.latency + extra_latency;
+                        self.links.insert(key, degraded);
+                    }
+                }
+            }
+            FaultKind::NodeCrash { node } => {
+                if self.crashed.insert(node) {
+                    *self.crash_epochs.entry(node).or_insert(0) += 1;
+                }
+            }
+            FaultKind::NodeRestart { node } => {
+                if self.crashed.remove(&node) {
+                    self.with_node(node, |n, ctx| n.on_restart(ctx));
+                }
+            }
+            FaultKind::ClockSkew { node, ahead } => {
+                self.skew.insert(node, ahead);
+            }
+        }
+    }
+
     /// Runs the simulation until `deadline` (inclusive) or queue
     /// exhaustion. Events scheduled after the deadline remain queued.
     pub fn run_until(&mut self, deadline: SimTime) -> NetworkStats {
+        let _ = self.run_until_capped(deadline, u64::MAX);
+        self.stats
+    }
+
+    /// Like [`Network::run_until`] but stops after processing at most
+    /// `budget` events. Returns `(events_processed, truncated)`:
+    /// `truncated` is true when the budget ran out with work still
+    /// pending at or before the deadline. Faults do not count against
+    /// the budget.
+    pub fn run_until_capped(&mut self, deadline: SimTime, budget: u64) -> (u64, bool) {
         self.dispatch_start();
         let mut processed = 0u64;
-        while let Some(next_at) = self.queue.peek().map(|Reverse(e)| e.at) {
-            if next_at > deadline {
-                break;
+        loop {
+            let next_event_at = self.queue.peek().map(|Reverse(e)| e.at);
+            let next_fault_at = self.fault_plan.get(self.fault_cursor).map(|f| f.at);
+
+            // Faults due before (or tied with) the next event apply
+            // first: a link that goes down at t kills the packet
+            // arriving at t.
+            if let Some(fa) = next_fault_at {
+                if fa <= deadline && next_event_at.is_none_or(|ea| fa <= ea) {
+                    let fault = self.fault_plan[self.fault_cursor];
+                    self.fault_cursor += 1;
+                    if fault.at > self.now {
+                        self.now = fault.at;
+                    }
+                    self.apply_fault(fault.kind);
+                    continue;
+                }
             }
-            let Reverse(event) = self.queue.pop().expect("peeked");
+
+            match next_event_at {
+                Some(at) if at <= deadline => {}
+                _ => break,
+            }
+            if processed >= budget {
+                return (processed, true);
+            }
+            let Some(Reverse(event)) = self.queue.pop() else {
+                break;
+            };
             self.now = event.at;
             processed += 1;
             if processed > self.max_events {
@@ -382,12 +531,29 @@ impl Network {
             }
             match event.kind {
                 EventKind::Deliver(packet) => {
-                    self.stats.delivered += 1;
                     let dst = packet.dst;
+                    if self.crashed.contains(&dst) {
+                        self.stats.fault_drops += 1;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
                     self.with_node(dst, |node, ctx| node.on_packet(ctx, packet));
                 }
-                EventKind::Timer { node, timer, tag } => {
+                EventKind::Timer {
+                    node,
+                    timer,
+                    tag,
+                    epoch,
+                } => {
                     if self.cancelled.remove(&timer.0) {
+                        continue;
+                    }
+                    if self.crashed.contains(&node)
+                        || epoch != self.crash_epochs.get(&node).copied().unwrap_or(0)
+                    {
+                        // Armed before a crash (or owner still down):
+                        // the crash voided it.
+                        self.stats.fault_drops += 1;
                         continue;
                     }
                     self.stats.timers_fired += 1;
@@ -395,7 +561,7 @@ impl Network {
                 }
             }
         }
-        self.stats
+        (processed, false)
     }
 }
 
@@ -554,6 +720,205 @@ mod tests {
         net.run_until(SimTime::from_millis(7));
         assert_eq!(*fired.borrow(), vec![1]);
         net.run_until(SimTime::from_millis(20));
+        assert_eq!(*fired.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn link_flap_severs_then_restores_delivery() {
+        use crate::fault::FaultPlan;
+        // Sender fires one packet per second for 10 s; the link is down
+        // for seconds [3, 6), so exactly those sends are outage drops.
+        struct Ticker {
+            peer: NodeId,
+        }
+        impl Node for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Duration::from_secs(1), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerId, _tag: u64) {
+                let p = Packet::new(ctx.id(), self.peer, "tick", vec![0u8]);
+                ctx.send(self.peer, p);
+                ctx.set_timer(Duration::from_secs(1), 1);
+            }
+        }
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        let sink = net.add_node(Box::new(Sink {
+            received: received.clone(),
+        }));
+        let ticker = net.add_node(Box::new(Ticker { peer: sink }));
+        net.connect(ticker, sink, Medium::Ethernet.link().with_loss(0.0));
+        net.set_fault_plan(FaultPlan::new().link_flap(
+            ticker,
+            sink,
+            SimTime::from_secs(3),
+            Duration::from_secs(3),
+        ));
+        let stats = net.run_until(SimTime::from_secs(11));
+        // Sends at t=3,4,5 hit the downed link (flap applies before the
+        // same-time event); t=1,2 and t=6..=10 get through before the
+        // deadline (t=11's send is still in flight).
+        assert_eq!(stats.fault_drops, 3, "stats: {stats:?}");
+        assert_eq!(received.borrow().len(), 7);
+        assert_eq!(stats.faults_applied, 2);
+    }
+
+    #[test]
+    fn crash_voids_timers_and_restart_resumes_via_on_start() {
+        use crate::fault::FaultPlan;
+        struct Heartbeat {
+            beats: Rc<RefCell<Vec<SimTime>>>,
+        }
+        impl Node for Heartbeat {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Duration::from_secs(2), 7);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerId, _tag: u64) {
+                self.beats.borrow_mut().push(ctx.now());
+                ctx.set_timer(Duration::from_secs(2), 7);
+            }
+        }
+        let beats = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        let hb = net.add_node(Box::new(Heartbeat {
+            beats: beats.clone(),
+        }));
+        net.set_fault_plan(FaultPlan::new().node_crash(
+            hb,
+            SimTime::from_secs(5),
+            Some(Duration::from_secs(6)),
+        ));
+        let stats = net.run_until(SimTime::from_secs(20));
+        // Beats at 2, 4 — crash at 5 voids the timer armed at 4 — then
+        // restart at 11 re-runs on_start: beats resume at 13, 15, ...
+        let got: Vec<u64> = beats
+            .borrow()
+            .iter()
+            .map(|t| t.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(got, vec![2, 4, 13, 15, 17, 19]);
+        assert!(stats.fault_drops >= 1, "pre-crash timer must be voided");
+    }
+
+    #[test]
+    fn deliveries_to_a_crashed_node_are_outage_drops() {
+        use crate::fault::FaultPlan;
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        let a = net.add_node(Box::new(Sink::default()));
+        let b = net.add_node(Box::new(Sink {
+            received: received.clone(),
+        }));
+        net.connect(a, b, Medium::Ethernet.link().with_loss(0.0));
+        net.set_fault_plan(FaultPlan::new().node_crash(b, SimTime::ZERO, None));
+        net.inject(a, b, Packet::new(a, b, "x", vec![1u8]));
+        let stats = net.run();
+        assert_eq!(stats.fault_drops, 1);
+        assert_eq!(stats.delivered, 0);
+        assert!(received.borrow().is_empty());
+    }
+
+    #[test]
+    fn clock_skew_shifts_context_now_forward() {
+        use crate::fault::FaultPlan;
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        let sink = net.add_node(Box::new(Sink {
+            received: received.clone(),
+        }));
+        let src = net.add_node(Box::new(Sink::default()));
+        net.connect(src, sink, Medium::Ethernet.link().with_loss(0.0));
+        net.set_fault_plan(FaultPlan::new().clock_skew(
+            sink,
+            SimTime::from_secs(1),
+            Duration::from_secs(30),
+        ));
+        net.run_until(SimTime::from_secs(2));
+        net.inject(src, sink, Packet::new(src, sink, "x", vec![1u8]));
+        net.run_until(SimTime::from_secs(3));
+        let seen_at = received.borrow()[0].0;
+        // The skewed node's local clock reads ~30 s ahead of engine time.
+        assert!(seen_at >= SimTime::from_secs(31), "seen at {seen_at:?}");
+    }
+
+    #[test]
+    fn degraded_link_loses_packets_only_inside_the_window() {
+        use crate::fault::FaultPlan;
+        // Loss is drawn at transmit time, so the sender must actually be
+        // transmitting inside the degrade window: 30 packets per second
+        // for 25 s, with seconds [10, 20) degraded to 90% loss.
+        struct Burster {
+            peer: NodeId,
+        }
+        impl Node for Burster {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Duration::from_secs(1), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerId, _tag: u64) {
+                for _ in 0..30 {
+                    let p = Packet::new(ctx.id(), self.peer, "x", vec![1u8]);
+                    ctx.send(self.peer, p);
+                }
+                ctx.set_timer(Duration::from_secs(1), 1);
+            }
+        }
+        let mut net = Network::new(21);
+        let b = net.add_node(Box::new(Sink::default()));
+        let a = net.add_node(Box::new(Burster { peer: b }));
+        net.connect(a, b, Medium::Ethernet.link().with_loss(0.0));
+        net.set_fault_plan(FaultPlan::new().burst_loss(
+            a,
+            b,
+            SimTime::from_secs(10),
+            Duration::from_secs(10),
+            0.9,
+            Duration::ZERO,
+        ));
+        net.run_until(SimTime::from_millis(9_500));
+        assert_eq!(net.stats().lost, 0, "healthy link loses nothing");
+        net.run_until(SimTime::from_millis(19_500));
+        let inside = net.stats().lost;
+        // 10 bursts × 30 packets at 90% loss → ~270 expected.
+        assert!(inside > 200, "degraded window should lose most: {inside}");
+        net.run_until(SimTime::from_secs(25));
+        assert_eq!(net.stats().lost, inside, "restored link loses nothing");
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic() {
+        use crate::fault::FaultPlan;
+        fn run_once() -> NetworkStats {
+            let mut net = Network::new(99);
+            let a = net.add_node(Box::new(Sink::default()));
+            let b = net.add_node(Box::new(Echo));
+            net.connect(a, b, Medium::Wifi.link().with_loss(0.3));
+            net.set_fault_plan(
+                FaultPlan::new()
+                    .link_flap(a, b, SimTime::from_millis(5), Duration::from_millis(10))
+                    .node_crash(b, SimTime::from_millis(30), Some(Duration::from_millis(10))),
+            );
+            for i in 0..100 {
+                net.inject(a, b, Packet::new(a, b, "x", vec![i as u8]));
+            }
+            net.run()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn run_until_capped_truncates_and_resumes() {
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        net.add_node(Box::new(Beeper {
+            fired: fired.clone(),
+            cancel_second: false,
+        }));
+        let (n, truncated) = net.run_until_capped(SimTime::from_secs(1), 2);
+        assert_eq!((n, truncated), (2, true));
+        assert_eq!(*fired.borrow(), vec![1, 2]);
+        // The remaining event is still queued and runs on the next call.
+        let (n, truncated) = net.run_until_capped(SimTime::from_secs(1), u64::MAX);
+        assert_eq!((n, truncated), (1, false));
         assert_eq!(*fired.borrow(), vec![1, 2, 3]);
     }
 

@@ -1,0 +1,198 @@
+//! Deterministic fault injection: a [`FaultPlan`] is a sim-time-ordered
+//! schedule of infrastructure faults (link flaps, burst loss windows,
+//! node crashes/restarts, clock skew) the engine applies *between*
+//! events. Faults are part of the scenario, not of the execution: the
+//! same seed + plan replays the same byte-identical run.
+
+use crate::node::NodeId;
+use crate::time::{Duration, SimTime};
+
+/// One kind of injected infrastructure fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Severs the bidirectional link between `a` and `b`. Packets in
+    /// flight and packets sent while down are dropped (counted in
+    /// [`crate::NetworkStats::fault_drops`]).
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Restores a link previously severed by [`FaultKind::LinkDown`] or
+    /// degraded by [`FaultKind::LinkDegrade`] to its original config.
+    LinkRestore {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Degrades a live link: overrides its loss probability and adds
+    /// latency on top of the original. A later `LinkRestore` undoes it.
+    LinkDegrade {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Replacement per-packet loss probability in `[0, 1)`.
+        loss: f64,
+        /// Latency added on top of the link's original latency.
+        extra_latency: Duration,
+    },
+    /// Crashes a node: pending deliveries to it are dropped, its armed
+    /// timers are voided (crash-epoch bump), and it processes nothing
+    /// until a [`FaultKind::NodeRestart`].
+    NodeCrash {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Restarts a crashed node: [`crate::Node::on_restart`] is
+    /// dispatched (default: same as `on_start`) so it can re-arm its
+    /// timers. Timers armed before the crash stay void.
+    NodeRestart {
+        /// The node to restart.
+        node: NodeId,
+    },
+    /// Skews a node's clock forward: its [`crate::Context::now`] reads
+    /// `engine time + ahead` from this point on (forward-only, so sim
+    /// time never runs backwards inside a callback).
+    ClockSkew {
+        /// The node whose clock skews.
+        node: NodeId,
+        /// How far ahead of engine time the node's clock reads.
+        ahead: Duration,
+    },
+}
+
+/// A fault scheduled at an absolute sim-time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault applies (engine time).
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of faults. Build with the composable
+/// helpers ([`FaultPlan::link_flap`], [`FaultPlan::burst_loss`],
+/// [`FaultPlan::node_crash`], [`FaultPlan::clock_skew`]) or schedule raw
+/// [`FaultEvent`]s; the engine sorts by `(at, insertion order)` so plans
+/// replay identically regardless of construction order of same-time
+/// faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a raw fault event.
+    pub fn schedule(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Severs the `a`↔`b` link at `at` and restores it `down_for` later.
+    pub fn link_flap(self, a: NodeId, b: NodeId, at: SimTime, down_for: Duration) -> Self {
+        self.schedule(at, FaultKind::LinkDown { a, b })
+            .schedule(at + down_for, FaultKind::LinkRestore { a, b })
+    }
+
+    /// Runs the `a`↔`b` link at `loss` probability (plus `extra_latency`
+    /// of added delay) for a window starting at `at`.
+    pub fn burst_loss(
+        self,
+        a: NodeId,
+        b: NodeId,
+        at: SimTime,
+        window: Duration,
+        loss: f64,
+        extra_latency: Duration,
+    ) -> Self {
+        self.schedule(
+            at,
+            FaultKind::LinkDegrade {
+                a,
+                b,
+                loss,
+                extra_latency,
+            },
+        )
+        .schedule(at + window, FaultKind::LinkRestore { a, b })
+    }
+
+    /// Crashes `node` at `at`; when `restart_after` is set, restarts it
+    /// that much later (state callbacks re-run via `on_restart`).
+    pub fn node_crash(self, node: NodeId, at: SimTime, restart_after: Option<Duration>) -> Self {
+        let plan = self.schedule(at, FaultKind::NodeCrash { node });
+        match restart_after {
+            Some(after) => plan.schedule(at + after, FaultKind::NodeRestart { node }),
+            None => plan,
+        }
+    }
+
+    /// Skews `node`'s clock `ahead` of engine time starting at `at`.
+    pub fn clock_skew(self, node: NodeId, at: SimTime, ahead: Duration) -> Self {
+        self.schedule(at, FaultKind::ClockSkew { node, ahead })
+    }
+
+    /// Number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Consumes the plan into a schedule sorted by `(at, insertion
+    /// order)` — the order the engine applies it in.
+    pub(crate) fn into_sorted(self) -> Vec<FaultEvent> {
+        let mut indexed: Vec<(usize, FaultEvent)> = self.events.into_iter().enumerate().collect();
+        indexed.sort_by_key(|&(i, e)| (e.at, i));
+        indexed.into_iter().map(|(_, e)| e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_expand_to_paired_events() {
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let plan = FaultPlan::new()
+            .link_flap(a, b, SimTime::from_secs(10), Duration::from_secs(5))
+            .node_crash(b, SimTime::from_secs(20), Some(Duration::from_secs(3)));
+        assert_eq!(plan.len(), 4);
+        let sorted = plan.into_sorted();
+        assert_eq!(sorted[0].at, SimTime::from_secs(10));
+        assert_eq!(sorted[1].at, SimTime::from_secs(15));
+        assert!(matches!(sorted[2].kind, FaultKind::NodeCrash { .. }));
+        assert!(matches!(sorted[3].kind, FaultKind::NodeRestart { .. }));
+    }
+
+    #[test]
+    fn sort_is_stable_for_same_time_faults() {
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let at = SimTime::from_secs(7);
+        let plan = FaultPlan::new()
+            .schedule(at, FaultKind::LinkDown { a, b })
+            .schedule(at, FaultKind::LinkRestore { a, b });
+        let sorted = plan.into_sorted();
+        assert!(matches!(sorted[0].kind, FaultKind::LinkDown { .. }));
+        assert!(matches!(sorted[1].kind, FaultKind::LinkRestore { .. }));
+    }
+}

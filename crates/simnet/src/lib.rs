@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 mod link;
 mod medium;
 pub mod nat;
@@ -55,6 +56,7 @@ mod packet;
 mod time;
 
 pub use engine::{Context, Network, NetworkStats};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use link::LinkConfig;
 pub use medium::Medium;
 pub use node::{AsAny, Node, NodeId, TimerId};

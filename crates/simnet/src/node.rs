@@ -73,6 +73,14 @@ pub trait Node: AsAny {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         let _ = ctx;
     }
+
+    /// Called when the node comes back from an injected crash
+    /// ([`crate::fault::FaultKind::NodeRestart`]). The crash voided all
+    /// of its armed timers, so the default re-runs [`Node::on_start`] —
+    /// a cold boot. Override to model warm restarts that recover state.
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        self.on_start(ctx);
+    }
 }
 
 #[cfg(test)]
