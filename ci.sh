@@ -36,4 +36,19 @@ echo "== smoke: fault injection + supervised execution (18 homes, 2 workers)"
 grep -q '"conservation":' "$tmpdir/bench_faults.json" \
     || { echo "fault bench JSON is missing the conservation note"; exit 1; }
 
+echo "== smoke: streamed correlation interval sweep (24 homes, 2 workers)"
+./target/release/exp_stream --homes 24 --workers 2 --json "$tmpdir/bench_stream.json"
+grep -q '"checkpoint_stable": true' "$tmpdir/bench_stream.json" \
+    || { echo "stream bench JSON lost checkpoint/resume stability"; exit 1; }
+grep -q '"verdicts_match_batch": true' "$tmpdir/bench_stream.json" \
+    || { echo "stream bench JSON lost verdict parity with batch"; exit 1; }
+
+echo "== schema gate: v4 goldens are current (and v3 goldens are retired)"
+ls crates/fleet/tests/golden/fleet_report_v4.json \
+   crates/fleet/tests/golden/fleet_metrics_v4.json >/dev/null \
+    || { echo "v4 schema goldens are missing"; exit 1; }
+if ls crates/fleet/tests/golden/*_v3.json >/dev/null 2>&1; then
+    echo "stale v3 schema goldens are still checked in"; exit 1
+fi
+
 echo "CI OK"

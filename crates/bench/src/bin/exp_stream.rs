@@ -1,0 +1,321 @@
+//! Streamed-correlation experiment: how much earlier does the fleet
+//! tier detect injected deviants when the cross-home pass re-runs
+//! mid-simulation instead of once at the horizon?
+//!
+//! Sweeps the correlation interval over {batch, 60 s, 15 s} on the same
+//! stamped fleet, checks the final verdicts are byte-stable across the
+//! sweep (streaming is pure observation), measures per-home detection
+//! latency in simulated seconds, verifies checkpoint/resume cycling is
+//! invisible in the output bytes, and records detection-latency and
+//! alert-dedup columns in `BENCH_stream.json`.
+//!
+//! ```text
+//! cargo run --release -p xlf-bench --bin exp_stream -- \
+//!     --homes 48 --workers 8 --horizon 420 --json BENCH_stream.json
+//! ```
+
+use std::time::Instant;
+use xlf_bench::print_table;
+use xlf_fleet::{
+    run_fleet, FleetAttack, FleetMetrics, FleetReport, FleetSpec, HomeTemplate,
+    FLEET_REPORT_SCHEMA_VERSION,
+};
+use xlf_simnet::Duration;
+
+struct Args {
+    homes: usize,
+    workers: usize,
+    horizon_s: u64,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        homes: 48,
+        workers: 8,
+        horizon_s: 420,
+        json: "BENCH_stream.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a {what} value"))
+        };
+        match flag.as_str() {
+            "--homes" => args.homes = value("count").parse().expect("--homes: integer"),
+            "--workers" => args.workers = value("count").parse().expect("--workers: integer"),
+            "--horizon" => {
+                args.horizon_s = value("seconds")
+                    .parse()
+                    .expect("--horizon: integer seconds")
+            }
+            "--json" => args.json = value("path"),
+            other => panic!("unknown flag {other} (use --homes --workers --horizon --json)"),
+        }
+    }
+    args
+}
+
+fn spec(args: &Args, interval_s: Option<u64>) -> FleetSpec {
+    let mut spec = FleetSpec::new(0x57AE_2019, args.homes)
+        .with_workers(args.workers)
+        .with_horizon(Duration::from_secs(args.horizon_s))
+        .with_templates(vec![
+            HomeTemplate::apartment(),
+            HomeTemplate::house(),
+            HomeTemplate::retrofit(),
+        ])
+        .with_attacks(vec![
+            (FleetAttack::None, 12),
+            (FleetAttack::BotnetRecruit, 1),
+            (FleetAttack::FirmwareTamper, 1),
+            (FleetAttack::Replay, 1),
+            (FleetAttack::DnsPoison, 1),
+        ]);
+    if let Some(s) = interval_s {
+        spec = spec.with_correlation_interval(s);
+    }
+    spec
+}
+
+/// Homes under an *active* attack — the deviants detection latency is
+/// measured over (passive observation has no in-home signature).
+fn attacked_ids(report: &FleetReport) -> Vec<u64> {
+    report
+        .rows
+        .iter()
+        .filter(|r| r.attack != "none" && r.attack != "traffic-observer")
+        .map(|r| r.id)
+        .collect()
+}
+
+/// One row of the interval sweep.
+struct SweepPoint {
+    label: String,
+    interval_s: Option<u64>,
+    report: FleetReport,
+    wall_s: f64,
+}
+
+impl SweepPoint {
+    /// First-detection sim-time for `home`: the end of its detection
+    /// epoch for streamed runs, the horizon for batch.
+    fn detection_latency_s(&self, home: u64, horizon_s: u64) -> u64 {
+        match (&self.interval_s, &self.report.epochs) {
+            (Some(interval), Some(epochs)) => epochs
+                .first_detection
+                .iter()
+                .find(|(h, _)| *h == home)
+                .map(|(_, epoch)| ((epoch + 1) * interval).min(horizon_s))
+                .unwrap_or(horizon_s),
+            _ => horizon_s,
+        }
+    }
+
+    fn mean_latency_s(&self, homes: &[u64], horizon_s: u64) -> f64 {
+        if homes.is_empty() {
+            return horizon_s as f64;
+        }
+        homes
+            .iter()
+            .map(|h| self.detection_latency_s(*h, horizon_s) as f64)
+            .sum::<f64>()
+            / homes.len() as f64
+    }
+
+    fn new_alerts(&self) -> u64 {
+        self.report
+            .epochs
+            .as_ref()
+            .map_or(0, |e| e.per_epoch.iter().map(|r| r.alerts).sum())
+    }
+
+    fn deduped(&self) -> u64 {
+        self.report
+            .epochs
+            .as_ref()
+            .map_or(0, |e| e.per_epoch.iter().map(|r| r.deduped).sum())
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "xlf-stream: {} homes, horizon {} s, {} workers, interval sweep {{batch, 60 s, 15 s}}",
+        args.homes, args.horizon_s, args.workers,
+    );
+
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    for interval_s in [None, Some(60), Some(15)] {
+        let label = interval_s.map_or("batch".to_string(), |s| format!("{s} s"));
+        let metrics = FleetMetrics::new();
+        let t0 = Instant::now();
+        let report = run_fleet(&spec(&args, interval_s), &metrics).expect("fleet engine lost work");
+        sweep.push(SweepPoint {
+            label,
+            interval_s,
+            report,
+            wall_s: t0.elapsed().as_secs_f64(),
+        });
+    }
+
+    let batch = &sweep[0];
+    let attacked = attacked_ids(&batch.report);
+    assert!(!attacked.is_empty(), "attack mix stamped no deviants");
+
+    // Streaming is pure observation: final rows/flags/totals must be
+    // identical to batch at every interval.
+    for p in &sweep[1..] {
+        assert_eq!(
+            p.report.rows, batch.report.rows,
+            "interval {} perturbed the per-home rows",
+            p.label
+        );
+        assert_eq!(
+            p.report.flagged, batch.report.flagged,
+            "interval {} changed the final verdicts",
+            p.label
+        );
+        assert_eq!(p.report.totals, batch.report.totals);
+    }
+
+    // Checkpoint/resume cycling on the finest interval is invisible.
+    let finest = sweep.last().expect("sweep is non-empty");
+    let cycled = run_fleet(
+        &spec(&args, finest.interval_s).with_stream_checkpoint_every(1),
+        &FleetMetrics::new(),
+    )
+    .expect("fleet engine lost work");
+    let checkpoint_stable = cycled.to_json() == finest.report.to_json();
+    assert!(
+        checkpoint_stable,
+        "checkpoint/resume cycling changed the streamed report"
+    );
+
+    print_table(
+        "Correlation-interval sweep",
+        &[
+            "Interval",
+            "Epochs",
+            "Windows",
+            "Mean detect (s)",
+            "New alerts",
+            "Deduped",
+            "Flagged",
+            "Wall (s)",
+        ],
+        &sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.clone(),
+                    p.report
+                        .epochs
+                        .as_ref()
+                        .map_or("-".to_string(), |e| e.count.to_string()),
+                    p.report
+                        .epochs
+                        .as_ref()
+                        .map_or("-".to_string(), |e| e.windows_ingested.to_string()),
+                    format!("{:.1}", p.mean_latency_s(&attacked, args.horizon_s)),
+                    p.new_alerts().to_string(),
+                    p.deduped().to_string(),
+                    p.report.flagged.len().to_string(),
+                    format!("{:.2}", p.wall_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // The acceptance bar: at the finest interval every injected deviant
+    // is detected strictly before the horizon (i.e. strictly earlier
+    // than the batch pass can possibly report it).
+    let mut all_earlier = true;
+    for id in &attacked {
+        let latency = finest.detection_latency_s(*id, args.horizon_s);
+        if latency >= args.horizon_s {
+            eprintln!(
+                "deviant {id} only detected at the horizon under {}",
+                finest.label
+            );
+            all_earlier = false;
+        }
+    }
+    assert!(
+        all_earlier,
+        "interval {} failed to beat batch detection",
+        finest.label
+    );
+
+    println!(
+        "\nAll {} deviants detected strictly before the {} s horizon at interval {} \
+         (checkpoint/resume stable: {checkpoint_stable})",
+        attacked.len(),
+        args.horizon_s,
+        finest.label,
+    );
+
+    let report_json = finest.report.to_json();
+    assert!(
+        report_json.starts_with(&format!(
+            "{{\"schema_version\":{FLEET_REPORT_SCHEMA_VERSION},"
+        )),
+        "fleet report JSON lost its schema version"
+    );
+
+    match write_bench_json(&args, &sweep, &attacked, checkpoint_stable) {
+        Ok(()) => println!("Trajectory point written to {}.", args.json),
+        Err(e) => eprintln!("could not write {}: {e}", args.json),
+    }
+}
+
+fn write_bench_json(
+    args: &Args,
+    sweep: &[SweepPoint],
+    attacked: &[u64],
+    checkpoint_stable: bool,
+) -> std::io::Result<()> {
+    let sweep_json: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            let latencies: Vec<String> = attacked
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{{\"home\": {h}, \"detect_s\": {}}}",
+                        p.detection_latency_s(*h, args.horizon_s)
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"interval_s\": {}, \"epochs\": {}, \"windows_ingested\": {}, \
+                 \"windows_shed\": {}, \"mean_detect_s\": {:.1}, \"new_alerts\": {}, \
+                 \"deduped\": {}, \"flagged\": {}, \"wall_s\": {:.3}, \
+                 \"detection_latency\": [{}]}}",
+                p.interval_s.map_or("null".to_string(), |s| s.to_string()),
+                p.report.epochs.as_ref().map_or(0, |e| e.count),
+                p.report.epochs.as_ref().map_or(0, |e| e.windows_ingested),
+                p.report.epochs.as_ref().map_or(0, |e| e.windows_shed),
+                p.mean_latency_s(attacked, args.horizon_s),
+                p.new_alerts(),
+                p.deduped(),
+                p.report.flagged.len(),
+                p.wall_s,
+                latencies.join(", "),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"stream\",\n  \"homes\": {},\n  \"workers\": {},\n  \
+         \"horizon_s\": {},\n  \"attacked_homes\": {},\n  \"verdicts_match_batch\": true,\n  \
+         \"checkpoint_stable\": {},\n  \"interval_sweep\": [\n    {}\n  ]\n}}\n",
+        args.homes,
+        args.workers,
+        args.horizon_s,
+        attacked.len(),
+        checkpoint_stable,
+        sweep_json.join(",\n    "),
+    );
+    std::fs::write(&args.json, json)
+}

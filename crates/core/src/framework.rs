@@ -861,6 +861,32 @@ pub struct HomeReport {
     pub features: Vec<f64>,
 }
 
+/// Cumulative, **side-effect-free** counters read from a live home
+/// mid-run. Unlike [`HomeRunner::report`] this never drains the evidence
+/// bus and never fuses verdicts, so probing between simulation slices
+/// cannot perturb bounded-bus shed patterns or correlation state — a
+/// probed (streamed) run stays byte-identical to an unprobed (batch) run
+/// of the same home. Windowed deltas are two probes subtracted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HomeProbe {
+    /// Evidence records aggregated into the Core's store so far.
+    pub evidence_total: usize,
+    /// Aggregated evidence per layer: `[device, network, service]`.
+    pub evidence_by_layer: [usize; 3],
+    /// Warning-or-higher alerts raised so far.
+    pub warning_alerts: usize,
+    /// Critical alerts raised so far.
+    pub critical_alerts: usize,
+    /// Packets the gateway has forwarded so far.
+    pub forwarded: u64,
+    /// Packets the gateway has dropped so far.
+    pub dropped_packets: u64,
+    /// Wire bytes observed by the runner's tap so far.
+    pub wire_bytes: u64,
+    /// Packets observed by the runner's tap so far.
+    pub packets: u64,
+}
+
 /// A reusable run handle over one [`XlfHome`]: owns the home, a traffic
 /// tap, and the stepping/summary logic the multi-home experiments and
 /// the fleet engine previously wired up ad hoc. Not `Send` (the home's
@@ -915,6 +941,39 @@ impl HomeRunner {
     /// via [`HomeRunner::finish`] — the fleet tier's degraded mode.
     pub fn run_until_capped(&mut self, t: SimTime, budget: u64) -> (u64, bool) {
         self.home.net.run_until_capped(t, budget)
+    }
+
+    /// Reads the cumulative side-effect-free counters (see
+    /// [`HomeProbe`]). Safe to call at any point mid-run, any number of
+    /// times: it only reads — no drains, no verdict fusion — so it can
+    /// never change what the simulation or the final report would do.
+    pub fn probe(&self) -> HomeProbe {
+        let core = self.home.core.borrow();
+        let mut by_layer = [0usize; 3];
+        for e in core.store.all() {
+            let idx = match e.layer {
+                crate::evidence::Layer::Device => 0,
+                crate::evidence::Layer::Network => 1,
+                crate::evidence::Layer::Service => 2,
+            };
+            by_layer[idx] += 1;
+        }
+        let (wire_bytes, packets) = self
+            .records
+            .borrow()
+            .iter()
+            .fold((0u64, 0u64), |(b, p), r| (b + r.wire_size as u64, p + 1));
+        let gateway = self.home.gateway_ref();
+        HomeProbe {
+            evidence_total: core.store.len(),
+            evidence_by_layer: by_layer,
+            warning_alerts: core.alerts.at_least(Severity::Warning).len(),
+            critical_alerts: core.alerts.at_least(Severity::Critical).len(),
+            forwarded: gateway.forwarded,
+            dropped_packets: gateway.dropped,
+            wire_bytes,
+            packets,
+        }
     }
 
     /// Finishes the run at `now`: one final Core evaluation sweep (so

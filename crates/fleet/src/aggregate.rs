@@ -18,13 +18,15 @@
 //! field-by-field description in EXPERIMENTS.md) so longitudinal fleet
 //! runs can be diffed byte-for-byte.
 
-use crate::engine::HomeBuildError;
+use crate::engine::{HomeBuildError, HomeStream};
 use crate::spec::{FleetSpec, HomeSpec, FLEET_FAULT_KINDS};
 use crate::supervise::{HomeOutcome, HomeRunError};
+use std::collections::BTreeMap;
 use xlf_analytics::graph::community_report;
 use xlf_core::alerts::{Alert, AlertSink, Severity};
 use xlf_core::framework::HomeReport;
 use xlf_simnet::SimTime;
+use xlf_stream::{EpochRecord, StreamConfig, StreamCorrelator, WindowSummary};
 
 /// Version of the [`FleetReport::to_json`] schema. Bump on any
 /// field add/remove/rename/reorder; goldens under `crates/fleet/tests/`
@@ -37,8 +39,12 @@ use xlf_simnet::SimTime;
 /// `degraded` and `run_failed` sections (`failed` renamed
 /// `build_failed`), outcome conservation totals
 /// (`homes_ok`/`homes_degraded`/`homes_run_failed`/`homes_build_failed`),
-/// fault-correlated fleet alerts.
-pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 3;
+/// fault-correlated fleet alerts; v4 — streamed correlation: the
+/// `epochs` section (`null` in batch mode; per-epoch alert counts,
+/// first-detection epoch per flagged home, window shed accounting and
+/// partial-home annotations otherwise) and the epoch-stamped stream
+/// alerts that precede the horizon alerts.
+pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// One home's row in the fleet report (homes that ran to the horizon —
 /// the only homes the cross-home graph correlates).
@@ -164,6 +170,30 @@ impl FleetTotals {
     }
 }
 
+/// The streamed-correlation section of a v4 report: what the
+/// epoch-by-epoch [`StreamCorrelator`] pass observed mid-run. `None`
+/// (serialized `null`) in batch mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSection {
+    /// Correlation interval in simulated seconds.
+    pub interval_secs: u64,
+    /// Epochs the stream pass ran (== windows per full-horizon home).
+    pub count: u64,
+    /// Window summaries folded in across all epochs.
+    pub windows_ingested: u64,
+    /// Window summaries shed by bounded per-home window buffers.
+    pub windows_shed: u64,
+    /// Homes correlated on a truncated (partial) window prefix, in id
+    /// order — degraded homes that still joined the stream pass.
+    pub partial_homes: Vec<u64>,
+    /// One record per epoch, in order: homes seen, new detections,
+    /// deduped re-detections.
+    pub per_epoch: Vec<EpochRecord>,
+    /// `(home, epoch)` pairs, in home-id order: the epoch each flagged
+    /// home was *first* detected in (the detection-latency record).
+    pub first_detection: Vec<(u64, u64)>,
+}
+
 /// The deterministic output of one fleet run: rows sorted by home id,
 /// community structure, flagged homes, quarantined
 /// degraded/failed/build-failed sections, and the fleet alert stream.
@@ -187,6 +217,8 @@ pub struct FleetReport {
     pub threshold: f64,
     /// Ids of flagged homes (sorted).
     pub flagged: Vec<u64>,
+    /// Streamed-correlation trace (`None` in batch mode).
+    pub epochs: Option<StreamSection>,
     /// Fleet-wide totals.
     pub totals: FleetTotals,
     /// Fleet alerts (published through the standard alert pipeline).
@@ -319,6 +351,40 @@ impl FleetReport {
             .map(|f| format!("{{\"id\":{},\"reason\":{}}}", f.home, json_str(&f.reason)))
             .collect();
         let flagged: Vec<String> = self.flagged.iter().map(|id| id.to_string()).collect();
+        let epochs = match &self.epochs {
+            None => "null".to_string(),
+            Some(s) => {
+                let partial: Vec<String> =
+                    s.partial_homes.iter().map(|id| id.to_string()).collect();
+                let per_epoch: Vec<String> = s
+                    .per_epoch
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{{\"epoch\":{},\"homes\":{},\"alerts\":{},\"deduped\":{}}}",
+                            e.epoch, e.homes, e.alerts, e.deduped
+                        )
+                    })
+                    .collect();
+                let first: Vec<String> = s
+                    .first_detection
+                    .iter()
+                    .map(|(home, epoch)| format!("{{\"home\":{home},\"epoch\":{epoch}}}"))
+                    .collect();
+                format!(
+                    "{{\"interval_secs\":{},\"count\":{},\"windows_ingested\":{},\
+                     \"windows_shed\":{},\"partial_homes\":[{}],\"per_epoch\":[{}],\
+                     \"first_detection\":[{}]}}",
+                    s.interval_secs,
+                    s.count,
+                    s.windows_ingested,
+                    s.windows_shed,
+                    partial.join(","),
+                    per_epoch.join(","),
+                    first.join(","),
+                )
+            }
+        };
         let alerts: Vec<String> = self
             .alerts
             .iter()
@@ -333,7 +399,7 @@ impl FleetReport {
             .collect();
         format!(
             "{{\"schema_version\":{},\"master_seed\":{},\"homes\":{},\"communities\":{},\
-             \"threshold\":{},\"flagged\":[{}],\
+             \"threshold\":{},\"flagged\":[{}],\"epochs\":{},\
              \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
              \"evidence_drop_rate\":{},\"evidence_shed_rate\":{},\"forwarded\":{},\
              \"dropped_packets\":{},\"homes_with_critical\":{},\
@@ -347,6 +413,7 @@ impl FleetReport {
             self.communities,
             json_f64(self.threshold),
             flagged.join(","),
+            epochs,
             self.totals.evidence,
             self.totals.evidence_dropped,
             self.totals.evidence_shed,
@@ -396,6 +463,9 @@ pub struct FleetAggregator {
     graph_iters: usize,
     min_deviation: f64,
     sigma: f64,
+    correlation_interval: Option<u64>,
+    stream_epochs: u64,
+    stream_checkpoint_every: Option<u64>,
     /// The fleet-level alert pipeline (same sink the per-home Cores use).
     pub alerts: AlertSink,
 }
@@ -412,8 +482,100 @@ impl FleetAggregator {
             graph_iters: spec.graph_iters,
             min_deviation: spec.min_deviation,
             sigma: spec.sigma,
+            correlation_interval: spec.correlation_interval,
+            stream_epochs: spec.stream_epochs(),
+            stream_checkpoint_every: spec.stream_checkpoint_every,
             alerts: AlertSink::new(),
         }
+    }
+
+    /// The epoch-by-epoch stream pass (v4 `epochs` section). Runs only
+    /// when the spec streams; batch mode returns `None`.
+    ///
+    /// Eligibility mirrors the batch pass one notch looser: homes that
+    /// ran to the horizon always join; **degraded** homes join too when
+    /// they completed at least one whole window (their truncated
+    /// fragment is marked partial, so the section annotates them)
+    /// instead of being quarantine-only. Stream detections are raised as
+    /// epoch-stamped alerts *before* the horizon alerts — they happened
+    /// first in simulated time.
+    fn stream_pass(
+        &mut self,
+        items: &[(HomeSpec, HomeOutcome, HomeStream)],
+    ) -> Option<StreamSection> {
+        let interval = self.correlation_interval?;
+        let mut windows: Vec<WindowSummary> = Vec::new();
+        let mut shed = 0u64;
+        for (_, outcome, stream) in items {
+            let eligible = match outcome {
+                HomeOutcome::Ok { .. } => true,
+                HomeOutcome::Degraded { .. } => {
+                    stream.windows.iter().filter(|w| !w.partial).count() >= 1
+                }
+                _ => false,
+            };
+            if !eligible {
+                continue;
+            }
+            windows.extend(stream.windows.iter().cloned());
+            shed += stream.shed;
+        }
+
+        let mut correlator = StreamCorrelator::new(StreamConfig {
+            graph_k: self.graph_k,
+            graph_gamma: self.graph_gamma,
+            graph_iters: self.graph_iters,
+            min_deviation: self.min_deviation,
+            sigma: self.sigma,
+        });
+        correlator.note_shed(shed);
+        let mut by_epoch: BTreeMap<u64, Vec<WindowSummary>> = BTreeMap::new();
+        for w in windows {
+            by_epoch.entry(w.window).or_default().push(w);
+        }
+        for epoch in 0..self.stream_epochs {
+            let batch = by_epoch.remove(&epoch).unwrap_or_default();
+            correlator.ingest_epoch(&batch);
+            // In-line production resume: at the configured cadence the
+            // pass continues from its own serialized checkpoint. The
+            // report is byte-identical with or without this — that IS
+            // the checkpoint/resume guarantee, and the determinism
+            // tests pin it.
+            if let Some(every) = self.stream_checkpoint_every {
+                if (epoch + 1) % every == 0 {
+                    if let Ok(resumed) = StreamCorrelator::restore(&correlator.checkpoint()) {
+                        correlator = resumed;
+                    }
+                }
+            }
+        }
+        let outcome = correlator.outcome();
+
+        let horizon_s = self.horizon.as_micros() / 1_000_000;
+        for (&home, &epoch) in &outcome.first_detection {
+            let at_s = ((epoch + 1).saturating_mul(interval)).min(horizon_s);
+            self.alerts.raise(Alert {
+                at: SimTime::from_secs(at_s),
+                device: format!("home-{home:06}"),
+                severity: Severity::Warning,
+                score: 0.0,
+                explanation: format!(
+                    "stream correlation: home first detected at epoch {epoch} (t={at_s}s), \
+                     {} epoch(s) before the horizon",
+                    self.stream_epochs.saturating_sub(epoch + 1),
+                ),
+            });
+        }
+
+        Some(StreamSection {
+            interval_secs: interval,
+            count: self.stream_epochs,
+            windows_ingested: outcome.windows_ingested,
+            windows_shed: outcome.windows_shed,
+            partial_homes: outcome.partial_homes,
+            per_epoch: outcome.epochs,
+            first_detection: outcome.first_detection.into_iter().collect(),
+        })
     }
 
     fn template_name(&self, idx: usize) -> String {
@@ -445,21 +607,42 @@ impl FleetAggregator {
         f
     }
 
-    /// Fuses the collected `(spec, outcome)` pairs into the fleet report:
-    /// homes that ran to the horizon are correlated and flagged; degraded,
-    /// failed, and build-failed homes are quarantined into their own
-    /// sections (with a warning alert each) instead of panicking the
-    /// aggregation or skewing the correlation. Input order does not
-    /// matter (everything is sorted by home id first).
-    pub fn aggregate(mut self, mut items: Vec<(HomeSpec, HomeOutcome)>) -> FleetReport {
-        items.sort_by_key(|(hs, _)| hs.id);
+    /// Fuses the collected `(spec, outcome)` pairs into the fleet report
+    /// without any streamed windows — the batch path. Equivalent to
+    /// [`FleetAggregator::aggregate_streamed`] with empty streams.
+    pub fn aggregate(self, items: Vec<(HomeSpec, HomeOutcome)>) -> FleetReport {
+        self.aggregate_streamed(
+            items
+                .into_iter()
+                .map(|(hs, outcome)| (hs, outcome, HomeStream::default()))
+                .collect(),
+        )
+    }
+
+    /// Fuses the collected `(spec, outcome, stream)` triples into the
+    /// fleet report: homes that ran to the horizon are correlated and
+    /// flagged; degraded, failed, and build-failed homes are quarantined
+    /// into their own sections (with a warning alert each) instead of
+    /// panicking the aggregation or skewing the correlation. When the
+    /// spec streams, the epoch-by-epoch stream pass runs first and its
+    /// trace lands in the report's `epochs` section. Input order does
+    /// not matter (everything is sorted by home id first).
+    pub fn aggregate_streamed(
+        mut self,
+        mut items: Vec<(HomeSpec, HomeOutcome, HomeStream)>,
+    ) -> FleetReport {
+        items.sort_by_key(|(hs, _, _)| hs.id);
+
+        // Stream pass first: its alerts are epoch-stamped (mid-run sim
+        // times), so they precede every horizon-stamped batch alert.
+        let epochs = self.stream_pass(&items);
 
         let mut ok_items: Vec<(HomeSpec, HomeReport, Option<f64>)> =
             Vec::with_capacity(items.len());
         let mut degraded: Vec<DegradedHome> = Vec::new();
         let mut run_failed: Vec<HomeRunError> = Vec::new();
         let mut build_failed: Vec<HomeBuildError> = Vec::new();
-        for (hs, outcome) in items {
+        for (hs, outcome, _stream) in items {
             match outcome {
                 HomeOutcome::Ok {
                     report,
@@ -656,6 +839,7 @@ impl FleetAggregator {
             communities: communities.len(),
             threshold,
             flagged: flagged_ids,
+            epochs,
             totals,
             alerts: self.alerts.alerts().to_vec(),
         }

@@ -32,9 +32,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::time::Instant;
 use xlf_attacks::observer::TrafficAnalyst;
-use xlf_core::framework::{HomeReport, HomeRunner, XlfHome, VENDOR_DNS_NAME};
+use xlf_core::framework::{HomeProbe, HomeReport, HomeRunner, XlfHome, VENDOR_DNS_NAME};
 use xlf_simnet::observer::PacketRecord;
 use xlf_simnet::{Context, Duration, FaultPlan, Medium, Node, NodeId, Packet, SimTime, TimerId};
+use xlf_stream::{WindowBuffer, WindowSummary, STREAM_FEATURES};
 
 /// A home that could not be built. Workers ship this to the aggregator
 /// instead of panicking, so one malformed home degrades the fleet report
@@ -199,6 +200,10 @@ fn fault_plan_for(home: &XlfHome, fault: FleetFault) -> FaultPlan {
             None => FaultPlan::new(),
         },
         FleetFault::GatewaySkew => FaultPlan::new().clock_skew(gw, s(150), d(30)),
+        FleetFault::RadioJam => match home.devices.values().next().copied() {
+            Some(dev) => FaultPlan::new().radio_jam(dev, s(170), d(90)),
+            None => FaultPlan::new(),
+        },
     }
 }
 
@@ -321,6 +326,17 @@ fn observer_accuracy(records: &[PacketRecord]) -> f64 {
     analyst.accuracy(&test)
 }
 
+/// The window summaries one home emitted through its bounded
+/// [`WindowBuffer`], plus the buffer's shed accounting. Empty in batch
+/// mode and for homes that never completed a window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HomeStream {
+    /// Surviving window summaries, oldest first.
+    pub windows: Vec<WindowSummary>,
+    /// Windows shed oldest-first by the bounded buffer.
+    pub shed: u64,
+}
+
 /// One finished attempt (the simulation neither panicked nor failed to
 /// build; it may still have been truncated by the event budget).
 struct AttemptSummary {
@@ -328,10 +344,74 @@ struct AttemptSummary {
     observer_accuracy: Option<f64>,
     events_used: u64,
     truncated: bool,
+    stream: HomeStream,
 }
 
-/// Runs one home to the fleet horizon in evidence-bounded slices. Panics
-/// from the home's simulation propagate to the supervisor.
+/// The per-window feature delta between two cumulative probes (see
+/// [`xlf_stream::STREAM_FEATURES`] for the dimension order).
+fn probe_delta(prev: &HomeProbe, now: &HomeProbe) -> [f64; STREAM_FEATURES] {
+    [
+        now.evidence_total.saturating_sub(prev.evidence_total) as f64,
+        now.evidence_by_layer[0].saturating_sub(prev.evidence_by_layer[0]) as f64,
+        now.evidence_by_layer[1].saturating_sub(prev.evidence_by_layer[1]) as f64,
+        now.evidence_by_layer[2].saturating_sub(prev.evidence_by_layer[2]) as f64,
+        now.warning_alerts.saturating_sub(prev.warning_alerts) as f64,
+        now.critical_alerts.saturating_sub(prev.critical_alerts) as f64,
+        now.forwarded.saturating_sub(prev.forwarded) as f64,
+        now.dropped_packets.saturating_sub(prev.dropped_packets) as f64,
+        now.wire_bytes.saturating_sub(prev.wire_bytes) as f64,
+        now.packets.saturating_sub(prev.packets) as f64,
+    ]
+}
+
+/// One stop on a home's run schedule: run to `at_us`, then drain
+/// (slice end), close a window (window boundary), or both.
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    at_us: u64,
+    drain: bool,
+    window_end: bool,
+}
+
+/// Merges the batch slice deadlines (drain points) with the streaming
+/// window boundaries (probe points) into one ascending schedule.
+/// Running to an *extra* intermediate deadline never changes a
+/// discrete-event simulation's event sequence, and drains still happen
+/// exactly at the batch slice ends — so a streamed run replays the batch
+/// run byte-for-byte and the probes are pure observation.
+fn run_schedule(spec: &FleetSpec) -> Vec<Deadline> {
+    let horizon_us = spec.horizon.as_micros();
+    let slices = spec.slices.max(1) as u64;
+    let interval_us = spec
+        .correlation_interval
+        .unwrap_or(0)
+        .saturating_mul(1_000_000);
+    let mut deadlines: Vec<Deadline> = (1..=slices)
+        .map(|i| Deadline {
+            at_us: horizon_us * i / slices,
+            drain: true,
+            window_end: false,
+        })
+        .collect();
+    for w in 1..=spec.stream_epochs() {
+        let at_us = (interval_us * w).min(horizon_us);
+        match deadlines.iter_mut().find(|d| d.at_us == at_us) {
+            Some(d) => d.window_end = true,
+            None => deadlines.push(Deadline {
+                at_us,
+                drain: false,
+                window_end: true,
+            }),
+        }
+    }
+    deadlines.sort_by_key(|d| d.at_us);
+    deadlines
+}
+
+/// Runs one home to the fleet horizon in evidence-bounded slices,
+/// closing a probe-delta window at every correlation boundary when the
+/// spec streams. Panics from the home's simulation propagate to the
+/// supervisor.
 fn attempt_home(
     spec: &FleetSpec,
     hs: &HomeSpec,
@@ -344,30 +424,63 @@ fn attempt_home(
 
     let t1 = Instant::now();
     let horizon_us = spec.horizon.as_micros();
-    let slices = spec.slices.max(1) as u64;
     let budget = spec.step_event_budget.unwrap_or(u64::MAX);
+    let streaming = spec.correlation_interval.is_some();
+    let mut buffer = WindowBuffer::new(spec.window_capacity);
+    let mut last_probe = if streaming {
+        runner.probe()
+    } else {
+        HomeProbe::default()
+    };
+    let mut windows_done = 0u64;
     let mut events_used = 0u64;
     let mut truncated = false;
-    for i in 1..=slices {
+    for deadline in run_schedule(spec) {
         let (n, t) = runner.run_until_capped(
-            SimTime::from_micros(horizon_us * i / slices),
+            SimTime::from_micros(deadline.at_us),
             budget.saturating_sub(events_used),
         );
         events_used += n;
-        // Bounded local drain: one chatty home ingests at most
-        // `drain_batch` items per slice; the rest stays queued. A
-        // truncated home still drains — degraded mode reports whatever
-        // evidence survived.
-        let drained = runner
-            .home()
-            .core
-            .borrow_mut()
-            .drain_pending(spec.drain_batch);
-        metrics.evidence_drained.add(drained as u64);
+        if deadline.drain {
+            // Bounded local drain: one chatty home ingests at most
+            // `drain_batch` items per slice; the rest stays queued. A
+            // truncated home still drains — degraded mode reports
+            // whatever evidence survived.
+            let drained = runner
+                .home()
+                .core
+                .borrow_mut()
+                .drain_pending(spec.drain_batch);
+            metrics.evidence_drained.add(drained as u64);
+        }
         if t {
             truncated = true;
             break;
         }
+        if deadline.window_end {
+            let probe = runner.probe();
+            buffer.push(WindowSummary {
+                home: hs.id,
+                window: windows_done,
+                partial: false,
+                features: probe_delta(&last_probe, &probe),
+            });
+            last_probe = probe;
+            windows_done += 1;
+        }
+    }
+    // A home truncated mid-window still contributes its final fragment —
+    // marked partial so the stream pass annotates the home — but only
+    // when it completed at least one whole window (a home cut down in
+    // window 0 stays quarantine-only).
+    if streaming && truncated && windows_done >= 1 && windows_done < spec.stream_epochs() {
+        let probe = runner.probe();
+        buffer.push(WindowSummary {
+            home: hs.id,
+            window: windows_done,
+            partial: true,
+            features: probe_delta(&last_probe, &probe),
+        });
     }
     metrics.step_us.observe(t1.elapsed().as_micros() as u64);
 
@@ -377,18 +490,26 @@ fn attempt_home(
     let observer_accuracy = built
         .observer
         .map(|records| observer_accuracy(&records.borrow()));
+    let (windows, shed) = buffer.into_parts();
+    metrics.windows_emitted.add(windows.len() as u64);
+    metrics.windows_shed.add(shed);
     Ok(AttemptSummary {
         report,
         observer_accuracy,
         events_used,
         truncated,
+        stream: HomeStream { windows, shed },
     })
 }
 
-/// What the supervisor decided after one attempt.
+/// What the supervisor decided after one attempt. One instance lives
+/// on a worker's stack per attempt, so the variant size gap is moot.
+#[allow(clippy::large_enum_variant)]
 enum Supervised {
-    /// Terminal: ship this outcome.
-    Done(HomeOutcome),
+    /// Terminal: ship this outcome (plus any windows the final
+    /// successful attempt streamed — a retried attempt's windows die
+    /// with the attempt, so retries never double-emit).
+    Done(HomeOutcome, HomeStream),
     /// The attempt panicked with retry budget left: try again later.
     Retry,
 }
@@ -412,33 +533,42 @@ fn supervised_attempt(
             if attempt.truncated {
                 metrics.deadline_truncations.inc();
                 metrics.homes_degraded.inc();
-                Supervised::Done(HomeOutcome::Degraded {
-                    report: attempt.report,
-                    observer_accuracy: attempt.observer_accuracy,
-                    events_used: attempt.events_used,
-                })
+                Supervised::Done(
+                    HomeOutcome::Degraded {
+                        report: attempt.report,
+                        observer_accuracy: attempt.observer_accuracy,
+                        events_used: attempt.events_used,
+                    },
+                    attempt.stream,
+                )
             } else {
-                Supervised::Done(HomeOutcome::Ok {
-                    report: attempt.report,
-                    observer_accuracy: attempt.observer_accuracy,
-                })
+                Supervised::Done(
+                    HomeOutcome::Ok {
+                        report: attempt.report,
+                        observer_accuracy: attempt.observer_accuracy,
+                    },
+                    attempt.stream,
+                )
             }
         }
         Ok(Err(build)) => {
             metrics.homes_build_failed.inc();
-            Supervised::Done(HomeOutcome::BuildFailed(build))
+            Supervised::Done(HomeOutcome::BuildFailed(build), HomeStream::default())
         }
         Err(payload) => {
             metrics.panics_caught.inc();
             let attempts = attempts_done + 1;
             if attempts > spec.retry_budget {
                 metrics.homes_run_failed.inc();
-                Supervised::Done(HomeOutcome::Failed(HomeRunError {
-                    home: hs.id,
-                    attempts,
-                    fault: hs.fault.name(),
-                    panic: panic_message(payload),
-                }))
+                Supervised::Done(
+                    HomeOutcome::Failed(HomeRunError {
+                        home: hs.id,
+                        attempts,
+                        fault: hs.fault.name(),
+                        panic: panic_message(payload),
+                    }),
+                    HomeStream::default(),
+                )
             } else {
                 metrics.retries.inc();
                 Supervised::Retry
@@ -450,7 +580,7 @@ fn supervised_attempt(
 fn worker_loop(
     spec: &FleetSpec,
     jobs: Receiver<HomeSpec>,
-    results: Sender<(HomeSpec, HomeOutcome)>,
+    results: Sender<(HomeSpec, HomeOutcome, HomeStream)>,
     metrics: &FleetMetrics,
 ) {
     // Deterministic attempt-count backoff: a panicked home waits at the
@@ -466,9 +596,9 @@ fn worker_loop(
             },
         };
         match supervised_attempt(spec, &hs, attempts_done, metrics) {
-            Supervised::Done(outcome) => {
+            Supervised::Done(outcome, stream) => {
                 metrics.report_channel_depth.set(results.len() as u64);
-                if results.send((hs, outcome)).is_err() {
+                if results.send((hs, outcome, stream)).is_err() {
                     // Aggregator gone — nothing left to do.
                     break;
                 }
@@ -497,7 +627,7 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport
     }
     drop(job_tx); // workers exit once the queue runs dry
 
-    type WorkerResult = (HomeSpec, HomeOutcome);
+    type WorkerResult = (HomeSpec, HomeOutcome, HomeStream);
     let (report_tx, report_rx) =
         crossbeam::channel::bounded::<WorkerResult>(spec.report_capacity.max(1));
 
@@ -531,7 +661,7 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport
     }
 
     let t0 = Instant::now();
-    let report = FleetAggregator::new(spec).aggregate(collected);
+    let report = FleetAggregator::new(spec).aggregate_streamed(collected);
     metrics
         .aggregate_us
         .observe(t0.elapsed().as_micros() as u64);
@@ -562,10 +692,10 @@ mod tests {
         metrics: &FleetMetrics,
     ) -> Result<HomeReport, HomeBuildError> {
         match supervised_attempt(spec, hs, 0, metrics) {
-            Supervised::Done(HomeOutcome::Ok { report, .. })
-            | Supervised::Done(HomeOutcome::Degraded { report, .. }) => Ok(report),
-            Supervised::Done(HomeOutcome::BuildFailed(e)) => Err(e),
-            Supervised::Done(HomeOutcome::Failed(e)) => panic!("unexpected run failure: {e}"),
+            Supervised::Done(HomeOutcome::Ok { report, .. }, _)
+            | Supervised::Done(HomeOutcome::Degraded { report, .. }, _) => Ok(report),
+            Supervised::Done(HomeOutcome::BuildFailed(e), _) => Err(e),
+            Supervised::Done(HomeOutcome::Failed(e), _) => panic!("unexpected run failure: {e}"),
             Supervised::Retry => panic!("unexpected retry"),
         }
     }
@@ -623,7 +753,7 @@ mod tests {
         let hs = home_spec(6, FleetAttack::TrafficObserver);
         let metrics = FleetMetrics::new();
         let outcome = match supervised_attempt(&spec, &hs, 0, &metrics) {
-            Supervised::Done(o) => o,
+            Supervised::Done(o, _) => o,
             Supervised::Retry => panic!("unexpected retry"),
         };
         let HomeOutcome::Ok {
@@ -659,7 +789,7 @@ mod tests {
         ));
         // Attempt 3 exhausts the budget (2 retries + first run).
         match supervised_attempt(&spec, &hs, 2, &metrics) {
-            Supervised::Done(HomeOutcome::Failed(err)) => {
+            Supervised::Done(HomeOutcome::Failed(err), _) => {
                 assert_eq!(err.attempts, 3);
                 assert_eq!(err.fault, "chaos-panic");
                 assert!(err.panic.contains("chaos-panic"), "{}", err.panic);
@@ -678,11 +808,14 @@ mod tests {
         let hs = home_spec(8, FleetAttack::None);
         let metrics = FleetMetrics::new();
         match supervised_attempt(&spec, &hs, 0, &metrics) {
-            Supervised::Done(HomeOutcome::Degraded {
-                report,
-                events_used,
-                ..
-            }) => {
+            Supervised::Done(
+                HomeOutcome::Degraded {
+                    report,
+                    events_used,
+                    ..
+                },
+                _,
+            ) => {
                 assert_eq!(events_used, 500);
                 // Degraded mode still summarizes drained evidence.
                 assert!(report.forwarded > 0 || report.evidence_total > 0);
@@ -690,7 +823,7 @@ mod tests {
             other => panic!(
                 "tiny budget must degrade the home, got {:?}",
                 match other {
-                    Supervised::Done(o) => o.label(),
+                    Supervised::Done(o, _) => o.label(),
                     Supervised::Retry => "retry",
                 }
             ),
@@ -716,7 +849,7 @@ mod tests {
                 ..home_spec(9, FleetAttack::None)
             };
             match supervised_attempt(&spec, &hs, 0, &FleetMetrics::new()) {
-                Supervised::Done(HomeOutcome::Ok { report, .. }) => {
+                Supervised::Done(HomeOutcome::Ok { report, .. }, _) => {
                     assert!(report.forwarded > 0, "{}: {report:?}", fault.name());
                 }
                 _ => panic!("{} home must complete", fault.name()),
@@ -765,7 +898,7 @@ mod tests {
             .iter()
             .map(|hs| {
                 let outcome = match supervised_attempt(&spec, hs, 0, &metrics) {
-                    Supervised::Done(o) => o,
+                    Supervised::Done(o, _) => o,
                     Supervised::Retry => panic!("unexpected retry"),
                 };
                 (hs.clone(), outcome)

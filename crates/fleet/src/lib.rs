@@ -41,10 +41,10 @@ pub mod spec;
 pub mod supervise;
 
 pub use aggregate::{
-    DegradedHome, FleetAggregator, FleetHomeRow, FleetReport, FleetTotals,
+    DegradedHome, FleetAggregator, FleetHomeRow, FleetReport, FleetTotals, StreamSection,
     FLEET_REPORT_SCHEMA_VERSION,
 };
-pub use engine::{build_home, run_fleet, HomeBuildError};
+pub use engine::{build_home, run_fleet, HomeBuildError, HomeStream};
 pub use metrics::{
     Counter, FaultCounts, FleetMetrics, Gauge, Histogram, FLEET_METRICS_SCHEMA_VERSION,
 };

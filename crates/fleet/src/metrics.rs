@@ -17,8 +17,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// History: v2 — first versioned shape; v3 — supervision counters
 /// (`homes_degraded`, `homes_run_failed`, `panics_caught`, `retries`,
 /// `deadline_truncations`; `homes_failed` renamed `homes_build_failed`)
-/// and the `faults_injected` per-kind histogram.
-pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 3;
+/// and the `faults_injected` per-kind histogram; v4 — streaming counters
+/// (`windows_emitted`, `windows_shed`) and the `radio-jam` bucket in
+/// `faults_injected`.
+pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 4;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -199,6 +201,12 @@ pub struct FleetMetrics {
     /// Evidence items shed oldest-first by bounded per-home buses under
     /// overload.
     pub evidence_shed: Counter,
+    /// Window summaries emitted by streamed homes (surviving their
+    /// bounded window buffers). 0 in batch mode.
+    pub windows_emitted: Counter,
+    /// Window summaries shed oldest-first by bounded per-home window
+    /// buffers. 0 in batch mode.
+    pub windows_shed: Counter,
     /// Home reports received by the aggregator.
     pub reports_received: Counter,
     /// Depth of the bounded report channel, sampled at each send.
@@ -227,6 +235,7 @@ impl FleetMetrics {
              \"homes_run_failed\":{},\"homes_build_failed\":{},\"panics_caught\":{},\
              \"retries\":{},\"deadline_truncations\":{},\
              \"evidence_drained\":{},\"evidence_total\":{},\"evidence_shed\":{},\
+             \"windows_emitted\":{},\"windows_shed\":{},\
              \"reports_received\":{},\"report_channel_depth\":{},\
              \"report_channel_high_water\":{},\"faults_injected\":{},\
              \"build\":{},\"step\":{},\"report\":{},\"aggregate\":{}}}",
@@ -241,6 +250,8 @@ impl FleetMetrics {
             self.evidence_drained.get(),
             self.evidence_total.get(),
             self.evidence_shed.get(),
+            self.windows_emitted.get(),
+            self.windows_shed.get(),
             self.reports_received.get(),
             self.report_channel_depth.get(),
             self.report_channel_depth.high_water(),
@@ -326,7 +337,8 @@ mod tests {
         assert!(
             json.contains(
                 "\"faults_injected\":{\"none\":0,\"wan-flap\":2,\"cloud-outage\":0,\
-                 \"wan-degrade\":0,\"device-crash\":0,\"gateway-skew\":0,\"chaos-panic\":1}"
+                 \"wan-degrade\":0,\"device-crash\":0,\"gateway-skew\":0,\"chaos-panic\":1,\
+                 \"radio-jam\":0}"
             ),
             "{json}"
         );

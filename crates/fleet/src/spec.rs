@@ -85,10 +85,15 @@ pub enum FleetFault {
     /// is deterministic, so every retry fails too: the home ends up
     /// `failed` after its retry budget.
     ChaosPanic,
+    /// Radio interference jams the first device's radio (BTreeMap name
+    /// order) for 90 s covering the attack window: every packet to or
+    /// from it is dropped on the wire
+    /// ([`xlf_simnet::FaultKind::RadioJam`]).
+    RadioJam,
 }
 
 /// Every fault kind, in stable order (drives the metrics histogram).
-pub const FLEET_FAULT_KINDS: [FleetFault; 7] = [
+pub const FLEET_FAULT_KINDS: [FleetFault; 8] = [
     FleetFault::None,
     FleetFault::WanFlap,
     FleetFault::CloudOutage,
@@ -96,6 +101,7 @@ pub const FLEET_FAULT_KINDS: [FleetFault; 7] = [
     FleetFault::DeviceCrash,
     FleetFault::GatewaySkew,
     FleetFault::ChaosPanic,
+    FleetFault::RadioJam,
 ];
 
 impl FleetFault {
@@ -109,6 +115,7 @@ impl FleetFault {
             FleetFault::DeviceCrash => "device-crash",
             FleetFault::GatewaySkew => "gateway-skew",
             FleetFault::ChaosPanic => "chaos-panic",
+            FleetFault::RadioJam => "radio-jam",
         }
     }
 
@@ -122,6 +129,7 @@ impl FleetFault {
             FleetFault::DeviceCrash => 4,
             FleetFault::GatewaySkew => 5,
             FleetFault::ChaosPanic => 6,
+            FleetFault::RadioJam => 7,
         }
     }
 }
@@ -285,6 +293,25 @@ pub struct FleetSpec {
     /// How many (robust) standard deviations above the fleet median a
     /// home's deviation score must sit to be flagged.
     pub sigma: f64,
+    /// Streaming correlation interval in simulated seconds. `None` =
+    /// batch mode (correlate once at the horizon, schema's `epochs`
+    /// section is `null`); `Some(secs)` makes every home emit one
+    /// [`xlf_stream::WindowSummary`] per `secs` of simulated time and
+    /// runs the incremental [`xlf_stream::StreamCorrelator`] pass over
+    /// them epoch by epoch, so fleet detections carry first-detection
+    /// epochs instead of only horizon verdicts.
+    pub correlation_interval: Option<u64>,
+    /// Per-home window-buffer capacity for streamed runs (bounded,
+    /// shed-oldest; see [`xlf_stream::WindowBuffer`]). Irrelevant in
+    /// batch mode.
+    pub window_capacity: usize,
+    /// When set, the stream pass checkpoints the correlator every this
+    /// many epochs and resumes from the serialized bytes — the
+    /// production resume path, exercised in-line. `None` runs the pass
+    /// uninterrupted. Either way the report bytes are identical (that is
+    /// the checkpoint/resume guarantee, and the determinism tests pin
+    /// it).
+    pub stream_checkpoint_every: Option<u64>,
 }
 
 impl FleetSpec {
@@ -310,7 +337,46 @@ impl FleetSpec {
             graph_iters: 100,
             min_deviation: 0.15,
             sigma: 4.0,
+            correlation_interval: None,
+            window_capacity: 256,
+            stream_checkpoint_every: None,
         }
+    }
+
+    /// Enables streamed correlation every `secs` simulated seconds
+    /// (builder-style); see [`FleetSpec::correlation_interval`].
+    pub fn with_correlation_interval(mut self, secs: u64) -> Self {
+        assert!(secs > 0, "correlation interval must be positive");
+        self.correlation_interval = Some(secs);
+        self
+    }
+
+    /// Bounds every home's window buffer (builder-style); see
+    /// [`FleetSpec::window_capacity`].
+    pub fn with_window_capacity(mut self, capacity: usize) -> Self {
+        self.window_capacity = capacity.max(1);
+        self
+    }
+
+    /// Makes the stream pass checkpoint + resume itself every `epochs`
+    /// epochs (builder-style); see
+    /// [`FleetSpec::stream_checkpoint_every`].
+    pub fn with_stream_checkpoint_every(mut self, epochs: u64) -> Self {
+        assert!(epochs > 0, "checkpoint cadence must be positive");
+        self.stream_checkpoint_every = Some(epochs);
+        self
+    }
+
+    /// Number of correlation windows (== stream epochs) a full-horizon
+    /// home emits: one per whole `correlation_interval`, plus a final
+    /// shorter window when the horizon is not a multiple. 0 in batch
+    /// mode.
+    pub fn stream_epochs(&self) -> u64 {
+        let Some(interval) = self.correlation_interval else {
+            return 0;
+        };
+        let horizon = self.horizon.as_micros() / 1_000_000;
+        horizon / interval + u64::from(!horizon.is_multiple_of(interval))
     }
 
     /// Sets the worker-pool size (builder-style).
@@ -565,6 +631,22 @@ mod tests {
         for (i, f) in FLEET_FAULT_KINDS.iter().enumerate() {
             assert_eq!(f.index(), i, "{}", f.name());
         }
+    }
+
+    #[test]
+    fn correlation_interval_defaults_to_batch_mode() {
+        let spec = FleetSpec::new(1, 4);
+        assert_eq!(spec.correlation_interval, None);
+        assert_eq!(spec.stream_epochs(), 0);
+        let streamed = spec.with_correlation_interval(15);
+        assert_eq!(streamed.correlation_interval, Some(15));
+        // 420 s horizon / 15 s interval → 28 whole windows.
+        assert_eq!(streamed.stream_epochs(), 28);
+        // A non-divisible horizon gets a final shorter window.
+        let ragged = FleetSpec::new(1, 4)
+            .with_horizon(Duration::from_secs(100))
+            .with_correlation_interval(30);
+        assert_eq!(ragged.stream_epochs(), 4);
     }
 
     #[test]

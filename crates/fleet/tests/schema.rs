@@ -2,7 +2,7 @@
 //!
 //! `FleetReport::to_json` and `FleetMetrics::to_json` are longitudinal
 //! interfaces: operators diff them across runs and revisions. These
-//! tests pin the exact bytes of schema v3 against goldens under
+//! tests pin the exact bytes of schema v4 against goldens under
 //! `tests/golden/`. If a field is added/removed/renamed/reordered, bump
 //! the matching `*_SCHEMA_VERSION` constant and regenerate the goldens:
 //!
@@ -131,20 +131,22 @@ fn synthetic_report_json() -> String {
 }
 
 #[test]
-fn fleet_report_json_matches_the_v3_golden() {
+fn fleet_report_json_matches_the_v4_golden() {
     assert_eq!(
-        FLEET_REPORT_SCHEMA_VERSION, 3,
+        FLEET_REPORT_SCHEMA_VERSION, 4,
         "bump goldens with the schema"
     );
     let json = synthetic_report_json();
-    assert!(json.starts_with("{\"schema_version\":3,"), "{json}");
-    assert_matches_golden("fleet_report_v3.json", &json);
+    assert!(json.starts_with("{\"schema_version\":4,"), "{json}");
+    // Batch aggregation: the v4 `epochs` section is present but null.
+    assert!(json.contains("\"epochs\":null"), "{json}");
+    assert_matches_golden("fleet_report_v4.json", &json);
 }
 
 #[test]
-fn fleet_metrics_json_matches_the_v3_golden() {
+fn fleet_metrics_json_matches_the_v4_golden() {
     assert_eq!(
-        FLEET_METRICS_SCHEMA_VERSION, 3,
+        FLEET_METRICS_SCHEMA_VERSION, 4,
         "bump goldens with the schema"
     );
     let m = FleetMetrics::new();
@@ -161,6 +163,8 @@ fn fleet_metrics_json_matches_the_v3_golden() {
     m.evidence_drained.add(420);
     m.evidence_total.add(480);
     m.evidence_shed.add(60);
+    m.windows_emitted.add(84);
+    m.windows_shed.add(6);
     m.reports_received.add(11);
     m.report_channel_depth.set(3);
     m.report_channel_depth.set(1);
@@ -169,8 +173,8 @@ fn fleet_metrics_json_matches_the_v3_golden() {
     m.report_us.observe(80);
     m.aggregate_us.observe(1_500);
     let json = m.to_json();
-    assert!(json.starts_with("{\"schema_version\":3,"), "{json}");
-    assert_matches_golden("fleet_metrics_v3.json", &json);
+    assert!(json.starts_with("{\"schema_version\":4,"), "{json}");
+    assert_matches_golden("fleet_metrics_v4.json", &json);
 }
 
 #[test]

@@ -179,6 +179,9 @@ pub struct Network {
     crash_epochs: HashMap<NodeId, u64>,
     /// Per-node forward clock skew added to `Context::now`.
     skew: HashMap<NodeId, Duration>,
+    /// Nodes whose radio is currently jammed by `RadioJam` (every packet
+    /// to or from them is a fault drop).
+    jammed: HashSet<NodeId>,
 }
 
 impl std::fmt::Debug for Network {
@@ -217,6 +220,7 @@ impl Network {
             crashed: HashSet::new(),
             crash_epochs: HashMap::new(),
             skew: HashMap::new(),
+            jammed: HashSet::new(),
         }
     }
 
@@ -317,6 +321,12 @@ impl Network {
         if self.downed_links.contains_key(&key) {
             // The link exists but is currently severed by a fault: this
             // is an outage drop, not a routing error.
+            self.stats.fault_drops += 1;
+            return;
+        }
+        if self.jammed.contains(&packet.src) || self.jammed.contains(&packet.dst) {
+            // Jammed radios drop on the wire before the loss draw, so
+            // the RNG stream for unjammed traffic is unperturbed.
             self.stats.fault_drops += 1;
             return;
         }
@@ -473,6 +483,12 @@ impl Network {
             }
             FaultKind::ClockSkew { node, ahead } => {
                 self.skew.insert(node, ahead);
+            }
+            FaultKind::RadioJam { node } => {
+                self.jammed.insert(node);
+            }
+            FaultKind::RadioClear { node } => {
+                self.jammed.remove(&node);
             }
         }
     }
@@ -761,6 +777,61 @@ mod tests {
         assert_eq!(stats.fault_drops, 3, "stats: {stats:?}");
         assert_eq!(received.borrow().len(), 7);
         assert_eq!(stats.faults_applied, 2);
+    }
+
+    #[test]
+    fn radio_jam_drops_traffic_only_inside_the_window() {
+        use crate::fault::FaultPlan;
+        // Same cadence as the link-flap test: one packet per second for
+        // 10 s, radio jammed for seconds [3, 6).
+        struct Ticker {
+            peer: NodeId,
+        }
+        impl Node for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(Duration::from_secs(1), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _t: TimerId, _tag: u64) {
+                let p = Packet::new(ctx.id(), self.peer, "tick", vec![0u8]);
+                ctx.send(self.peer, p);
+                ctx.set_timer(Duration::from_secs(1), 1);
+            }
+        }
+        let received = Rc::new(RefCell::new(Vec::new()));
+        let mut net = Network::new(1);
+        let sink = net.add_node(Box::new(Sink {
+            received: received.clone(),
+        }));
+        let ticker = net.add_node(Box::new(Ticker { peer: sink }));
+        net.connect(ticker, sink, Medium::Zigbee.link().with_loss(0.0));
+        net.set_fault_plan(FaultPlan::new().radio_jam(
+            ticker,
+            SimTime::from_secs(3),
+            Duration::from_secs(3),
+        ));
+        let stats = net.run_until(SimTime::from_secs(11));
+        // Sends at t=3,4,5 hit the jam (it applies before the same-time
+        // event); t=1,2 and t=6..=10 get through.
+        assert_eq!(stats.fault_drops, 3, "stats: {stats:?}");
+        assert_eq!(received.borrow().len(), 7);
+        assert_eq!(stats.faults_applied, 2);
+    }
+
+    #[test]
+    fn jam_on_either_endpoint_drops_the_packet() {
+        use crate::fault::FaultPlan;
+        let mut net = Network::new(1);
+        let a = net.add_node(Box::new(Sink::default()));
+        let b = net.add_node(Box::new(Sink::default()));
+        net.connect(a, b, Medium::Zigbee.link().with_loss(0.0));
+        // Jam the *receiver*: the sender's transmission still dies on
+        // the wire.
+        net.set_fault_plan(FaultPlan::new().radio_jam(b, SimTime::ZERO, Duration::from_secs(1)));
+        net.run_until(SimTime::from_millis(1));
+        net.inject(a, b, Packet::new(a, b, "x", vec![1u8]));
+        let stats = net.run_until(SimTime::from_millis(500));
+        assert_eq!(stats.fault_drops, 1);
+        assert_eq!(stats.delivered, 0);
     }
 
     #[test]

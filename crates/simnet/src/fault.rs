@@ -62,6 +62,22 @@ pub enum FaultKind {
         /// How far ahead of engine time the node's clock reads.
         ahead: Duration,
     },
+    /// Radio interference at a node: every packet to or from `node` is
+    /// dropped on the wire (counted in
+    /// [`crate::NetworkStats::fault_drops`]) until a matching
+    /// [`FaultKind::RadioClear`]. Unlike [`FaultKind::LinkDown`] this
+    /// jams the *device*, not a link, so it covers every radio the node
+    /// participates in without naming the topology.
+    RadioJam {
+        /// The node whose radio is jammed.
+        node: NodeId,
+    },
+    /// Clears radio interference previously injected by
+    /// [`FaultKind::RadioJam`].
+    RadioClear {
+        /// The node whose radio clears.
+        node: NodeId,
+    },
 }
 
 /// A fault scheduled at an absolute sim-time.
@@ -140,6 +156,14 @@ impl FaultPlan {
         self.schedule(at, FaultKind::ClockSkew { node, ahead })
     }
 
+    /// Jams `node`'s radio at `at` and clears it `window` later: every
+    /// packet to or from the node inside the window is dropped on the
+    /// wire.
+    pub fn radio_jam(self, node: NodeId, at: SimTime, window: Duration) -> Self {
+        self.schedule(at, FaultKind::RadioJam { node })
+            .schedule(at + window, FaultKind::RadioClear { node })
+    }
+
     /// Number of scheduled fault events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -181,6 +205,18 @@ mod tests {
         assert_eq!(sorted[1].at, SimTime::from_secs(15));
         assert!(matches!(sorted[2].kind, FaultKind::NodeCrash { .. }));
         assert!(matches!(sorted[3].kind, FaultKind::NodeRestart { .. }));
+    }
+
+    #[test]
+    fn radio_jam_expands_to_a_jam_clear_pair() {
+        let n = NodeId::from_raw(2);
+        let plan = FaultPlan::new().radio_jam(n, SimTime::from_secs(30), Duration::from_secs(12));
+        assert_eq!(plan.len(), 2);
+        let sorted = plan.into_sorted();
+        assert_eq!(sorted[0].at, SimTime::from_secs(30));
+        assert!(matches!(sorted[0].kind, FaultKind::RadioJam { node } if node == n));
+        assert_eq!(sorted[1].at, SimTime::from_secs(42));
+        assert!(matches!(sorted[1].kind, FaultKind::RadioClear { node } if node == n));
     }
 
     #[test]
