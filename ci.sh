@@ -43,6 +43,15 @@ grep -q '"checkpoint_stable": true' "$tmpdir/bench_stream.json" \
 grep -q '"verdicts_match_batch": true' "$tmpdir/bench_stream.json" \
     || { echo "stream bench JSON lost verdict parity with batch"; exit 1; }
 
+echo "== smoke: engine hot-path ratio gates (self-asserting)"
+./target/release/exp_engine --smoke --json "$tmpdir/bench_engine.json"
+grep -q '"knn_graph_speedup_at_1k":' "$tmpdir/bench_engine.json" \
+    || { echo "engine bench JSON is missing the acceptance block"; exit 1; }
+
+echo "== golden-byte rerun gate: hot-path overhaul left report bytes unchanged"
+cargo test -p xlf-fleet --test schema -q
+cargo test -p xlf-fleet --test determinism -q
+
 echo "== schema gate: v4 goldens are current (and v3 goldens are retired)"
 ls crates/fleet/tests/golden/fleet_report_v4.json \
    crates/fleet/tests/golden/fleet_metrics_v4.json >/dev/null \

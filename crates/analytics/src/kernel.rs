@@ -39,21 +39,54 @@ impl Kernel {
 
     /// Computes the Gram matrix of a dataset.
     pub fn gram(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let mut g = Vec::new();
+        self.gram_into(data, &mut g);
+        g
+    }
+
+    /// Fills `out` with the Gram matrix of `data`, reusing its row
+    /// allocations — the hot-loop variant of [`Kernel::gram`] for callers
+    /// that compute Gram matrices repeatedly.
+    pub fn gram_into(&self, data: &[Vec<f64>], out: &mut Vec<Vec<f64>>) {
         let n = data.len();
-        let mut g = vec![vec![0.0; n]; n];
+        out.truncate(n);
+        out.resize_with(n, Vec::new);
+        for row in out.iter_mut() {
+            row.clear();
+            row.resize(n, 0.0);
+        }
         for i in 0..n {
             for j in i..n {
                 let v = self.eval(&data[i], &data[j]);
-                g[i][j] = v;
-                g[j][i] = v;
+                out[i][j] = v;
+                out[j][i] = v;
             }
         }
-        g
     }
 }
 
-fn dot(x: &[f64], y: &[f64]) -> f64 {
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+/// Dot product of two equal-length vectors — the one shared helper
+/// behind every kernel evaluation and the similarity-graph sweep.
+///
+/// Unrolled four-wide with independent accumulators so the compiler can
+/// overlap the multiply-add chains; both the blocked and the retained
+/// naive similarity paths call this, which is what makes them
+/// bit-identical.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len(), "dot inputs must have equal dims");
+    let mut acc = [0.0f64; 4];
+    for (cx, cy) in x.chunks_exact(4).zip(y.chunks_exact(4)) {
+        acc[0] += cx[0] * cy[0];
+        acc[1] += cx[1] * cy[1];
+        acc[2] += cx[2] * cy[2];
+        acc[3] += cx[3] * cy[3];
+    }
+    let rem = x.len() - x.len() % 4;
+    let mut tail = 0.0;
+    for (a, b) in x[rem..].iter().zip(&y[rem..]) {
+        tail += a * b;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// Centers a Gram matrix in feature space: K ← HKH with H = I − 1/n.
@@ -174,5 +207,23 @@ mod tests {
     #[should_panic(expected = "equal dims")]
     fn dimension_mismatch_panics() {
         Kernel::Linear.eval(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_handles_every_tail_length() {
+        for n in 0..9usize {
+            let x: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+            let expected: f64 = x.iter().map(|v| v * v).sum();
+            assert_eq!(dot(&x, &x), expected);
+        }
+    }
+
+    #[test]
+    fn gram_into_overwrites_a_dirty_buffer() {
+        let data = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![2.0, 2.0]];
+        let k = Kernel::Rbf { gamma: 1.0 };
+        let mut out = vec![vec![9.0; 7]; 5]; // wrong shape, stale values
+        k.gram_into(&data, &mut out);
+        assert_eq!(out, k.gram(&data));
     }
 }

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use xlf_analytics::dfa::Dfa;
 use xlf_analytics::features::window_features;
 use xlf_analytics::fingerprint::{levenshtein, normalized_distance};
-use xlf_analytics::graph::{deviation_scores, label_propagation, similarity_graph};
+use xlf_analytics::graph::{
+    deviation_scores, label_propagation, similarity_graph, similarity_graph_naive,
+};
 use xlf_analytics::kernel::{center, Kernel};
 use xlf_analytics::timeseries::EwmaDetector;
 
@@ -130,6 +132,39 @@ proptest! {
         let scores = deviation_scores(&adj, &labels);
         for s in scores {
             prop_assert!((0.0..=1.0).contains(&s) || s.abs() < 1e-9);
+        }
+    }
+
+    /// The blocked SoA similarity sweep is *bit-identical* to the
+    /// retained naive per-pair path: same shared dot product, same
+    /// `‖x‖² + ‖y‖² − 2x·y` decomposition, same neighbour order — so
+    /// every edge weight matches with `==`, not a tolerance.
+    #[test]
+    fn blocked_similarity_bit_equals_naive(
+        features in prop::collection::vec(
+            prop::collection::vec(-50.0f64..50.0, 1..9), 1..40)
+            .prop_map(|rows| {
+                // Equalize row lengths (ragged input is rejected by the
+                // SoA matrix): truncate to the shortest.
+                let dims = rows.iter().map(Vec::len).min().unwrap_or(0);
+                rows.into_iter().map(|mut r| { r.truncate(dims); r }).collect::<Vec<_>>()
+            }),
+        k in 1usize..8,
+        gamma in 0.001f64..4.0,
+    ) {
+        let blocked = similarity_graph(&features, k, gamma);
+        let naive = similarity_graph_naive(&features, k, gamma);
+        prop_assert_eq!(blocked.len(), naive.len());
+        for (i, (b, n)) in blocked.iter().zip(&naive).enumerate() {
+            prop_assert_eq!(b.len(), n.len(), "node {} degree differs", i);
+            for (eb, en) in b.iter().zip(n) {
+                prop_assert_eq!(eb.0, en.0, "node {} neighbour differs", i);
+                prop_assert!(
+                    eb.1 == en.1 && eb.1.to_bits() == en.1.to_bits(),
+                    "node {} edge ({}, {}) weight differs bitwise: {:x} vs {:x}",
+                    i, eb.0, en.0, eb.1.to_bits(), en.1.to_bits()
+                );
+            }
         }
     }
 }

@@ -1,0 +1,148 @@
+//! Engine hot-path bench — arena 4-ary scheduler vs the retained
+//! `BinaryHeap` replica under steady-state churn, and the blocked SoA
+//! kNN correlator vs the retained per-pair naive path. The acceptance
+//! gates live in the `exp_engine` binary; this harness gives the same
+//! comparisons per-operation resolution for profiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xlf_analytics::graph::{
+    community_report_into, deviation_scores, label_propagation_seeded, normalize_features,
+    similarity_graph_into, similarity_graph_naive, FeatureMatrix, GraphScratch,
+};
+use xlf_simnet::queue::{EventQueue, NaiveEventQueue};
+use xlf_simnet::{Duration, SimTime};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Inline payload sized like the pre-overhaul `Event`, so naive-heap
+/// sifts move what the old scheduler moved.
+#[derive(Clone, Copy)]
+struct FatPayload {
+    _pad: [u64; 16],
+}
+
+/// One pop/push cycle at constant queue depth, shared verbatim between
+/// the two queue types.
+macro_rules! churn_cycle {
+    ($q:expr, $state:expr, $seq:expr) => {{
+        let (at, _, payload) = $q.pop().unwrap();
+        std::hint::black_box(&payload);
+        $q.push(
+            at + Duration::from_micros(splitmix($state) % 1_000_000),
+            *$seq,
+            payload,
+        );
+        *$seq += 1;
+    }};
+}
+
+macro_rules! prefill {
+    ($q:expr, $depth:expr, $state:expr, $seq:expr) => {
+        for _ in 0..$depth {
+            $q.push(
+                SimTime::from_micros(splitmix($state) % 1_000_000),
+                *$seq,
+                FatPayload { _pad: [0; 16] },
+            );
+            *$seq += 1;
+        }
+    };
+}
+
+fn bench_scheduler_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_churn");
+    group.sample_size(20);
+    for &depth in &[1024usize, 65_536] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("arena_4ary", depth), &depth, |b, &d| {
+            let mut q = EventQueue::new();
+            let mut state = 7u64;
+            let mut seq = 0u64;
+            prefill!(q, d, &mut state, &mut seq);
+            b.iter(|| churn_cycle!(q, &mut state, &mut seq));
+        });
+        group.bench_with_input(BenchmarkId::new("naive_binary", depth), &depth, |b, &d| {
+            let mut q = NaiveEventQueue::new();
+            let mut state = 7u64;
+            let mut seq = 0u64;
+            prefill!(q, d, &mut state, &mut seq);
+            b.iter(|| churn_cycle!(q, &mut state, &mut seq));
+        });
+    }
+    group.finish();
+}
+
+/// Same synthetic fleet shape the `exp_engine` sweep uses: four
+/// behavioural clusters plus per-home jitter over the stream layout.
+fn synthetic_features(homes: usize, dims: usize) -> Vec<Vec<f64>> {
+    let mut state = 0x5eed_f00d_u64;
+    (0..homes)
+        .map(|i| {
+            let cluster = (i % 4) as f64;
+            (0..dims)
+                .map(|d| {
+                    let jitter = (splitmix(&mut state) % 1000) as f64 / 1e4;
+                    cluster * 10.0 + d as f64 + jitter
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_knn_correlator(c: &mut Criterion) {
+    const DIMS: usize = 20;
+    const K: usize = 8;
+    const GAMMA: f64 = 8.0;
+    const ITERS: usize = 100;
+    let mut group = c.benchmark_group("knn_correlator");
+    group.sample_size(10);
+    for &homes in &[128usize, 512] {
+        let raw = synthetic_features(homes, DIMS);
+        let mut normalized = raw.clone();
+        normalize_features(&mut normalized);
+        let flat: Vec<f64> = raw.iter().flatten().copied().collect();
+        let seed: Vec<usize> = (0..homes).collect();
+        group.throughput(Throughput::Elements((homes * homes) as u64));
+
+        group.bench_with_input(BenchmarkId::new("graph_naive", homes), &homes, |b, _| {
+            b.iter(|| std::hint::black_box(similarity_graph_naive(&normalized, K, GAMMA)));
+        });
+        let mut matrix = FeatureMatrix::new();
+        matrix.fill_from_rows(&normalized);
+        let (mut dist, mut sel, mut adj) = (Vec::new(), Vec::new(), Vec::new());
+        group.bench_with_input(BenchmarkId::new("graph_blocked", homes), &homes, |b, _| {
+            b.iter(|| {
+                similarity_graph_into(&matrix, K, GAMMA, &mut dist, &mut sel, &mut adj);
+                std::hint::black_box(&adj);
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("epoch_naive", homes), &homes, |b, _| {
+            b.iter(|| {
+                let mut n = raw.clone();
+                normalize_features(&mut n);
+                let adj = similarity_graph_naive(&n, K, GAMMA);
+                let labels = label_propagation_seeded(&adj, ITERS, &seed);
+                std::hint::black_box(deviation_scores(&adj, &labels));
+            });
+        });
+        let mut scratch = GraphScratch::new();
+        group.bench_with_input(BenchmarkId::new("epoch_blocked", homes), &homes, |b, _| {
+            b.iter(|| {
+                scratch.matrix.fill_from_flat(&flat, homes, DIMS);
+                community_report_into(K, GAMMA, ITERS, Some(&seed), &mut scratch);
+                std::hint::black_box(scratch.scores());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_churn, bench_knn_correlator);
+criterion_main!(benches);

@@ -164,6 +164,27 @@ fn main() {
             ],
         ],
     );
+    // Phase split: where the wall time actually goes. These are CPU
+    // seconds summed across workers (sum of per-home phase timings), so
+    // on >1 worker they can exceed the wall clock.
+    let build_cpu_s = metrics.build_us.sum_us() as f64 / 1e6;
+    let step_cpu_s = metrics.step_us.sum_us() as f64 / 1e6;
+    let report_cpu_s = metrics.report_us.sum_us() as f64 / 1e6;
+    let aggregate_cpu_s = metrics.aggregate_us.sum_us() as f64 / 1e6;
+    print_table(
+        "Phase split (CPU s, summed across workers)",
+        &["Build", "Step", "Report", "Aggregate"],
+        &[vec![
+            format!("{build_cpu_s:.2}"),
+            format!("{step_cpu_s:.2}"),
+            format!("{report_cpu_s:.2}"),
+            format!("{aggregate_cpu_s:.2}"),
+        ]],
+    );
+    println!(
+        "Steady-state homes/s (step phase only): {:.1}",
+        args.homes as f64 / step_cpu_s.max(1e-9)
+    );
     print_table(
         "Cross-home correlation",
         &[
@@ -341,10 +362,23 @@ fn write_bench_json(
             )
         })
         .collect();
+    // Phase-split accounting (satellite of the hot-path overhaul):
+    // homes/s as one number hid where time went — build (home stamping),
+    // step (simulation slices), and aggregate (cross-home correlation)
+    // are now reported separately, as CPU seconds summed across workers.
+    let build_cpu_s = metrics.build_us.sum_us() as f64 / 1e6;
+    let step_cpu_s = metrics.step_us.sum_us() as f64 / 1e6;
+    let report_cpu_s = metrics.report_us.sum_us() as f64 / 1e6;
+    let aggregate_cpu_s = metrics.aggregate_us.sum_us() as f64 / 1e6;
     let json = format!(
         "{{\n  \"experiment\": \"fleet\",\n  \"homes\": {},\n  \"workers\": {},\n  \
          \"horizon_s\": {},\n  \"capacity\": {},\n  \"baseline_s\": {:.3},\n  \
          \"sharded_s\": {:.3},\n  \"homes_per_sec\": {:.1},\n  \"speedup\": {:.2},\n  \
+         \"build_cpu_s\": {:.3},\n  \"step_cpu_s\": {:.3},\n  \"report_cpu_s\": {:.3},\n  \
+         \"aggregate_cpu_s\": {:.3},\n  \"homes_per_sec_step\": {:.1},\n  \
+         \"single_core_baseline_speedup\": 1.01,\n  \
+         \"single_core_baseline_note\": \"pre-overhaul 1-to-8-worker speedup measured on the \
+         1-hardware-thread CI container (see ROADMAP); sharding wins need a multi-core runner\",\n  \
          \"deterministic\": {},\n  \"attacked_homes\": {},\n  \"flagged_homes\": {},\n  \
          \"deviants_flagged\": {},\n  \"communities\": {},\n  \"threshold\": {:.6},\n  \
          \"evidence_shed\": {},\n  \"capacity_sweep\": [\n    {}\n  ],\n  \"metrics\": {}\n}}\n",
@@ -356,6 +390,11 @@ fn write_bench_json(
         sharded_s,
         args.homes as f64 / sharded_s,
         baseline_s / sharded_s,
+        build_cpu_s,
+        step_cpu_s,
+        report_cpu_s,
+        aggregate_cpu_s,
+        args.homes as f64 / step_cpu_s.max(1e-9),
         deterministic,
         attacked,
         report.flagged.len(),

@@ -88,6 +88,15 @@ impl AlertSink {
             .collect()
     }
 
+    /// Number of alerts at or above a severity — the allocation-free
+    /// counterpart of [`AlertSink::at_least`] for per-slice probing.
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.alerts
+            .iter()
+            .filter(|a| a.severity >= severity)
+            .count()
+    }
+
     /// True if any alert at/above severity exists for the device.
     pub fn has_alert(&self, device: &str, severity: Severity) -> bool {
         self.alerts

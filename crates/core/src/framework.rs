@@ -895,6 +895,22 @@ pub struct HomeProbe {
 pub struct HomeRunner {
     home: XlfHome,
     records: Rc<RefCell<Vec<xlf_simnet::observer::PacketRecord>>>,
+    probe_cursor: RefCell<ProbeCursor>,
+}
+
+/// Incremental probe counters. The evidence store and the tap's record
+/// log are both append-only, so each probe folds in only the entries
+/// added since the previous probe instead of rescanning from the start —
+/// at a 15 s probe cadence the per-epoch cost is proportional to the
+/// epoch's traffic, not the run's. Interior-mutable cache only:
+/// [`HomeRunner::probe`] still performs no simulation side effects.
+#[derive(Debug, Default)]
+struct ProbeCursor {
+    evidence_seen: usize,
+    by_layer: [usize; 3],
+    records_seen: usize,
+    wire_bytes: u64,
+    packets: u64,
 }
 
 impl std::fmt::Debug for HomeRunner {
@@ -912,7 +928,11 @@ impl HomeRunner {
     pub fn new(mut home: XlfHome) -> Self {
         let (tap, records) = xlf_simnet::observer::RecordingTap::new();
         home.net.add_tap(Box::new(tap));
-        HomeRunner { home, records }
+        HomeRunner {
+            home,
+            records,
+            probe_cursor: RefCell::new(ProbeCursor::default()),
+        }
     }
 
     /// Builds a fresh home from a spec and wraps it.
@@ -949,30 +969,33 @@ impl HomeRunner {
     /// never change what the simulation or the final report would do.
     pub fn probe(&self) -> HomeProbe {
         let core = self.home.core.borrow();
-        let mut by_layer = [0usize; 3];
-        for e in core.store.all() {
+        let mut cursor = self.probe_cursor.borrow_mut();
+        let evidence = core.store.all();
+        for e in &evidence[cursor.evidence_seen..] {
             let idx = match e.layer {
                 crate::evidence::Layer::Device => 0,
                 crate::evidence::Layer::Network => 1,
                 crate::evidence::Layer::Service => 2,
             };
-            by_layer[idx] += 1;
+            cursor.by_layer[idx] += 1;
         }
-        let (wire_bytes, packets) = self
-            .records
-            .borrow()
-            .iter()
-            .fold((0u64, 0u64), |(b, p), r| (b + r.wire_size as u64, p + 1));
+        cursor.evidence_seen = evidence.len();
+        let records = self.records.borrow();
+        for r in &records[cursor.records_seen..] {
+            cursor.wire_bytes += r.wire_size as u64;
+            cursor.packets += 1;
+        }
+        cursor.records_seen = records.len();
         let gateway = self.home.gateway_ref();
         HomeProbe {
             evidence_total: core.store.len(),
-            evidence_by_layer: by_layer,
-            warning_alerts: core.alerts.at_least(Severity::Warning).len(),
-            critical_alerts: core.alerts.at_least(Severity::Critical).len(),
+            evidence_by_layer: cursor.by_layer,
+            warning_alerts: core.alerts.count_at_least(Severity::Warning),
+            critical_alerts: core.alerts.count_at_least(Severity::Critical),
             forwarded: gateway.forwarded,
             dropped_packets: gateway.dropped,
-            wire_bytes,
-            packets,
+            wire_bytes: cursor.wire_bytes,
+            packets: cursor.packets,
         }
     }
 

@@ -1,0 +1,73 @@
+//! Proves `HomeRunner::probe` is allocation-free after warmup: the
+//! streaming tier probes every home at every epoch boundary (15 s
+//! cadence in `exp_stream`), so the probe path must not touch the
+//! allocator once its cursors are warm.
+//!
+//! A counting wrapper around the system allocator measures allocations
+//! across a probe. This file holds exactly one `#[test]` so no parallel
+//! test can allocate concurrently and pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use xlf_core::framework::{HomeDevice, XlfConfig};
+use xlf_core::HomeRunner;
+use xlf_device::SensorKind;
+use xlf_simnet::SimTime;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to `System`; the counter increment has no
+// effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn probe_allocates_nothing_after_warmup() {
+    let mut runner = HomeRunner::build(
+        11,
+        XlfConfig::full(),
+        &[
+            HomeDevice::new("thermo", SensorKind::Temperature),
+            HomeDevice::new("cam", SensorKind::Camera),
+        ],
+    );
+    runner.run_until(SimTime::from_secs(60));
+    // Warm up the probe cursors, then step the sim so the next probe has
+    // fresh (appended) evidence and tap records to fold in.
+    let _ = runner.probe();
+    runner.run_until(SimTime::from_secs(120));
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let probe = runner.probe();
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert!(probe.packets > 0, "the probe must have seen traffic");
+    // The counter is only meaningful when this test's allocations are
+    // the whole story; debug builds of the workspace are how CI runs it.
+    #[cfg(debug_assertions)]
+    assert_eq!(
+        after - before,
+        0,
+        "probe() must be allocation-free after warmup"
+    );
+    #[cfg(not(debug_assertions))]
+    let _ = (before, after);
+}

@@ -243,6 +243,25 @@ fn json_opt_f64(v: Option<f64>) -> String {
     }
 }
 
+/// Joins a section into one pre-sized `String`: each item is formatted
+/// straight into the section buffer (comma-separated) instead of
+/// allocating a `String` per item and `join`ing afterwards. Bytes are
+/// identical to the old per-item `format!` + `join(",")`.
+fn join_section<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    per_item_hint: usize,
+    mut write_item: impl FnMut(&mut String, T),
+) -> String {
+    let mut out = String::with_capacity(items.len() * per_item_hint);
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_item(&mut out, item);
+    }
+    out
+}
+
 /// Minimal JSON string escaping for the deterministic serializer.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -276,101 +295,94 @@ impl FleetReport {
     /// [`FLEET_REPORT_SCHEMA_VERSION`] (stable field order, fixed float
     /// precision, rows and failures sorted by home id).
     pub fn to_json(&self) -> String {
-        let rows: Vec<String> = self
-            .rows
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"id\":{},\"seed\":{},\"template\":{},\"attack\":\"{}\",\
-                     \"fault\":\"{}\",\"community\":{},\"deviation\":{},\"flagged\":{},\
-                     \"observer_accuracy\":{},\
-                     \"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
-                     \"evidence_drop_rate\":{},\"warnings\":{},\
-                     \"criticals\":{},\"quarantined\":{},\"top_device\":{},\
-                     \"top_score\":{},\"forwarded\":{},\"dropped\":{}}}",
-                    r.id,
-                    r.report.seed,
-                    json_str(&r.template),
-                    r.attack,
-                    r.fault,
-                    r.community,
-                    json_f64(r.deviation),
-                    r.flagged,
-                    json_opt_f64(r.observer_accuracy),
-                    r.report.evidence_total,
-                    r.report.evidence_dropped,
-                    r.report.evidence_shed,
-                    json_f64(r.evidence_drop_rate()),
-                    r.report.warning_alerts,
-                    r.report.critical_alerts,
-                    r.report.quarantined.len(),
-                    json_str(&r.report.top_device),
-                    json_f64(r.report.top_score),
-                    r.report.forwarded,
-                    r.report.dropped_packets,
-                )
-            })
-            .collect();
-        let degraded: Vec<String> = self
-            .degraded
-            .iter()
-            .map(|d| {
-                format!(
-                    "{{\"id\":{},\"template\":{},\"attack\":\"{}\",\"fault\":\"{}\",\
-                     \"events_used\":{},\"evidence\":{},\"warnings\":{},\"criticals\":{},\
-                     \"forwarded\":{},\"dropped\":{}}}",
-                    d.id,
-                    json_str(&d.template),
-                    d.attack,
-                    d.fault,
-                    d.events_used,
-                    d.report.evidence_total,
-                    d.report.warning_alerts,
-                    d.report.critical_alerts,
-                    d.report.forwarded,
-                    d.report.dropped_packets,
-                )
-            })
-            .collect();
-        let run_failed: Vec<String> = self
-            .run_failed
-            .iter()
-            .map(|f| {
-                format!(
-                    "{{\"id\":{},\"attempts\":{},\"fault\":\"{}\",\"panic\":{}}}",
-                    f.home,
-                    f.attempts,
-                    f.fault,
-                    json_str(&f.panic)
-                )
-            })
-            .collect();
-        let build_failed: Vec<String> = self
-            .build_failed
-            .iter()
-            .map(|f| format!("{{\"id\":{},\"reason\":{}}}", f.home, json_str(&f.reason)))
-            .collect();
-        let flagged: Vec<String> = self.flagged.iter().map(|id| id.to_string()).collect();
+        use std::fmt::Write;
+        let rows = join_section(self.rows.iter(), 256, |out, r| {
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"seed\":{},\"template\":{},\"attack\":\"{}\",\
+                 \"fault\":\"{}\",\"community\":{},\"deviation\":{},\"flagged\":{},\
+                 \"observer_accuracy\":{},\
+                 \"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
+                 \"evidence_drop_rate\":{},\"warnings\":{},\
+                 \"criticals\":{},\"quarantined\":{},\"top_device\":{},\
+                 \"top_score\":{},\"forwarded\":{},\"dropped\":{}}}",
+                r.id,
+                r.report.seed,
+                json_str(&r.template),
+                r.attack,
+                r.fault,
+                r.community,
+                json_f64(r.deviation),
+                r.flagged,
+                json_opt_f64(r.observer_accuracy),
+                r.report.evidence_total,
+                r.report.evidence_dropped,
+                r.report.evidence_shed,
+                json_f64(r.evidence_drop_rate()),
+                r.report.warning_alerts,
+                r.report.critical_alerts,
+                r.report.quarantined.len(),
+                json_str(&r.report.top_device),
+                json_f64(r.report.top_score),
+                r.report.forwarded,
+                r.report.dropped_packets,
+            );
+        });
+        let degraded = join_section(self.degraded.iter(), 160, |out, d| {
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"template\":{},\"attack\":\"{}\",\"fault\":\"{}\",\
+                 \"events_used\":{},\"evidence\":{},\"warnings\":{},\"criticals\":{},\
+                 \"forwarded\":{},\"dropped\":{}}}",
+                d.id,
+                json_str(&d.template),
+                d.attack,
+                d.fault,
+                d.events_used,
+                d.report.evidence_total,
+                d.report.warning_alerts,
+                d.report.critical_alerts,
+                d.report.forwarded,
+                d.report.dropped_packets,
+            );
+        });
+        let run_failed = join_section(self.run_failed.iter(), 96, |out, f| {
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"attempts\":{},\"fault\":\"{}\",\"panic\":{}}}",
+                f.home,
+                f.attempts,
+                f.fault,
+                json_str(&f.panic)
+            );
+        });
+        let build_failed = join_section(self.build_failed.iter(), 48, |out, f| {
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"reason\":{}}}",
+                f.home,
+                json_str(&f.reason)
+            );
+        });
+        let flagged = join_section(self.flagged.iter(), 8, |out, id| {
+            let _ = write!(out, "{id}");
+        });
         let epochs = match &self.epochs {
             None => "null".to_string(),
             Some(s) => {
-                let partial: Vec<String> =
-                    s.partial_homes.iter().map(|id| id.to_string()).collect();
-                let per_epoch: Vec<String> = s
-                    .per_epoch
-                    .iter()
-                    .map(|e| {
-                        format!(
-                            "{{\"epoch\":{},\"homes\":{},\"alerts\":{},\"deduped\":{}}}",
-                            e.epoch, e.homes, e.alerts, e.deduped
-                        )
-                    })
-                    .collect();
-                let first: Vec<String> = s
-                    .first_detection
-                    .iter()
-                    .map(|(home, epoch)| format!("{{\"home\":{home},\"epoch\":{epoch}}}"))
-                    .collect();
+                let partial = join_section(s.partial_homes.iter(), 8, |out, id| {
+                    let _ = write!(out, "{id}");
+                });
+                let per_epoch = join_section(s.per_epoch.iter(), 64, |out, e| {
+                    let _ = write!(
+                        out,
+                        "{{\"epoch\":{},\"homes\":{},\"alerts\":{},\"deduped\":{}}}",
+                        e.epoch, e.homes, e.alerts, e.deduped
+                    );
+                });
+                let first = join_section(s.first_detection.iter(), 32, |out, (home, epoch)| {
+                    let _ = write!(out, "{{\"home\":{home},\"epoch\":{epoch}}}");
+                });
                 format!(
                     "{{\"interval_secs\":{},\"count\":{},\"windows_ingested\":{},\
                      \"windows_shed\":{},\"partial_homes\":[{}],\"per_epoch\":[{}],\
@@ -379,24 +391,21 @@ impl FleetReport {
                     s.count,
                     s.windows_ingested,
                     s.windows_shed,
-                    partial.join(","),
-                    per_epoch.join(","),
-                    first.join(","),
+                    partial,
+                    per_epoch,
+                    first,
                 )
             }
         };
-        let alerts: Vec<String> = self
-            .alerts
-            .iter()
-            .map(|a| {
-                format!(
-                    "{{\"device\":{},\"severity\":\"{}\",\"score\":{}}}",
-                    json_str(&a.device),
-                    a.severity,
-                    json_f64(a.score)
-                )
-            })
-            .collect();
+        let alerts = join_section(self.alerts.iter(), 96, |out, a| {
+            let _ = write!(
+                out,
+                "{{\"device\":{},\"severity\":\"{}\",\"score\":{}}}",
+                json_str(&a.device),
+                a.severity,
+                json_f64(a.score)
+            );
+        });
         format!(
             "{{\"schema_version\":{},\"master_seed\":{},\"homes\":{},\"communities\":{},\
              \"threshold\":{},\"flagged\":[{}],\"epochs\":{},\
@@ -412,7 +421,7 @@ impl FleetReport {
             self.homes_accounted(),
             self.communities,
             json_f64(self.threshold),
-            flagged.join(","),
+            flagged,
             epochs,
             self.totals.evidence,
             self.totals.evidence_dropped,
@@ -427,11 +436,11 @@ impl FleetReport {
             self.totals.homes_degraded,
             self.totals.homes_run_failed,
             self.totals.homes_build_failed,
-            degraded.join(","),
-            run_failed.join(","),
-            build_failed.join(","),
-            alerts.join(","),
-            rows.join(","),
+            degraded,
+            run_failed,
+            build_failed,
+            alerts,
+            rows,
         )
     }
 }

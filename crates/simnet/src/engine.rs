@@ -6,11 +6,11 @@ use crate::link::LinkConfig;
 use crate::node::{Node, NodeId, TimerId};
 use crate::observer::Tap;
 use crate::packet::Packet;
+use crate::queue::EventQueue;
 use crate::time::{Duration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Aggregate counters the engine maintains.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -45,30 +45,6 @@ enum EventKind {
         /// crash bumps the node's epoch so pre-crash timers never fire.
         epoch: u64,
     },
-}
-
-#[derive(Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 enum Effect {
@@ -151,7 +127,11 @@ impl<'a> Context<'a> {
 pub struct Network {
     nodes: Vec<Option<Box<dyn Node>>>,
     links: HashMap<(NodeId, NodeId), LinkConfig>,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Arena-backed 4-ary scheduler: payloads stay in the slab, only
+    /// 24-byte `(time, seq, slot, gen)` entries move during sifts, and
+    /// pop order is identical to the old `BinaryHeap<Reverse<Event>>`
+    /// because `(at, seq)` is a total order (see [`crate::queue`]).
+    queue: EventQueue<EventKind>,
     now: SimTime,
     seq: u64,
     seed: u64,
@@ -159,6 +139,10 @@ pub struct Network {
     taps: Vec<Box<dyn Tap>>,
     cancelled: HashSet<u64>,
     next_timer: u64,
+    /// Reusable buffer for node-callback effects: taken by [`with_node`]
+    /// for the duration of one callback and drained in place by
+    /// [`apply_effects`], so steady-state dispatch allocates nothing.
+    effects_scratch: Vec<Effect>,
     /// Nodes with index below this have had `on_start` dispatched.
     started_upto: usize,
     stats: NetworkStats,
@@ -202,7 +186,7 @@ impl Network {
         Network {
             nodes: Vec::new(),
             links: HashMap::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: SimTime::ZERO,
             seq: 0,
             seed,
@@ -210,6 +194,7 @@ impl Network {
             taps: Vec::new(),
             cancelled: HashSet::new(),
             next_timer: 0,
+            effects_scratch: Vec::new(),
             started_upto: 0,
             stats: NetworkStats::default(),
             max_events: 20_000_000,
@@ -350,11 +335,13 @@ impl Network {
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue.push(at, seq, kind);
     }
 
-    fn apply_effects(&mut self, effects: Vec<Effect>) {
-        for effect in effects {
+    /// Drains `effects` in place so the caller's buffer (and its
+    /// capacity) survives for the next dispatch.
+    fn apply_effects(&mut self, effects: &mut Vec<Effect>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send {
                     packet,
@@ -408,7 +395,10 @@ impl Network {
         let Some(mut node) = self.nodes.get_mut(slot).and_then(Option::take) else {
             return;
         };
-        let mut effects = Vec::new();
+        // Reuse the scratch buffer's capacity across dispatches; `take`
+        // leaves an empty Vec behind, so a (hypothetical) re-entrant
+        // callback would degrade to allocating rather than aliasing.
+        let mut effects = std::mem::take(&mut self.effects_scratch);
         let mut next_timer = self.next_timer;
         let local_now = self.now + self.skew.get(&id).copied().unwrap_or(Duration::ZERO);
         {
@@ -422,7 +412,8 @@ impl Network {
         }
         self.next_timer = next_timer;
         self.nodes[slot] = Some(node);
-        self.apply_effects(effects);
+        self.apply_effects(&mut effects);
+        self.effects_scratch = effects;
     }
 
     /// Runs the simulation until the event queue is empty (or the event
@@ -509,7 +500,7 @@ impl Network {
         self.dispatch_start();
         let mut processed = 0u64;
         loop {
-            let next_event_at = self.queue.peek().map(|Reverse(e)| e.at);
+            let next_event_at = self.queue.peek_key().map(|(at, _)| at);
             let next_fault_at = self.fault_plan.get(self.fault_cursor).map(|f| f.at);
 
             // Faults due before (or tied with) the next event apply
@@ -534,10 +525,10 @@ impl Network {
             if processed >= budget {
                 return (processed, true);
             }
-            let Some(Reverse(event)) = self.queue.pop() else {
+            let Some((at, _seq, kind)) = self.queue.pop() else {
                 break;
             };
-            self.now = event.at;
+            self.now = at;
             processed += 1;
             if processed > self.max_events {
                 panic!(
@@ -545,7 +536,7 @@ impl Network {
                     self.max_events
                 );
             }
-            match event.kind {
+            match kind {
                 EventKind::Deliver(packet) => {
                     let dst = packet.dst;
                     if self.crashed.contains(&dst) {

@@ -53,6 +53,7 @@ pub mod nat;
 mod node;
 pub mod observer;
 mod packet;
+pub mod queue;
 mod time;
 
 pub use engine::{Context, Network, NetworkStats};

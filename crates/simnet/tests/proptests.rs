@@ -107,3 +107,101 @@ proptest! {
         prop_assert_eq!(p.wire_size, once);
     }
 }
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use xlf_simnet::{Context, Node as NodeTrait, TimerId};
+
+/// One scripted step, consumed per timer firing: arm `rearm` fresh
+/// timers at `delay_ms` (+0, +1, ... so equal deadlines are common) and
+/// optionally cancel the oldest outstanding timer first.
+type ChurnOp = (u64, u8, bool);
+
+/// A node that churns the scheduler according to a proptest-generated
+/// script: every firing cancels and re-arms timers, recycling arena
+/// slots through the free list, while a shared log records the exact
+/// `(time, arm-order tag)` firing sequence.
+struct Churner {
+    script: Vec<ChurnOp>,
+    pc: usize,
+    outstanding: Vec<TimerId>,
+    next_tag: u64,
+    log: Rc<RefCell<Vec<(u64, u64)>>>,
+}
+
+impl Churner {
+    fn arm(&mut self, ctx: &mut Context<'_>, delay_ms: u64) {
+        let id = ctx.set_timer(Duration::from_millis(delay_ms), self.next_tag);
+        self.next_tag += 1;
+        self.outstanding.push(id);
+    }
+}
+
+impl NodeTrait for Churner {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Seed the churn with deliberate equal-deadline groups.
+        for delay in [5, 5, 5, 10, 10, 20] {
+            self.arm(ctx, delay);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer: TimerId, tag: u64) {
+        self.outstanding.retain(|&t| t != timer);
+        self.log.borrow_mut().push((ctx.now().as_micros(), tag));
+        if self.pc >= self.script.len() {
+            return; // script exhausted: let the run drain and stop
+        }
+        let (delay_ms, rearm, cancel) = self.script[self.pc];
+        self.pc += 1;
+        if cancel && !self.outstanding.is_empty() {
+            let victim = self.outstanding.remove(0);
+            ctx.cancel_timer(victim);
+        }
+        for r in 0..rearm {
+            self.arm(ctx, delay_ms + (r as u64 % 2)); // frequent ties
+        }
+    }
+}
+
+fn churn_script() -> impl Strategy<Value = Vec<ChurnOp>> {
+    prop::collection::vec((0u64..6, 0u8..4, any::<bool>()), 1..64)
+}
+
+fn run_churn(script: &[ChurnOp]) -> Vec<(u64, u64)> {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let mut net = Network::new(99);
+    net.add_node(Box::new(Churner {
+        script: script.to_vec(),
+        pc: 0,
+        outstanding: Vec::new(),
+        next_tag: 0,
+        log: log.clone(),
+    }));
+    net.run();
+    let fired = log.borrow().clone();
+    fired
+}
+
+proptest! {
+    /// Arena/free-list reuse never reorders equal-time events: across
+    /// arbitrary cancel/re-arm sequences the run is (a) reproducible and
+    /// (b) seq-tie-break-preserving — timers sharing a deadline fire in
+    /// the order they were armed, which is arm-tag order because effect
+    /// application assigns seq numbers in arm order.
+    #[test]
+    fn scheduler_churn_preserves_equal_time_order(script in churn_script()) {
+        let log = run_churn(&script);
+        prop_assert_eq!(&log, &run_churn(&script), "run not reproducible");
+        for pair in log.windows(2) {
+            let (t0, tag0) = pair[0];
+            let (t1, tag1) = pair[1];
+            prop_assert!(t0 <= t1, "time went backwards: {t0} > {t1}");
+            if t0 == t1 {
+                prop_assert!(
+                    tag0 < tag1,
+                    "equal-time events reordered: tag {tag0} fired before {tag1} at t={t0}"
+                );
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@ use crate::checkpoint::{CheckpointError, Reader, Writer};
 use crate::stats::RobustAccumulator;
 use crate::window::{WindowSummary, STREAM_FEATURES};
 use std::collections::{BTreeMap, BTreeSet};
-use xlf_analytics::graph::community_report_seeded;
+use xlf_analytics::graph::{community_report_into, GraphScratch};
 
 /// Checkpoint header.
 const MAGIC: &[u8; 4] = b"XLFS";
@@ -102,16 +102,28 @@ impl HomeState {
         }
     }
 
-    /// The feature vector this home contributes to the epoch graph:
-    /// cumulative counters plus the robust (median) per-window profile,
-    /// so both *how much* a home has done and *what its typical window
-    /// looks like* separate it from its community.
-    fn graph_features(&self) -> Vec<f64> {
-        let mut f = Vec::with_capacity(2 * STREAM_FEATURES);
-        f.extend_from_slice(&self.cumulative);
-        f.extend(self.stats.iter().map(|a| a.median()));
-        f
+    /// Appends the feature vector this home contributes to the epoch
+    /// graph: cumulative counters plus the robust (median) per-window
+    /// profile, so both *how much* a home has done and *what its typical
+    /// window looks like* separate it from its community. Appending into
+    /// the caller's flat buffer keeps the per-epoch pass allocation-free.
+    fn graph_features_into(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self.cumulative);
+        out.extend(self.stats.iter().map(|a| a.median()));
     }
+}
+
+/// Reusable per-epoch working buffers: the id/seed staging vectors, the
+/// flat feature buffer, and the whole graph-pipeline scratch. Transient
+/// working state only — excluded from equality and from checkpoints, so
+/// checkpoint bytes are identical to the pre-scratch format.
+#[derive(Debug, Clone, Default)]
+struct CorrelatorScratch {
+    ids: Vec<u64>,
+    features: Vec<f64>,
+    seed: Vec<usize>,
+    graph: GraphScratch,
+    finite: Vec<f64>,
 }
 
 /// The online fleet correlator. Feed it one epoch of window summaries at
@@ -121,7 +133,7 @@ impl HomeState {
 /// labels, and records epoch-stamped detections with dedup. All folding
 /// happens in home-id order, so the outcome is independent of summary
 /// arrival order — and of how many workers produced them.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct StreamCorrelator {
     cfg: StreamConfig,
     epoch: u64,
@@ -137,6 +149,25 @@ pub struct StreamCorrelator {
     /// First-detection epoch per flagged home.
     first_detection: BTreeMap<u64, u64>,
     epochs: Vec<EpochRecord>,
+    scratch: CorrelatorScratch,
+}
+
+impl PartialEq for StreamCorrelator {
+    /// Equality covers the correlator's logical state only — exactly
+    /// what [`StreamCorrelator::checkpoint`] captures. The scratch
+    /// buffers are warm caches, not state.
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg
+            && self.epoch == other.epoch
+            && self.next_label == other.next_label
+            && self.windows_ingested == other.windows_ingested
+            && self.windows_shed == other.windows_shed
+            && self.homes == other.homes
+            && self.labels == other.labels
+            && self.flagged == other.flagged
+            && self.first_detection == other.first_detection
+            && self.epochs == other.epochs
+    }
 }
 
 impl StreamCorrelator {
@@ -153,6 +184,7 @@ impl StreamCorrelator {
             flagged: BTreeSet::new(),
             first_detection: BTreeMap::new(),
             epochs: Vec::new(),
+            scratch: CorrelatorScratch::default(),
         }
     }
 
@@ -188,51 +220,62 @@ impl StreamCorrelator {
             self.windows_ingested += 1;
         }
 
-        // Incremental community pass over every home seen so far.
-        let ids: Vec<u64> = self.homes.keys().copied().collect();
-        let features: Vec<Vec<f64>> = self.homes.values().map(HomeState::graph_features).collect();
-        let seed: Vec<usize> = ids
-            .iter()
-            .map(|id| match self.labels.get(id) {
+        // Incremental community pass over every home seen so far, run
+        // entirely in the reusable scratch buffers: after the first
+        // epoch at a given fleet size this allocates nothing.
+        let CorrelatorScratch {
+            ids,
+            features,
+            seed,
+            graph,
+            finite,
+        } = &mut self.scratch;
+        ids.clear();
+        ids.extend(self.homes.keys().copied());
+        features.clear();
+        for state in self.homes.values() {
+            state.graph_features_into(features);
+        }
+        seed.clear();
+        for id in ids.iter() {
+            seed.push(match self.labels.get(id) {
                 Some(&l) => l as usize,
                 None => {
                     let fresh = self.next_label;
                     self.next_label += 1;
                     fresh as usize
                 }
-            })
-            .collect();
-        let report = community_report_seeded(
-            &features,
+            });
+        }
+        graph
+            .matrix
+            .fill_from_flat(features, ids.len(), 2 * STREAM_FEATURES);
+        community_report_into(
             self.cfg.graph_k,
             self.cfg.graph_gamma,
             self.cfg.graph_iters,
-            Some(&seed),
+            Some(seed),
+            graph,
         );
-        for (id, &label) in ids.iter().zip(&report.labels) {
+        for (id, &label) in ids.iter().zip(graph.labels()) {
             self.labels.insert(*id, label as u64);
         }
 
         // Adaptive robust threshold over this epoch's deviation scores —
         // the same median + sigma·MAD rule as the batch aggregator.
-        let finite = RobustAccumulator::from_samples(
-            &report
-                .scores
-                .iter()
-                .copied()
-                .filter(|s| s.is_finite())
-                .collect::<Vec<f64>>(),
-        );
+        finite.clear();
+        finite.extend(graph.scores().iter().copied().filter(|s| s.is_finite()));
+        let stats = RobustAccumulator::from_samples(finite);
         let threshold = self
             .cfg
             .min_deviation
-            .max(finite.median() + self.cfg.sigma * 1.4826 * finite.mad());
+            .max(stats.median() + self.cfg.sigma * 1.4826 * stats.mad());
 
         // Epoch-stamped detection with dedup: a home fires at most one
         // alert across the whole run; repeats are counted, not re-raised.
         let (mut alerts, mut deduped) = (0u64, 0u64);
         for (i, &id) in ids.iter().enumerate() {
-            let score = report.scores[i];
+            let score = graph.scores()[i];
             let deviant = score.is_finite() && score >= threshold;
             let critical = self.homes[&id].cumulative[CRITICAL_DELTA] > 0.0;
             if !(deviant || critical) {
@@ -423,6 +466,7 @@ impl StreamCorrelator {
             flagged,
             first_detection,
             epochs,
+            scratch: CorrelatorScratch::default(),
         })
     }
 }
