@@ -48,16 +48,24 @@ echo "== smoke: engine hot-path ratio gates (self-asserting)"
 grep -q '"knn_graph_speedup_at_1k":' "$tmpdir/bench_engine.json" \
     || { echo "engine bench JSON is missing the acceptance block"; exit 1; }
 
-echo "== golden-byte rerun gate: hot-path overhaul left report bytes unchanged"
+echo "== smoke: OTA campaign containment (64 homes, 4 workers, self-asserting)"
+./target/release/exp_ota --homes 64 --workers 4 --json "$tmpdir/bench_ota.json"
+grep -q '"byte_identical_workers": true' "$tmpdir/bench_ota.json" \
+    || { echo "ota bench JSON lost worker-count byte identity"; exit 1; }
+grep -q '"contained": true' "$tmpdir/bench_ota.json" \
+    || { echo "ota bench JSON shows no contained tampered campaign"; exit 1; }
+
+echo "== golden-byte rerun gate: report bytes unchanged across reruns"
 cargo test -p xlf-fleet --test schema -q
 cargo test -p xlf-fleet --test determinism -q
 
-echo "== schema gate: v4 goldens are current (and v3 goldens are retired)"
-ls crates/fleet/tests/golden/fleet_report_v4.json \
-   crates/fleet/tests/golden/fleet_metrics_v4.json >/dev/null \
-    || { echo "v4 schema goldens are missing"; exit 1; }
-if ls crates/fleet/tests/golden/*_v3.json >/dev/null 2>&1; then
-    echo "stale v3 schema goldens are still checked in"; exit 1
+echo "== schema gate: v5 goldens are current (and v4 goldens are retired)"
+ls crates/fleet/tests/golden/fleet_report_v5.json \
+   crates/fleet/tests/golden/fleet_metrics_v5.json \
+   crates/fleet/tests/golden/fleet_report_campaign_v5.json >/dev/null \
+    || { echo "v5 schema goldens are missing"; exit 1; }
+if ls crates/fleet/tests/golden/*_v4.json >/dev/null 2>&1; then
+    echo "stale v4 schema goldens are still checked in"; exit 1
 fi
 
 echo "CI OK"

@@ -98,7 +98,19 @@ impl FirmwareTamperer {
             b"BOTNET implant: exfiltrate and await C&C".to_vec(),
         )
     }
+
+    /// The implant a supply-chain compromise appends to a *legitimate*
+    /// release (fed to `OtaServer::compromise`): same bot payload, but
+    /// riding the vendor's own distribution path instead of a wholly
+    /// forged image. Carries [`IMPLANT_MARKER`].
+    pub fn ota_implant() -> Vec<u8> {
+        b"\nBOTNET implant: exfiltrate and await C&C".to_vec()
+    }
 }
+
+/// Byte marker every BOTNET implant payload carries — what DPI
+/// signatures and the management plane's compromise accounting scan for.
+pub const IMPLANT_MARKER: &[u8] = b"BOTNET";
 
 impl Node for FirmwareTamperer {
     fn on_start(&mut self, ctx: &mut Context<'_>) {

@@ -1,0 +1,313 @@
+//! OTA campaign experiment: does the control plane's staged rollout +
+//! stream-alert health gate turn firmware-supply-chain detection into
+//! *containment*?
+//!
+//! Runs the same stamped fleet through three campaign variants — clean
+//! gated, tampered gated, tampered ungated — with a config-drift audit
+//! riding along. The clean release must reach 100% of the fleet; the
+//! tampered gated release must be halted by the health gate with every
+//! compromised home rolled back and quarantined (compromise bounded by
+//! the first wave's share); the tampered *ungated* release is the
+//! counterfactual showing what the gate prevented. Campaign-bearing
+//! reports must be byte-identical across worker counts.
+//!
+//! ```text
+//! cargo run --release -p xlf-bench --bin exp_ota -- \
+//!     --homes 64 --workers 8 --horizon 420 --json BENCH_ota.json
+//! ```
+
+use std::time::Instant;
+use xlf_bench::print_table;
+use xlf_device::firmware::Version;
+use xlf_fleet::{
+    run_fleet, CampaignReport, CampaignSpec, ConfigAuditSpec, FleetMetrics, FleetReport, FleetSpec,
+    FLEET_REPORT_SCHEMA_VERSION,
+};
+use xlf_simnet::Duration;
+
+struct Args {
+    homes: usize,
+    workers: usize,
+    horizon_s: u64,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        homes: 64,
+        workers: 8,
+        horizon_s: 420,
+        json: "BENCH_ota.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a {what} value"))
+        };
+        match flag.as_str() {
+            "--homes" => args.homes = value("count").parse().expect("--homes: integer"),
+            "--workers" => args.workers = value("count").parse().expect("--workers: integer"),
+            "--horizon" => {
+                args.horizon_s = value("seconds")
+                    .parse()
+                    .expect("--horizon: integer seconds")
+            }
+            "--json" => args.json = value("path"),
+            other => panic!("unknown flag {other} (use --homes --workers --horizon --json)"),
+        }
+    }
+    args
+}
+
+const INTERVAL_S: u64 = 15;
+const WAVES: [u32; 4] = [10, 30, 60, 100];
+
+/// The campaign: a cam firmware release staged through 10/30/60/100%
+/// waves, first wave after the learning phase (epoch 8 = 120 s), one
+/// wave every 3 epochs (45 s of gate observation between waves).
+fn campaign(tampered: bool, gated: bool) -> CampaignSpec {
+    let mut c = CampaignSpec::new(
+        "cam-fw-2.0",
+        "cam",
+        Version(2, 0, 0),
+        b"cam firmware v2".to_vec(),
+    )
+    .with_waves(WAVES.to_vec())
+    .with_schedule(8, 3);
+    if tampered {
+        c = c.with_tampered();
+    }
+    if !gated {
+        c = c.with_gate(None);
+    }
+    c
+}
+
+fn spec(args: &Args, workers: usize, tampered: bool, gated: bool) -> FleetSpec {
+    FleetSpec::new(0x07A_CA4E, args.homes)
+        .with_workers(workers)
+        .with_horizon(Duration::from_secs(args.horizon_s))
+        .with_correlation_interval(INTERVAL_S)
+        .with_campaign(campaign(tampered, gated))
+        .with_config_audit(ConfigAuditSpec::new(6).with_drift(15, 10))
+}
+
+struct Variant {
+    label: &'static str,
+    report: FleetReport,
+    wall_s: f64,
+}
+
+impl Variant {
+    fn campaign(&self) -> &CampaignReport {
+        &self
+            .report
+            .mgmt
+            .as_ref()
+            .expect("campaign section")
+            .campaigns[0]
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "xlf-ota: {} homes, horizon {} s, {} workers, waves {:?} @ every 3 epochs ({} s interval)",
+        args.homes, args.horizon_s, args.workers, WAVES, INTERVAL_S,
+    );
+
+    let mut variants: Vec<Variant> = Vec::new();
+    for (label, tampered, gated) in [
+        ("clean gated", false, true),
+        ("tampered gated", true, true),
+        ("tampered ungated", true, false),
+    ] {
+        let t0 = Instant::now();
+        let report = run_fleet(
+            &spec(&args, args.workers, tampered, gated),
+            &FleetMetrics::new(),
+        )
+        .expect("fleet engine lost work");
+        variants.push(Variant {
+            label,
+            report,
+            wall_s: t0.elapsed().as_secs_f64(),
+        });
+    }
+
+    let clean = variants[0].campaign().clone();
+    let gated = variants[1].campaign().clone();
+    let ungated = variants[2].campaign().clone();
+
+    // Acceptance 1: the clean signed release reaches the whole fleet.
+    assert_eq!(clean.rollout_pct, 100, "clean rollout stalled: {clean:?}");
+    assert_eq!(clean.halted_at_wave, None);
+    assert_eq!(clean.updated, clean.targets, "clean release must apply");
+    assert_eq!(clean.compromised, 0);
+
+    // Acceptance 2: the health gate halts the tampered release after its
+    // first wave — compromise is bounded by the first gated wave's
+    // cohort, and every compromised home is rolled back + quarantined.
+    assert_eq!(
+        gated.halted_at_wave,
+        Some(1),
+        "gate must halt at the first boundary: {gated:?}"
+    );
+    assert_eq!(gated.rollout_pct, WAVES[0], "halt bounds the rollout");
+    assert!(
+        gated.updated > 0,
+        "first wave must land for the gate to see it"
+    );
+    assert_eq!(
+        gated.compromised, gated.waves[0].applied,
+        "compromise cannot exceed the first wave"
+    );
+    assert_eq!(gated.rolled_back, gated.updated);
+    assert_eq!(gated.quarantined, gated.updated);
+    assert!(gated.contained, "containment is the whole point: {gated:?}");
+
+    // Acceptance 3: without the gate the same release owns every
+    // promiscuous target — the counterfactual the gate prevents.
+    assert_eq!(ungated.rollout_pct, 100);
+    assert!(ungated.compromised > gated.compromised);
+    assert_eq!(ungated.rolled_back, 0);
+    assert!(!ungated.contained);
+
+    // Acceptance 4: the config audit detected and remediated its
+    // deterministic drift cohort.
+    let audit = variants[0]
+        .report
+        .mgmt
+        .as_ref()
+        .and_then(|m| m.config_audit)
+        .expect("config audit section");
+    assert!(audit.drifted > 0, "drift cohort stamped empty");
+    assert_eq!(audit.detected, audit.drifted, "every drift caught");
+    assert_eq!(audit.remediated, audit.detected);
+
+    // Acceptance 5: campaign-bearing reports are byte-identical across
+    // worker counts (the control plane is part of the deterministic
+    // aggregation, not an execution detail).
+    let gated_json = variants[1].report.to_json();
+    assert!(gated_json.starts_with(&format!(
+        "{{\"schema_version\":{FLEET_REPORT_SCHEMA_VERSION},"
+    )));
+    let mut byte_identical = true;
+    for workers in [1, 2] {
+        let report = run_fleet(&spec(&args, workers, true, true), &FleetMetrics::new())
+            .expect("fleet engine lost work");
+        if report.to_json() != gated_json {
+            eprintln!("worker count {workers} changed the campaign-bearing report");
+            byte_identical = false;
+        }
+    }
+    assert!(byte_identical, "campaign reports must be layout-invariant");
+
+    print_table(
+        "OTA campaign variants",
+        &[
+            "Variant",
+            "Rollout %",
+            "Updated",
+            "Rejected",
+            "Compromised",
+            "Rolled back",
+            "Quarantined",
+            "Halted @",
+            "Contained",
+            "Wall (s)",
+        ],
+        &variants
+            .iter()
+            .map(|v| {
+                let c = v.campaign();
+                vec![
+                    v.label.to_string(),
+                    c.rollout_pct.to_string(),
+                    c.updated.to_string(),
+                    c.rejected.to_string(),
+                    c.compromised.to_string(),
+                    c.rolled_back.to_string(),
+                    c.quarantined.to_string(),
+                    c.halted_at_wave
+                        .map_or("-".to_string(), |w| format!("wave {w}")),
+                    c.contained.to_string(),
+                    format!("{:.2}", v.wall_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    println!(
+        "\nGate held the tampered release to {}% of the fleet ({} compromised, all rolled \
+         back + quarantined); ungated counterfactual compromised {} home(s). Config audit \
+         remediated {} drifted home(s).",
+        gated.rollout_pct, gated.compromised, ungated.compromised, audit.remediated,
+    );
+
+    match write_bench_json(&args, &variants, byte_identical) {
+        Ok(()) => println!("Trajectory point written to {}.", args.json),
+        Err(e) => eprintln!("could not write {}: {e}", args.json),
+    }
+}
+
+fn write_bench_json(
+    args: &Args,
+    variants: &[Variant],
+    byte_identical: bool,
+) -> std::io::Result<()> {
+    let runs: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let c = v.campaign();
+            format!(
+                "{{\"variant\": \"{}\", \"tampered\": {}, \"gated\": {}, \"targets\": {}, \
+                 \"rollout_pct\": {}, \"updated\": {}, \"rejected\": {}, \"compromised\": {}, \
+                 \"rolled_back\": {}, \"quarantined\": {}, \"halted_at_wave\": {}, \
+                 \"halt_epoch\": {}, \"contained\": {}, \"waves_launched\": {}, \
+                 \"wall_s\": {:.3}}}",
+                v.label,
+                c.tampered,
+                c.gated,
+                c.targets,
+                c.rollout_pct,
+                c.updated,
+                c.rejected,
+                c.compromised,
+                c.rolled_back,
+                c.quarantined,
+                c.halted_at_wave
+                    .map_or("null".to_string(), |w| w.to_string()),
+                c.halt_epoch.map_or("null".to_string(), |e| e.to_string()),
+                c.contained,
+                c.waves.len(),
+                v.wall_s,
+            )
+        })
+        .collect();
+    let audit = variants[0]
+        .report
+        .mgmt
+        .as_ref()
+        .and_then(|m| m.config_audit)
+        .expect("config audit section");
+    let json = format!(
+        "{{\n  \"experiment\": \"ota\",\n  \"homes\": {},\n  \"workers\": {},\n  \
+         \"horizon_s\": {},\n  \"interval_s\": {},\n  \"waves\": {:?},\n  \
+         \"byte_identical_workers\": {},\n  \"config_audit\": {{\"every\": {}, \
+         \"drifted\": {}, \"detected\": {}, \"remediated\": {}}},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        args.homes,
+        args.workers,
+        args.horizon_s,
+        INTERVAL_S,
+        WAVES,
+        byte_identical,
+        audit.every,
+        audit.drifted,
+        audit.detected,
+        audit.remediated,
+        runs.join(",\n    "),
+    );
+    std::fs::write(&args.json, json)
+}

@@ -37,4 +37,5 @@ pub use cloud::{CloudNode, HubNode, SmartCloud};
 pub use events::{CloudEvent, EventBus, EventPolicy, EventSource};
 pub use ifttt::{Recipe, RecipeEngine, WebService};
 pub use oauth::{Token, TokenService};
+pub use ota_server::OtaServer;
 pub use smartapp::{Action, AppPermissions, Predicate, SmartApp, Trigger};

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use xlf_device::firmware::{FirmwareImage, Version};
 
 /// The update server.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OtaServer {
     /// device → (payload, version) of the newest release.
     releases: BTreeMap<String, (Vec<u8>, Version)>,
@@ -18,6 +18,11 @@ pub struct OtaServer {
     /// Whether releases are signed — turning this off reproduces the
     /// §III-C "update is sent … unsigned" misconfiguration.
     pub sign_releases: bool,
+    /// Supply-chain compromise: when set, every served image is the
+    /// release payload with this implant appended — and *unsigned*,
+    /// because the attacker controls the distribution point but not the
+    /// vendor signing key. `None` = healthy server.
+    implant: Option<Vec<u8>>,
 }
 
 impl OtaServer {
@@ -28,7 +33,22 @@ impl OtaServer {
             vendor_secret: vendor_secret.to_vec(),
             vendor: vendor.to_string(),
             sign_releases: true,
+            implant: None,
         }
+    }
+
+    /// Compromises the distribution point: every subsequent
+    /// [`OtaServer::image_for`] serves the release with `implant`
+    /// appended, unsigned (the attacker has the server, not the signing
+    /// key). This is the firmware-modulation supply-chain path a
+    /// verified device-layer update policy must stop.
+    pub fn compromise(&mut self, implant: Vec<u8>) {
+        self.implant = Some(implant);
+    }
+
+    /// Whether the distribution point is compromised.
+    pub fn is_compromised(&self) -> bool {
+        self.implant.is_some()
     }
 
     /// Publishes a release for a device.
@@ -36,9 +56,16 @@ impl OtaServer {
         self.releases.insert(device.to_string(), (payload, version));
     }
 
-    /// Builds the wire image for a device's newest release.
+    /// Builds the wire image for a device's newest release. On a
+    /// compromised server the image carries the implant and no
+    /// signature, whatever `sign_releases` says.
     pub fn image_for(&self, device: &str) -> Option<FirmwareImage> {
         let (payload, version) = self.releases.get(device)?;
+        if let Some(implant) = &self.implant {
+            let mut tampered = payload.clone();
+            tampered.extend_from_slice(implant);
+            return Some(FirmwareImage::unsigned(*version, &self.vendor, tampered));
+        }
         Some(if self.sign_releases {
             FirmwareImage::signed(*version, &self.vendor, payload.clone(), &self.vendor_secret)
         } else {
@@ -80,6 +107,22 @@ mod tests {
     fn missing_devices_have_no_image() {
         let server = OtaServer::new("acme", SECRET);
         assert!(server.image_for("ghost").is_none());
+    }
+
+    #[test]
+    fn compromised_server_serves_unsigned_implanted_images() {
+        let mut server = OtaServer::new("acme", SECRET);
+        server.publish("cam", Version(2, 0, 0), b"v2 code".to_vec());
+        assert!(!server.is_compromised());
+        server.compromise(b" BOTNET implant".to_vec());
+        assert!(server.is_compromised());
+        let image = server.image_for("cam").unwrap();
+        // The implant rides the real release; the attacker cannot sign.
+        assert!(image.signature.is_none());
+        assert!(image.payload.windows(6).any(|w| w == b"BOTNET"));
+        assert!(image.payload.starts_with(b"v2 code"));
+        // A strict device-layer policy stops the whole path.
+        assert!(image.verify(SECRET).is_ok(), "hash still self-consistent");
     }
 
     #[test]

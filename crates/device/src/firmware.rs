@@ -173,11 +173,15 @@ impl FirmwareImage {
     pub fn from_bytes(data: &[u8]) -> Result<Self, FirmwareError> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], FirmwareError> {
-            if *pos + n > data.len() {
-                return Err(FirmwareError::Malformed);
-            }
-            let slice = &data[*pos..*pos + n];
-            *pos += n;
+            // `pos + n` on untrusted lengths can overflow (and wrap past
+            // the bounds check); checked arithmetic makes any overflow a
+            // Malformed error instead.
+            let end = pos
+                .checked_add(n)
+                .filter(|&e| e <= data.len())
+                .ok_or(FirmwareError::Malformed)?;
+            let slice = &data[*pos..end];
+            *pos = end;
             Ok(slice)
         };
         let v0 = u16::from_be_bytes(take(&mut pos, 2)?.try_into().unwrap());
@@ -289,6 +293,29 @@ impl FirmwareStore {
         Ok(())
     }
 
+    /// Applies an operator-initiated rollback to a known-good image.
+    ///
+    /// The signature policy and image verification still apply — a
+    /// rollback must never be the path that smuggles a bad image in —
+    /// but the downgrade check is deliberately bypassed: returning to an
+    /// older version is the whole point of containment. The rollback is
+    /// recorded in the history like any other apply.
+    ///
+    /// # Errors
+    ///
+    /// [`FirmwareError::Unsigned`], [`FirmwareError::BadSignature`] or
+    /// [`FirmwareError::CorruptImage`] per the policy checks; on error
+    /// the installed image is unchanged.
+    pub fn apply_rollback(&mut self, image: FirmwareImage) -> Result<(), FirmwareError> {
+        if self.policy.require_signature && image.signature.is_none() {
+            return Err(FirmwareError::Unsigned);
+        }
+        image.verify(&self.vendor_secret)?;
+        self.history.push(image.version);
+        self.installed = image;
+        Ok(())
+    }
+
     /// Whether the installed payload contains a marker (used by tests and
     /// the attacks crate to detect implanted payloads).
     pub fn payload_contains(&self, marker: &[u8]) -> bool {
@@ -377,6 +404,64 @@ mod tests {
         assert_eq!(
             FirmwareImage::from_bytes(&bytes),
             Err(FirmwareError::Malformed)
+        );
+    }
+
+    #[test]
+    fn replayed_old_signed_image_is_rejected_as_downgrade() {
+        // Downgrade-replay regression: an attacker replays a *validly
+        // signed* old release (captured before a security fix shipped).
+        // The signature verifies — vendor keys don't expire per-version —
+        // so the only defense is the downgrade check, and it must fire
+        // even though every other check passes.
+        let old =
+            FirmwareImage::signed(Version(1, 0, 0), "acme", b"vulnerable v1".to_vec(), SECRET);
+        assert!(old.verify(SECRET).is_ok(), "the replayed image is genuine");
+
+        let mut store = FirmwareStore::new(factory(), UpdatePolicy::strict(), SECRET);
+        let v2 = FirmwareImage::signed(Version(2, 0, 0), "acme", b"patched v2".to_vec(), SECRET);
+        store.apply(v2).unwrap();
+
+        // The wire replay: serialized old image, parsed and offered.
+        let replayed = FirmwareImage::from_bytes(&old.to_bytes()).unwrap();
+        assert_eq!(
+            store.apply(replayed),
+            Err(FirmwareError::Downgrade {
+                installed: Version(2, 0, 0),
+                offered: Version(1, 0, 0),
+            })
+        );
+        assert!(store.payload_contains(b"patched v2"), "install unchanged");
+
+        // A promiscuous store reproduces the vulnerable path: replay
+        // succeeds — this asymmetry is exactly Table II's row.
+        let mut weak = FirmwareStore::new(factory(), UpdatePolicy::promiscuous(), SECRET);
+        let v2 = FirmwareImage::signed(Version(2, 0, 0), "acme", b"patched v2".to_vec(), SECRET);
+        weak.apply(v2).unwrap();
+        assert!(weak.apply(old).is_ok());
+        assert!(weak.payload_contains(b"vulnerable v1"));
+    }
+
+    #[test]
+    fn rollback_bypasses_downgrade_but_not_signature_policy() {
+        let mut store = FirmwareStore::new(factory(), UpdatePolicy::strict(), SECRET);
+        let v2 = FirmwareImage::signed(Version(2, 0, 0), "acme", b"v2".to_vec(), SECRET);
+        store.apply(v2).unwrap();
+
+        // A regular apply of the factory image is a downgrade...
+        assert!(matches!(
+            store.apply(factory()),
+            Err(FirmwareError::Downgrade { .. })
+        ));
+        // ...but an unsigned "rollback" is still refused...
+        let unsigned = FirmwareImage::unsigned(Version(1, 0, 0), "acme", b"evil".to_vec());
+        assert_eq!(store.apply_rollback(unsigned), Err(FirmwareError::Unsigned));
+        // ...while the signed known-good image rolls back fine.
+        store.apply_rollback(factory()).unwrap();
+        assert_eq!(store.installed().version, Version(1, 0, 0));
+        assert_eq!(
+            store.history,
+            vec![Version(1, 0, 0), Version(2, 0, 0), Version(1, 0, 0)]
         );
     }
 

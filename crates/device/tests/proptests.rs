@@ -30,6 +30,30 @@ proptest! {
         prop_assert_eq!(parsed, image);
     }
 
+    /// `from_bytes` over *arbitrary* bytes — the wire-facing parser —
+    /// never panics: every input either parses or returns a structured
+    /// error. (Regression: the length-prefix reader computed
+    /// `pos + n` unchecked, so a crafted prefix near `usize::MAX`
+    /// overflowed and panicked in debug builds.)
+    #[test]
+    fn from_bytes_never_panics_on_arbitrary_input(
+        data in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = FirmwareImage::from_bytes(&data);
+    }
+
+    /// Any bytes that *do* parse re-serialize to the exact same bytes —
+    /// the codec has one canonical encoding per image, so a parsed
+    /// update can be re-shipped (or hashed) without drift.
+    #[test]
+    fn parsed_bytes_reserialize_canonically(
+        data in prop::collection::vec(any::<u8>(), 0..600)) {
+        if let Ok(image) = FirmwareImage::from_bytes(&data) {
+            let bytes = image.to_bytes();
+            let reparsed = FirmwareImage::from_bytes(&bytes).unwrap();
+            prop_assert_eq!(reparsed.to_bytes(), bytes);
+        }
+    }
+
     /// Any payload tampering breaks verification; valid images verify.
     #[test]
     fn firmware_verification_binds_payload(v in version(),

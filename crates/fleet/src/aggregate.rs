@@ -19,14 +19,34 @@
 //! runs can be diffed byte-for-byte.
 
 use crate::engine::{HomeBuildError, HomeStream};
-use crate::spec::{FleetSpec, HomeSpec, FLEET_FAULT_KINDS};
+use crate::spec::{FleetSpec, HomeSpec, HomeTemplate, FLEET_FAULT_KINDS};
 use crate::supervise::{HomeOutcome, HomeRunError};
 use std::collections::BTreeMap;
 use xlf_analytics::graph::community_report;
 use xlf_core::alerts::{Alert, AlertSink, Severity};
 use xlf_core::framework::HomeReport;
+use xlf_device::Vulnerability;
+use xlf_mgmt::{
+    CampaignEngine, CampaignReport, CampaignSpec, CommandBus, ConfigAuditReport, ConfigAuditSpec,
+    ConfigAuditor, TargetHome, COMMAND_KINDS,
+};
 use xlf_simnet::SimTime;
 use xlf_stream::{EpochRecord, StreamConfig, StreamCorrelator, WindowSummary};
+
+/// Vendor the control plane's campaigns sign as. Matches the vendor the
+/// per-home gateways already trust for OTA vetting, so a clean campaign
+/// image is exactly the image a home's own defense layers accept.
+const CAMPAIGN_VENDOR: &str = "acme";
+/// The campaign vendor's signing secret (shared with the devices'
+/// verification keys, as the single-vendor fleet model assumes).
+const CAMPAIGN_VENDOR_SECRET: &[u8] = b"acme vendor secret";
+
+/// `WindowSummary` feature indices the active implant perturbs (must
+/// match the `probe_delta` order in `engine.rs` /
+/// [`xlf_stream::STREAM_FEATURES`]).
+const FEAT_CRITICALS: usize = 5;
+const FEAT_WIRE_BYTES: usize = 8;
+const FEAT_PACKETS: usize = 9;
 
 /// Version of the [`FleetReport::to_json`] schema. Bump on any
 /// field add/remove/rename/reorder; goldens under `crates/fleet/tests/`
@@ -43,8 +63,12 @@ use xlf_stream::{EpochRecord, StreamConfig, StreamCorrelator, WindowSummary};
 /// `epochs` section (`null` in batch mode; per-epoch alert counts,
 /// first-detection epoch per flagged home, window shed accounting and
 /// partial-home annotations otherwise) and the epoch-stamped stream
-/// alerts that precede the horizon alerts.
-pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 4;
+/// alerts that precede the horizon alerts; v5 — control plane: the
+/// `campaigns` section (`null` when the spec configures no campaigns
+/// and no config audit; per-campaign rollout reports, command-bus
+/// disposition totals, and config-audit accounting otherwise) plus the
+/// campaign-halt and config-audit alerts.
+pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 5;
 
 /// One home's row in the fleet report (homes that ran to the horizon —
 /// the only homes the cross-home graph correlates).
@@ -194,6 +218,20 @@ pub struct StreamSection {
     pub first_detection: Vec<(u64, u64)>,
 }
 
+/// The control-plane section of a v5 report: what the campaign engines
+/// and the config auditor did during the stream pass. `None` (serialized
+/// `null`) when the spec configures neither.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgmtSection {
+    /// One final accounting per configured campaign, in spec order.
+    pub campaigns: Vec<CampaignReport>,
+    /// The full command log (every update/rollback/quarantine/remediate
+    /// the control plane issued, with dispositions).
+    pub commands: CommandBus,
+    /// Config-drift audit accounting (`None` when no audit configured).
+    pub config_audit: Option<ConfigAuditReport>,
+}
+
 /// The deterministic output of one fleet run: rows sorted by home id,
 /// community structure, flagged homes, quarantined
 /// degraded/failed/build-failed sections, and the fleet alert stream.
@@ -219,6 +257,8 @@ pub struct FleetReport {
     pub flagged: Vec<u64>,
     /// Streamed-correlation trace (`None` in batch mode).
     pub epochs: Option<StreamSection>,
+    /// Control-plane trace (`None` when no campaigns/audit configured).
+    pub mgmt: Option<MgmtSection>,
     /// Fleet-wide totals.
     pub totals: FleetTotals,
     /// Fleet alerts (published through the standard alert pipeline).
@@ -239,6 +279,14 @@ fn json_f64(v: f64) -> String {
 fn json_opt_f64(v: Option<f64>) -> String {
     match v {
         Some(v) => json_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+/// `Option<u64>` as a JSON number or `null`.
+fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
         None => "null".to_string(),
     }
 }
@@ -397,6 +445,73 @@ impl FleetReport {
                 )
             }
         };
+        let campaigns = match &self.mgmt {
+            None => "null".to_string(),
+            Some(m) => {
+                let runs = join_section(m.campaigns.iter(), 384, |out, c| {
+                    let waves = join_section(c.waves.iter(), 96, |wout, w| {
+                        let _ = write!(
+                            wout,
+                            "{{\"wave\":{},\"share_pct\":{},\"epoch\":{},\"cohort\":{},\
+                             \"applied\":{},\"rejected\":{}}}",
+                            w.wave, w.share_pct, w.epoch, w.cohort, w.applied, w.rejected
+                        );
+                    });
+                    let _ = write!(
+                        out,
+                        "{{\"name\":{},\"device\":{},\"version\":\"{}\",\"tampered\":{},\
+                         \"gated\":{},\"max_deviation_rate\":{},\"targets\":{},\
+                         \"updated\":{},\"rejected\":{},\"compromised\":{},\
+                         \"rolled_back\":{},\"quarantined\":{},\"rollout_pct\":{},\
+                         \"halted_at_wave\":{},\"halt_epoch\":{},\"halt_rate\":{},\
+                         \"contained\":{},\"waves\":[{}]}}",
+                        json_str(&c.name),
+                        json_str(&c.device),
+                        c.version,
+                        c.tampered,
+                        c.gated,
+                        json_f64(c.max_deviation_rate),
+                        c.targets,
+                        c.updated,
+                        c.rejected,
+                        c.compromised,
+                        c.rolled_back,
+                        c.quarantined,
+                        c.rollout_pct,
+                        json_opt_u64(c.halted_at_wave.map(|w| w as u64)),
+                        json_opt_u64(c.halt_epoch),
+                        json_opt_f64(c.halt_rate),
+                        c.contained,
+                        waves,
+                    );
+                });
+                let kinds = join_section(COMMAND_KINDS.iter(), 64, |out, k| {
+                    let _ = write!(
+                        out,
+                        "\"{}\":{{\"applied\":{},\"rejected\":{},\"issued\":{}}}",
+                        k.name().replace('-', "_"),
+                        m.commands.applied(*k),
+                        m.commands.rejected(*k),
+                        m.commands.issued(*k),
+                    );
+                });
+                let audit = match &m.config_audit {
+                    None => "null".to_string(),
+                    Some(a) => format!(
+                        "{{\"every\":{},\"audits\":{},\"drifted\":{},\"detected\":{},\
+                         \"remediated\":{}}}",
+                        a.every, a.audits, a.drifted, a.detected, a.remediated
+                    ),
+                };
+                format!(
+                    "{{\"runs\":[{}],\"commands\":{{\"total\":{},{}}},\"config_audit\":{}}}",
+                    runs,
+                    m.commands.total(),
+                    kinds,
+                    audit,
+                )
+            }
+        };
         let alerts = join_section(self.alerts.iter(), 96, |out, a| {
             let _ = write!(
                 out,
@@ -408,7 +523,7 @@ impl FleetReport {
         });
         format!(
             "{{\"schema_version\":{},\"master_seed\":{},\"homes\":{},\"communities\":{},\
-             \"threshold\":{},\"flagged\":[{}],\"epochs\":{},\
+             \"threshold\":{},\"flagged\":[{}],\"epochs\":{},\"campaigns\":{},\
              \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
              \"evidence_drop_rate\":{},\"evidence_shed_rate\":{},\"forwarded\":{},\
              \"dropped_packets\":{},\"homes_with_critical\":{},\
@@ -423,6 +538,7 @@ impl FleetReport {
             json_f64(self.threshold),
             flagged,
             epochs,
+            campaigns,
             self.totals.evidence,
             self.totals.evidence_dropped,
             self.totals.evidence_shed,
@@ -465,7 +581,7 @@ fn median_of(values: &[f64]) -> f64 {
 /// Collects per-home outcomes and fuses them into fleet intelligence.
 pub struct FleetAggregator {
     master_seed: u64,
-    template_names: Vec<String>,
+    templates: Vec<HomeTemplate>,
     horizon: SimTime,
     graph_k: usize,
     graph_gamma: f64,
@@ -475,6 +591,8 @@ pub struct FleetAggregator {
     correlation_interval: Option<u64>,
     stream_epochs: u64,
     stream_checkpoint_every: Option<u64>,
+    campaigns: Vec<CampaignSpec>,
+    config_audit: Option<ConfigAuditSpec>,
     /// The fleet-level alert pipeline (same sink the per-home Cores use).
     pub alerts: AlertSink,
 }
@@ -484,7 +602,7 @@ impl FleetAggregator {
     pub fn new(spec: &FleetSpec) -> Self {
         FleetAggregator {
             master_seed: spec.master_seed,
-            template_names: spec.templates.iter().map(|t| t.name.clone()).collect(),
+            templates: spec.templates.clone(),
             horizon: SimTime::from_micros(spec.horizon.as_micros()),
             graph_k: spec.graph_k,
             graph_gamma: spec.graph_gamma,
@@ -494,12 +612,15 @@ impl FleetAggregator {
             correlation_interval: spec.correlation_interval,
             stream_epochs: spec.stream_epochs(),
             stream_checkpoint_every: spec.stream_checkpoint_every,
+            campaigns: spec.campaigns.clone(),
+            config_audit: spec.config_audit,
             alerts: AlertSink::new(),
         }
     }
 
-    /// The epoch-by-epoch stream pass (v4 `epochs` section). Runs only
-    /// when the spec streams; batch mode returns `None`.
+    /// The epoch-by-epoch stream pass (the `epochs` section) plus the
+    /// control plane riding on it (the v5 `campaigns` section). Runs
+    /// only when the spec streams; batch mode returns `(None, None)`.
     ///
     /// Eligibility mirrors the batch pass one notch looser: homes that
     /// ran to the horizon always join; **degraded** homes join too when
@@ -508,14 +629,30 @@ impl FleetAggregator {
     /// instead of being quarantine-only. Stream detections are raised as
     /// epoch-stamped alerts *before* the horizon alerts — they happened
     /// first in simulated time.
+    ///
+    /// **Control plane.** At the start of every epoch, each campaign
+    /// engine and the config auditor advance first (the campaigns read
+    /// the correlator's flagged set *as of the previous epoch* — the
+    /// gate can only react to what has already been detected); then any
+    /// home currently running an implanted payload has its window deltas
+    /// perturbed (extra criticals, wire bytes and packets — what a
+    /// C&C-beaconing implant does to a home's traffic window) before the
+    /// correlator ingests the batch. Detection therefore feeds the next
+    /// boundary's gate, which is exactly the §IV-D detection→response
+    /// loop. The engines live *outside* the correlator checkpoint: the
+    /// checkpoint/resume cycle restores correlator state only, and the
+    /// report stays byte-identical either way.
     fn stream_pass(
         &mut self,
         items: &[(HomeSpec, HomeOutcome, HomeStream)],
-    ) -> Option<StreamSection> {
-        let interval = self.correlation_interval?;
+    ) -> (Option<StreamSection>, Option<MgmtSection>) {
+        let Some(interval) = self.correlation_interval else {
+            return (None, None);
+        };
         let mut windows: Vec<WindowSummary> = Vec::new();
         let mut shed = 0u64;
-        for (_, outcome, stream) in items {
+        let mut managed: Vec<&HomeSpec> = Vec::new();
+        for (hs, outcome, stream) in items {
             let eligible = match outcome {
                 HomeOutcome::Ok { .. } => true,
                 HomeOutcome::Degraded { .. } => {
@@ -526,9 +663,46 @@ impl FleetAggregator {
             if !eligible {
                 continue;
             }
+            managed.push(hs);
             windows.extend(stream.windows.iter().cloned());
             shed += stream.shed;
         }
+
+        // Control-plane setup: one engine per configured campaign, over
+        // the stream-eligible homes whose template actually carries the
+        // target device. Whether a target runs the vulnerable
+        // (promiscuous) or strict update policy comes straight from the
+        // device's own vulnerability profile — the same ground truth the
+        // simulations use.
+        let mut bus = CommandBus::new();
+        let mut engines: Vec<CampaignEngine> = self
+            .campaigns
+            .iter()
+            .map(|c| {
+                let targets: Vec<TargetHome> = managed
+                    .iter()
+                    .filter_map(|hs| {
+                        let template = self.templates.get(hs.template)?;
+                        let device = template.devices.iter().find(|d| d.name == c.device)?;
+                        Some(TargetHome {
+                            home: hs.id,
+                            promiscuous: device.vulns.has(Vulnerability::UnsignedFirmware),
+                        })
+                    })
+                    .collect();
+                CampaignEngine::new(
+                    c.clone(),
+                    self.master_seed,
+                    &targets,
+                    CAMPAIGN_VENDOR,
+                    CAMPAIGN_VENDOR_SECRET,
+                )
+            })
+            .collect();
+        let mut auditor = self.config_audit.map(|spec| {
+            let homes: Vec<u64> = managed.iter().map(|hs| hs.id).collect();
+            ConfigAuditor::new(spec, self.master_seed, &homes)
+        });
 
         let mut correlator = StreamCorrelator::new(StreamConfig {
             graph_k: self.graph_k,
@@ -543,7 +717,24 @@ impl FleetAggregator {
             by_epoch.entry(w.window).or_default().push(w);
         }
         for epoch in 0..self.stream_epochs {
-            let batch = by_epoch.remove(&epoch).unwrap_or_default();
+            let mut batch = by_epoch.remove(&epoch).unwrap_or_default();
+            for engine in &mut engines {
+                engine.epoch_begin(epoch, correlator.flagged(), &mut bus);
+            }
+            if let Some(auditor) = auditor.as_mut() {
+                auditor.epoch_begin(epoch, &mut bus);
+            }
+            if !engines.is_empty() {
+                for w in &mut batch {
+                    if engines.iter().any(|e| e.implant_active(w.home)) {
+                        // A live implant beacons: critical alerts from
+                        // the home's own layers plus a C&C traffic bump.
+                        w.features[FEAT_CRITICALS] += 2.0;
+                        w.features[FEAT_WIRE_BYTES] += 90_000.0;
+                        w.features[FEAT_PACKETS] += 900.0;
+                    }
+                }
+            }
             correlator.ingest_epoch(&batch);
             // In-line production resume: at the configured cadence the
             // pass continues from its own serialized checkpoint. The
@@ -576,21 +767,73 @@ impl FleetAggregator {
             });
         }
 
-        Some(StreamSection {
-            interval_secs: interval,
-            count: self.stream_epochs,
-            windows_ingested: outcome.windows_ingested,
-            windows_shed: outcome.windows_shed,
-            partial_homes: outcome.partial_homes,
-            per_epoch: outcome.epochs,
-            first_detection: outcome.first_detection.into_iter().collect(),
-        })
+        // Campaign halts are the control plane's loudest signal: the
+        // health gate turned a fleet of detections into a rollback.
+        for engine in &engines {
+            let r = engine.report();
+            if let (Some(wave), Some(epoch), Some(rate)) =
+                (r.halted_at_wave, r.halt_epoch, r.halt_rate)
+            {
+                let at_s = epoch.saturating_mul(interval).min(horizon_s);
+                self.alerts.raise(Alert {
+                    at: SimTime::from_secs(at_s),
+                    device: format!("campaign-{}", r.name),
+                    severity: Severity::Critical,
+                    score: rate.clamp(0.0, 1.0),
+                    explanation: format!(
+                        "campaign {}: health gate halted the rollout before wave {wave} at \
+                         epoch {epoch} (updated-cohort deviation rate {rate:.3}); \
+                         {} home(s) rolled back, {} quarantined",
+                        r.name, r.rolled_back, r.quarantined
+                    ),
+                });
+            }
+        }
+        if let Some(auditor) = &auditor {
+            let r = auditor.report();
+            if r.detected > 0 {
+                self.alerts.raise(Alert {
+                    at: self.horizon,
+                    device: "config-audit".to_string(),
+                    severity: Severity::Warning,
+                    score: 0.0,
+                    explanation: format!(
+                        "config audit: {} drifted home(s) detected and {} remediated \
+                         across {} audit pass(es)",
+                        r.detected, r.remediated, r.audits
+                    ),
+                });
+            }
+        }
+
+        let mgmt = if engines.is_empty() && auditor.is_none() {
+            None
+        } else {
+            Some(MgmtSection {
+                campaigns: engines.iter().map(|e| e.report()).collect(),
+                commands: bus,
+                config_audit: auditor.map(|a| a.report()),
+            })
+        };
+
+        (
+            Some(StreamSection {
+                interval_secs: interval,
+                count: self.stream_epochs,
+                windows_ingested: outcome.windows_ingested,
+                windows_shed: outcome.windows_shed,
+                partial_homes: outcome.partial_homes,
+                per_epoch: outcome.epochs,
+                first_detection: outcome.first_detection.into_iter().collect(),
+            }),
+            mgmt,
+        )
     }
 
     fn template_name(&self, idx: usize) -> String {
-        self.template_names
+        self.templates
             .get(idx)
-            .cloned()
+            .map(|t| t.name.clone())
             .unwrap_or_else(|| format!("template-{idx}"))
     }
 
@@ -643,8 +886,9 @@ impl FleetAggregator {
         items.sort_by_key(|(hs, _, _)| hs.id);
 
         // Stream pass first: its alerts are epoch-stamped (mid-run sim
-        // times), so they precede every horizon-stamped batch alert.
-        let epochs = self.stream_pass(&items);
+        // times), so they precede every horizon-stamped batch alert. The
+        // control plane (campaigns + config audit) rides inside it.
+        let (epochs, mgmt) = self.stream_pass(&items);
 
         let mut ok_items: Vec<(HomeSpec, HomeReport, Option<f64>)> =
             Vec::with_capacity(items.len());
@@ -849,6 +1093,7 @@ impl FleetAggregator {
             threshold,
             flagged: flagged_ids,
             epochs,
+            mgmt,
             totals,
             alerts: self.alerts.alerts().to_vec(),
         }

@@ -665,6 +665,27 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport
     metrics
         .aggregate_us
         .observe(t0.elapsed().as_micros() as u64);
+    if let Some(mgmt) = &report.mgmt {
+        use xlf_mgmt::CommandKind;
+        metrics
+            .campaign_updates_applied
+            .add(mgmt.commands.applied(CommandKind::FirmwareUpdate));
+        metrics
+            .campaign_updates_rejected
+            .add(mgmt.commands.rejected(CommandKind::FirmwareUpdate));
+        metrics
+            .campaign_rollbacks
+            .add(mgmt.commands.applied(CommandKind::FirmwareRollback));
+        metrics
+            .campaign_quarantines
+            .add(mgmt.commands.issued(CommandKind::Quarantine));
+        metrics
+            .config_remediations
+            .add(mgmt.commands.applied(CommandKind::ConfigRemediate));
+        if let Some(audit) = &mgmt.config_audit {
+            metrics.config_drift_detected.add(audit.detected);
+        }
+    }
     Ok(report)
 }
 

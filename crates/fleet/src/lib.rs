@@ -41,8 +41,8 @@ pub mod spec;
 pub mod supervise;
 
 pub use aggregate::{
-    DegradedHome, FleetAggregator, FleetHomeRow, FleetReport, FleetTotals, StreamSection,
-    FLEET_REPORT_SCHEMA_VERSION,
+    DegradedHome, FleetAggregator, FleetHomeRow, FleetReport, FleetTotals, MgmtSection,
+    StreamSection, FLEET_REPORT_SCHEMA_VERSION,
 };
 pub use engine::{build_home, run_fleet, HomeBuildError, HomeStream};
 pub use metrics::{
@@ -50,3 +50,6 @@ pub use metrics::{
 };
 pub use spec::{FleetAttack, FleetFault, FleetSpec, HomeSpec, HomeTemplate, FLEET_FAULT_KINDS};
 pub use supervise::{FleetError, HomeOutcome, HomeRunError};
+pub use xlf_mgmt::{
+    CampaignReport, CampaignSpec, ConfigAuditReport, ConfigAuditSpec, HealthGate, WaveReport,
+};

@@ -19,8 +19,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `deadline_truncations`; `homes_failed` renamed `homes_build_failed`)
 /// and the `faults_injected` per-kind histogram; v4 — streaming counters
 /// (`windows_emitted`, `windows_shed`) and the `radio-jam` bucket in
-/// `faults_injected`.
-pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 4;
+/// `faults_injected`; v5 — control-plane counters
+/// (`campaign_updates_applied`, `campaign_updates_rejected`,
+/// `campaign_rollbacks`, `campaign_quarantines`,
+/// `config_drift_detected`, `config_remediations`).
+pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 5;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -207,6 +210,18 @@ pub struct FleetMetrics {
     /// Window summaries shed oldest-first by bounded per-home window
     /// buffers. 0 in batch mode.
     pub windows_shed: Counter,
+    /// Campaign firmware updates applied by device-layer stores.
+    pub campaign_updates_applied: Counter,
+    /// Campaign firmware offers rejected by device-layer verification.
+    pub campaign_updates_rejected: Counter,
+    /// Rollback commands applied after a campaign health-gate halt.
+    pub campaign_rollbacks: Counter,
+    /// Quarantine commands issued after a campaign health-gate halt.
+    pub campaign_quarantines: Counter,
+    /// Config-drift mismatches the periodic audit detected.
+    pub config_drift_detected: Counter,
+    /// Config remediations applied by the audit.
+    pub config_remediations: Counter,
     /// Home reports received by the aggregator.
     pub reports_received: Counter,
     /// Depth of the bounded report channel, sampled at each send.
@@ -236,6 +251,9 @@ impl FleetMetrics {
              \"retries\":{},\"deadline_truncations\":{},\
              \"evidence_drained\":{},\"evidence_total\":{},\"evidence_shed\":{},\
              \"windows_emitted\":{},\"windows_shed\":{},\
+             \"campaign_updates_applied\":{},\"campaign_updates_rejected\":{},\
+             \"campaign_rollbacks\":{},\"campaign_quarantines\":{},\
+             \"config_drift_detected\":{},\"config_remediations\":{},\
              \"reports_received\":{},\"report_channel_depth\":{},\
              \"report_channel_high_water\":{},\"faults_injected\":{},\
              \"build\":{},\"step\":{},\"report\":{},\"aggregate\":{}}}",
@@ -252,6 +270,12 @@ impl FleetMetrics {
             self.evidence_shed.get(),
             self.windows_emitted.get(),
             self.windows_shed.get(),
+            self.campaign_updates_applied.get(),
+            self.campaign_updates_rejected.get(),
+            self.campaign_rollbacks.get(),
+            self.campaign_quarantines.get(),
+            self.config_drift_detected.get(),
+            self.config_remediations.get(),
             self.reports_received.get(),
             self.report_channel_depth.get(),
             self.report_channel_depth.high_water(),

@@ -6,6 +6,7 @@
 
 use xlf_core::framework::{HomeDevice, XlfConfig};
 use xlf_device::{SensorKind, VulnSet, Vulnerability};
+use xlf_mgmt::{CampaignSpec, ConfigAuditSpec};
 use xlf_simnet::Duration;
 
 /// SplitMix64: the stateless mixer the stamping pipeline is built on.
@@ -312,6 +313,17 @@ pub struct FleetSpec {
     /// the checkpoint/resume guarantee, and the determinism tests pin
     /// it).
     pub stream_checkpoint_every: Option<u64>,
+    /// OTA rollout campaigns the control plane drives during the stream
+    /// pass (one [`xlf_mgmt::CampaignEngine`] each). Campaigns consume
+    /// the correlator's flagged set as their between-wave health gate,
+    /// so they require streamed correlation
+    /// ([`FleetSpec::with_campaign`] asserts it). Empty = no campaigns
+    /// and a `null` `campaigns` report section.
+    pub campaigns: Vec<CampaignSpec>,
+    /// Periodic config-drift audit the control plane runs during the
+    /// stream pass (`None` = no audit). Requires streamed correlation
+    /// like campaigns — the audit cadence is measured in stream epochs.
+    pub config_audit: Option<ConfigAuditSpec>,
 }
 
 impl FleetSpec {
@@ -340,7 +352,35 @@ impl FleetSpec {
             correlation_interval: None,
             window_capacity: 256,
             stream_checkpoint_every: None,
+            campaigns: Vec::new(),
+            config_audit: None,
         }
+    }
+
+    /// Adds an OTA rollout campaign (builder-style); see
+    /// [`FleetSpec::campaigns`]. Call after
+    /// [`FleetSpec::with_correlation_interval`] — the campaign's health
+    /// gate consumes the stream correlator's flagged set, so batch-mode
+    /// campaigns are a spec bug.
+    pub fn with_campaign(mut self, campaign: CampaignSpec) -> Self {
+        assert!(
+            self.correlation_interval.is_some(),
+            "campaigns require streamed correlation (set with_correlation_interval first)"
+        );
+        self.campaigns.push(campaign);
+        self
+    }
+
+    /// Enables the periodic config-drift audit (builder-style); see
+    /// [`FleetSpec::config_audit`]. Requires streamed correlation like
+    /// [`FleetSpec::with_campaign`].
+    pub fn with_config_audit(mut self, audit: ConfigAuditSpec) -> Self {
+        assert!(
+            self.correlation_interval.is_some(),
+            "config audits require streamed correlation (set with_correlation_interval first)"
+        );
+        self.config_audit = Some(audit);
+        self
     }
 
     /// Enables streamed correlation every `secs` simulated seconds
@@ -647,6 +687,40 @@ mod tests {
             .with_horizon(Duration::from_secs(100))
             .with_correlation_interval(30);
         assert_eq!(ragged.stream_epochs(), 4);
+    }
+
+    #[test]
+    fn campaign_and_audit_builders_attach_to_streamed_specs() {
+        use xlf_device::firmware::Version;
+        let spec = FleetSpec::new(1, 8)
+            .with_correlation_interval(15)
+            .with_campaign(CampaignSpec::new(
+                "cam-2.0",
+                "cam",
+                Version(2, 0, 0),
+                b"v2".to_vec(),
+            ))
+            .with_config_audit(ConfigAuditSpec::new(4));
+        assert_eq!(spec.campaigns.len(), 1);
+        assert!(spec.config_audit.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "campaigns require streamed correlation")]
+    fn batch_mode_campaigns_are_rejected() {
+        use xlf_device::firmware::Version;
+        let _ = FleetSpec::new(1, 8).with_campaign(CampaignSpec::new(
+            "cam-2.0",
+            "cam",
+            Version(2, 0, 0),
+            b"v2".to_vec(),
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "config audits require streamed correlation")]
+    fn batch_mode_config_audits_are_rejected() {
+        let _ = FleetSpec::new(1, 8).with_config_audit(ConfigAuditSpec::new(4));
     }
 
     #[test]

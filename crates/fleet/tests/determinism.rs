@@ -2,7 +2,10 @@
 //! fleet report no matter how many workers shard the homes — worker
 //! count is an execution detail, not an input to the science.
 
-use xlf_fleet::{run_fleet, FleetAttack, FleetMetrics, FleetSpec, HomeTemplate};
+use xlf_device::firmware::Version;
+use xlf_fleet::{
+    run_fleet, CampaignSpec, ConfigAuditSpec, FleetAttack, FleetMetrics, FleetSpec, HomeTemplate,
+};
 
 fn spec(workers: usize) -> FleetSpec {
     FleetSpec::new(0xF1EE_7001, 24)
@@ -78,6 +81,47 @@ fn different_master_seed_changes_the_report() {
     other.master_seed ^= 1;
     let b = run_fleet(&other, &FleetMetrics::new()).expect("fleet runs");
     assert_ne!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn campaign_bearing_reports_are_byte_identical_across_worker_counts() {
+    // The control plane (campaign waves, health-gate decisions, config
+    // remediations) runs inside the aggregator's stream pass over
+    // deterministically stamped cohorts: worker count must not change a
+    // single byte of a campaign-bearing report.
+    fn campaign_spec(workers: usize) -> FleetSpec {
+        FleetSpec::new(0xF1EE_7007, 16)
+            .with_workers(workers)
+            .with_correlation_interval(15)
+            .with_campaign(
+                CampaignSpec::new("cam-fw-2.0", "cam", Version(2, 0, 0), b"cam v2".to_vec())
+                    .with_schedule(8, 3)
+                    .with_waves(vec![25, 60, 100]),
+            )
+            .with_config_audit(ConfigAuditSpec::new(6).with_drift(20, 10))
+    }
+    let baseline = run_fleet(&campaign_spec(1), &FleetMetrics::new()).expect("fleet runs");
+    let json = baseline.to_json();
+    let mgmt = baseline.mgmt.as_ref().expect("campaign section present");
+    assert_eq!(mgmt.campaigns.len(), 1);
+    assert_eq!(
+        mgmt.campaigns[0].rollout_pct, 100,
+        "clean signed release must roll out fully: {:?}",
+        mgmt.campaigns[0]
+    );
+    for workers in [2, 8] {
+        let metrics = FleetMetrics::new();
+        let report = run_fleet(&campaign_spec(workers), &metrics).expect("fleet runs");
+        assert_eq!(
+            report.to_json(),
+            json,
+            "worker count {workers} changed the campaign-bearing report"
+        );
+        assert_eq!(
+            metrics.campaign_updates_applied.get(),
+            mgmt.campaigns[0].updated
+        );
+    }
 }
 
 #[test]

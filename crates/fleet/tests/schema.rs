@@ -2,7 +2,7 @@
 //!
 //! `FleetReport::to_json` and `FleetMetrics::to_json` are longitudinal
 //! interfaces: operators diff them across runs and revisions. These
-//! tests pin the exact bytes of schema v4 against goldens under
+//! tests pin the exact bytes of schema v5 against goldens under
 //! `tests/golden/`. If a field is added/removed/renamed/reordered, bump
 //! the matching `*_SCHEMA_VERSION` constant and regenerate the goldens:
 //!
@@ -12,10 +12,13 @@
 
 use std::path::PathBuf;
 use xlf_core::framework::HomeReport;
+use xlf_device::firmware::Version;
 use xlf_fleet::{
-    FleetAggregator, FleetAttack, FleetFault, FleetMetrics, FleetSpec, HomeBuildError, HomeOutcome,
-    HomeRunError, HomeSpec, FLEET_METRICS_SCHEMA_VERSION, FLEET_REPORT_SCHEMA_VERSION,
+    CampaignSpec, ConfigAuditSpec, FleetAggregator, FleetAttack, FleetFault, FleetMetrics,
+    FleetSpec, HomeBuildError, HomeOutcome, HomeRunError, HomeSpec, HomeStream,
+    FLEET_METRICS_SCHEMA_VERSION, FLEET_REPORT_SCHEMA_VERSION,
 };
+use xlf_stream::{WindowSummary, STREAM_FEATURES};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -130,23 +133,84 @@ fn synthetic_report_json() -> String {
     FleetAggregator::new(&spec).aggregate(items).to_json()
 }
 
-#[test]
-fn fleet_report_json_matches_the_v4_golden() {
-    assert_eq!(
-        FLEET_REPORT_SCHEMA_VERSION, 4,
-        "bump goldens with the schema"
-    );
-    let json = synthetic_report_json();
-    assert!(json.starts_with("{\"schema_version\":4,"), "{json}");
-    // Batch aggregation: the v4 `epochs` section is present but null.
-    assert!(json.contains("\"epochs\":null"), "{json}");
-    assert_matches_golden("fleet_report_v4.json", &json);
+/// A small streamed fleet with a tampered, gated campaign plus a config
+/// audit — exercises every branch of the v5 `campaigns` section: wave
+/// reports, a health-gate halt with rollback/quarantine commands, and
+/// config-drift remediation.
+fn synthetic_campaign_report_json() -> String {
+    let spec = FleetSpec::new(0x60_1D, 8)
+        .with_correlation_interval(15) // 420 s horizon → 28 epochs
+        .with_campaign(
+            CampaignSpec::new("cam-fw-2.0", "cam", Version(2, 0, 0), b"cam fw v2".to_vec())
+                .with_schedule(2, 2)
+                .with_waves(vec![25, 100])
+                .with_tampered(),
+        )
+        .with_config_audit(ConfigAuditSpec::new(5).with_drift(25, 4));
+    let items: Vec<(HomeSpec, HomeOutcome, HomeStream)> = (0..8u64)
+        .map(|i| {
+            let windows = (0..spec.stream_epochs())
+                .map(|epoch| {
+                    let mut features = [0.0; STREAM_FEATURES];
+                    features[0] = 10.0; // flat evidence deltas: no deviants
+                    features[9] = 50.0 + i as f64;
+                    WindowSummary {
+                        home: i,
+                        window: epoch,
+                        partial: false,
+                        features,
+                    }
+                })
+                .collect();
+            (
+                HomeSpec {
+                    id: i,
+                    seed: i,
+                    template: 0,
+                    attack: FleetAttack::None,
+                    fault: FleetFault::None,
+                },
+                ok(fake_report(i, 50.0 + i as f64, 0)),
+                HomeStream { windows, shed: 0 },
+            )
+        })
+        .collect();
+    FleetAggregator::new(&spec)
+        .aggregate_streamed(items)
+        .to_json()
 }
 
 #[test]
-fn fleet_metrics_json_matches_the_v4_golden() {
+fn fleet_report_json_matches_the_v5_golden() {
     assert_eq!(
-        FLEET_METRICS_SCHEMA_VERSION, 4,
+        FLEET_REPORT_SCHEMA_VERSION, 5,
+        "bump goldens with the schema"
+    );
+    let json = synthetic_report_json();
+    assert!(json.starts_with("{\"schema_version\":5,"), "{json}");
+    // Batch aggregation: the `epochs` and `campaigns` sections are
+    // present but null.
+    assert!(json.contains("\"epochs\":null"), "{json}");
+    assert!(json.contains("\"campaigns\":null"), "{json}");
+    assert_matches_golden("fleet_report_v5.json", &json);
+}
+
+#[test]
+fn campaign_report_json_matches_the_v5_golden() {
+    let json = synthetic_campaign_report_json();
+    // The tampered release lands on the first wave's promiscuous
+    // cohort, the correlator flags the implant behaviour, and the gate
+    // halts with containment before wave 1.
+    assert!(json.contains("\"halted_at_wave\":0") || json.contains("\"halted_at_wave\":1"));
+    assert!(json.contains("\"contained\":true"), "{json}");
+    assert!(json.contains("\"config_audit\":{\"every\":5"), "{json}");
+    assert_matches_golden("fleet_report_campaign_v5.json", &json);
+}
+
+#[test]
+fn fleet_metrics_json_matches_the_v5_golden() {
+    assert_eq!(
+        FLEET_METRICS_SCHEMA_VERSION, 5,
         "bump goldens with the schema"
     );
     let m = FleetMetrics::new();
@@ -165,6 +229,12 @@ fn fleet_metrics_json_matches_the_v4_golden() {
     m.evidence_shed.add(60);
     m.windows_emitted.add(84);
     m.windows_shed.add(6);
+    m.campaign_updates_applied.add(5);
+    m.campaign_updates_rejected.add(2);
+    m.campaign_rollbacks.add(5);
+    m.campaign_quarantines.add(5);
+    m.config_drift_detected.add(3);
+    m.config_remediations.add(3);
     m.reports_received.add(11);
     m.report_channel_depth.set(3);
     m.report_channel_depth.set(1);
@@ -173,8 +243,8 @@ fn fleet_metrics_json_matches_the_v4_golden() {
     m.report_us.observe(80);
     m.aggregate_us.observe(1_500);
     let json = m.to_json();
-    assert!(json.starts_with("{\"schema_version\":4,"), "{json}");
-    assert_matches_golden("fleet_metrics_v4.json", &json);
+    assert!(json.starts_with("{\"schema_version\":5,"), "{json}");
+    assert_matches_golden("fleet_metrics_v5.json", &json);
 }
 
 #[test]

@@ -199,6 +199,20 @@ impl StreamCorrelator {
         self.windows_shed += n;
     }
 
+    /// Homes flagged so far — the alert-consumption hook for anything
+    /// that reacts to detections *between* epochs (e.g. a rollout health
+    /// gate), without paying for a full [`StreamCorrelator::outcome`]
+    /// clone per epoch.
+    pub fn flagged(&self) -> &BTreeSet<u64> {
+        &self.flagged
+    }
+
+    /// First-detection epoch per flagged home (same borrow-only hook as
+    /// [`StreamCorrelator::flagged`]).
+    pub fn first_detection(&self) -> &BTreeMap<u64, u64> {
+        &self.first_detection
+    }
+
     /// Folds one epoch of window summaries in and runs the incremental
     /// community pass. Summaries may arrive in any order and may omit
     /// homes (a truncated home stops contributing; a shed window is

@@ -1,0 +1,115 @@
+//! Checkpoint restore robustness: a checkpoint buffer is an untrusted
+//! input (it may come off disk, a KV store, or the wire), so `restore`
+//! must map every malformed buffer to a structured [`CheckpointError`] —
+//! never a panic, never a silently-wrong correlator.
+
+use proptest::prelude::*;
+use xlf_stream::{CheckpointError, StreamConfig, StreamCorrelator, WindowSummary, STREAM_FEATURES};
+
+fn config() -> StreamConfig {
+    StreamConfig {
+        graph_k: 4,
+        graph_gamma: 8.0,
+        graph_iters: 50,
+        min_deviation: 0.15,
+        sigma: 4.0,
+    }
+}
+
+/// A checkpoint with real state in it: 6 homes × 5 epochs ingested.
+fn populated_checkpoint() -> Vec<u8> {
+    let mut correlator = StreamCorrelator::new(config());
+    for epoch in 0..5u64 {
+        let batch: Vec<WindowSummary> = (0..6u64)
+            .map(|home| {
+                let mut features = [0.0; STREAM_FEATURES];
+                features[0] = 10.0 + home as f64;
+                features[9] = 100.0 * (epoch + 1) as f64;
+                WindowSummary {
+                    home,
+                    window: epoch,
+                    partial: false,
+                    features,
+                }
+            })
+            .collect();
+        correlator.ingest_epoch(&batch);
+    }
+    correlator.checkpoint()
+}
+
+#[test]
+fn wrong_magic_is_a_structured_error() {
+    let mut bytes = populated_checkpoint();
+    bytes[0] ^= 0xFF;
+    assert_eq!(
+        StreamCorrelator::restore(&bytes).err(),
+        Some(CheckpointError::BadMagic)
+    );
+    // A buffer that is some other format entirely is BadMagic too.
+    assert_eq!(
+        StreamCorrelator::restore(b"PK\x03\x04not a checkpoint").err(),
+        Some(CheckpointError::BadMagic)
+    );
+}
+
+#[test]
+fn unsupported_version_reports_the_version_it_found() {
+    let mut bytes = populated_checkpoint();
+    // Header layout: 4 magic bytes, then the format version as LE u32.
+    bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+    assert_eq!(
+        StreamCorrelator::restore(&bytes).err(),
+        Some(CheckpointError::UnsupportedVersion(99))
+    );
+}
+
+#[test]
+fn every_truncation_is_a_structured_error() {
+    let bytes = populated_checkpoint();
+    assert!(StreamCorrelator::restore(&bytes).is_ok());
+    for len in 0..bytes.len() {
+        let err = StreamCorrelator::restore(&bytes[..len])
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes restored successfully"));
+        assert!(
+            matches!(err, CheckpointError::Truncated | CheckpointError::BadMagic),
+            "truncation to {len} bytes: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut bytes = populated_checkpoint();
+    bytes.push(0);
+    assert_eq!(
+        StreamCorrelator::restore(&bytes).err(),
+        Some(CheckpointError::TrailingBytes)
+    );
+}
+
+proptest! {
+    /// Flipping any single byte of a valid checkpoint never panics the
+    /// restore path: it either fails with a structured error or yields a
+    /// correlator whose own re-checkpoint is well-formed.
+    #[test]
+    fn single_byte_corruption_never_panics(idx in 0usize..4096, xor in 1u8..=255) {
+        let mut bytes = populated_checkpoint();
+        let idx = idx % bytes.len();
+        bytes[idx] ^= xor;
+        if let Ok(restored) = StreamCorrelator::restore(&bytes) {
+            // Corruption in value bytes can still decode; the restored
+            // correlator must at least be internally consistent enough
+            // to checkpoint again.
+            let rechecked = restored.checkpoint();
+            prop_assert!(StreamCorrelator::restore(&rechecked).is_ok());
+        }
+    }
+
+    /// Arbitrary byte soup never panics `restore`.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = StreamCorrelator::restore(&data);
+    }
+}
