@@ -15,11 +15,28 @@ cargo build --release
 cargo test -q
 
 echo "== smoke: fleet orchestration (32 homes, 4 workers)"
-./target/release/exp_fleet --homes 32 --workers 4 --horizon 420 --json BENCH_fleet.json
-
-echo "== schema stability: byte-identical fleet reports across reruns"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+# Smoke runs write to the tmpdir: the committed BENCH_fleet.json is the
+# canonical 1000-home point and must not be overwritten by a 32-home run.
+./target/release/exp_fleet --homes 32 --workers 4 --horizon 420 --json "$tmpdir/bench_smoke.json"
+
+echo "== bench freshness: committed BENCH_fleet.json matches the current schema"
+metrics_schema="$(sed -n 's/^pub const FLEET_METRICS_SCHEMA_VERSION: u32 = \([0-9]*\);$/\1/p' \
+    crates/fleet/src/metrics.rs)"
+test -n "$metrics_schema" \
+    || { echo "could not extract FLEET_METRICS_SCHEMA_VERSION from metrics.rs"; exit 1; }
+grep -q "\"metrics\": {\"schema_version\":$metrics_schema," BENCH_fleet.json \
+    || { echo "BENCH_fleet.json embeds stale metrics (want schema v$metrics_schema); \
+regenerate with exp_fleet --homes 1000 --repeats 3"; exit 1; }
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_fleet.json"))
+assert bench["homes"] >= 1000, f"BENCH_fleet.json is a {bench['homes']}-home smoke artifact"
+assert bench["speedup"] >= 0.95, f"sharding overhead regressed: speedup {bench['speedup']}"
+EOF
+
+echo "== schema stability: byte-identical fleet reports across reruns"
 ./target/release/exp_fleet --homes 16 --workers 2 --horizon 420 --capacity 64 \
     --report "$tmpdir/report_a.json" --json "$tmpdir/bench_a.json" >/dev/null
 ./target/release/exp_fleet --homes 16 --workers 2 --horizon 420 --capacity 64 \
@@ -55,17 +72,25 @@ grep -q '"byte_identical_workers": true' "$tmpdir/bench_ota.json" \
 grep -q '"contained": true' "$tmpdir/bench_ota.json" \
     || { echo "ota bench JSON shows no contained tampered campaign"; exit 1; }
 
+echo "== smoke: hierarchical scale tiers (10k homes, self-asserting)"
+./target/release/exp_scale --homes 10000 --workers 4 --horizon 240 \
+    --max-rss-mb 512 --json "$tmpdir/bench_scale.json"
+grep -q '"byte_identical_regions": true' "$tmpdir/bench_scale.json" \
+    || { echo "scale bench JSON lost region-count byte identity"; exit 1; }
+grep -q '"sublinear_memory": true' "$tmpdir/bench_scale.json" \
+    || { echo "scale bench JSON lost sublinear peak-RSS scaling"; exit 1; }
+
 echo "== golden-byte rerun gate: report bytes unchanged across reruns"
 cargo test -p xlf-fleet --test schema -q
 cargo test -p xlf-fleet --test determinism -q
 
-echo "== schema gate: v5 goldens are current (and v4 goldens are retired)"
-ls crates/fleet/tests/golden/fleet_report_v5.json \
-   crates/fleet/tests/golden/fleet_metrics_v5.json \
-   crates/fleet/tests/golden/fleet_report_campaign_v5.json >/dev/null \
-    || { echo "v5 schema goldens are missing"; exit 1; }
-if ls crates/fleet/tests/golden/*_v4.json >/dev/null 2>&1; then
-    echo "stale v4 schema goldens are still checked in"; exit 1
+echo "== schema gate: v6 goldens are current (and v5 goldens are retired)"
+ls crates/fleet/tests/golden/fleet_report_v6.json \
+   crates/fleet/tests/golden/fleet_metrics_v6.json \
+   crates/fleet/tests/golden/fleet_report_campaign_v6.json >/dev/null \
+    || { echo "v6 schema goldens are missing"; exit 1; }
+if ls crates/fleet/tests/golden/*_v5.json >/dev/null 2>&1; then
+    echo "stale v5 schema goldens are still checked in"; exit 1
 fi
 
 echo "CI OK"

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dfa;
 pub mod features;
@@ -16,6 +17,7 @@ pub mod graph;
 pub mod kernel;
 pub mod mkl;
 pub mod multipattern;
+pub mod robust;
 pub mod timeseries;
 
 pub use dfa::{Dfa, DfaVerdict};
@@ -25,4 +27,5 @@ pub use graph::{deviation_scores, label_propagation, similarity_graph};
 pub use kernel::Kernel;
 pub use mkl::MklClassifier;
 pub use multipattern::{AcAutomaton, AcMatch};
+pub use robust::{robust_scale, robust_z, MAD_SIGMA};
 pub use timeseries::{EwmaDetector, SeasonalDetector};

@@ -1,0 +1,119 @@
+//! Robust z-scoring against merged fleet-wide location/scale estimates.
+//!
+//! The hierarchical fleet tier scores every home against *global*
+//! per-feature median/MAD statistics (merged exactly from the region
+//! accumulators) instead of building a fleet-wide similarity graph —
+//! the graph pass is reserved for the forwarded candidate subset. The
+//! score is the classic robust z: the worst per-dimension deviation in
+//! MAD-normalized units,
+//!
+//! ```text
+//! z(x) = max_d |x_d − median_d| / (1.4826 · mad_d)
+//! ```
+//!
+//! with a scale fallback of `max(|median_d|, 1)` when the MAD is ~0
+//! (a dimension the whole fleet agrees on: any departure from the
+//! consensus is measured against the consensus magnitude itself).
+//! Non-finite inputs are treated as 0 (matching the fleet feature
+//! sanitizer), so a poisoned home can never produce a NaN score that
+//! escapes threshold comparisons.
+
+/// Consistency constant mapping MAD to the standard deviation of a
+/// normal distribution (1 / Φ⁻¹(3/4)).
+pub const MAD_SIGMA: f64 = 1.4826;
+
+/// The per-dimension robust scale: `MAD_SIGMA · mad`, falling back to
+/// `max(|median|, 1)` when the MAD is (numerically) zero.
+pub fn robust_scale(median: f64, mad: f64) -> f64 {
+    let s = MAD_SIGMA * mad;
+    if s > 1e-12 {
+        s
+    } else {
+        median.abs().max(1.0)
+    }
+}
+
+/// The robust z-score of a feature vector against per-dimension
+/// median/MAD estimates: the worst per-dimension deviation in
+/// MAD-normalized units. Dimensions beyond the shorter of the three
+/// slices are ignored; non-finite components count as 0.
+pub fn robust_z(x: &[f64], medians: &[f64], mads: &[f64]) -> f64 {
+    let dims = x.len().min(medians.len()).min(mads.len());
+    let mut worst = 0.0f64;
+    for d in 0..dims {
+        let v = if x[d].is_finite() { x[d] } else { 0.0 };
+        let z = (v - medians[d]).abs() / robust_scale(medians[d], mads[d]);
+        if z > worst {
+            worst = z;
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn z_is_zero_at_the_median() {
+        assert_eq!(robust_z(&[3.0, 5.0], &[3.0, 5.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn z_is_the_worst_dimension() {
+        // dim0: |10-3|/1.4826 ≈ 4.72; dim1: |6-5|/(2·1.4826) ≈ 0.34.
+        let z = robust_z(&[10.0, 6.0], &[3.0, 5.0], &[1.0, 2.0]);
+        assert!((z - 7.0 / MAD_SIGMA).abs() < 1e-12, "z = {z}");
+    }
+
+    #[test]
+    fn zero_mad_falls_back_to_median_magnitude() {
+        // Consensus dimension at 100.0: a home at 150.0 scores 0.5.
+        let z = robust_z(&[150.0], &[100.0], &[0.0]);
+        assert!((z - 0.5).abs() < 1e-12, "z = {z}");
+        // Consensus at 0 with zero MAD: unit scale.
+        let z = robust_z(&[3.0], &[0.0], &[0.0]);
+        assert!((z - 3.0).abs() < 1e-12, "z = {z}");
+    }
+
+    #[test]
+    fn non_finite_components_count_as_zero() {
+        let z = robust_z(&[f64::NAN, f64::INFINITY], &[1.0, 2.0], &[1.0, 1.0]);
+        assert!(z.is_finite());
+        // NaN→0 gives |0-1|/1.4826; inf→0 gives |0-2|/1.4826 → worst.
+        assert!((z - 2.0 / MAD_SIGMA).abs() < 1e-12, "z = {z}");
+    }
+
+    proptest! {
+        /// The score is always finite and non-negative, whatever the
+        /// inputs — the no-NaN-escape guarantee the fleet tier needs.
+        #[test]
+        fn z_is_always_finite_and_non_negative(
+            x in proptest::collection::vec(
+                // Adversarial feature values, non-finite ones included.
+                proptest::sample::select(vec![
+                    0.0, -0.0, 1.5, -3.25, 1e300, -1e300, f64::MIN_POSITIVE,
+                    f64::NAN, f64::INFINITY, f64::NEG_INFINITY,
+                ]),
+                0..6,
+            ),
+            med in proptest::collection::vec(-1e9f64..1e9, 0..6),
+            mad in proptest::collection::vec(0.0f64..1e9, 0..6),
+        ) {
+            let z = robust_z(&x, &med, &mad);
+            prop_assert!(z.is_finite());
+            prop_assert!(z >= 0.0);
+        }
+
+        /// Scaling a dimension's deviation scales its z linearly (when
+        /// that dimension dominates) — sanity that the normalization is
+        /// actually per-dimension.
+        #[test]
+        fn z_scales_with_deviation(dev in 1.0f64..1e6, mad in 0.5f64..100.0) {
+            let z1 = robust_z(&[dev], &[0.0], &[mad]);
+            let z2 = robust_z(&[2.0 * dev], &[0.0], &[mad]);
+            prop_assert!((z2 - 2.0 * z1).abs() < 1e-6 * z2.max(1.0));
+        }
+    }
+}

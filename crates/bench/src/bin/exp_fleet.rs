@@ -26,6 +26,8 @@ struct Args {
     horizon_s: u64,
     /// Evidence-bus capacity for the main run (None = unbounded).
     capacity: Option<usize>,
+    /// Timing repeats for the baseline/sharded pair (min-of-N wall time).
+    repeats: usize,
     /// Where to dump the main run's full `FleetReport::to_json` ("" = skip).
     report: String,
     json: String,
@@ -37,6 +39,7 @@ fn parse_args() -> Args {
         workers: 8,
         horizon_s: 420,
         capacity: None,
+        repeats: 1,
         report: String::new(),
         json: "BENCH_fleet.json".to_string(),
     };
@@ -57,13 +60,16 @@ fn parse_args() -> Args {
             "--capacity" => {
                 args.capacity = Some(value("count").parse().expect("--capacity: integer"))
             }
+            "--repeats" => args.repeats = value("count").parse().expect("--repeats: integer"),
             "--report" => args.report = value("path"),
             "--json" => args.json = value("path"),
             other => panic!(
-                "unknown flag {other} (use --homes --workers --horizon --capacity --report --json)"
+                "unknown flag {other} \
+                 (use --homes --workers --horizon --capacity --repeats --report --json)"
             ),
         }
     }
+    assert!(args.repeats >= 1, "--repeats must be at least 1");
     args
 }
 
@@ -92,6 +98,17 @@ fn timed_run(spec: &FleetSpec) -> (FleetReport, FleetMetrics, f64) {
     let t0 = Instant::now();
     let report = run_fleet(spec, &metrics).expect("fleet engine lost work");
     (report, metrics, t0.elapsed().as_secs_f64())
+}
+
+/// Min-of-N wall time: runs are deterministic, so only the clock varies;
+/// the minimum is the least-noise estimate on a shared CI box.
+fn best_of(repeats: usize, spec: &FleetSpec) -> (FleetReport, FleetMetrics, f64) {
+    let (report, metrics, mut wall_s) = timed_run(spec);
+    for _ in 1..repeats {
+        let (_, _, secs) = timed_run(spec);
+        wall_s = wall_s.min(secs);
+    }
+    (report, metrics, wall_s)
 }
 
 /// Homes under an *active* attack — the ones the home/fleet tiers can be
@@ -141,8 +158,13 @@ fn main() {
             .map_or("unbounded".to_string(), |c| c.to_string()),
     );
 
-    let (baseline, _, baseline_s) = timed_run(&spec(&args, 1, args.capacity));
-    let (report, metrics, sharded_s) = timed_run(&spec(&args, args.workers, args.capacity));
+    let (baseline, _, baseline_s) = best_of(args.repeats, &spec(&args, 1, args.capacity));
+    let (report, metrics, sharded_s) =
+        best_of(args.repeats, &spec(&args, args.workers, args.capacity));
+    // The engine clamps the worker pool to the machine's hardware
+    // threads (the spec value is retained for determinism stamping), so
+    // the "sharded" run never pays oversubscription context-switch cost.
+    let workers_effective = metrics.workers_effective.get();
 
     let deterministic = report.to_json() == baseline.to_json();
     let attacked = attacked_ids(&report);
@@ -255,15 +277,26 @@ fn main() {
     );
 
     println!(
-        "\nSpeedup {}→{} workers: {:.2}×  (deterministic across worker counts: {})",
+        "\nSpeedup {}→{} workers ({} effective): {:.2}×  \
+         (deterministic across worker counts: {})",
         1,
         args.workers,
+        workers_effective,
         baseline_s / sharded_s,
         deterministic
     );
     println!("Fleet metrics: {}", metrics.to_json());
 
     assert!(deterministic, "fleet report changed with worker count");
+    // Sharding must never cost real throughput: with the worker clamp in
+    // place, the sharded run is at worst the baseline plus channel and
+    // thread-spawn overhead. Gate at 0.95× with a 50 ms absolute guard
+    // so sub-second smoke runs don't trip on scheduler noise.
+    assert!(
+        sharded_s <= baseline_s / 0.95 + 0.05,
+        "sharded run slower than baseline: {sharded_s:.3}s vs {baseline_s:.3}s \
+         ({workers_effective} effective workers)"
+    );
     assert!(
         main_deviants_flagged,
         "aggregator missed injected deviants: attacked={attacked:?} flagged={:?}",
@@ -372,6 +405,7 @@ fn write_bench_json(
     let aggregate_cpu_s = metrics.aggregate_us.sum_us() as f64 / 1e6;
     let json = format!(
         "{{\n  \"experiment\": \"fleet\",\n  \"homes\": {},\n  \"workers\": {},\n  \
+         \"workers_effective\": {},\n  \"repeats\": {},\n  \
          \"horizon_s\": {},\n  \"capacity\": {},\n  \"baseline_s\": {:.3},\n  \
          \"sharded_s\": {:.3},\n  \"homes_per_sec\": {:.1},\n  \"speedup\": {:.2},\n  \
          \"build_cpu_s\": {:.3},\n  \"step_cpu_s\": {:.3},\n  \"report_cpu_s\": {:.3},\n  \
@@ -384,6 +418,8 @@ fn write_bench_json(
          \"evidence_shed\": {},\n  \"capacity_sweep\": [\n    {}\n  ],\n  \"metrics\": {}\n}}\n",
         args.homes,
         args.workers,
+        metrics.workers_effective.get(),
+        args.repeats,
         args.horizon_s,
         args.capacity.map_or("null".to_string(), |c| c.to_string()),
         baseline_s,

@@ -19,10 +19,12 @@
 //! runs can be diffed byte-for-byte.
 
 use crate::engine::{HomeBuildError, HomeStream};
-use crate::spec::{FleetSpec, HomeSpec, HomeTemplate, FLEET_FAULT_KINDS};
+use crate::region::{fleet_features, RegionAggregator, RegionSlot, RegionSummary};
+use crate::spec::{FleetSpec, HomeSpec, HomeTemplate, RowPolicy, FLEET_FAULT_KINDS};
 use crate::supervise::{HomeOutcome, HomeRunError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use xlf_analytics::graph::community_report;
+use xlf_analytics::robust::robust_z;
 use xlf_core::alerts::{Alert, AlertSink, Severity};
 use xlf_core::framework::HomeReport;
 use xlf_device::Vulnerability;
@@ -31,7 +33,7 @@ use xlf_mgmt::{
     ConfigAuditor, TargetHome, COMMAND_KINDS,
 };
 use xlf_simnet::SimTime;
-use xlf_stream::{EpochRecord, StreamConfig, StreamCorrelator, WindowSummary};
+use xlf_stream::{EpochRecord, RobustAccumulator, StreamConfig, StreamCorrelator, WindowSummary};
 
 /// Vendor the control plane's campaigns sign as. Matches the vendor the
 /// per-home gateways already trust for OTA vetting, so a clean campaign
@@ -67,8 +69,17 @@ const FEAT_PACKETS: usize = 9;
 /// `campaigns` section (`null` when the spec configures no campaigns
 /// and no config audit; per-campaign rollout reports, command-bus
 /// disposition totals, and config-audit accounting otherwise) plus the
-/// campaign-halt and config-audit alerts.
-pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 5;
+/// campaign-halt and config-audit alerts; v6 — hierarchical
+/// region→global aggregation: the `regions` section (one entry per
+/// logical region: outcome tallies, forwarded-candidate count, merge
+/// statistics), `rows_mode` (`"full"` or `"candidates"`), per-row
+/// `region`/`candidate` fields, `community` nullable (only forwarded
+/// candidates join the graph pass), `deviation` re-based to the robust
+/// z-score against per-template merged median/MAD statistics (so
+/// `threshold` is now in robust-σ units, `max(sigma, min_deviation)`),
+/// and the top-level `homes` count drawn from the outcome tallies (the
+/// `rows` section no longer lists every home in candidates mode).
+pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 6;
 
 /// One home's row in the fleet report (homes that ran to the horizon —
 /// the only homes the cross-home graph correlates).
@@ -82,11 +93,19 @@ pub struct FleetHomeRow {
     pub attack: &'static str,
     /// Infrastructure fault the home ran under ("none" = healthy).
     pub fault: &'static str,
-    /// Behavioural community the home landed in.
-    pub community: usize,
-    /// Deviation from its community (high = suspicious). May be
-    /// non-finite for degenerate feature columns; non-finite deviations
-    /// never flag a home and serialize as `null`.
+    /// Logical region the home reported into.
+    pub region: u32,
+    /// Whether the home's region forwarded it to the global pass (its
+    /// own Core raised criticals/quarantines/sheds, or it sat at its
+    /// region's per-template magnitude extremes).
+    pub candidate: bool,
+    /// Behavioural community the home landed in — `None` (serialized
+    /// `null`) for homes the region tier did not forward; only
+    /// candidates join the global graph pass.
+    pub community: Option<usize>,
+    /// Robust z-score against the fleet's merged per-template
+    /// median/MAD statistics (high = suspicious). Always finite:
+    /// non-finite features are zeroed before scoring.
     pub deviation: f64,
     /// Whether the fleet tier flagged this home.
     pub flagged: bool,
@@ -241,8 +260,17 @@ pub struct MgmtSection {
 pub struct FleetReport {
     /// Master seed the fleet was stamped from.
     pub master_seed: u64,
-    /// Per-home rows, sorted by id (only homes that ran to the horizon).
+    /// Row retention policy the run used: under [`RowPolicy::Full`],
+    /// `rows` lists every home that ran to the horizon; under
+    /// [`RowPolicy::CandidatesOnly`] it lists forwarded candidates only
+    /// (the outcome tallies in `totals` still cover every home).
+    pub rows_mode: RowPolicy,
+    /// Per-home rows, sorted by id (homes that ran to the horizon,
+    /// filtered per `rows_mode`).
     pub rows: Vec<FleetHomeRow>,
+    /// Per-logical-region summaries, in region order — the compact
+    /// state the global pass correlated.
+    pub regions: Vec<RegionSummary>,
     /// Homes truncated by the step event budget, sorted by id.
     pub degraded: Vec<DegradedHome>,
     /// Homes that panicked past their retry budget, sorted by id.
@@ -328,15 +356,24 @@ fn json_str(s: &str) -> String {
 }
 
 impl FleetReport {
-    /// Total homes accounted for across every outcome section.
+    /// Total homes accounted for across every outcome — from the
+    /// tallies, not the row sections, so the count covers the whole
+    /// fleet even under candidates-only row retention.
     pub fn homes_accounted(&self) -> usize {
-        self.rows.len() + self.degraded.len() + self.run_failed.len() + self.build_failed.len()
+        self.totals.homes_accounted() as usize
     }
 
-    /// Checks the conservation law against the number of homes stamped:
-    /// `ok + degraded + failed + build_failed == homes`.
+    /// Checks the conservation law against the number of homes stamped
+    /// (`ok + degraded + failed + build_failed == homes`) *and* that the
+    /// row sections agree with the tallies (`rows` covers every
+    /// completed home under full retention; the quarantine sections
+    /// always list every lost home).
     pub fn accounting_ok(&self, homes: usize) -> bool {
-        self.homes_accounted() == homes
+        self.totals.homes_accounted() == homes as u64
+            && self.degraded.len() as u64 == self.totals.homes_degraded
+            && self.run_failed.len() as u64 == self.totals.homes_run_failed
+            && self.build_failed.len() as u64 == self.totals.homes_build_failed
+            && (self.rows_mode != RowPolicy::Full || self.rows.len() as u64 == self.totals.homes_ok)
     }
 
     /// Serializes the report as deterministic JSON, schema version
@@ -348,7 +385,8 @@ impl FleetReport {
             let _ = write!(
                 out,
                 "{{\"id\":{},\"seed\":{},\"template\":{},\"attack\":\"{}\",\
-                 \"fault\":\"{}\",\"community\":{},\"deviation\":{},\"flagged\":{},\
+                 \"fault\":\"{}\",\"region\":{},\"candidate\":{},\
+                 \"community\":{},\"deviation\":{},\"flagged\":{},\
                  \"observer_accuracy\":{},\
                  \"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
                  \"evidence_drop_rate\":{},\"warnings\":{},\
@@ -359,7 +397,12 @@ impl FleetReport {
                 json_str(&r.template),
                 r.attack,
                 r.fault,
-                r.community,
+                r.region,
+                r.candidate,
+                match r.community {
+                    Some(c) => c.to_string(),
+                    None => "null".to_string(),
+                },
                 json_f64(r.deviation),
                 r.flagged,
                 json_opt_f64(r.observer_accuracy),
@@ -521,9 +564,34 @@ impl FleetReport {
                 json_f64(a.score)
             );
         });
+        let regions = join_section(self.regions.iter(), 192, |out, r| {
+            let _ = write!(
+                out,
+                "{{\"region\":{},\"homes\":{},\"ok\":{},\"degraded\":{},\
+                 \"run_failed\":{},\"build_failed\":{},\"candidates\":{},\
+                 \"evidence\":{},\"evidence_shed\":{},\"homes_with_critical\":{},\
+                 \"homes_with_quarantine\":{},\"samples\":{},\
+                 \"magnitude_median\":{},\"magnitude_mad\":{}}}",
+                r.region,
+                r.homes,
+                r.ok,
+                r.degraded,
+                r.run_failed,
+                r.build_failed,
+                r.candidates,
+                r.evidence,
+                r.evidence_shed,
+                r.homes_with_critical,
+                r.homes_with_quarantine,
+                r.samples,
+                json_f64(r.magnitude_median),
+                json_f64(r.magnitude_mad),
+            );
+        });
         format!(
             "{{\"schema_version\":{},\"master_seed\":{},\"homes\":{},\"communities\":{},\
              \"threshold\":{},\"flagged\":[{}],\"epochs\":{},\"campaigns\":{},\
+             \"regions\":[{}],\"rows_mode\":{},\
              \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
              \"evidence_drop_rate\":{},\"evidence_shed_rate\":{},\"forwarded\":{},\
              \"dropped_packets\":{},\"homes_with_critical\":{},\
@@ -539,6 +607,8 @@ impl FleetReport {
             flagged,
             epochs,
             campaigns,
+            regions,
+            json_str(self.rows_mode.name()),
             self.totals.evidence,
             self.totals.evidence_dropped,
             self.totals.evidence_shed,
@@ -561,23 +631,6 @@ impl FleetReport {
     }
 }
 
-/// Median of a slice (0 when empty). Total order via [`f64::total_cmp`]
-/// so arbitrary inputs (including NaN) can never panic the sort; callers
-/// that need a *meaningful* median filter non-finite values first.
-fn median_of(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let mid = sorted.len() / 2;
-    if sorted.len().is_multiple_of(2) {
-        (sorted[mid - 1] + sorted[mid]) / 2.0
-    } else {
-        sorted[mid]
-    }
-}
-
 /// Collects per-home outcomes and fuses them into fleet intelligence.
 pub struct FleetAggregator {
     master_seed: u64,
@@ -593,6 +646,9 @@ pub struct FleetAggregator {
     stream_checkpoint_every: Option<u64>,
     campaigns: Vec<CampaignSpec>,
     config_audit: Option<ConfigAuditSpec>,
+    region_slots: usize,
+    region_candidates: usize,
+    row_policy: RowPolicy,
     /// The fleet-level alert pipeline (same sink the per-home Cores use).
     pub alerts: AlertSink,
 }
@@ -614,6 +670,9 @@ impl FleetAggregator {
             stream_checkpoint_every: spec.stream_checkpoint_every,
             campaigns: spec.campaigns.clone(),
             config_audit: spec.config_audit,
+            region_slots: spec.region_slots.max(1),
+            region_candidates: spec.region_candidates.max(1),
+            row_policy: spec.row_policy,
             alerts: AlertSink::new(),
         }
     }
@@ -837,28 +896,6 @@ impl FleetAggregator {
             .unwrap_or_else(|| format!("template-{idx}"))
     }
 
-    /// Feature vector the cross-home graph correlates: the home's
-    /// traffic-behaviour window plus its evidence-store summary and
-    /// fused verdict — "aggregates the raw and the detection results …
-    /// from each layer", one tier up.
-    fn fleet_features(report: &HomeReport) -> Vec<f64> {
-        let mut f = report.features.clone();
-        f.push(report.evidence_total as f64);
-        f.push(report.dropped_packets as f64);
-        f.push(report.top_score);
-        // One NaN feature would poison every RBF similarity touching this
-        // home and, through graph symmetrization, its neighbours' scores
-        // too — degrading the *whole* fleet correlation instead of one
-        // row. Zero the bad dimension so the home is scored on what it
-        // did report.
-        for v in &mut f {
-            if !v.is_finite() {
-                *v = 0.0;
-            }
-        }
-        f
-    }
-
     /// Fuses the collected `(spec, outcome)` pairs into the fleet report
     /// without any streamed windows — the batch path. Equivalent to
     /// [`FleetAggregator::aggregate_streamed`] with empty streams.
@@ -872,22 +909,122 @@ impl FleetAggregator {
     }
 
     /// Fuses the collected `(spec, outcome, stream)` triples into the
-    /// fleet report: homes that ran to the horizon are correlated and
-    /// flagged; degraded, failed, and build-failed homes are quarantined
-    /// into their own sections (with a warning alert each) instead of
-    /// panicking the aggregation or skewing the correlation. When the
-    /// spec streams, the epoch-by-epoch stream pass runs first and its
-    /// trace lands in the report's `epochs` section. Input order does
-    /// not matter (everything is sorted by home id first).
+    /// fleet report by routing every triple through a single
+    /// [`RegionAggregator`] instance and running the region→global pass
+    /// — the one-instance degenerate case of the hierarchical topology
+    /// ([`FleetAggregator::aggregate_regions`] is the general entry).
+    /// Input order does not matter.
     pub fn aggregate_streamed(
-        mut self,
-        mut items: Vec<(HomeSpec, HomeOutcome, HomeStream)>,
+        self,
+        items: Vec<(HomeSpec, HomeOutcome, HomeStream)>,
     ) -> FleetReport {
+        let mut shard = RegionAggregator::from_parts(
+            self.region_slots,
+            self.region_candidates,
+            self.row_policy,
+            0,
+            1,
+        );
+        for (hs, outcome, stream) in items {
+            shard.consume(hs, outcome, stream);
+        }
+        self.aggregate_regions(vec![shard])
+    }
+
+    /// The global tier of the two-tier aggregation: gathers the logical
+    /// region slots from the shards (in ascending region order — the
+    /// merged state is therefore independent of how many shards the
+    /// engine ran), merges each template's per-region robust statistics
+    /// *exactly* ([`RobustAccumulator::merge_many`]), correlates the
+    /// forwarded candidates with the graph pass, and scores every
+    /// retained home against its own template's merged median/MAD. The
+    /// report is byte-identical for any shard count because every input
+    /// to this pass is a set property of the fleet, not of the
+    /// partitioning.
+    ///
+    /// Flagging: a home is *deviant* when its region forwarded it as a
+    /// candidate **and** its robust z-score clears
+    /// `max(sigma, min_deviation)`; it is *flagged* when it is deviant
+    /// or its own Core raised criticals (criticals force candidacy, so
+    /// the criticals-always-flag invariant survives the pre-filter).
+    pub fn aggregate_regions(mut self, mut shards: Vec<RegionAggregator>) -> FleetReport {
+        assert!(!shards.is_empty(), "at least one region shard required");
+        let instances = shards.len();
+        // Gather every logical slot in ascending region order.
+        let mut slots: Vec<RegionSlot> = (0..self.region_slots)
+            .map(|r| shards[RegionAggregator::shard_of(r as u32, instances)].take_slot(r as u32))
+            .collect();
+
+        let regions: Vec<RegionSummary> = slots
+            .iter()
+            .enumerate()
+            .map(|(r, s)| s.summary(r as u32))
+            .collect();
+        let mut candidates: BTreeSet<u64> = BTreeSet::new();
+        for slot in &slots {
+            candidates.extend(slot.candidate_ids());
+        }
+
+        // Exact global merge of the per-(region, template) statistics:
+        // median/MAD per feature dimension, per template — each home is
+        // scored against its own template's population, so a minority
+        // template (e.g. houses among apartments) is never mass-flagged
+        // for behaving like itself.
+        let mut template_dims: BTreeMap<usize, usize> = BTreeMap::new();
+        for slot in &slots {
+            for (&t, stats) in &slot.stats {
+                let dims = template_dims.entry(t).or_insert(0);
+                *dims = (*dims).max(stats.features.len());
+            }
+        }
+        let mut merged: BTreeMap<usize, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+        for (&t, &dims) in &template_dims {
+            let mut medians = Vec::with_capacity(dims);
+            let mut mads = Vec::with_capacity(dims);
+            for d in 0..dims {
+                let acc = RobustAccumulator::merge_many(
+                    slots
+                        .iter()
+                        .filter_map(|s| s.stats.get(&t))
+                        .filter_map(|st| st.features.get(d)),
+                );
+                medians.push(acc.median());
+                mads.push(acc.mad());
+            }
+            merged.insert(t, (medians, mads));
+        }
+
+        // Fleet totals come from the region tallies, not the retained
+        // rows — they cover the whole fleet even under candidates-only
+        // retention.
+        let mut totals = FleetTotals::default();
+        for slot in &slots {
+            totals.evidence += slot.evidence;
+            totals.evidence_dropped += slot.evidence_dropped;
+            totals.evidence_shed += slot.evidence_shed;
+            totals.forwarded += slot.forwarded;
+            totals.dropped_packets += slot.dropped_packets;
+            totals.homes_with_critical += slot.homes_with_critical;
+            totals.homes_with_quarantine += slot.homes_with_quarantine;
+            totals.homes_ok += slot.ok;
+            totals.homes_degraded += slot.degraded;
+            totals.homes_run_failed += slot.run_failed;
+            totals.homes_build_failed += slot.build_failed;
+        }
+
+        // Drain the retained triples into one id-sorted vector (the
+        // shape the stream pass and the report sections consume).
+        let mut items: Vec<(HomeSpec, HomeOutcome, HomeStream)> = Vec::new();
+        for slot in &mut slots {
+            items.extend(std::mem::take(&mut slot.retained).into_values());
+        }
         items.sort_by_key(|(hs, _, _)| hs.id);
 
-        // Stream pass first: its alerts are epoch-stamped (mid-run sim
+        // Stream pass next: its alerts are epoch-stamped (mid-run sim
         // times), so they precede every horizon-stamped batch alert. The
         // control plane (campaigns + config audit) rides inside it.
+        // Streaming requires full row retention (the spec enforces it),
+        // so the pass sees every home exactly as before.
         let (epochs, mgmt) = self.stream_pass(&items);
 
         let mut ok_items: Vec<(HomeSpec, HomeReport, Option<f64>)> =
@@ -918,57 +1055,46 @@ impl FleetAggregator {
             }
         }
 
-        let features: Vec<Vec<f64>> = ok_items
+        // Graph pass over the forwarded candidates only: the community
+        // structure of the homes the regions found interesting. Rows are
+        // id-sorted, so candidate order — and thus the labelling — is
+        // deterministic.
+        let cand: Vec<(u64, Vec<f64>)> = ok_items
             .iter()
-            .map(|(_, report, _)| Self::fleet_features(report))
+            .filter(|(hs, _, _)| candidates.contains(&hs.id))
+            .map(|(hs, report, _)| (hs.id, fleet_features(report)))
             .collect();
-        let graph = community_report(&features, self.graph_k, self.graph_gamma, self.graph_iters);
-
-        // Flag threshold: robustly above the fleet's own deviation
-        // spread. Median + σ·MAD (MAD scaled to a std estimate) instead
-        // of mean + σ·std — a handful of extreme deviants would inflate
-        // the mean/std enough to mask themselves. Non-finite scores
-        // (degenerate feature columns) are excluded so one NaN cannot
-        // poison the threshold for the whole fleet.
-        let finite: Vec<f64> = graph
-            .scores
+        let cand_features: Vec<Vec<f64>> = cand.iter().map(|(_, f)| f.clone()).collect();
+        let graph = community_report(
+            &cand_features,
+            self.graph_k,
+            self.graph_gamma,
+            self.graph_iters,
+        );
+        let label_of: BTreeMap<u64, usize> = cand
             .iter()
-            .copied()
-            .filter(|s| s.is_finite())
+            .zip(graph.labels.iter())
+            .map(|((id, _), &label)| (*id, label))
             .collect();
-        let median = median_of(&finite);
-        let abs_dev: Vec<f64> = finite.iter().map(|s| (s - median).abs()).collect();
-        let spread = 1.4826 * median_of(&abs_dev);
-        let threshold = self.min_deviation.max(median + self.sigma * spread);
-
         let mut communities: Vec<usize> = graph.labels.clone();
         communities.sort_unstable();
         communities.dedup();
 
-        let mut totals = FleetTotals {
-            homes_ok: ok_items.len() as u64,
-            homes_degraded: degraded.len() as u64,
-            homes_run_failed: run_failed.len() as u64,
-            homes_build_failed: build_failed.len() as u64,
-            ..FleetTotals::default()
-        };
+        // The flag threshold is an absolute robust-σ bar, not a quantile
+        // of this run's score distribution — merged statistics make the
+        // scores comparable across fleets and region layouts.
+        let threshold = self.sigma.max(self.min_deviation);
+
         let mut flagged_ids = Vec::new();
         let mut rows = Vec::with_capacity(ok_items.len());
-        for (i, (hs, report, observer_accuracy)) in ok_items.into_iter().enumerate() {
-            totals.evidence += report.evidence_total as u64;
-            totals.evidence_dropped += report.evidence_dropped;
-            totals.evidence_shed += report.evidence_shed;
-            totals.forwarded += report.forwarded;
-            totals.dropped_packets += report.dropped_packets;
-            if report.critical_alerts > 0 {
-                totals.homes_with_critical += 1;
-            }
-            if !report.quarantined.is_empty() {
-                totals.homes_with_quarantine += 1;
-            }
-
-            let deviation = graph.scores[i];
-            let deviant = deviation.is_finite() && deviation >= threshold;
+        for (hs, report, observer_accuracy) in ok_items {
+            let f = fleet_features(&report);
+            let deviation = merged
+                .get(&hs.template)
+                .map(|(med, mad)| robust_z(&f, med, mad))
+                .unwrap_or(0.0);
+            let candidate = candidates.contains(&hs.id);
+            let deviant = candidate && deviation >= threshold;
             let flagged = deviant || report.critical_alerts > 0;
             if flagged {
                 flagged_ids.push(hs.id);
@@ -989,14 +1115,11 @@ impl FleetAggregator {
                     at: self.horizon,
                     device: format!("home-{:06}", hs.id),
                     severity,
-                    score: if deviation.is_finite() {
-                        deviation.clamp(0.0, 1.0)
-                    } else {
-                        0.0
-                    },
+                    score: deviation.clamp(0.0, 1.0),
                     explanation: format!(
-                        "fleet correlation: community {} deviation {:.3}{}{}{}",
-                        graph.labels[i],
+                        "fleet correlation: region {} community {} robust z {:.3}{}{}{}",
+                        hs.region,
+                        label_of.get(&hs.id).copied().unwrap_or(0),
                         deviation,
                         if deviant { " (deviant)" } else { "" },
                         if report.critical_alerts > 0 {
@@ -1014,7 +1137,9 @@ impl FleetAggregator {
                 template: self.template_name(hs.template),
                 attack: hs.attack.name(),
                 fault: hs.fault.name(),
-                community: graph.labels[i],
+                region: hs.region % self.region_slots as u32,
+                candidate,
+                community: label_of.get(&hs.id).copied(),
                 deviation,
                 flagged,
                 observer_accuracy,
@@ -1085,7 +1210,9 @@ impl FleetAggregator {
 
         FleetReport {
             master_seed: self.master_seed,
+            rows_mode: self.row_policy,
             rows,
+            regions,
             degraded,
             run_failed,
             build_failed,
@@ -1145,6 +1272,7 @@ mod tests {
                         template: 0,
                         attack: FleetAttack::None,
                         fault: FleetFault::None,
+                        region: (i % 4) as u32,
                     },
                     ok(fake_report(i as u64, traffic, 0)),
                 )
@@ -1373,12 +1501,47 @@ mod tests {
     }
 
     #[test]
-    fn median_is_total_ordered_and_nan_tolerant() {
-        assert_eq!(median_of(&[]), 0.0);
-        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median_of(&[4.0, 1.0, 3.0, 2.0]), 2.5);
-        // NaN inputs must not panic (total_cmp sorts them to the end).
-        let v = median_of(&[1.0, f64::NAN, 2.0]);
-        assert_eq!(v, 2.0);
+    fn region_counts_do_not_change_the_batch_report() {
+        // The execution-shard count is not part of the report: the same
+        // items aggregated through 1, 2, and 8 region shards are
+        // byte-identical (slot state is a set property; gathering is in
+        // ascending region order either way).
+        let spec = FleetSpec::new(1, 24);
+        let baseline = FleetAggregator::new(&spec)
+            .aggregate(items(24, Some(9)))
+            .to_json();
+        for instances in [2usize, 8] {
+            let mut shards: Vec<RegionAggregator> = (0..instances)
+                .map(|i| RegionAggregator::new(&spec, i, instances))
+                .collect();
+            for (hs, outcome) in items(24, Some(9)) {
+                let shard =
+                    RegionAggregator::shard_of(hs.region % spec.region_slots as u32, instances);
+                shards[shard].consume(hs, outcome, HomeStream::default());
+            }
+            let sharded = FleetAggregator::new(&spec)
+                .aggregate_regions(shards)
+                .to_json();
+            assert_eq!(sharded, baseline, "instances = {instances}");
+        }
+    }
+
+    #[test]
+    fn regions_section_tallies_cover_the_fleet() {
+        let spec = FleetSpec::new(1, 16);
+        let report = FleetAggregator::new(&spec).aggregate(items(16, Some(5)));
+        assert_eq!(report.regions.len(), spec.region_slots);
+        let homes: u64 = report.regions.iter().map(|r| r.homes).sum();
+        assert_eq!(homes, 16);
+        let ok: u64 = report.regions.iter().map(|r| r.ok).sum();
+        assert_eq!(ok, report.totals.homes_ok);
+        // Small fleet, default K: every completed home is a candidate.
+        let cand: u64 = report.regions.iter().map(|r| r.candidates).sum();
+        assert_eq!(cand, 16);
+        assert!(report.rows.iter().all(|r| r.candidate));
+        // Stamped regions survive into the rows.
+        for row in &report.rows {
+            assert_eq!(row.region, (row.id % 4) as u32);
+        }
     }
 }

@@ -22,6 +22,7 @@
 
 use crate::aggregate::{FleetAggregator, FleetReport};
 use crate::metrics::FleetMetrics;
+use crate::region::RegionAggregator;
 use crate::spec::{FleetAttack, FleetFault, FleetSpec, HomeSpec, ATTACK_AT_S, LEARNING_END_S};
 use crate::supervise::{panic_message, FleetError, HomeOutcome, HomeRunError};
 use crossbeam::channel::{Receiver, Sender};
@@ -627,12 +628,34 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport
     }
     drop(job_tx); // workers exit once the queue runs dry
 
+    // Oversubscribing the machine only adds contention (on a 1-core CI
+    // container, enough to make the "sharded" run *slower* than the
+    // baseline): spawn at most the available parallelism. The spec's
+    // worker count is untouched — it stays part of the deterministic
+    // stamp — only the spawn count is clamped.
+    let workers = spec
+        .workers
+        .max(1)
+        .min(std::thread::available_parallelism().map_or(1, |p| p.get()));
+    metrics.workers_effective.set(workers as u64);
+
+    // The region tier: each finished home is routed straight into its
+    // logical region's shard, so the engine never holds the whole
+    // fleet's outcomes in one vector.
+    let instances = spec.regions.max(1);
+    metrics.regions.set(instances as u64);
+    let mut aggs: Vec<RegionAggregator> = (0..instances)
+        .map(|i| RegionAggregator::new(spec, i, instances))
+        .collect();
+    let region_slots = spec.region_slots.max(1) as u32;
+
     type WorkerResult = (HomeSpec, HomeOutcome, HomeStream);
     let (report_tx, report_rx) =
         crossbeam::channel::bounded::<WorkerResult>(spec.report_capacity.max(1));
 
-    let collected: Vec<WorkerResult> = crossbeam::thread::scope(|s| {
-        for _ in 0..spec.workers.max(1) {
+    let shards = &mut aggs;
+    let received: usize = crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
             let jobs = job_rx.clone();
             let results = report_tx.clone();
             s.spawn(move || worker_loop(spec, jobs, results, metrics));
@@ -642,29 +665,34 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport
         drop(report_tx);
         drop(job_rx);
 
-        let mut collected = Vec::with_capacity(n);
-        while let Ok(item) = report_rx.recv() {
+        let mut received = 0usize;
+        while let Ok((hs, outcome, stream)) = report_rx.recv() {
             metrics.reports_received.inc();
-            collected.push(item);
+            let region = hs.region % region_slots;
+            shards[RegionAggregator::shard_of(region, instances)].consume(hs, outcome, stream);
+            received += 1;
         }
-        collected
+        received
     })
     .map_err(|payload| FleetError::WorkerPanic(panic_message(payload)))?;
 
     // Conservation: every stamped home must come back as exactly one
     // outcome (`ok + degraded + failed + build_failed == homes`).
-    if collected.len() != n {
+    if received != n {
         return Err(FleetError::Accounting {
             expected: n,
-            accounted: collected.len(),
+            accounted: received,
         });
     }
 
     let t0 = Instant::now();
-    let report = FleetAggregator::new(spec).aggregate_streamed(collected);
+    let report = FleetAggregator::new(spec).aggregate_regions(aggs);
     metrics
         .aggregate_us
         .observe(t0.elapsed().as_micros() as u64);
+    metrics
+        .region_candidates
+        .add(report.regions.iter().map(|r| r.candidates).sum());
     if let Some(mgmt) = &report.mgmt {
         use xlf_mgmt::CommandKind;
         metrics
@@ -702,6 +730,7 @@ mod tests {
             template: 0,
             attack,
             fault: FleetFault::None,
+            region: 0,
         }
     }
 

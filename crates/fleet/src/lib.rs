@@ -37,6 +37,7 @@
 pub mod aggregate;
 pub mod engine;
 pub mod metrics;
+pub mod region;
 pub mod spec;
 pub mod supervise;
 
@@ -48,7 +49,10 @@ pub use engine::{build_home, run_fleet, HomeBuildError, HomeStream};
 pub use metrics::{
     Counter, FaultCounts, FleetMetrics, Gauge, Histogram, FLEET_METRICS_SCHEMA_VERSION,
 };
-pub use spec::{FleetAttack, FleetFault, FleetSpec, HomeSpec, HomeTemplate, FLEET_FAULT_KINDS};
+pub use region::{RegionAggregator, RegionSummary};
+pub use spec::{
+    FleetAttack, FleetFault, FleetSpec, HomeSpec, HomeTemplate, RowPolicy, FLEET_FAULT_KINDS,
+};
 pub use supervise::{FleetError, HomeOutcome, HomeRunError};
 pub use xlf_mgmt::{
     CampaignReport, CampaignSpec, ConfigAuditReport, ConfigAuditSpec, HealthGate, WaveReport,

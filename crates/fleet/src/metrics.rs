@@ -22,8 +22,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `faults_injected`; v5 — control-plane counters
 /// (`campaign_updates_applied`, `campaign_updates_rejected`,
 /// `campaign_rollbacks`, `campaign_quarantines`,
-/// `config_drift_detected`, `config_remediations`).
-pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 5;
+/// `config_drift_detected`, `config_remediations`); v6 — hierarchical
+/// aggregation: `workers_effective` (spec workers clamped to the
+/// machine's available parallelism), `regions` (region-aggregator
+/// instances the run sharded the logical slots across), and
+/// `region_candidates` (candidate deviants the region tier forwarded to
+/// the global pass).
+pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 6;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -222,6 +227,15 @@ pub struct FleetMetrics {
     pub config_drift_detected: Counter,
     /// Config remediations applied by the audit.
     pub config_remediations: Counter,
+    /// Worker threads the engine actually spawned: the spec's worker
+    /// count clamped to the machine's available parallelism
+    /// (oversubscribing cores only adds contention).
+    pub workers_effective: Gauge,
+    /// Region-aggregator instances the logical region slots were
+    /// sharded across.
+    pub regions: Gauge,
+    /// Candidate deviants the region tier forwarded to the global pass.
+    pub region_candidates: Counter,
     /// Home reports received by the aggregator.
     pub reports_received: Counter,
     /// Depth of the bounded report channel, sampled at each send.
@@ -254,6 +268,7 @@ impl FleetMetrics {
              \"campaign_updates_applied\":{},\"campaign_updates_rejected\":{},\
              \"campaign_rollbacks\":{},\"campaign_quarantines\":{},\
              \"config_drift_detected\":{},\"config_remediations\":{},\
+             \"workers_effective\":{},\"regions\":{},\"region_candidates\":{},\
              \"reports_received\":{},\"report_channel_depth\":{},\
              \"report_channel_high_water\":{},\"faults_injected\":{},\
              \"build\":{},\"step\":{},\"report\":{},\"aggregate\":{}}}",
@@ -276,6 +291,9 @@ impl FleetMetrics {
             self.campaign_quarantines.get(),
             self.config_drift_detected.get(),
             self.config_remediations.get(),
+            self.workers_effective.get(),
+            self.regions.get(),
+            self.region_candidates.get(),
             self.reports_received.get(),
             self.report_channel_depth.get(),
             self.report_channel_depth.high_water(),

@@ -240,6 +240,31 @@ pub const LEARNING_END_S: u64 = 120;
 /// When an injected attack fires.
 pub const ATTACK_AT_S: u64 = 180;
 
+/// How many per-home rows the region tier retains for the final report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowPolicy {
+    /// Retain every home's full outcome: the report carries one row per
+    /// correlated home (the historical shape). Memory is linear in
+    /// fleet size.
+    Full,
+    /// Retain only candidate deviants (criticals/quarantine/shed homes
+    /// plus each region's magnitude extremes): the report's `rows`
+    /// section lists candidates only and peak memory stays sublinear in
+    /// fleet size — the 100k+ home configuration. Requires batch mode
+    /// (the stream pass needs every home's windows retained).
+    CandidatesOnly,
+}
+
+impl RowPolicy {
+    /// Stable name used in the report JSON (`rows_mode`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RowPolicy::Full => "full",
+            RowPolicy::CandidatesOnly => "candidates",
+        }
+    }
+}
+
 /// The complete description of a fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetSpec {
@@ -324,6 +349,25 @@ pub struct FleetSpec {
     /// stream pass (`None` = no audit). Requires streamed correlation
     /// like campaigns — the audit cadence is measured in stream epochs.
     pub config_audit: Option<ConfigAuditSpec>,
+    /// Number of *logical* regions homes are stamped into. Like
+    /// template/attack/fault, a home's region is data — a pure hash of
+    /// `(master_seed, id)` — so the report's `regions` section is
+    /// identical no matter how the run is executed.
+    pub region_slots: usize,
+    /// Number of [`crate::region::RegionAggregator`] instances the
+    /// engine shards region consumption across. Purely an execution
+    /// knob (like `workers`): any value produces byte-identical
+    /// reports, because each logical region's state lives in exactly
+    /// one aggregator and the global pass gathers logical regions in
+    /// stable order.
+    pub regions: usize,
+    /// How many magnitude extremes each logical region forwards to the
+    /// global pass as candidate deviants, *per side* (top-K largest and
+    /// bottom-K smallest feature magnitudes). Homes with criticals,
+    /// quarantines or evidence shed are always forwarded regardless.
+    pub region_candidates: usize,
+    /// Row retention policy; see [`RowPolicy`].
+    pub row_policy: RowPolicy,
 }
 
 impl FleetSpec {
@@ -354,7 +398,55 @@ impl FleetSpec {
             stream_checkpoint_every: None,
             campaigns: Vec::new(),
             config_audit: None,
+            region_slots: 8,
+            regions: 1,
+            region_candidates: 16,
+            row_policy: RowPolicy::Full,
         }
+    }
+
+    /// Sets the number of logical regions homes are stamped into
+    /// (builder-style); see [`FleetSpec::region_slots`]. Part of the
+    /// fleet layout: changing it reshuffles region assignments (but
+    /// never seeds/templates/attacks/faults).
+    pub fn with_region_slots(mut self, slots: usize) -> Self {
+        assert!(slots > 0, "fleet needs at least one region slot");
+        self.region_slots = slots;
+        self
+    }
+
+    /// Sets the number of region aggregators (builder-style); see
+    /// [`FleetSpec::regions`]. Execution-only: report bytes are
+    /// identical for any value.
+    pub fn with_regions(mut self, regions: usize) -> Self {
+        self.regions = regions.max(1);
+        self
+    }
+
+    /// Sets the per-region candidate forwarding budget (builder-style);
+    /// see [`FleetSpec::region_candidates`].
+    pub fn with_region_candidates(mut self, k: usize) -> Self {
+        assert!(k > 0, "each region must forward at least one candidate");
+        self.region_candidates = k;
+        self
+    }
+
+    /// Sets the row retention policy (builder-style); see [`RowPolicy`].
+    /// Candidates-only retention is a batch-mode scale configuration:
+    /// the stream pass (and therefore campaigns and config audits)
+    /// replays every home's windows, which is exactly the linear state
+    /// this policy exists to avoid.
+    pub fn with_row_policy(mut self, policy: RowPolicy) -> Self {
+        if policy == RowPolicy::CandidatesOnly {
+            assert!(
+                self.correlation_interval.is_none()
+                    && self.campaigns.is_empty()
+                    && self.config_audit.is_none(),
+                "candidates-only rows require batch mode (no streaming/campaigns/audit)"
+            );
+        }
+        self.row_policy = policy;
+        self
     }
 
     /// Adds an OTA rollout campaign (builder-style); see
@@ -387,6 +479,10 @@ impl FleetSpec {
     /// (builder-style); see [`FleetSpec::correlation_interval`].
     pub fn with_correlation_interval(mut self, secs: u64) -> Self {
         assert!(secs > 0, "correlation interval must be positive");
+        assert!(
+            self.row_policy == RowPolicy::Full,
+            "streamed correlation requires full row retention"
+        );
         self.correlation_interval = Some(secs);
         self
     }
@@ -520,12 +616,18 @@ impl FleetSpec {
                 let h2 = splitmix64(h1 ^ 0xFA17_0000_0000_0001);
                 let fault_idx =
                     weighted_pick(h2 % fault_total, self.faults.iter().map(|&(_, s)| s as u64));
+                // Regions draw from their own hash word like faults do,
+                // so adding region stamping never relayouts
+                // seeds/templates/attacks/faults stamped by older specs.
+                let h3 = splitmix64(h2 ^ 0x4E61_0000_0000_0002);
+                let region = (h3 % self.region_slots as u64) as u32;
                 HomeSpec {
                     id,
                     seed,
                     template,
                     attack: self.attacks[attack_idx].0,
                     fault: self.faults[fault_idx].0,
+                    region,
                 }
             })
             .collect()
@@ -555,6 +657,8 @@ pub struct HomeSpec {
     pub attack: FleetAttack,
     /// Infrastructure fault the home runs under.
     pub fault: FleetFault,
+    /// Logical region the home reports into (`0..region_slots`).
+    pub region: u32,
 }
 
 #[cfg(test)]
@@ -721,6 +825,57 @@ mod tests {
     #[should_panic(expected = "config audits require streamed correlation")]
     fn batch_mode_config_audits_are_rejected() {
         let _ = FleetSpec::new(1, 8).with_config_audit(ConfigAuditSpec::new(4));
+    }
+
+    #[test]
+    fn region_stamping_is_layout_invariant_and_roughly_uniform() {
+        // Changing region_slots must not relayout
+        // seeds/templates/attacks/faults — regions draw from their own
+        // hash word, exactly like faults.
+        let base = FleetSpec::new(42, 256).stamp();
+        let resliced = FleetSpec::new(42, 256).with_region_slots(3).stamp();
+        for (a, b) in base.iter().zip(&resliced) {
+            assert_eq!(
+                (a.id, a.seed, a.template, a.attack, a.fault),
+                (b.id, b.seed, b.template, b.attack, b.fault)
+            );
+        }
+        assert!(base.iter().all(|h| h.region < 8));
+        assert!(resliced.iter().all(|h| h.region < 3));
+        // All 8 default slots are populated at 256 homes (expected ~32
+        // per slot) and no slot hogs the fleet.
+        let mut counts = [0usize; 8];
+        for h in &base {
+            counts[h.region as usize] += 1;
+        }
+        for (slot, &n) in counts.iter().enumerate() {
+            assert!((8..=80).contains(&n), "slot {slot}: {n} homes");
+        }
+    }
+
+    #[test]
+    fn region_aggregator_count_is_not_part_of_the_layout() {
+        // `regions` is an execution knob like `workers` — stamping must
+        // ignore it entirely.
+        let one = FleetSpec::new(9, 128).with_regions(1).stamp();
+        let eight = FleetSpec::new(9, 128).with_regions(8).stamp();
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidates-only rows require batch mode")]
+    fn streamed_candidates_only_rows_are_rejected() {
+        let _ = FleetSpec::new(1, 8)
+            .with_correlation_interval(15)
+            .with_row_policy(RowPolicy::CandidatesOnly);
+    }
+
+    #[test]
+    #[should_panic(expected = "streamed correlation requires full row retention")]
+    fn candidates_only_then_streaming_is_rejected() {
+        let _ = FleetSpec::new(1, 8)
+            .with_row_policy(RowPolicy::CandidatesOnly)
+            .with_correlation_interval(15);
     }
 
     #[test]

@@ -125,6 +125,64 @@ fn campaign_bearing_reports_are_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn region_counts_are_byte_identical_for_plain_fleets() {
+    // The hierarchical contract: the number of region-aggregator
+    // *instances* is an execution knob like the worker count. A home's
+    // logical region is stamped data, so sharding the logical slots
+    // across 1, 2, or 8 instances must not change a byte.
+    let baseline = run_fleet(&spec(2).with_regions(1), &FleetMetrics::new()).expect("fleet runs");
+    let json = baseline.to_json();
+    assert_eq!(baseline.regions.len(), 8, "one summary per logical region");
+    for regions in [2, 8] {
+        let metrics = FleetMetrics::new();
+        let report = run_fleet(&spec(2).with_regions(regions), &metrics).expect("fleet runs");
+        assert_eq!(
+            report.to_json(),
+            json,
+            "region count {regions} changed the fleet report"
+        );
+        assert_eq!(metrics.regions.get(), regions as u64);
+    }
+}
+
+#[test]
+fn region_counts_are_byte_identical_with_faults_and_campaigns() {
+    // The hard case: faults (degraded/failed homes land in *different*
+    // logical regions) and a streamed campaign with a config audit (the
+    // control plane reads the gathered home set). Still not one byte of
+    // difference across 1/2/8 region shards.
+    use xlf_fleet::FleetFault;
+    fn chaotic_spec(regions: usize) -> FleetSpec {
+        FleetSpec::new(0xF1EE_8008, 16)
+            .with_workers(2)
+            .with_regions(regions)
+            .with_correlation_interval(15)
+            .with_faults(vec![
+                (FleetFault::None, 5),
+                (FleetFault::WanFlap, 1),
+                (FleetFault::ChaosPanic, 1),
+            ])
+            .with_campaign(
+                CampaignSpec::new("cam-fw-2.0", "cam", Version(2, 0, 0), b"cam v2".to_vec())
+                    .with_schedule(8, 3)
+                    .with_waves(vec![25, 60, 100]),
+            )
+            .with_config_audit(ConfigAuditSpec::new(6).with_drift(20, 10))
+    }
+    let baseline = run_fleet(&chaotic_spec(1), &FleetMetrics::new()).expect("fleet runs");
+    let json = baseline.to_json();
+    assert!(baseline.mgmt.is_some(), "campaign section present");
+    for regions in [2, 8] {
+        let report = run_fleet(&chaotic_spec(regions), &FleetMetrics::new()).expect("fleet runs");
+        assert_eq!(
+            report.to_json(),
+            json,
+            "region count {regions} changed the chaotic fleet report"
+        );
+    }
+}
+
+#[test]
 fn injected_deviants_are_flagged_by_the_aggregator() {
     // A mostly-benign fleet with a couple of compromised homes: the
     // cross-home tier must flag every actively-attacked home (their own

@@ -2,7 +2,7 @@
 //!
 //! `FleetReport::to_json` and `FleetMetrics::to_json` are longitudinal
 //! interfaces: operators diff them across runs and revisions. These
-//! tests pin the exact bytes of schema v5 against goldens under
+//! tests pin the exact bytes of schema v6 against goldens under
 //! `tests/golden/`. If a field is added/removed/renamed/reordered, bump
 //! the matching `*_SCHEMA_VERSION` constant and regenerate the goldens:
 //!
@@ -93,6 +93,7 @@ fn synthetic_report_json() -> String {
                     template: (i % 2) as usize,
                     attack: FleetAttack::None,
                     fault: FleetFault::None,
+                    region: (i % 3) as u32,
                 },
                 ok(fake_report(i, traffic, 0)),
             )
@@ -169,6 +170,7 @@ fn synthetic_campaign_report_json() -> String {
                     template: 0,
                     attack: FleetAttack::None,
                     fault: FleetFault::None,
+                    region: (i % 2) as u32,
                 },
                 ok(fake_report(i, 50.0 + i as f64, 0)),
                 HomeStream { windows, shed: 0 },
@@ -181,22 +183,26 @@ fn synthetic_campaign_report_json() -> String {
 }
 
 #[test]
-fn fleet_report_json_matches_the_v5_golden() {
+fn fleet_report_json_matches_the_v6_golden() {
     assert_eq!(
-        FLEET_REPORT_SCHEMA_VERSION, 5,
+        FLEET_REPORT_SCHEMA_VERSION, 6,
         "bump goldens with the schema"
     );
     let json = synthetic_report_json();
-    assert!(json.starts_with("{\"schema_version\":5,"), "{json}");
+    assert!(json.starts_with("{\"schema_version\":6,"), "{json}");
     // Batch aggregation: the `epochs` and `campaigns` sections are
     // present but null.
     assert!(json.contains("\"epochs\":null"), "{json}");
     assert!(json.contains("\"campaigns\":null"), "{json}");
-    assert_matches_golden("fleet_report_v5.json", &json);
+    // v6: the regions section and per-row region/candidate fields.
+    assert!(json.contains("\"regions\":[{\"region\":0,"), "{json}");
+    assert!(json.contains("\"rows_mode\":\"full\""), "{json}");
+    assert!(json.contains("\"candidate\":true"), "{json}");
+    assert_matches_golden("fleet_report_v6.json", &json);
 }
 
 #[test]
-fn campaign_report_json_matches_the_v5_golden() {
+fn campaign_report_json_matches_the_v6_golden() {
     let json = synthetic_campaign_report_json();
     // The tampered release lands on the first wave's promiscuous
     // cohort, the correlator flags the implant behaviour, and the gate
@@ -204,13 +210,13 @@ fn campaign_report_json_matches_the_v5_golden() {
     assert!(json.contains("\"halted_at_wave\":0") || json.contains("\"halted_at_wave\":1"));
     assert!(json.contains("\"contained\":true"), "{json}");
     assert!(json.contains("\"config_audit\":{\"every\":5"), "{json}");
-    assert_matches_golden("fleet_report_campaign_v5.json", &json);
+    assert_matches_golden("fleet_report_campaign_v6.json", &json);
 }
 
 #[test]
-fn fleet_metrics_json_matches_the_v5_golden() {
+fn fleet_metrics_json_matches_the_v6_golden() {
     assert_eq!(
-        FLEET_METRICS_SCHEMA_VERSION, 5,
+        FLEET_METRICS_SCHEMA_VERSION, 6,
         "bump goldens with the schema"
     );
     let m = FleetMetrics::new();
@@ -235,6 +241,9 @@ fn fleet_metrics_json_matches_the_v5_golden() {
     m.campaign_quarantines.add(5);
     m.config_drift_detected.add(3);
     m.config_remediations.add(3);
+    m.workers_effective.set(2);
+    m.regions.set(4);
+    m.region_candidates.add(9);
     m.reports_received.add(11);
     m.report_channel_depth.set(3);
     m.report_channel_depth.set(1);
@@ -243,8 +252,8 @@ fn fleet_metrics_json_matches_the_v5_golden() {
     m.report_us.observe(80);
     m.aggregate_us.observe(1_500);
     let json = m.to_json();
-    assert!(json.starts_with("{\"schema_version\":5,"), "{json}");
-    assert_matches_golden("fleet_metrics_v5.json", &json);
+    assert!(json.starts_with("{\"schema_version\":6,"), "{json}");
+    assert_matches_golden("fleet_metrics_v6.json", &json);
 }
 
 #[test]

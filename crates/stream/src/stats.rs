@@ -61,6 +61,21 @@ impl RobustAccumulator {
         self.samples = merged;
     }
 
+    /// Merges a whole set of accumulators into one (the region→global
+    /// reduction: each logical region keeps one accumulator per feature
+    /// and the global pass folds them in stable region order). Exact —
+    /// the result is bit-equal to the batch accumulator over the
+    /// concatenated samples, for *any* partition of the samples into
+    /// parts (sorted-merge is associative and commutative over
+    /// `total_cmp`-sorted runs).
+    pub fn merge_many<'a>(parts: impl IntoIterator<Item = &'a RobustAccumulator>) -> Self {
+        let mut acc = RobustAccumulator::new();
+        for part in parts {
+            acc.merge(part);
+        }
+        acc
+    }
+
     /// Samples folded in so far.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -161,6 +176,33 @@ mod tests {
             prop_assert_eq!(merged.samples(), batch.samples());
             prop_assert_eq!(merged.median().to_bits(), batch.median().to_bits());
             prop_assert_eq!(merged.mad().to_bits(), batch.mad().to_bits());
+        }
+
+        /// The region-merge property the hierarchical fleet tier rests
+        /// on: split one sample population across an *arbitrary* number
+        /// of regions by an arbitrary assignment, accumulate each region
+        /// independently, then merge the regions — the result must be
+        /// bit-equal to the single-batch accumulator. This is exactly
+        /// why region-count 1/2/8 fleet reports can be byte-identical.
+        #[test]
+        fn region_split_merge_equals_single_batch(
+            samples in proptest::collection::vec(-1e6f64..1e6, 0..64),
+            assignment in proptest::collection::vec(0usize..8, 64),
+            regions in 1usize..8,
+        ) {
+            let mut parts = vec![RobustAccumulator::new(); regions];
+            for (i, &x) in samples.iter().enumerate() {
+                parts[assignment[i] % regions].push(x);
+            }
+            let merged = RobustAccumulator::merge_many(&parts);
+            let batch = RobustAccumulator::from_samples(&samples);
+            prop_assert_eq!(merged.samples(), batch.samples());
+            prop_assert_eq!(merged.median().to_bits(), batch.median().to_bits());
+            prop_assert_eq!(merged.mad().to_bits(), batch.mad().to_bits());
+            // And merge order across regions doesn't matter either.
+            parts.reverse();
+            let reversed = RobustAccumulator::merge_many(&parts);
+            prop_assert_eq!(reversed.samples(), batch.samples());
         }
 
         /// Push order never matters.
