@@ -72,6 +72,25 @@ grep -q '"byte_identical_workers": true' "$tmpdir/bench_ota.json" \
 grep -q '"contained": true' "$tmpdir/bench_ota.json" \
     || { echo "ota bench JSON shows no contained tampered campaign"; exit 1; }
 
+echo "== smoke: durable checkpoint/resume chaos gate (16 homes, 2 workers, self-asserting)"
+./target/release/exp_recovery --homes 16 --workers 2 --repeats 5 \
+    --json "$tmpdir/bench_recovery.json"
+grep -q '"byte_identical_resume": true' "$tmpdir/bench_recovery.json" \
+    || { echo "recovery bench JSON lost resume byte identity"; exit 1; }
+grep -q '"within_3pct": true' "$tmpdir/bench_recovery.json" \
+    || { echo "recovery bench JSON exceeds the snapshot overhead budget"; exit 1; }
+
+echo "== bench freshness: committed BENCH_recovery.json is current"
+python3 - <<'PYEOF'
+import json
+bench = json.load(open("BENCH_recovery.json"))
+assert bench["experiment"] == "recovery", "BENCH_recovery.json is not a recovery artifact"
+assert bench["homes"] >= 32, f"BENCH_recovery.json is a {bench['homes']}-home smoke artifact"
+assert bench["byte_identical_resume"] is True, "committed recovery point lost byte identity"
+assert bench["overhead"]["within_3pct"] is True, "committed recovery point exceeds overhead budget"
+assert all(k["byte_identical"] for k in bench["kills"]), "a committed kill row diverged"
+PYEOF
+
 echo "== smoke: hierarchical scale tiers (10k homes, self-asserting)"
 ./target/release/exp_scale --homes 10000 --workers 4 --horizon 240 \
     --max-rss-mb 512 --json "$tmpdir/bench_scale.json"
@@ -84,13 +103,13 @@ echo "== golden-byte rerun gate: report bytes unchanged across reruns"
 cargo test -p xlf-fleet --test schema -q
 cargo test -p xlf-fleet --test determinism -q
 
-echo "== schema gate: v6 goldens are current (and v5 goldens are retired)"
-ls crates/fleet/tests/golden/fleet_report_v6.json \
-   crates/fleet/tests/golden/fleet_metrics_v6.json \
-   crates/fleet/tests/golden/fleet_report_campaign_v6.json >/dev/null \
-    || { echo "v6 schema goldens are missing"; exit 1; }
-if ls crates/fleet/tests/golden/*_v5.json >/dev/null 2>&1; then
-    echo "stale v5 schema goldens are still checked in"; exit 1
+echo "== schema gate: v7 goldens are current (and v6 goldens are retired)"
+ls crates/fleet/tests/golden/fleet_report_v7.json \
+   crates/fleet/tests/golden/fleet_metrics_v7.json \
+   crates/fleet/tests/golden/fleet_report_campaign_v7.json >/dev/null \
+    || { echo "v7 schema goldens are missing"; exit 1; }
+if ls crates/fleet/tests/golden/*_v6.json >/dev/null 2>&1; then
+    echo "stale v6 schema goldens are still checked in"; exit 1
 fi
 
 echo "CI OK"

@@ -250,9 +250,18 @@ fn main() {
             "fault {}% retry {}: only chaos homes may fail",
             c.fault_pct, c.retry_budget
         );
-        // Retry accounting: every failed home burned its full budget.
+        // Retry accounting: a chaos home panics identically on retry,
+        // so the supervisor fails fast after one futile re-attempt —
+        // failed homes burn at most 2 attempts however large the budget.
         for f in &c.report.run_failed {
-            assert_eq!(f.attempts, c.retry_budget + 1);
+            assert_eq!(f.attempts, c.retry_budget.min(1) + 1);
+        }
+        if c.retry_budget >= 1 {
+            assert_eq!(
+                c.metrics.retries_futile.get(),
+                c.report.run_failed.len() as u64,
+                "every failed home's single retry was futile"
+            );
         }
         // Infrastructure faults never cost verdict quality on survivors.
         assert_eq!(
@@ -288,7 +297,8 @@ fn write_bench_json(
                 "{{\"fault_pct\": {}, \"retry_budget\": {}, \"homes_ok\": {}, \
                  \"homes_degraded\": {}, \"homes_run_failed\": {}, \
                  \"completion_rate\": {:.6}, \"verdict_quality\": {:.6}, \
-                 \"panics_caught\": {}, \"retries\": {}, \"wall_s\": {:.3}}}",
+                 \"panics_caught\": {}, \"retries\": {}, \"retries_futile\": {}, \
+                 \"wall_s\": {:.3}}}",
                 c.fault_pct,
                 c.retry_budget,
                 c.report.totals.homes_ok,
@@ -298,6 +308,7 @@ fn write_bench_json(
                 c.verdict_quality(),
                 c.metrics.panics_caught.get(),
                 c.metrics.retries.get(),
+                c.metrics.retries_futile.get(),
                 c.wall_s,
             )
         })

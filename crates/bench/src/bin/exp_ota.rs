@@ -20,8 +20,8 @@ use std::time::Instant;
 use xlf_bench::print_table;
 use xlf_device::firmware::Version;
 use xlf_fleet::{
-    run_fleet, CampaignReport, CampaignSpec, ConfigAuditSpec, FleetMetrics, FleetReport, FleetSpec,
-    FLEET_REPORT_SCHEMA_VERSION,
+    run_fleet, scratch_dir, CampaignReport, CampaignSpec, ConfigAuditSpec, FleetMetrics,
+    FleetReport, FleetSpec, FLEET_REPORT_SCHEMA_VERSION,
 };
 use xlf_simnet::Duration;
 
@@ -29,6 +29,7 @@ struct Args {
     homes: usize,
     workers: usize,
     horizon_s: u64,
+    snapshot_every: Option<u64>,
     json: String,
 }
 
@@ -37,6 +38,7 @@ fn parse_args() -> Args {
         homes: 64,
         workers: 8,
         horizon_s: 420,
+        snapshot_every: None,
         json: "BENCH_ota.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -53,8 +55,17 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--horizon: integer seconds")
             }
+            "--snapshot-every" => {
+                args.snapshot_every = Some(
+                    value("epochs")
+                        .parse()
+                        .expect("--snapshot-every: integer epochs"),
+                )
+            }
             "--json" => args.json = value("path"),
-            other => panic!("unknown flag {other} (use --homes --workers --horizon --json)"),
+            other => panic!(
+                "unknown flag {other} (use --homes --workers --horizon --snapshot-every --json)"
+            ),
         }
     }
     args
@@ -85,12 +96,19 @@ fn campaign(tampered: bool, gated: bool) -> CampaignSpec {
 }
 
 fn spec(args: &Args, workers: usize, tampered: bool, gated: bool) -> FleetSpec {
-    FleetSpec::new(0x07A_CA4E, args.homes)
+    let mut spec = FleetSpec::new(0x07A_CA4E, args.homes)
         .with_workers(workers)
         .with_horizon(Duration::from_secs(args.horizon_s))
         .with_correlation_interval(INTERVAL_S)
         .with_campaign(campaign(tampered, gated))
-        .with_config_audit(ConfigAuditSpec::new(6).with_drift(15, 10))
+        .with_config_audit(ConfigAuditSpec::new(6).with_drift(15, 10));
+    // Optional durability rider: every variant snapshots at the same
+    // cadence (into its own scratch dir), keeping the cross-variant and
+    // cross-worker byte comparisons apples-to-apples.
+    if let Some(every) = args.snapshot_every {
+        spec = spec.with_run_snapshot_every(every, scratch_dir("exp-ota"));
+    }
+    spec
 }
 
 struct Variant {

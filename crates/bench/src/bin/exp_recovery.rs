@@ -1,0 +1,352 @@
+//! Recovery experiment: what does run-level durability cost, and what
+//! does it buy back after a kill?
+//!
+//! Sweeps the snapshot cadence over {off, every-5, every-1} on the same
+//! stamped fleet (faulted homes + a tampered gated campaign + a config
+//! audit, so the snapshot carries every kind of aggregation-tier state),
+//! then chaos-kills the snapshotting runs at representative points —
+//! the homes→stream boundary, an early epoch, a mid-campaign epoch
+//! between waves, and the final epoch — and resumes each from the
+//! on-disk `XLFR` generations. Records recovery wall-time, replayed
+//! epochs, and snapshot footprint per kill point and cadence in
+//! `BENCH_recovery.json`.
+//!
+//! Self-asserting acceptance: every resumed report is **byte-identical**
+//! to the straight-through run, and the steady-state overhead of the
+//! every-5 cadence (best-of-`--repeats` wall-time vs. snapshots off) is
+//! at most 3%.
+//!
+//! ```text
+//! cargo run --release -p xlf-bench --bin exp_recovery -- \
+//!     --homes 32 --workers 4 --horizon 420 --json BENCH_recovery.json
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+use xlf_bench::print_table;
+use xlf_device::firmware::Version;
+use xlf_fleet::{
+    run_fleet, run_fleet_chaos, run_fleet_resume, scratch_dir, CampaignSpec, ConfigAuditSpec,
+    FleetAttack, FleetError, FleetFault, FleetMetrics, FleetSpec, KillPoint,
+    FLEET_REPORT_SCHEMA_VERSION,
+};
+use xlf_simnet::Duration;
+
+struct Args {
+    homes: usize,
+    workers: usize,
+    horizon_s: u64,
+    repeats: usize,
+    json: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        homes: 32,
+        workers: 4,
+        horizon_s: 420,
+        repeats: 3,
+        json: "BENCH_recovery.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a {what} value"))
+        };
+        match flag.as_str() {
+            "--homes" => args.homes = value("count").parse().expect("--homes: integer"),
+            "--workers" => args.workers = value("count").parse().expect("--workers: integer"),
+            "--horizon" => {
+                args.horizon_s = value("seconds")
+                    .parse()
+                    .expect("--horizon: integer seconds")
+            }
+            "--repeats" => args.repeats = value("count").parse().expect("--repeats: integer"),
+            "--json" => args.json = value("path"),
+            other => {
+                panic!("unknown flag {other} (use --homes --workers --horizon --repeats --json)")
+            }
+        }
+    }
+    assert!(args.repeats >= 1, "--repeats must be at least 1");
+    args
+}
+
+const INTERVAL_S: u64 = 60;
+
+/// Silences panic chatter from the *injected* panics this experiment
+/// runs on (home-level chaos panics and the chaos kills themselves);
+/// every other panic still reports through the default hook.
+fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.contains("chaos-panic") {
+            default_hook(info);
+        }
+    }));
+}
+
+/// The stamped fleet every cadence shares: faulted homes (failed rows in
+/// the slots), a tampered gated campaign (engines + command bus mutate
+/// mid-stream), and a config audit — the full state menagerie the
+/// snapshot must carry.
+fn base_spec(args: &Args) -> FleetSpec {
+    FleetSpec::new(0x4EC0_2026, args.homes)
+        .with_workers(args.workers)
+        .with_horizon(Duration::from_secs(args.horizon_s))
+        .with_correlation_interval(INTERVAL_S)
+        .with_attacks(vec![
+            (FleetAttack::None, 6),
+            (FleetAttack::BotnetRecruit, 1),
+        ])
+        .with_faults(vec![(FleetFault::None, 7), (FleetFault::ChaosPanic, 1)])
+        .with_retry_budget(1)
+        .with_campaign(
+            CampaignSpec::new("cam-fw-2.0", "cam", Version(2, 0, 0), b"cam fw v2".to_vec())
+                .with_schedule(2, 2)
+                .with_waves(vec![25, 100])
+                .with_tampered(),
+        )
+        .with_config_audit(ConfigAuditSpec::new(3).with_drift(25, 4))
+}
+
+fn spec_with_cadence(args: &Args, every: Option<u64>, dir: &PathBuf) -> FleetSpec {
+    match every {
+        Some(e) => base_spec(args).with_run_snapshot_every(e, dir),
+        None => base_spec(args),
+    }
+}
+
+/// Best-of-`repeats` wall-time for a straight-through run (minimum over
+/// repeats: the standard estimator for "how fast does this go absent
+/// scheduler noise", which a 1-core CI container has plenty of).
+fn best_wall_s(args: &Args, every: Option<u64>) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut json = String::new();
+    for _ in 0..args.repeats {
+        let dir = scratch_dir("bench-straight");
+        let spec = spec_with_cadence(args, every, &dir);
+        let t0 = Instant::now();
+        let report = run_fleet(&spec, &FleetMetrics::new()).expect("fleet engine lost work");
+        let wall = t0.elapsed().as_secs_f64();
+        if wall < best {
+            best = wall;
+        }
+        json = report.to_json();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    (best, json)
+}
+
+/// One kill-and-resume measurement.
+struct KillRow {
+    every: u64,
+    kill: KillPoint,
+    replayed_epochs: u64,
+    snapshots_written: u64,
+    snapshot_bytes: u64,
+    resume_wall_s: f64,
+    identical: bool,
+}
+
+fn kill_and_resume(args: &Args, every: u64, kill: KillPoint, golden: &str) -> KillRow {
+    let dir = scratch_dir("bench-kill");
+    let spec = spec_with_cadence(args, Some(every), &dir);
+    let killed = FleetMetrics::new();
+    match run_fleet_chaos(&spec, &killed, kill) {
+        Err(FleetError::ChaosKilled(at)) if at == kill => {}
+        other => panic!("kill {kill} did not fire: {other:?}"),
+    }
+    let resumed = FleetMetrics::new();
+    let t0 = Instant::now();
+    let report = run_fleet_resume(&spec, &resumed).expect("resume completes");
+    let resume_wall_s = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    KillRow {
+        every,
+        kill,
+        replayed_epochs: resumed.replayed_epochs.get(),
+        snapshots_written: killed.snapshots_written.get(),
+        snapshot_bytes: killed.snapshot_bytes.get(),
+        resume_wall_s,
+        identical: report.to_json() == golden,
+    }
+}
+
+fn main() {
+    quiet_injected_panics();
+    let args = parse_args();
+    let epochs = base_spec(&args).stream_epochs();
+    println!(
+        "xlf-recovery: {} homes, horizon {} s ({} epochs @ {} s), {} workers, \
+         cadence sweep {{off, every-5, every-1}}, best of {} repeats",
+        args.homes, args.horizon_s, epochs, INTERVAL_S, args.workers, args.repeats,
+    );
+    assert!(epochs >= 5, "horizon too short for the kill-point sweep");
+
+    // Straight-through walls per cadence; the snapshotting goldens are
+    // also the byte-identity references for the kill sweep.
+    let (wall_off, _) = best_wall_s(&args, None);
+    let (wall_e5, golden_e5) = best_wall_s(&args, Some(5));
+    let (wall_e1, golden_e1) = best_wall_s(&args, Some(1));
+    let overhead_e5 = (wall_e5 - wall_off) / wall_off;
+    let overhead_e1 = (wall_e1 - wall_off) / wall_off;
+
+    // Kill-point sweep: boundary, early, mid-campaign (the tampered
+    // campaign launches at epoch 2 and is gated at epoch 4 — epoch 3 is
+    // between waves), and the final epoch.
+    let kills = [
+        KillPoint::AfterHomes,
+        KillPoint::Epoch(1),
+        KillPoint::Epoch(3),
+        KillPoint::Epoch(epochs - 1),
+    ];
+    let mut rows: Vec<KillRow> = Vec::new();
+    for (every, golden) in [(1u64, &golden_e1), (5u64, &golden_e5)] {
+        for kill in kills {
+            rows.push(kill_and_resume(&args, every, kill, golden));
+        }
+    }
+
+    print_table(
+        "Kill-and-resume sweep",
+        &[
+            "Cadence",
+            "Kill point",
+            "Replayed epochs",
+            "Snapshots",
+            "Snapshot KiB",
+            "Resume wall (s)",
+            "Byte-identical",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("every-{}", r.every),
+                    r.kill.to_string(),
+                    format!("{}/{}", r.replayed_epochs, epochs),
+                    r.snapshots_written.to_string(),
+                    format!("{:.1}", r.snapshot_bytes as f64 / 1024.0),
+                    format!("{:.3}", r.resume_wall_s),
+                    r.identical.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // Acceptance 1: every resumed report matches its straight-through
+    // golden byte for byte.
+    let byte_identical = rows.iter().all(|r| r.identical);
+    for r in &rows {
+        assert!(
+            r.identical,
+            "resume after kill {} at cadence every-{} diverged",
+            r.kill, r.every
+        );
+    }
+    assert!(golden_e1.starts_with(&format!(
+        "{{\"schema_version\":{FLEET_REPORT_SCHEMA_VERSION},"
+    )));
+
+    // Acceptance 2: finer cadence never replays more than coarser, and
+    // every-1 replays exactly the post-kill epochs.
+    for r in rows.iter().filter(|r| r.every == 1) {
+        let expected = match r.kill {
+            KillPoint::AfterHomes => epochs,
+            KillPoint::Epoch(e) => epochs - e,
+        };
+        assert_eq!(
+            r.replayed_epochs, expected,
+            "every-1 must replay exactly the epochs after kill {}",
+            r.kill
+        );
+    }
+
+    // Acceptance 3: the every-5 cadence costs at most 3% wall-time over
+    // snapshots-off (best-of-repeats minimums on both sides).
+    let within_3pct = overhead_e5 <= 0.03;
+    assert!(
+        within_3pct,
+        "every-5 snapshot overhead {:.2}% exceeds the 3% budget \
+         (off {wall_off:.3} s vs every-5 {wall_e5:.3} s)",
+        overhead_e5 * 100.0
+    );
+
+    println!(
+        "\nSnapshot overhead: every-5 {:+.2}% / every-1 {:+.2}% over a {:.3} s straight \
+         run; every resume byte-identical ({} kill points × 2 cadences).",
+        overhead_e5 * 100.0,
+        overhead_e1 * 100.0,
+        wall_off,
+        kills.len(),
+    );
+
+    match write_bench_json(
+        &args,
+        epochs,
+        (wall_off, wall_e5, wall_e1),
+        (overhead_e5, within_3pct),
+        byte_identical,
+        &rows,
+    ) {
+        Ok(()) => println!("Trajectory point written to {}.", args.json),
+        Err(e) => eprintln!("could not write {}: {e}", args.json),
+    }
+}
+
+fn write_bench_json(
+    args: &Args,
+    epochs: u64,
+    (wall_off, wall_e5, wall_e1): (f64, f64, f64),
+    (overhead_e5, within_3pct): (f64, bool),
+    byte_identical: bool,
+    rows: &[KillRow],
+) -> std::io::Result<()> {
+    let kills: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"every\": {}, \"kill\": \"{}\", \"replayed_epochs\": {}, \
+                 \"snapshots_written\": {}, \"snapshot_bytes\": {}, \
+                 \"resume_wall_s\": {:.3}, \"byte_identical\": {}}}",
+                r.every,
+                r.kill,
+                r.replayed_epochs,
+                r.snapshots_written,
+                r.snapshot_bytes,
+                r.resume_wall_s,
+                r.identical,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"recovery\",\n  \"homes\": {},\n  \"workers\": {},\n  \
+         \"horizon_s\": {},\n  \"interval_s\": {},\n  \"epochs\": {},\n  \
+         \"repeats\": {},\n  \"byte_identical_resume\": {},\n  \
+         \"overhead\": {{\"baseline_wall_s\": {:.3}, \"every5_wall_s\": {:.3}, \
+         \"every1_wall_s\": {:.3}, \"pct_at_every5\": {:.2}, \"within_3pct\": {}}},\n  \
+         \"kills\": [\n    {}\n  ]\n}}\n",
+        args.homes,
+        args.workers,
+        args.horizon_s,
+        INTERVAL_S,
+        epochs,
+        args.repeats,
+        byte_identical,
+        wall_off,
+        wall_e5,
+        wall_e1,
+        overhead_e5 * 100.0,
+        within_3pct,
+        kills.join(",\n    "),
+    );
+    std::fs::write(&args.json, json)
+}

@@ -16,6 +16,7 @@
 
 use std::time::Instant;
 use xlf_bench::print_table;
+use xlf_fleet::scratch_dir;
 use xlf_fleet::{
     run_fleet, FleetAttack, FleetMetrics, FleetReport, FleetSpec, HomeTemplate,
     FLEET_REPORT_SCHEMA_VERSION,
@@ -26,6 +27,7 @@ struct Args {
     homes: usize,
     workers: usize,
     horizon_s: u64,
+    snapshot_every: Option<u64>,
     json: String,
 }
 
@@ -34,6 +36,7 @@ fn parse_args() -> Args {
         homes: 48,
         workers: 8,
         horizon_s: 420,
+        snapshot_every: None,
         json: "BENCH_stream.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -50,8 +53,17 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--horizon: integer seconds")
             }
+            "--snapshot-every" => {
+                args.snapshot_every = Some(
+                    value("epochs")
+                        .parse()
+                        .expect("--snapshot-every: integer epochs"),
+                )
+            }
             "--json" => args.json = value("path"),
-            other => panic!("unknown flag {other} (use --homes --workers --horizon --json)"),
+            other => panic!(
+                "unknown flag {other} (use --homes --workers --horizon --snapshot-every --json)"
+            ),
         }
     }
     args
@@ -75,6 +87,12 @@ fn spec(args: &Args, interval_s: Option<u64>) -> FleetSpec {
         ]);
     if let Some(s) = interval_s {
         spec = spec.with_correlation_interval(s);
+    }
+    // Optional durability rider: every sweep point snapshots at the same
+    // cadence (into a per-point scratch dir), so cross-point comparisons
+    // stay apples-to-apples while exercising the run-snapshot path.
+    if let Some(every) = args.snapshot_every {
+        spec = spec.with_run_snapshot_every(every, scratch_dir("exp-stream"));
     }
     spec
 }

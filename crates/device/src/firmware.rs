@@ -316,6 +316,17 @@ impl FirmwareStore {
         Ok(())
     }
 
+    /// Restores snapshot-captured mutable state (installed image +
+    /// version history), keeping the store's policy and vendor secret.
+    ///
+    /// Used by the fleet run-level snapshot: policy and secret are pure
+    /// functions of the spec and are rebuilt by the caller; only the
+    /// mutable slot state travels through the snapshot.
+    pub fn restore_state(&mut self, installed: FirmwareImage, history: Vec<Version>) {
+        self.installed = installed;
+        self.history = history;
+    }
+
     /// Whether the installed payload contains a marker (used by tests and
     /// the attacks crate to detect implanted payloads).
     pub fn payload_contains(&self, marker: &[u8]) -> bool {

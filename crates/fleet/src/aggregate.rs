@@ -20,8 +20,9 @@
 
 use crate::engine::{HomeBuildError, HomeStream};
 use crate::region::{fleet_features, RegionAggregator, RegionSlot, RegionSummary};
+use crate::snapshot::{self, KillPoint, ResumePhase, RunCtx, SnapshotIdentity};
 use crate::spec::{FleetSpec, HomeSpec, HomeTemplate, RowPolicy, FLEET_FAULT_KINDS};
-use crate::supervise::{HomeOutcome, HomeRunError};
+use crate::supervise::{FleetError, HomeOutcome, HomeRunError};
 use std::collections::{BTreeMap, BTreeSet};
 use xlf_analytics::graph::community_report;
 use xlf_analytics::robust::robust_z;
@@ -33,7 +34,9 @@ use xlf_mgmt::{
     ConfigAuditor, TargetHome, COMMAND_KINDS,
 };
 use xlf_simnet::SimTime;
-use xlf_stream::{EpochRecord, RobustAccumulator, StreamConfig, StreamCorrelator, WindowSummary};
+use xlf_stream::{
+    EpochRecord, Reader, RobustAccumulator, StreamConfig, StreamCorrelator, WindowSummary,
+};
 
 /// Vendor the control plane's campaigns sign as. Matches the vendor the
 /// per-home gateways already trust for OTA vetting, so a clean campaign
@@ -78,8 +81,13 @@ const FEAT_PACKETS: usize = 9;
 /// z-score against per-template merged median/MAD statistics (so
 /// `threshold` is now in robust-σ units, `max(sigma, min_deviation)`),
 /// and the top-level `homes` count drawn from the outcome tallies (the
-/// `rows` section no longer lists every home in candidates mode).
-pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 6;
+/// `rows` section no longer lists every home in candidates mode); v7 —
+/// durable aggregation & recovery: the `recovery` section
+/// (`snapshot_every` — the run-snapshot cadence in epochs, `null` when
+/// the spec cuts no run snapshots). Run-invariant by construction: a
+/// resumed run reports the same cadence as the uninterrupted run it is
+/// byte-identical to.
+pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 7;
 
 /// One home's row in the fleet report (homes that ran to the horizon —
 /// the only homes the cross-home graph correlates).
@@ -287,6 +295,10 @@ pub struct FleetReport {
     pub epochs: Option<StreamSection>,
     /// Control-plane trace (`None` when no campaigns/audit configured).
     pub mgmt: Option<MgmtSection>,
+    /// Run-snapshot cadence in epochs (`None` when the spec cuts no run
+    /// snapshots). A spec property, not a run property — resumed runs
+    /// report the same value as the uninterrupted run.
+    pub snapshot_every: Option<u64>,
     /// Fleet-wide totals.
     pub totals: FleetTotals,
     /// Fleet alerts (published through the standard alert pipeline).
@@ -591,6 +603,7 @@ impl FleetReport {
         format!(
             "{{\"schema_version\":{},\"master_seed\":{},\"homes\":{},\"communities\":{},\
              \"threshold\":{},\"flagged\":[{}],\"epochs\":{},\"campaigns\":{},\
+             \"recovery\":{{\"snapshot_every\":{}}},\
              \"regions\":[{}],\"rows_mode\":{},\
              \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
              \"evidence_drop_rate\":{},\"evidence_shed_rate\":{},\"forwarded\":{},\
@@ -607,6 +620,7 @@ impl FleetReport {
             flagged,
             epochs,
             campaigns,
+            json_opt_u64(self.snapshot_every),
             regions,
             json_str(self.rows_mode.name()),
             self.totals.evidence,
@@ -649,6 +663,11 @@ pub struct FleetAggregator {
     region_slots: usize,
     region_candidates: usize,
     row_policy: RowPolicy,
+    /// Run-snapshot cadence from the spec (reported in `recovery`).
+    run_snapshot_every: Option<u64>,
+    /// The identity passive contexts are stamped with (only ever read
+    /// when a snapshot is written, which a passive ctx never does).
+    identity: SnapshotIdentity,
     /// The fleet-level alert pipeline (same sink the per-home Cores use).
     pub alerts: AlertSink,
 }
@@ -673,6 +692,8 @@ impl FleetAggregator {
             region_slots: spec.region_slots.max(1),
             region_candidates: spec.region_candidates.max(1),
             row_policy: spec.row_policy,
+            run_snapshot_every: spec.run_snapshot.as_ref().map(|p| p.every),
+            identity: SnapshotIdentity::of(spec),
             alerts: AlertSink::new(),
         }
     }
@@ -701,12 +722,20 @@ impl FleetAggregator {
     /// loop. The engines live *outside* the correlator checkpoint: the
     /// checkpoint/resume cycle restores correlator state only, and the
     /// report stays byte-identical either way.
+    ///
+    /// **Recovery.** The `ctx` threads the run-snapshot machinery
+    /// through the loop: a chaos kill point aborts at the top of its
+    /// epoch, the snapshot cadence cuts a durable generation at the end
+    /// of every `every`-th epoch, and a resume overlays the serialized
+    /// correlator/engine/auditor/bus state onto the freshly constructed
+    /// objects and fast-forwards to the snapshot's epoch cursor.
     fn stream_pass(
         &mut self,
         items: &[(HomeSpec, HomeOutcome, HomeStream)],
-    ) -> (Option<StreamSection>, Option<MgmtSection>) {
+        ctx: &mut RunCtx,
+    ) -> Result<(Option<StreamSection>, Option<MgmtSection>), FleetError> {
         let Some(interval) = self.correlation_interval else {
-            return (None, None);
+            return Ok((None, None));
         };
         let mut windows: Vec<WindowSummary> = Vec::new();
         let mut shed = 0u64;
@@ -771,11 +800,47 @@ impl FleetAggregator {
             sigma: self.sigma,
         });
         correlator.note_shed(shed);
+
+        // Resume overlay: everything pure was just rebuilt from the spec
+        // (engines, targets, auditor roster, window batches); the
+        // serialized *mutable* state replaces the fresh state, and the
+        // loop fast-forwards to the snapshot's epoch cursor. The
+        // restored correlator already carries the shed note it was
+        // checkpointed with.
+        let mut start_epoch = 0u64;
+        if let Some(ResumePhase::Stream(sr)) = ctx.resume.take() {
+            let snap_err = |e: xlf_stream::CheckpointError| FleetError::Snapshot(e.into());
+            correlator = StreamCorrelator::restore(&sr.correlator).map_err(snap_err)?;
+            for (engine, blob) in engines.iter_mut().zip(&sr.engines) {
+                let mut er = Reader::new(blob);
+                engine.restore_state(&mut er).map_err(snap_err)?;
+                er.finish().map_err(snap_err)?;
+            }
+            if let (Some(auditor), Some(blob)) = (auditor.as_mut(), sr.auditor.as_ref()) {
+                let mut ar = Reader::new(blob);
+                auditor.restore_state(&mut ar).map_err(snap_err)?;
+                ar.finish().map_err(snap_err)?;
+            }
+            bus = sr.bus;
+            start_epoch = sr.next_epoch;
+        }
+
         let mut by_epoch: BTreeMap<u64, Vec<WindowSummary>> = BTreeMap::new();
         for w in windows {
             by_epoch.entry(w.window).or_default().push(w);
         }
         for epoch in 0..self.stream_epochs {
+            // Epochs before the resume cursor are already inside the
+            // restored state: skip them without touching anything.
+            if epoch < start_epoch {
+                continue;
+            }
+            // The chaos kill fires before any of this epoch's work — the
+            // newest durable generation is the one cut at an earlier
+            // epoch boundary, exactly what a mid-epoch crash leaves.
+            if ctx.kill == Some(KillPoint::Epoch(epoch)) {
+                return Err(FleetError::ChaosKilled(KillPoint::Epoch(epoch)));
+            }
             let mut batch = by_epoch.remove(&epoch).unwrap_or_default();
             for engine in &mut engines {
                 engine.epoch_begin(epoch, correlator.flagged(), &mut bus);
@@ -805,6 +870,20 @@ impl FleetAggregator {
                     if let Ok(resumed) = StreamCorrelator::restore(&correlator.checkpoint()) {
                         correlator = resumed;
                     }
+                }
+            }
+            // Durable run snapshot at the cadence: the epoch boundary
+            // state (cursor `epoch + 1`) lands atomically on disk.
+            if let Some(every) = ctx.snapshot_every() {
+                if (epoch + 1) % every == 0 {
+                    ctx.write_stream_snapshot(
+                        epoch + 1,
+                        &correlator,
+                        &engines,
+                        auditor.as_ref(),
+                        &bus,
+                    )
+                    .map_err(FleetError::Snapshot)?;
                 }
             }
         }
@@ -875,7 +954,7 @@ impl FleetAggregator {
             })
         };
 
-        (
+        Ok((
             Some(StreamSection {
                 interval_secs: interval,
                 count: self.stream_epochs,
@@ -886,7 +965,7 @@ impl FleetAggregator {
                 first_detection: outcome.first_detection.into_iter().collect(),
             }),
             mgmt,
-        )
+        ))
     }
 
     fn template_name(&self, idx: usize) -> String {
@@ -947,13 +1026,49 @@ impl FleetAggregator {
     /// `max(sigma, min_deviation)`; it is *flagged* when it is deviant
     /// or its own Core raised criticals (criticals force candidacy, so
     /// the criticals-always-flag invariant survives the pre-filter).
-    pub fn aggregate_regions(mut self, mut shards: Vec<RegionAggregator>) -> FleetReport {
+    pub fn aggregate_regions(self, shards: Vec<RegionAggregator>) -> FleetReport {
+        let mut ctx = RunCtx::passive(self.identity);
+        match self.aggregate_regions_run(shards, &mut ctx) {
+            Ok(report) => report,
+            // A passive ctx snapshots nothing, kills nothing, and
+            // resumes nothing — none of the fallible paths exist.
+            Err(e) => unreachable!("passive aggregation cannot fail: {e}"),
+        }
+    }
+
+    /// [`FleetAggregator::aggregate_regions`] with the snapshot/kill
+    /// machinery threaded through — the engine's entry point.
+    pub(crate) fn aggregate_regions_run(
+        self,
+        mut shards: Vec<RegionAggregator>,
+        ctx: &mut RunCtx,
+    ) -> Result<FleetReport, FleetError> {
         assert!(!shards.is_empty(), "at least one region shard required");
         let instances = shards.len();
         // Gather every logical slot in ascending region order.
-        let mut slots: Vec<RegionSlot> = (0..self.region_slots)
+        let slots: Vec<RegionSlot> = (0..self.region_slots)
             .map(|r| shards[RegionAggregator::shard_of(r as u32, instances)].take_slot(r as u32))
             .collect();
+        self.aggregate_slots(slots, ctx)
+    }
+
+    /// The global pass over already-gathered region slots. This is the
+    /// homes→stream boundary: with a snapshot policy set, the slots are
+    /// serialized once here (the homes-phase generation) and embedded in
+    /// every later stream-phase generation; a resume enters here
+    /// directly with slots restored from disk.
+    pub(crate) fn aggregate_slots(
+        mut self,
+        mut slots: Vec<RegionSlot>,
+        ctx: &mut RunCtx,
+    ) -> Result<FleetReport, FleetError> {
+        if ctx.policy.is_some() && ctx.resume.is_none() {
+            ctx.set_slots_blob(snapshot::encode_slots(&slots));
+            ctx.write_homes_snapshot().map_err(FleetError::Snapshot)?;
+        }
+        if ctx.kill == Some(KillPoint::AfterHomes) {
+            return Err(FleetError::ChaosKilled(KillPoint::AfterHomes));
+        }
 
         let regions: Vec<RegionSummary> = slots
             .iter()
@@ -1025,7 +1140,7 @@ impl FleetAggregator {
         // control plane (campaigns + config audit) rides inside it.
         // Streaming requires full row retention (the spec enforces it),
         // so the pass sees every home exactly as before.
-        let (epochs, mgmt) = self.stream_pass(&items);
+        let (epochs, mgmt) = self.stream_pass(&items, ctx)?;
 
         let mut ok_items: Vec<(HomeSpec, HomeReport, Option<f64>)> =
             Vec::with_capacity(items.len());
@@ -1208,7 +1323,7 @@ impl FleetAggregator {
             }
         }
 
-        FleetReport {
+        Ok(FleetReport {
             master_seed: self.master_seed,
             rows_mode: self.row_policy,
             rows,
@@ -1221,9 +1336,10 @@ impl FleetAggregator {
             flagged: flagged_ids,
             epochs,
             mgmt,
+            snapshot_every: self.run_snapshot_every,
             totals,
             alerts: self.alerts.alerts().to_vec(),
-        }
+        })
     }
 }
 

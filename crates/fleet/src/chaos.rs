@@ -1,0 +1,96 @@
+//! The chaos-kill harness: deterministic kill points + in-process
+//! kill-and-resume, the executable proof behind the durability claim.
+//!
+//! A chaos run ([`crate::run_fleet_chaos`]) executes the normal pipeline
+//! but aborts at a chosen [`KillPoint`] — after the homes phase, or at
+//! the top of any stream epoch (including mid-campaign, between waves).
+//! [`run_killed_and_resumed`] then resumes from the durable snapshot
+//! generations the killed run left behind and returns the finished
+//! report, which callers assert is **byte-identical** to a
+//! straight-through run of the same spec. The kill is required to fire:
+//! a kill point that never triggers is an error, not a vacuous pass.
+
+use crate::engine::{run_fleet_chaos, run_fleet_resume};
+use crate::metrics::FleetMetrics;
+use crate::snapshot::{KillPoint, SnapshotError};
+use crate::spec::FleetSpec;
+use crate::supervise::FleetError;
+use crate::FleetReport;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh process-unique scratch directory path for snapshot
+/// generations (not created; the first snapshot write creates it).
+/// Callers own cleanup.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("xlfr-{tag}-{}-{seq}", std::process::id()))
+}
+
+/// Every deterministic kill point of `spec`'s timeline: the homes→stream
+/// boundary plus the top of each stream epoch.
+pub fn kill_points(spec: &FleetSpec) -> Vec<KillPoint> {
+    let mut points = vec![KillPoint::AfterHomes];
+    points.extend((0..spec.stream_epochs()).map(KillPoint::Epoch));
+    points
+}
+
+/// Kills a run of `spec` at `kill`, then resumes it from the snapshot
+/// generations the killed run wrote, returning the finished report. The
+/// spec must carry a [`FleetSpec::run_snapshot`] policy. Errors when the
+/// kill point never fires (the run completed — the chaos premise was
+/// violated) or when either leg fails for engine-level reasons.
+pub fn run_killed_and_resumed(
+    spec: &FleetSpec,
+    kill: KillPoint,
+    metrics: &FleetMetrics,
+) -> Result<FleetReport, FleetError> {
+    match run_fleet_chaos(spec, metrics, kill) {
+        Err(FleetError::ChaosKilled(at)) if at == kill => run_fleet_resume(spec, metrics),
+        Err(e) => Err(e),
+        Ok(_) => Err(FleetError::Snapshot(SnapshotError::Io(format!(
+            "kill point {kill} never fired: the chaos run completed"
+        )))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_points_cover_the_boundary_and_every_epoch() {
+        let spec = FleetSpec::new(3, 4)
+            .with_horizon(xlf_simnet::Duration::from_secs(180))
+            .with_correlation_interval(60);
+        let points = kill_points(&spec);
+        assert_eq!(points[0], KillPoint::AfterHomes);
+        assert_eq!(points.len() as u64, 1 + spec.stream_epochs());
+        assert!(points.contains(&KillPoint::Epoch(0)));
+    }
+
+    #[test]
+    fn scratch_dirs_are_process_unique_and_do_not_collide() {
+        let a = scratch_dir("t");
+        let b = scratch_dir("t");
+        assert_ne!(a, b);
+        assert!(!a.exists(), "scratch dirs are not pre-created");
+    }
+
+    #[test]
+    fn a_kill_point_that_never_fires_is_an_error() {
+        // Epoch 99 doesn't exist on this spec's timeline, so the chaos
+        // run completes — which the harness must refuse to call a pass.
+        let dir = scratch_dir("nofire");
+        let spec = FleetSpec::new(11, 4)
+            .with_horizon(xlf_simnet::Duration::from_secs(180))
+            .with_correlation_interval(60)
+            .with_run_snapshot_every(1, &dir);
+        let err = run_killed_and_resumed(&spec, KillPoint::Epoch(99), &FleetMetrics::new())
+            .expect_err("completed chaos run must error");
+        assert!(matches!(err, FleetError::Snapshot(SnapshotError::Io(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,8 +23,9 @@
 use crate::aggregate::{FleetAggregator, FleetReport};
 use crate::metrics::FleetMetrics;
 use crate::region::RegionAggregator;
+use crate::snapshot::{KillPoint, ResumePhase, RunCtx, SnapshotError, SnapshotIdentity};
 use crate::spec::{FleetAttack, FleetFault, FleetSpec, HomeSpec, ATTACK_AT_S, LEARNING_END_S};
-use crate::supervise::{panic_message, FleetError, HomeOutcome, HomeRunError};
+use crate::supervise::{panic_message, FleetError, HomeOutcome, HomeRunError, ShardError};
 use crossbeam::channel::{Receiver, Sender};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -512,16 +513,24 @@ enum Supervised {
     /// with the attempt, so retries never double-emit).
     Done(HomeOutcome, HomeStream),
     /// The attempt panicked with retry budget left: try again later.
-    Retry,
+    /// Carries the panic message so the next attempt can detect a
+    /// futile (identical) re-panic.
+    Retry(String),
 }
 
 /// One supervised attempt: `catch_unwind` around the whole build+step
 /// so a panicking home becomes data, not a dead worker. `attempts_done`
-/// counts *previous* failed attempts of this home.
+/// counts *previous* failed attempts of this home; `prev_panic` is the
+/// previous attempt's panic message, if any. A home is deterministic in
+/// its stamp, so a retry that panics with the *identical* payload is
+/// futile — the supervisor fails it fast (counted `retries_futile`)
+/// instead of burning the rest of the budget. Fault-kind transients
+/// (payloads that differ across attempts) keep their full budget.
 fn supervised_attempt(
     spec: &FleetSpec,
     hs: &HomeSpec,
     attempts_done: u32,
+    prev_panic: Option<&str>,
     metrics: &FleetMetrics,
 ) -> Supervised {
     match catch_unwind(AssertUnwindSafe(|| attempt_home(spec, hs, metrics))) {
@@ -559,20 +568,25 @@ fn supervised_attempt(
         Err(payload) => {
             metrics.panics_caught.inc();
             let attempts = attempts_done + 1;
-            if attempts > spec.retry_budget {
+            let panic = panic_message(payload);
+            let futile = prev_panic == Some(panic.as_str());
+            if futile {
+                metrics.retries_futile.inc();
+            }
+            if futile || attempts > spec.retry_budget {
                 metrics.homes_run_failed.inc();
                 Supervised::Done(
                     HomeOutcome::Failed(HomeRunError {
                         home: hs.id,
                         attempts,
                         fault: hs.fault.name(),
-                        panic: panic_message(payload),
+                        panic,
                     }),
                     HomeStream::default(),
                 )
             } else {
                 metrics.retries.inc();
-                Supervised::Retry
+                Supervised::Retry(panic)
             }
         }
     }
@@ -587,16 +601,16 @@ fn worker_loop(
     // Deterministic attempt-count backoff: a panicked home waits at the
     // back of this queue behind every fresh job (and every earlier
     // retry) its worker still has — no wall-clock involved.
-    let mut retries: VecDeque<(HomeSpec, u32)> = VecDeque::new();
+    let mut retries: VecDeque<(HomeSpec, u32, String)> = VecDeque::new();
     loop {
-        let (hs, attempts_done) = match jobs.recv() {
-            Ok(hs) => (hs, 0),
+        let (hs, attempts_done, prev_panic) = match jobs.recv() {
+            Ok(hs) => (hs, 0, None),
             Err(_) => match retries.pop_front() {
-                Some(deferred) => deferred,
+                Some((hs, attempts, panic)) => (hs, attempts, Some(panic)),
                 None => break,
             },
         };
-        match supervised_attempt(spec, &hs, attempts_done, metrics) {
+        match supervised_attempt(spec, &hs, attempts_done, prev_panic.as_deref(), metrics) {
             Supervised::Done(outcome, stream) => {
                 metrics.report_channel_depth.set(results.len() as u64);
                 if results.send((hs, outcome, stream)).is_err() {
@@ -604,7 +618,7 @@ fn worker_loop(
                     break;
                 }
             }
-            Supervised::Retry => retries.push_back((hs, attempts_done + 1)),
+            Supervised::Retry(panic) => retries.push_back((hs, attempts_done + 1, panic)),
         }
     }
 }
@@ -613,9 +627,155 @@ fn worker_loop(
 /// `spec.workers` threads under per-home supervision, aggregates the
 /// outcomes into the fleet report. `metrics` is updated live from every
 /// worker. Returns an error only when the *engine* lost work (worker
-/// thread panic outside the supervisor, accounting violation) — per-home
-/// failures are rows in the report, not errors.
+/// thread panic outside the supervisor, accounting violation) or a
+/// configured run snapshot could not be written — per-home failures are
+/// rows in the report, not errors.
 pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport, FleetError> {
+    run_fleet_inner(spec, metrics, None)
+}
+
+/// Runs the fleet but aborts deterministically at `kill` (after all
+/// homes, or at the top of a stream epoch), returning
+/// [`FleetError::ChaosKilled`] once the kill point is reached. With a
+/// [`FleetSpec::run_snapshot`] policy set, the durable state cut before
+/// the kill lets [`run_fleet_resume`] finish the run byte-identically —
+/// the chaos harness's whole premise (see [`crate::chaos`]).
+pub fn run_fleet_chaos(
+    spec: &FleetSpec,
+    metrics: &FleetMetrics,
+    kill: KillPoint,
+) -> Result<FleetReport, FleetError> {
+    run_fleet_inner(spec, metrics, Some(kill))
+}
+
+/// Resumes a killed (or completed) run from the newest good snapshot
+/// generation in the spec's [`FleetSpec::run_snapshot`] directory:
+/// restores the region slots and stream state, then replays only the
+/// post-snapshot epochs. The report is byte-identical to an
+/// uninterrupted [`run_fleet`] of the same spec. When no generation is
+/// usable (missing, corrupted, or cut from a different spec), falls
+/// back to a full deterministic re-run — correctness is never hostage
+/// to the snapshot files.
+pub fn run_fleet_resume(
+    spec: &FleetSpec,
+    metrics: &FleetMetrics,
+) -> Result<FleetReport, FleetError> {
+    let Some(policy) = spec.run_snapshot.as_ref() else {
+        return Err(FleetError::Snapshot(SnapshotError::Io(
+            "resume requires a run-snapshot policy on the spec".to_string(),
+        )));
+    };
+    // Walk the generations newest-first. A file that fails to decode —
+    // or whose embedded state fails to restore mid-pass — is skipped in
+    // favour of the previous good one; when nothing is usable the run
+    // falls back to a full deterministic re-run.
+    for path in crate::snapshot::generation_paths(&policy.dir) {
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue;
+        };
+        let Ok(snap) = crate::snapshot::decode(&bytes, spec) else {
+            continue;
+        };
+        let next_epoch = match &snap.resume {
+            ResumePhase::HomesDone => 0,
+            ResumePhase::Stream(s) => s.next_epoch,
+        };
+        // Resume never re-cuts snapshots (policy cleared): the on-disk
+        // generations stay the authoritative history of the original
+        // run.
+        let mut ctx = RunCtx::new(SnapshotIdentity::of(spec), None, None, Some(snap.resume));
+        let slots = snap.slots;
+        match finish_aggregation(spec, metrics, &mut ctx, move |agg, ctx| {
+            agg.aggregate_slots(slots, ctx)
+        }) {
+            Ok(report) => {
+                metrics.resumes.inc();
+                metrics
+                    .replayed_epochs
+                    .add(spec.stream_epochs().saturating_sub(next_epoch));
+                return Ok(report);
+            }
+            // Deeper corruption (an engine or auditor blob that only
+            // fails against the live objects): fall back a generation.
+            Err(FleetError::Snapshot(_)) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    metrics.replayed_epochs.add(spec.stream_epochs());
+    run_fleet_inner(spec, metrics, None)
+}
+
+/// Re-runs one home to a terminal outcome — the same supervised attempt
+/// loop a worker runs, inline. Used to rebuild a torn region shard.
+fn rerun_home(
+    spec: &FleetSpec,
+    hs: &HomeSpec,
+    metrics: &FleetMetrics,
+) -> (HomeOutcome, HomeStream) {
+    let mut attempts_done = 0u32;
+    let mut prev_panic: Option<String> = None;
+    loop {
+        match supervised_attempt(spec, hs, attempts_done, prev_panic.as_deref(), metrics) {
+            Supervised::Done(outcome, stream) => return (outcome, stream),
+            Supervised::Retry(panic) => {
+                attempts_done += 1;
+                prev_panic = Some(panic);
+            }
+        }
+    }
+}
+
+/// Runs the aggregation under `ctx` and flushes the pass's snapshot and
+/// campaign tallies into `metrics` — shared by the straight-through,
+/// chaos, and resume entry points.
+fn finish_aggregation(
+    spec: &FleetSpec,
+    metrics: &FleetMetrics,
+    ctx: &mut RunCtx,
+    aggregate: impl FnOnce(FleetAggregator, &mut RunCtx) -> Result<FleetReport, FleetError>,
+) -> Result<FleetReport, FleetError> {
+    let t0 = Instant::now();
+    let result = aggregate(FleetAggregator::new(spec), ctx);
+    metrics
+        .aggregate_us
+        .observe(t0.elapsed().as_micros() as u64);
+    // Snapshot accounting is flushed even when the pass was chaos-killed
+    // — the durable files it cut are real.
+    metrics.snapshots_written.add(ctx.snapshots_written);
+    metrics.snapshot_bytes.add(ctx.snapshot_bytes);
+    let report = result?;
+    metrics
+        .region_candidates
+        .add(report.regions.iter().map(|r| r.candidates).sum());
+    if let Some(mgmt) = &report.mgmt {
+        use xlf_mgmt::CommandKind;
+        metrics
+            .campaign_updates_applied
+            .add(mgmt.commands.applied(CommandKind::FirmwareUpdate));
+        metrics
+            .campaign_updates_rejected
+            .add(mgmt.commands.rejected(CommandKind::FirmwareUpdate));
+        metrics
+            .campaign_rollbacks
+            .add(mgmt.commands.applied(CommandKind::FirmwareRollback));
+        metrics
+            .campaign_quarantines
+            .add(mgmt.commands.issued(CommandKind::Quarantine));
+        metrics
+            .config_remediations
+            .add(mgmt.commands.applied(CommandKind::ConfigRemediate));
+        if let Some(audit) = &mgmt.config_audit {
+            metrics.config_drift_detected.add(audit.detected);
+        }
+    }
+    Ok(report)
+}
+
+fn run_fleet_inner(
+    spec: &FleetSpec,
+    metrics: &FleetMetrics,
+    kill: Option<KillPoint>,
+) -> Result<FleetReport, FleetError> {
     let homes = spec.stamp();
     let n = homes.len();
 
@@ -654,7 +814,7 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport
         crossbeam::channel::bounded::<WorkerResult>(spec.report_capacity.max(1));
 
     let shards = &mut aggs;
-    let received: usize = crossbeam::thread::scope(|s| {
+    let (received, dirty, shard_errors) = crossbeam::thread::scope(|s| {
         for _ in 0..workers {
             let jobs = job_rx.clone();
             let results = report_tx.clone();
@@ -665,16 +825,73 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport
         drop(report_tx);
         drop(job_rx);
 
+        // The collector supervises the region tier the way workers
+        // supervise homes: a panicking `consume` (injected via
+        // `shard_chaos`, or a genuine aggregation bug) becomes a
+        // structured ShardError + a dirty region, never a dead run. A
+        // dirty region's later arrivals are skipped — its torn slot is
+        // discarded and the whole region rebuilt from the spec below.
+        let mut chaos_armed = spec.shard_chaos.is_some();
+        let mut dirty: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut shard_errors: Vec<ShardError> = Vec::new();
         let mut received = 0usize;
         while let Ok((hs, outcome, stream)) = report_rx.recv() {
             metrics.reports_received.inc();
-            let region = hs.region % region_slots;
-            shards[RegionAggregator::shard_of(region, instances)].consume(hs, outcome, stream);
             received += 1;
+            let region = hs.region % region_slots;
+            if dirty.contains(&region) {
+                continue;
+            }
+            let shard = RegionAggregator::shard_of(region, instances);
+            let home = hs.id;
+            let inject = chaos_armed && spec.shard_chaos == Some(home);
+            if inject {
+                chaos_armed = false;
+            }
+            let consumed = catch_unwind(AssertUnwindSafe(|| {
+                assert!(
+                    !inject,
+                    "shard-chaos: injected region-shard fault at home {home}"
+                );
+                shards[shard].consume(hs, outcome, stream);
+            }));
+            if let Err(payload) = consumed {
+                metrics.shard_panics.inc();
+                shard_errors.push(ShardError {
+                    shard,
+                    region,
+                    home,
+                    panic: panic_message(payload),
+                });
+                dirty.insert(region);
+            }
         }
-        received
+        (received, dirty, shard_errors)
     })
     .map_err(|payload| FleetError::WorkerPanic(panic_message(payload)))?;
+
+    // Rebuild torn regions: discard the half-mutated slot and re-run
+    // every one of the region's homes from the spec. Slot state is
+    // arrival-order independent, so the rebuilt slot is byte-identical
+    // to one that never tore — conservation and report bytes hold.
+    for (i, &region) in dirty.iter().enumerate() {
+        let shard = RegionAggregator::shard_of(region, instances);
+        let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+            let _torn = aggs[shard].take_slot(region);
+            for hs in spec.stamp() {
+                if hs.region % region_slots != region {
+                    continue;
+                }
+                let (outcome, stream) = rerun_home(spec, &hs, metrics);
+                aggs[shard].consume(hs, outcome, stream);
+            }
+        }));
+        if rebuilt.is_err() {
+            // A region that tears twice is a genuine aggregation bug;
+            // surface the original shard panic as the engine error.
+            return Err(FleetError::ShardRebuild(shard_errors[i].clone()));
+        }
+    }
 
     // Conservation: every stamped home must come back as exactly one
     // outcome (`ok + degraded + failed + build_failed == homes`).
@@ -685,36 +902,15 @@ pub fn run_fleet(spec: &FleetSpec, metrics: &FleetMetrics) -> Result<FleetReport
         });
     }
 
-    let t0 = Instant::now();
-    let report = FleetAggregator::new(spec).aggregate_regions(aggs);
-    metrics
-        .aggregate_us
-        .observe(t0.elapsed().as_micros() as u64);
-    metrics
-        .region_candidates
-        .add(report.regions.iter().map(|r| r.candidates).sum());
-    if let Some(mgmt) = &report.mgmt {
-        use xlf_mgmt::CommandKind;
-        metrics
-            .campaign_updates_applied
-            .add(mgmt.commands.applied(CommandKind::FirmwareUpdate));
-        metrics
-            .campaign_updates_rejected
-            .add(mgmt.commands.rejected(CommandKind::FirmwareUpdate));
-        metrics
-            .campaign_rollbacks
-            .add(mgmt.commands.applied(CommandKind::FirmwareRollback));
-        metrics
-            .campaign_quarantines
-            .add(mgmt.commands.issued(CommandKind::Quarantine));
-        metrics
-            .config_remediations
-            .add(mgmt.commands.applied(CommandKind::ConfigRemediate));
-        if let Some(audit) = &mgmt.config_audit {
-            metrics.config_drift_detected.add(audit.detected);
-        }
-    }
-    Ok(report)
+    let mut ctx = RunCtx::new(
+        SnapshotIdentity::of(spec),
+        spec.run_snapshot.clone(),
+        kill,
+        None,
+    );
+    finish_aggregation(spec, metrics, &mut ctx, move |agg, ctx| {
+        agg.aggregate_regions_run(aggs, ctx)
+    })
 }
 
 #[cfg(test)]
@@ -741,12 +937,12 @@ mod tests {
         hs: &HomeSpec,
         metrics: &FleetMetrics,
     ) -> Result<HomeReport, HomeBuildError> {
-        match supervised_attempt(spec, hs, 0, metrics) {
+        match supervised_attempt(spec, hs, 0, None, metrics) {
             Supervised::Done(HomeOutcome::Ok { report, .. }, _)
             | Supervised::Done(HomeOutcome::Degraded { report, .. }, _) => Ok(report),
             Supervised::Done(HomeOutcome::BuildFailed(e), _) => Err(e),
             Supervised::Done(HomeOutcome::Failed(e), _) => panic!("unexpected run failure: {e}"),
-            Supervised::Retry => panic!("unexpected retry"),
+            Supervised::Retry(_) => panic!("unexpected retry"),
         }
     }
 
@@ -802,9 +998,9 @@ mod tests {
         let spec = FleetSpec::new(5, 1);
         let hs = home_spec(6, FleetAttack::TrafficObserver);
         let metrics = FleetMetrics::new();
-        let outcome = match supervised_attempt(&spec, &hs, 0, &metrics) {
+        let outcome = match supervised_attempt(&spec, &hs, 0, None, &metrics) {
             Supervised::Done(o, _) => o,
-            Supervised::Retry => panic!("unexpected retry"),
+            Supervised::Retry(_) => panic!("unexpected retry"),
         };
         let HomeOutcome::Ok {
             report,
@@ -821,35 +1017,59 @@ mod tests {
     }
 
     #[test]
-    fn a_chaos_home_fails_after_its_retry_budget() {
+    fn a_chaos_home_fails_fast_once_its_retry_is_futile() {
         let spec = FleetSpec::new(5, 1).with_retry_budget(2);
         let hs = HomeSpec {
             fault: FleetFault::ChaosPanic,
             ..home_spec(7, FleetAttack::None)
         };
         let metrics = FleetMetrics::new();
-        // Attempts 1 and 2 are within budget: supervisor asks to retry.
-        assert!(matches!(
-            supervised_attempt(&spec, &hs, 0, &metrics),
-            Supervised::Retry
-        ));
-        assert!(matches!(
-            supervised_attempt(&spec, &hs, 1, &metrics),
-            Supervised::Retry
-        ));
-        // Attempt 3 exhausts the budget (2 retries + first run).
-        match supervised_attempt(&spec, &hs, 2, &metrics) {
+        // The first attempt panics with no precedent: supervisor retries.
+        let panic = match supervised_attempt(&spec, &hs, 0, None, &metrics) {
+            Supervised::Retry(panic) => panic,
+            _ => panic!("first attempt must request a retry"),
+        };
+        // The retry panics *identically* — a deterministic home will
+        // never recover, so the supervisor fails fast instead of
+        // burning the remaining budget.
+        match supervised_attempt(&spec, &hs, 1, Some(panic.as_str()), &metrics) {
             Supervised::Done(HomeOutcome::Failed(err), _) => {
-                assert_eq!(err.attempts, 3);
+                assert_eq!(err.attempts, 2);
                 assert_eq!(err.fault, "chaos-panic");
                 assert!(err.panic.contains("chaos-panic"), "{}", err.panic);
             }
-            _ => panic!("third attempt must be terminal"),
+            _ => panic!("a futile retry must be terminal"),
         }
-        assert_eq!(metrics.panics_caught.get(), 3);
-        assert_eq!(metrics.retries.get(), 2);
+        assert_eq!(metrics.panics_caught.get(), 2);
+        assert_eq!(metrics.retries.get(), 1);
+        assert_eq!(metrics.retries_futile.get(), 1);
         assert_eq!(metrics.homes_run_failed.get(), 1);
         assert_eq!(metrics.homes_stepped.get(), 0);
+    }
+
+    #[test]
+    fn a_novel_panic_on_retry_keeps_the_full_budget() {
+        // A retry that fails *differently* is a transient, not a
+        // deterministic fault: the budget still applies in full.
+        let spec = FleetSpec::new(5, 1).with_retry_budget(2);
+        let hs = HomeSpec {
+            fault: FleetFault::ChaosPanic,
+            ..home_spec(7, FleetAttack::None)
+        };
+        let metrics = FleetMetrics::new();
+        assert!(matches!(
+            supervised_attempt(&spec, &hs, 1, Some("a different transient fault"), &metrics),
+            Supervised::Retry(_)
+        ));
+        // Attempt 3 exhausts the budget (2 retries + first run).
+        match supervised_attempt(&spec, &hs, 2, Some("another transient"), &metrics) {
+            Supervised::Done(HomeOutcome::Failed(err), _) => {
+                assert_eq!(err.attempts, 3);
+            }
+            _ => panic!("third attempt must be terminal"),
+        }
+        assert_eq!(metrics.retries.get(), 1);
+        assert_eq!(metrics.retries_futile.get(), 0);
     }
 
     #[test]
@@ -857,7 +1077,7 @@ mod tests {
         let spec = FleetSpec::new(5, 1).with_step_event_budget(Some(500));
         let hs = home_spec(8, FleetAttack::None);
         let metrics = FleetMetrics::new();
-        match supervised_attempt(&spec, &hs, 0, &metrics) {
+        match supervised_attempt(&spec, &hs, 0, None, &metrics) {
             Supervised::Done(
                 HomeOutcome::Degraded {
                     report,
@@ -874,7 +1094,7 @@ mod tests {
                 "tiny budget must degrade the home, got {:?}",
                 match other {
                     Supervised::Done(o, _) => o.label(),
-                    Supervised::Retry => "retry",
+                    Supervised::Retry(_) => "retry",
                 }
             ),
         }
@@ -898,7 +1118,7 @@ mod tests {
                 fault,
                 ..home_spec(9, FleetAttack::None)
             };
-            match supervised_attempt(&spec, &hs, 0, &FleetMetrics::new()) {
+            match supervised_attempt(&spec, &hs, 0, None, &FleetMetrics::new()) {
                 Supervised::Done(HomeOutcome::Ok { report, .. }, _) => {
                     assert!(report.forwarded > 0, "{}: {report:?}", fault.name());
                 }
@@ -947,9 +1167,9 @@ mod tests {
         let results: Vec<_> = homes
             .iter()
             .map(|hs| {
-                let outcome = match supervised_attempt(&spec, hs, 0, &metrics) {
+                let outcome = match supervised_attempt(&spec, hs, 0, None, &metrics) {
                     Supervised::Done(o, _) => o,
-                    Supervised::Retry => panic!("unexpected retry"),
+                    Supervised::Retry(_) => panic!("unexpected retry"),
                 };
                 (hs.clone(), outcome)
             })

@@ -31,13 +31,24 @@
 //!    counters, and the injected-fault histogram, dumpable as JSON.
 //!    Wall-clock lives only there: the [`FleetReport`] itself is
 //!    byte-identical for any worker count — with or without faults.
+//! 5. Durability ([`snapshot`], [`chaos`]): with a
+//!    [`FleetSpec::with_run_snapshot_every`] policy the run cuts
+//!    versioned `XLFR` generations atomically (the full aggregation-tier
+//!    state: region slots, correlator, campaign engines, auditor,
+//!    command bus); [`run_fleet_resume`] restores the newest good
+//!    generation and replays only the post-snapshot epochs, producing a
+//!    report **byte-identical** to the uninterrupted run. The chaos
+//!    harness ([`run_fleet_chaos`], [`chaos::run_killed_and_resumed`])
+//!    proves it at every deterministic kill point.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
+pub mod chaos;
 pub mod engine;
 pub mod metrics;
 pub mod region;
+pub mod snapshot;
 pub mod spec;
 pub mod supervise;
 
@@ -45,15 +56,22 @@ pub use aggregate::{
     DegradedHome, FleetAggregator, FleetHomeRow, FleetReport, FleetTotals, MgmtSection,
     StreamSection, FLEET_REPORT_SCHEMA_VERSION,
 };
-pub use engine::{build_home, run_fleet, HomeBuildError, HomeStream};
+pub use chaos::{kill_points, run_killed_and_resumed, scratch_dir};
+pub use engine::{
+    build_home, run_fleet, run_fleet_chaos, run_fleet_resume, HomeBuildError, HomeStream,
+};
 pub use metrics::{
     Counter, FaultCounts, FleetMetrics, Gauge, Histogram, FLEET_METRICS_SCHEMA_VERSION,
 };
 pub use region::{RegionAggregator, RegionSummary};
+pub use snapshot::{
+    KillPoint, RunSnapshotPolicy, SnapshotError, SnapshotIdentity, RUN_SNAPSHOT_MAGIC,
+    RUN_SNAPSHOT_VERSION,
+};
 pub use spec::{
     FleetAttack, FleetFault, FleetSpec, HomeSpec, HomeTemplate, RowPolicy, FLEET_FAULT_KINDS,
 };
-pub use supervise::{FleetError, HomeOutcome, HomeRunError};
+pub use supervise::{FleetError, HomeOutcome, HomeRunError, ShardError};
 pub use xlf_mgmt::{
     CampaignReport, CampaignSpec, ConfigAuditReport, ConfigAuditSpec, HealthGate, WaveReport,
 };

@@ -27,8 +27,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// machine's available parallelism), `regions` (region-aggregator
 /// instances the run sharded the logical slots across), and
 /// `region_candidates` (candidate deviants the region tier forwarded to
-/// the global pass).
-pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 6;
+/// the global pass); v7 — durable aggregation & recovery:
+/// `retries_futile` (retries cut short because the re-attempt panicked
+/// identically), `snapshots_written`/`snapshot_bytes` (run-snapshot
+/// generations cut and their total size), `resumes`/`replayed_epochs`
+/// (runs restored from a snapshot and the stream epochs they had to
+/// replay), and `shard_panics` (region-shard consume panics the
+/// supervised collector caught).
+pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 7;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -198,6 +204,11 @@ pub struct FleetMetrics {
     pub panics_caught: Counter,
     /// Re-attempts scheduled after a caught panic (within budget).
     pub retries: Counter,
+    /// Retries abandoned early because the re-attempt panicked with the
+    /// *identical* payload — a deterministic home will never recover, so
+    /// the supervisor fails fast instead of burning the rest of its
+    /// budget.
+    pub retries_futile: Counter,
     /// Homes cut off by the per-home step event budget.
     pub deadline_truncations: Counter,
     /// Homes stamped per injected fault kind.
@@ -236,6 +247,18 @@ pub struct FleetMetrics {
     pub regions: Gauge,
     /// Candidate deviants the region tier forwarded to the global pass.
     pub region_candidates: Counter,
+    /// Run-snapshot generations written durably (tmp + rename).
+    pub snapshots_written: Counter,
+    /// Total bytes across all run-snapshot generations written.
+    pub snapshot_bytes: Counter,
+    /// Runs restored from a durable run snapshot (0 or 1 per run).
+    pub resumes: Counter,
+    /// Stream epochs replayed after restore (or the full epoch count
+    /// when no usable snapshot existed and the run restarted).
+    pub replayed_epochs: Counter,
+    /// Region-shard consume panics caught by the supervised collector
+    /// (each one tears its region, which is then rebuilt from the spec).
+    pub shard_panics: Counter,
     /// Home reports received by the aggregator.
     pub reports_received: Counter,
     /// Depth of the bounded report channel, sampled at each send.
@@ -262,13 +285,15 @@ impl FleetMetrics {
         format!(
             "{{\"schema_version\":{},\"homes_stepped\":{},\"homes_degraded\":{},\
              \"homes_run_failed\":{},\"homes_build_failed\":{},\"panics_caught\":{},\
-             \"retries\":{},\"deadline_truncations\":{},\
+             \"retries\":{},\"retries_futile\":{},\"deadline_truncations\":{},\
              \"evidence_drained\":{},\"evidence_total\":{},\"evidence_shed\":{},\
              \"windows_emitted\":{},\"windows_shed\":{},\
              \"campaign_updates_applied\":{},\"campaign_updates_rejected\":{},\
              \"campaign_rollbacks\":{},\"campaign_quarantines\":{},\
              \"config_drift_detected\":{},\"config_remediations\":{},\
              \"workers_effective\":{},\"regions\":{},\"region_candidates\":{},\
+             \"snapshots_written\":{},\"snapshot_bytes\":{},\"resumes\":{},\
+             \"replayed_epochs\":{},\"shard_panics\":{},\
              \"reports_received\":{},\"report_channel_depth\":{},\
              \"report_channel_high_water\":{},\"faults_injected\":{},\
              \"build\":{},\"step\":{},\"report\":{},\"aggregate\":{}}}",
@@ -279,6 +304,7 @@ impl FleetMetrics {
             self.homes_build_failed.get(),
             self.panics_caught.get(),
             self.retries.get(),
+            self.retries_futile.get(),
             self.deadline_truncations.get(),
             self.evidence_drained.get(),
             self.evidence_total.get(),
@@ -294,6 +320,11 @@ impl FleetMetrics {
             self.workers_effective.get(),
             self.regions.get(),
             self.region_candidates.get(),
+            self.snapshots_written.get(),
+            self.snapshot_bytes.get(),
+            self.resumes.get(),
+            self.replayed_epochs.get(),
+            self.shard_panics.get(),
             self.reports_received.get(),
             self.report_channel_depth.get(),
             self.report_channel_depth.high_water(),

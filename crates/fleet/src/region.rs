@@ -32,11 +32,12 @@
 //! ([`RowPolicy::CandidatesOnly`]) sublinear in fleet size.
 
 use crate::engine::HomeStream;
+use crate::snapshot;
 use crate::spec::{FleetSpec, HomeSpec, RowPolicy};
 use crate::supervise::HomeOutcome;
 use std::collections::{BTreeMap, BTreeSet};
 use xlf_core::framework::HomeReport;
-use xlf_stream::RobustAccumulator;
+use xlf_stream::{CheckpointError, Reader, RobustAccumulator, Writer};
 
 /// Feature vector the fleet tier correlates: the home's
 /// traffic-behaviour window plus its evidence-store summary and fused
@@ -117,6 +118,33 @@ impl ExtremeK {
 
     fn ids(&self) -> impl Iterator<Item = u64> + '_ {
         self.items.iter().map(|&(_, i)| i)
+    }
+
+    /// Serializes the retained extreme pairs (the keep side and K are
+    /// config, rebuilt at restore).
+    fn checkpoint_into(&self, w: &mut Writer) {
+        w.usize(self.items.len());
+        for &(magnitude, id) in &self.items {
+            w.f64(magnitude);
+            w.u64(id);
+        }
+    }
+
+    /// Restores a list serialized with [`ExtremeK::checkpoint_into`]
+    /// under the configured keep side and K.
+    fn restore_from(r: &mut Reader, keep: Keep, k: usize) -> Result<Self, CheckpointError> {
+        let n = r.usize()?;
+        let k = k.max(1);
+        if n > k {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut items = Vec::new();
+        for _ in 0..n {
+            let magnitude = r.f64()?;
+            let id = r.u64()?;
+            items.push((magnitude, id));
+        }
+        Ok(ExtremeK { keep, k, items })
     }
 }
 
@@ -339,6 +367,120 @@ impl RegionSlot {
             magnitude_mad: self.magnitude.mad(),
         }
     }
+
+    /// Serializes the slot's full mergeable state into a run snapshot.
+    /// The [`HomeSpec`]s of retained triples are *not* serialized — they
+    /// are pure functions of `(master_seed, id)` and are re-stamped at
+    /// restore.
+    pub(crate) fn checkpoint_into(&self, w: &mut Writer) {
+        for tally in [
+            self.homes,
+            self.ok,
+            self.degraded,
+            self.run_failed,
+            self.build_failed,
+            self.evidence,
+            self.evidence_dropped,
+            self.evidence_shed,
+            self.forwarded,
+            self.dropped_packets,
+            self.homes_with_critical,
+            self.homes_with_quarantine,
+        ] {
+            w.u64(tally);
+        }
+        w.usize(self.stats.len());
+        for (&template, stats) in &self.stats {
+            w.usize(template);
+            w.usize(stats.features.len());
+            for acc in &stats.features {
+                write_acc(w, acc);
+            }
+            stats.top.checkpoint_into(w);
+            stats.bottom.checkpoint_into(w);
+        }
+        write_acc(w, &self.magnitude);
+        w.usize(self.always.len());
+        for &id in &self.always {
+            w.u64(id);
+        }
+        w.usize(self.retained.len());
+        for (&id, (_, outcome, stream)) in &self.retained {
+            w.u64(id);
+            snapshot::write_outcome(w, outcome);
+            snapshot::write_stream(w, stream);
+        }
+    }
+
+    /// Restores a slot serialized with [`RegionSlot::checkpoint_into`].
+    /// `candidates` is the configured extreme-K width and `specs` the
+    /// re-stamped home specs by id (a retained id the spec did not stamp
+    /// is a framing error).
+    pub(crate) fn restore_from(
+        r: &mut Reader,
+        candidates: usize,
+        specs: &BTreeMap<u64, HomeSpec>,
+    ) -> Result<RegionSlot, CheckpointError> {
+        let mut slot = RegionSlot::new();
+        slot.homes = r.u64()?;
+        slot.ok = r.u64()?;
+        slot.degraded = r.u64()?;
+        slot.run_failed = r.u64()?;
+        slot.build_failed = r.u64()?;
+        slot.evidence = r.u64()?;
+        slot.evidence_dropped = r.u64()?;
+        slot.evidence_shed = r.u64()?;
+        slot.forwarded = r.u64()?;
+        slot.dropped_packets = r.u64()?;
+        slot.homes_with_critical = r.u64()?;
+        slot.homes_with_quarantine = r.u64()?;
+        let n_stats = r.usize()?;
+        for _ in 0..n_stats {
+            let template = r.usize()?;
+            let dims = r.usize()?;
+            let mut stats = TemplateStats::new(candidates);
+            for _ in 0..dims {
+                stats.features.push(read_acc(r)?);
+            }
+            stats.top = ExtremeK::restore_from(r, Keep::Largest, candidates)?;
+            stats.bottom = ExtremeK::restore_from(r, Keep::Smallest, candidates)?;
+            slot.stats.insert(template, stats);
+        }
+        slot.magnitude = read_acc(r)?;
+        let n_always = r.usize()?;
+        for _ in 0..n_always {
+            slot.always.insert(r.u64()?);
+        }
+        let n_retained = r.usize()?;
+        for _ in 0..n_retained {
+            let id = r.u64()?;
+            let outcome = snapshot::read_outcome(r)?;
+            let stream = snapshot::read_stream(r)?;
+            let hs = specs.get(&id).cloned().ok_or(CheckpointError::Truncated)?;
+            slot.retained.insert(id, (hs, outcome, stream));
+        }
+        Ok(slot)
+    }
+}
+
+/// Bit-exact accumulator serde: the retained sorted samples, each as its
+/// f64 bit pattern. Restore re-pushes, which keeps the sorted invariant
+/// even on corrupted (re-ordered) input.
+fn write_acc(w: &mut Writer, acc: &RobustAccumulator) {
+    let samples = acc.samples();
+    w.usize(samples.len());
+    for &x in samples {
+        w.f64(x);
+    }
+}
+
+fn read_acc(r: &mut Reader) -> Result<RobustAccumulator, CheckpointError> {
+    let n = r.usize()?;
+    let mut acc = RobustAccumulator::new();
+    for _ in 0..n {
+        acc.push(r.f64()?);
+    }
+    Ok(acc)
 }
 
 /// One region-aggregation shard: owns the logical slots `s` with

@@ -4,6 +4,8 @@
 //! [`HomeSpec`]s. Stamping is pure hashing — it never depends on worker
 //! count or scheduling, which is what makes fleet reports reproducible.
 
+use crate::snapshot::RunSnapshotPolicy;
+use std::path::PathBuf;
 use xlf_core::framework::{HomeDevice, XlfConfig};
 use xlf_device::{SensorKind, VulnSet, Vulnerability};
 use xlf_mgmt::{CampaignSpec, ConfigAuditSpec};
@@ -83,8 +85,9 @@ pub enum FleetFault {
     GatewaySkew,
     /// A chaos node panics the home's simulation thread at 210 s —
     /// exercises the supervisor's catch_unwind + retry path. The panic
-    /// is deterministic, so every retry fails too: the home ends up
-    /// `failed` after its retry budget.
+    /// is deterministic, so a retry fails identically: the supervisor
+    /// detects the repeated payload on the first retry and fails the
+    /// home fast (`retries_futile`) instead of burning the whole budget.
     ChaosPanic,
     /// Radio interference jams the first device's radio (BTreeMap name
     /// order) for 90 s covering the attack window: every packet to or
@@ -368,6 +371,19 @@ pub struct FleetSpec {
     pub region_candidates: usize,
     /// Row retention policy; see [`RowPolicy`].
     pub row_policy: RowPolicy,
+    /// When set, the run cuts durable `XLFR` snapshots (the aggregation
+    /// tier's full state) into [`crate::RunSnapshotPolicy::dir`]: one at
+    /// the homes→stream boundary, then one every
+    /// [`crate::RunSnapshotPolicy::every`] stream epochs.
+    /// [`crate::run_fleet_resume`] restores the newest good generation
+    /// and replays only the post-snapshot epochs, byte-identically.
+    pub run_snapshot: Option<RunSnapshotPolicy>,
+    /// Test/chaos knob: the collector shard consuming this home id
+    /// panics once before consuming it, exercising the region-shard
+    /// supervision path (the torn region is rebuilt deterministically;
+    /// report bytes and conservation are unaffected). `None` in
+    /// production.
+    pub shard_chaos: Option<u64>,
 }
 
 impl FleetSpec {
@@ -402,7 +418,27 @@ impl FleetSpec {
             regions: 1,
             region_candidates: 16,
             row_policy: RowPolicy::Full,
+            run_snapshot: None,
+            shard_chaos: None,
         }
+    }
+
+    /// Enables durable run-level snapshots every `every` stream epochs
+    /// into `dir` (builder-style); see [`FleetSpec::run_snapshot`].
+    pub fn with_run_snapshot_every(mut self, every: u64, dir: impl Into<PathBuf>) -> Self {
+        assert!(every > 0, "run-snapshot cadence must be positive");
+        self.run_snapshot = Some(RunSnapshotPolicy {
+            every,
+            dir: dir.into(),
+        });
+        self
+    }
+
+    /// Makes the collector shard panic once before consuming home `id`
+    /// (builder-style); see [`FleetSpec::shard_chaos`].
+    pub fn with_shard_chaos(mut self, id: u64) -> Self {
+        self.shard_chaos = Some(id);
+        self
     }
 
     /// Sets the number of logical regions homes are stamped into

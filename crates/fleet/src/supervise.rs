@@ -4,6 +4,7 @@
 //! — a fleet that silently loses homes looks healthier than it is.
 
 use crate::engine::HomeBuildError;
+use crate::snapshot::{KillPoint, SnapshotError};
 use std::fmt;
 use xlf_core::framework::HomeReport;
 
@@ -103,6 +104,18 @@ pub enum FleetError {
         /// Outcomes the aggregator received.
         accounted: usize,
     },
+    /// The chaos harness killed the run at the named point (see
+    /// [`crate::run_fleet_chaos`]). Not a failure: the durable state to
+    /// resume from is on disk, and [`crate::run_fleet_resume`] picks the
+    /// run back up.
+    ChaosKilled(KillPoint),
+    /// A run snapshot could not be written (resume-side read problems
+    /// never surface here — the loader falls back to an earlier
+    /// generation or a full re-run).
+    Snapshot(SnapshotError),
+    /// A torn region's deterministic rebuild *also* panicked — a genuine
+    /// aggregation bug, reported with the original shard panic.
+    ShardRebuild(ShardError),
 }
 
 impl fmt::Display for FleetError {
@@ -120,11 +133,44 @@ impl fmt::Display for FleetError {
                 f,
                 "home accounting violated: {accounted} outcomes for {expected} homes"
             ),
+            FleetError::ChaosKilled(at) => write!(f, "chaos kill point reached: {at}"),
+            FleetError::Snapshot(e) => write!(f, "run snapshot failed: {e}"),
+            FleetError::ShardRebuild(e) => {
+                write!(f, "region rebuild failed after shard panic: {e}")
+            }
         }
     }
 }
 
 impl std::error::Error for FleetError {}
+
+/// One supervised region-shard panic, captured by the collector: which
+/// shard and logical region tore, on which home, with the payload. The
+/// engine rebuilds the torn region deterministically, so these are
+/// diagnostics, not failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardError {
+    /// Region-aggregator shard index that panicked.
+    pub shard: usize,
+    /// Logical region whose slot state was torn.
+    pub region: u32,
+    /// Home being consumed when the panic fired.
+    pub home: u64,
+    /// The captured panic message.
+    pub panic: String,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "region shard {} panicked consuming home {} (region {}): {}",
+            self.shard, self.home, self.region, self.panic
+        )
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 /// Renders a `catch_unwind` payload as a stable string (`&str` and
 /// `String` payloads verbatim, anything else a fixed placeholder).

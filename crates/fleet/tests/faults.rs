@@ -42,6 +42,8 @@ fn a_panicking_home_fails_cleanly_and_survivors_match_the_fault_free_run() {
     assert!(faulted.accounting_ok(18), "{:?}", faulted.totals);
     assert_eq!(metrics.panics_caught.get(), chaos_homes * 2);
     assert_eq!(metrics.retries.get(), chaos_homes);
+    // Each chaos home's single retry panicked identically: futile.
+    assert_eq!(metrics.retries_futile.get(), chaos_homes);
     assert_eq!(metrics.homes_run_failed.get(), chaos_homes);
 
     // Surviving homes' per-home reports are byte-identical to the
@@ -152,9 +154,16 @@ proptest! {
         // Metric counters agree with the report's own accounting.
         prop_assert_eq!(metrics.homes_run_failed.get(), report.run_failed.len() as u64);
         prop_assert_eq!(metrics.homes_degraded.get(), report.degraded.len() as u64);
-        // Failed homes always burned their full attempt budget.
+        // A chaos home panics identically on retry, so the supervisor
+        // fails fast after the first futile re-attempt: failed homes
+        // burn at most 2 attempts however large the budget.
         for f in &report.run_failed {
-            prop_assert_eq!(f.attempts, retry_budget + 1);
+            prop_assert_eq!(f.attempts, retry_budget.min(1) + 1);
+        }
+        if retry_budget >= 1 {
+            prop_assert_eq!(metrics.retries_futile.get(), report.run_failed.len() as u64);
+        } else {
+            prop_assert_eq!(metrics.retries_futile.get(), 0);
         }
         // And the report serializes to valid-shaped JSON either way.
         let json = report.to_json();

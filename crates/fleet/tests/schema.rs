@@ -2,7 +2,7 @@
 //!
 //! `FleetReport::to_json` and `FleetMetrics::to_json` are longitudinal
 //! interfaces: operators diff them across runs and revisions. These
-//! tests pin the exact bytes of schema v6 against goldens under
+//! tests pin the exact bytes of schema v7 against goldens under
 //! `tests/golden/`. If a field is added/removed/renamed/reordered, bump
 //! the matching `*_SCHEMA_VERSION` constant and regenerate the goldens:
 //!
@@ -183,13 +183,13 @@ fn synthetic_campaign_report_json() -> String {
 }
 
 #[test]
-fn fleet_report_json_matches_the_v6_golden() {
+fn fleet_report_json_matches_the_v7_golden() {
     assert_eq!(
-        FLEET_REPORT_SCHEMA_VERSION, 6,
+        FLEET_REPORT_SCHEMA_VERSION, 7,
         "bump goldens with the schema"
     );
     let json = synthetic_report_json();
-    assert!(json.starts_with("{\"schema_version\":6,"), "{json}");
+    assert!(json.starts_with("{\"schema_version\":7,"), "{json}");
     // Batch aggregation: the `epochs` and `campaigns` sections are
     // present but null.
     assert!(json.contains("\"epochs\":null"), "{json}");
@@ -198,11 +198,16 @@ fn fleet_report_json_matches_the_v6_golden() {
     assert!(json.contains("\"regions\":[{\"region\":0,"), "{json}");
     assert!(json.contains("\"rows_mode\":\"full\""), "{json}");
     assert!(json.contains("\"candidate\":true"), "{json}");
-    assert_matches_golden("fleet_report_v6.json", &json);
+    // v7: the recovery section (null cadence — no snapshot policy).
+    assert!(
+        json.contains("\"recovery\":{\"snapshot_every\":null}"),
+        "{json}"
+    );
+    assert_matches_golden("fleet_report_v7.json", &json);
 }
 
 #[test]
-fn campaign_report_json_matches_the_v6_golden() {
+fn campaign_report_json_matches_the_v7_golden() {
     let json = synthetic_campaign_report_json();
     // The tampered release lands on the first wave's promiscuous
     // cohort, the correlator flags the implant behaviour, and the gate
@@ -210,13 +215,13 @@ fn campaign_report_json_matches_the_v6_golden() {
     assert!(json.contains("\"halted_at_wave\":0") || json.contains("\"halted_at_wave\":1"));
     assert!(json.contains("\"contained\":true"), "{json}");
     assert!(json.contains("\"config_audit\":{\"every\":5"), "{json}");
-    assert_matches_golden("fleet_report_campaign_v6.json", &json);
+    assert_matches_golden("fleet_report_campaign_v7.json", &json);
 }
 
 #[test]
-fn fleet_metrics_json_matches_the_v6_golden() {
+fn fleet_metrics_json_matches_the_v7_golden() {
     assert_eq!(
-        FLEET_METRICS_SCHEMA_VERSION, 6,
+        FLEET_METRICS_SCHEMA_VERSION, 7,
         "bump goldens with the schema"
     );
     let m = FleetMetrics::new();
@@ -226,6 +231,7 @@ fn fleet_metrics_json_matches_the_v6_golden() {
     m.homes_build_failed.inc();
     m.panics_caught.add(3);
     m.retries.add(2);
+    m.retries_futile.inc();
     m.deadline_truncations.inc();
     m.faults_injected.inc(FleetFault::None);
     m.faults_injected.inc(FleetFault::WanDegrade);
@@ -244,6 +250,11 @@ fn fleet_metrics_json_matches_the_v6_golden() {
     m.workers_effective.set(2);
     m.regions.set(4);
     m.region_candidates.add(9);
+    m.snapshots_written.add(4);
+    m.snapshot_bytes.add(81_920);
+    m.resumes.inc();
+    m.replayed_epochs.add(3);
+    m.shard_panics.inc();
     m.reports_received.add(11);
     m.report_channel_depth.set(3);
     m.report_channel_depth.set(1);
@@ -252,8 +263,8 @@ fn fleet_metrics_json_matches_the_v6_golden() {
     m.report_us.observe(80);
     m.aggregate_us.observe(1_500);
     let json = m.to_json();
-    assert!(json.starts_with("{\"schema_version\":6,"), "{json}");
-    assert_matches_golden("fleet_metrics_v6.json", &json);
+    assert!(json.starts_with("{\"schema_version\":7,"), "{json}");
+    assert_matches_golden("fleet_metrics_v7.json", &json);
 }
 
 #[test]

@@ -22,6 +22,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use xlf_attacks::device::{FirmwareTamperer, IMPLANT_MARKER};
 use xlf_cloud::OtaServer;
 use xlf_device::firmware::{FirmwareImage, FirmwareStore, UpdatePolicy, Version};
+use xlf_stream::{CheckpointError, Reader, Writer};
 
 /// SplitMix64 (same mixer as the fleet stamping pipeline — kept local so
 /// the control plane depends only on device/cloud primitives).
@@ -459,6 +460,114 @@ impl CampaignEngine {
         }
     }
 
+    /// Serializes the engine's *mutable* state into a run-level snapshot
+    /// section: per-slot rollout flags + installed firmware, the wave
+    /// log, the halt record, and the done flag. The spec, OTA server,
+    /// and factory image are pure functions of the campaign inputs and
+    /// are rebuilt by the caller (via [`CampaignEngine::new`]) before
+    /// [`CampaignEngine::restore_state`] overlays this state.
+    pub fn checkpoint_into(&self, w: &mut Writer) {
+        w.usize(self.slots.len());
+        for (&home, slot) in &self.slots {
+            w.u64(home);
+            w.u8(u8::from(slot.offered));
+            match slot.updated_epoch {
+                Some(e) => {
+                    w.u8(1);
+                    w.u64(e);
+                }
+                None => w.u8(0),
+            }
+            w.u8(u8::from(slot.compromised));
+            w.u8(u8::from(slot.rolled_back));
+            w.u8(u8::from(slot.quarantined));
+            let image = slot.store.installed().to_bytes();
+            w.usize(image.len());
+            w.bytes(&image);
+            w.usize(slot.store.history.len());
+            for v in &slot.store.history {
+                write_version(w, *v);
+            }
+        }
+        w.usize(self.waves_run.len());
+        for wave in &self.waves_run {
+            w.usize(wave.wave);
+            w.u32(wave.share_pct);
+            w.u64(wave.epoch);
+            w.u64(wave.cohort);
+            w.u64(wave.applied);
+            w.u64(wave.rejected);
+        }
+        match self.halted {
+            Some((wave, epoch, rate)) => {
+                w.u8(1);
+                w.usize(wave);
+                w.u64(epoch);
+                w.f64(rate);
+            }
+            None => w.u8(0),
+        }
+        w.u8(u8::from(self.done));
+    }
+
+    /// Restores state serialized with [`CampaignEngine::checkpoint_into`]
+    /// onto a freshly built engine (same spec, seed, and targets).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on any framing violation or malformed content
+    /// (unknown home id, malformed firmware image, invalid tag byte).
+    pub fn restore_state(&mut self, r: &mut Reader) -> Result<(), CheckpointError> {
+        let n = r.usize()?;
+        if n != self.slots.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        for _ in 0..n {
+            let home = r.u64()?;
+            let slot = self
+                .slots
+                .get_mut(&home)
+                .ok_or(CheckpointError::Truncated)?;
+            slot.offered = read_bool(r)?;
+            slot.updated_epoch = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(CheckpointError::Truncated),
+            };
+            slot.compromised = read_bool(r)?;
+            slot.rolled_back = read_bool(r)?;
+            slot.quarantined = read_bool(r)?;
+            let ilen = r.usize()?;
+            let image = FirmwareImage::from_bytes(r.bytes(ilen)?)
+                .map_err(|_| CheckpointError::Truncated)?;
+            let hlen = r.usize()?;
+            let mut history = Vec::new();
+            for _ in 0..hlen {
+                history.push(read_version(r)?);
+            }
+            slot.store.restore_state(image, history);
+        }
+        let waves = r.usize()?;
+        self.waves_run.clear();
+        for _ in 0..waves {
+            self.waves_run.push(WaveReport {
+                wave: r.usize()?,
+                share_pct: r.u32()?,
+                epoch: r.u64()?,
+                cohort: r.u64()?,
+                applied: r.u64()?,
+                rejected: r.u64()?,
+            });
+        }
+        self.halted = match r.u8()? {
+            0 => None,
+            1 => Some((r.usize()?, r.u64()?, r.f64()?)),
+            _ => return Err(CheckpointError::Truncated),
+        };
+        self.done = read_bool(r)?;
+        Ok(())
+    }
+
     /// The campaign's final accounting.
     pub fn report(&self) -> CampaignReport {
         let updated = self
@@ -494,6 +603,27 @@ impl CampaignEngine {
             contained: self.spec.tampered && self.halted.is_some() && implant_free,
             waves: self.waves_run.clone(),
         }
+    }
+}
+
+fn write_version(w: &mut Writer, v: Version) {
+    w.u32(u32::from(v.0));
+    w.u32(u32::from(v.1));
+    w.u32(u32::from(v.2));
+}
+
+fn read_version(r: &mut Reader) -> Result<Version, CheckpointError> {
+    let v0 = u16::try_from(r.u32()?).map_err(|_| CheckpointError::Truncated)?;
+    let v1 = u16::try_from(r.u32()?).map_err(|_| CheckpointError::Truncated)?;
+    let v2 = u16::try_from(r.u32()?).map_err(|_| CheckpointError::Truncated)?;
+    Ok(Version(v0, v1, v2))
+}
+
+fn read_bool(r: &mut Reader) -> Result<bool, CheckpointError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CheckpointError::Truncated),
     }
 }
 
@@ -657,5 +787,82 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn non_increasing_waves_are_rejected() {
         let _ = spec().with_waves(vec![10, 10, 100]);
+    }
+
+    #[test]
+    fn checkpoint_mid_campaign_resumes_byte_identically() {
+        let mk = || {
+            CampaignEngine::new(
+                spec().with_tampered(),
+                7,
+                &targets(64, true),
+                VENDOR,
+                SECRET,
+            )
+        };
+        let infected: BTreeSet<u64> = (0..64).collect();
+
+        // Straight-through golden.
+        let mut golden = mk();
+        let mut bus_golden = CommandBus::new();
+        for epoch in 0..12 {
+            golden.epoch_begin(epoch, &infected, &mut bus_golden);
+        }
+
+        // Interrupted twin: checkpoint after epoch 3 (mid-campaign,
+        // between wave boundaries) and resume on a fresh engine.
+        let mut first = mk();
+        let mut bus = CommandBus::new();
+        for epoch in 0..4 {
+            first.epoch_begin(epoch, &infected, &mut bus);
+        }
+        let mut w = Writer::new();
+        first.checkpoint_into(&mut w);
+        bus.checkpoint_into(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut resumed = mk();
+        let mut r = Reader::new(&bytes);
+        resumed.restore_state(&mut r).unwrap();
+        let mut bus_resumed = CommandBus::restore_from(&mut r).unwrap();
+        r.finish().unwrap();
+        for epoch in 4..12 {
+            resumed.epoch_begin(epoch, &infected, &mut bus_resumed);
+        }
+        assert_eq!(resumed.report(), golden.report());
+        assert_eq!(bus_resumed, bus_golden);
+
+        // And the restored engine re-serializes to the same bytes the
+        // original produced at the checkpoint.
+        let mut twin = mk();
+        let mut r = Reader::new(&bytes);
+        twin.restore_state(&mut r).unwrap();
+        let _ = CommandBus::restore_from(&mut r).unwrap();
+        let mut w2 = Writer::new();
+        twin.checkpoint_into(&mut w2);
+        let mut w1 = Writer::new();
+        first.checkpoint_into(&mut w1);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+    }
+
+    #[test]
+    fn campaign_restore_rejects_malformed_state() {
+        let mut engine = CampaignEngine::new(spec(), 7, &targets(8, false), VENDOR, SECRET);
+        let mut w = Writer::new();
+        engine.checkpoint_into(&mut w);
+        let bytes = w.into_bytes();
+        // Every truncation point is a structured error, never a panic.
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let res = engine.restore_state(&mut r);
+            assert!(
+                res.is_err() || {
+                    // A prefix can decode cleanly only if the remainder
+                    // check catches it.
+                    r.finish().is_err()
+                },
+                "truncation at {cut} went unnoticed"
+            );
+        }
     }
 }

@@ -9,6 +9,7 @@
 //! the campaign metrics are derived from.
 
 use std::fmt;
+use xlf_stream::{CheckpointError, Reader, Writer};
 
 /// What a control-plane command asks a device to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,6 +151,73 @@ impl CommandBus {
             .filter(|r| r.kind == kind && pred(&r.disposition))
             .count() as u64
     }
+
+    /// Serializes the full audit log into a run-level snapshot section.
+    pub fn checkpoint_into(&self, w: &mut Writer) {
+        w.usize(self.log.len());
+        for rec in &self.log {
+            w.u64(rec.home);
+            write_str(w, &rec.device);
+            w.u64(rec.epoch);
+            let kind = COMMAND_KINDS
+                .iter()
+                .position(|k| *k == rec.kind)
+                .unwrap_or(0);
+            w.u8(kind as u8);
+            match &rec.disposition {
+                Disposition::Applied => w.u8(0),
+                Disposition::Rejected(reason) => {
+                    w.u8(1);
+                    write_str(w, reason);
+                }
+                Disposition::Issued => w.u8(2),
+            }
+        }
+    }
+
+    /// Restores a bus serialized with [`CommandBus::checkpoint_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on any framing violation or malformed content
+    /// (unknown kind index / disposition tag, invalid UTF-8).
+    pub fn restore_from(r: &mut Reader) -> Result<CommandBus, CheckpointError> {
+        let n = r.usize()?;
+        let mut log = Vec::new();
+        for _ in 0..n {
+            let home = r.u64()?;
+            let device = read_string(r)?;
+            let epoch = r.u64()?;
+            let kind = *COMMAND_KINDS
+                .get(usize::from(r.u8()?))
+                .ok_or(CheckpointError::Truncated)?;
+            let disposition = match r.u8()? {
+                0 => Disposition::Applied,
+                1 => Disposition::Rejected(read_string(r)?),
+                2 => Disposition::Issued,
+                _ => return Err(CheckpointError::Truncated),
+            };
+            log.push(CommandRecord {
+                home,
+                device,
+                epoch,
+                kind,
+                disposition,
+            });
+        }
+        Ok(CommandBus { log })
+    }
+}
+
+/// Length-prefixed UTF-8 string encoding shared by the snapshot sections.
+fn write_str(w: &mut Writer, s: &str) {
+    w.usize(s.len());
+    w.bytes(s.as_bytes());
+}
+
+fn read_string(r: &mut Reader) -> Result<String, CheckpointError> {
+    let len = r.usize()?;
+    String::from_utf8(r.bytes(len)?.to_vec()).map_err(|_| CheckpointError::Truncated)
 }
 
 #[cfg(test)]

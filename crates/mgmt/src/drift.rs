@@ -11,6 +11,7 @@
 
 use crate::command::{CommandBus, CommandKind, Disposition};
 use std::collections::BTreeMap;
+use xlf_stream::{CheckpointError, Reader, Writer};
 
 /// SplitMix64 (same mixer as the campaign cohort hash).
 fn splitmix64(x: u64) -> u64 {
@@ -152,6 +153,49 @@ impl ConfigAuditor {
         }
     }
 
+    /// Serializes the auditor's *mutable* state (tallies + per-home
+    /// observed fingerprints) into a run-level snapshot section. The
+    /// golden fingerprints and drift cohort are pure functions of the
+    /// seed and are rebuilt by the caller (via [`ConfigAuditor::new`])
+    /// before [`ConfigAuditor::restore_state`] overlays this state.
+    pub fn checkpoint_into(&self, w: &mut Writer) {
+        w.u64(self.audits);
+        w.u64(self.detected);
+        w.u64(self.remediated);
+        w.usize(self.configs.len());
+        for (&home, &(_, observed)) in &self.configs {
+            w.u64(home);
+            w.u64(observed);
+        }
+    }
+
+    /// Restores state serialized with [`ConfigAuditor::checkpoint_into`]
+    /// onto a freshly built auditor (same spec, seed, and homes).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on any framing violation or on a home id not
+    /// managed by this auditor.
+    pub fn restore_state(&mut self, r: &mut Reader) -> Result<(), CheckpointError> {
+        self.audits = r.u64()?;
+        self.detected = r.u64()?;
+        self.remediated = r.u64()?;
+        let n = r.usize()?;
+        if n != self.configs.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        for _ in 0..n {
+            let home = r.u64()?;
+            let observed = r.u64()?;
+            let entry = self
+                .configs
+                .get_mut(&home)
+                .ok_or(CheckpointError::Truncated)?;
+            entry.1 = observed;
+        }
+        Ok(())
+    }
+
     /// The audit's final accounting.
     pub fn report(&self) -> ConfigAuditReport {
         ConfigAuditReport {
@@ -209,6 +253,39 @@ mod tests {
         }
         assert_eq!(auditor.report().detected, 0, "no drift before epoch 10");
         assert!(auditor.report().audits > 0);
+    }
+
+    #[test]
+    fn checkpoint_mid_audit_resumes_identically() {
+        use xlf_stream::{Reader, Writer};
+        let homes: Vec<u64> = (0..120).collect();
+        let mk = || ConfigAuditor::new(ConfigAuditSpec::new(3).with_drift(25, 6), 11, &homes);
+
+        let mut golden = mk();
+        let mut bus_golden = CommandBus::new();
+        for epoch in 0..18 {
+            golden.epoch_begin(epoch, &mut bus_golden);
+        }
+
+        let mut first = mk();
+        let mut bus = CommandBus::new();
+        for epoch in 0..5 {
+            first.epoch_begin(epoch, &mut bus);
+        }
+        let mut w = Writer::new();
+        first.checkpoint_into(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut resumed = mk();
+        let mut r = Reader::new(&bytes);
+        resumed.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut bus_resumed = bus.clone();
+        for epoch in 5..18 {
+            resumed.epoch_begin(epoch, &mut bus_resumed);
+        }
+        assert_eq!(resumed.report(), golden.report());
+        assert_eq!(bus_resumed, bus_golden);
     }
 
     #[test]

@@ -37,53 +37,53 @@ impl std::error::Error for CheckpointError {}
 
 /// Append-only little-endian encoder.
 #[derive(Debug, Default)]
-pub(crate) struct Writer {
+pub struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         Writer::default()
     }
 
-    pub(crate) fn bytes(&mut self, b: &[u8]) {
+    pub fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
     }
 
-    pub(crate) fn u8(&mut self, v: u8) {
+    pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    pub(crate) fn u32(&mut self, v: u32) {
+    pub fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn u64(&mut self, v: u64) {
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    pub(crate) fn usize(&mut self, v: usize) {
+    pub fn usize(&mut self, v: usize) {
         self.u64(v as u64);
     }
 
-    pub(crate) fn f64(&mut self, v: f64) {
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    pub(crate) fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 }
 
 /// Cursor-based little-endian decoder.
 #[derive(Debug)]
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
@@ -98,37 +98,37 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         self.take(n)
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
         Ok(self.take(1)?[0])
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
         let b = self.take(4)?;
         let mut a = [0u8; 4];
         a.copy_from_slice(b);
         Ok(u32::from_le_bytes(a))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_le_bytes(a))
     }
 
-    pub(crate) fn usize(&mut self) -> Result<usize, CheckpointError> {
+    pub fn usize(&mut self) -> Result<usize, CheckpointError> {
         usize::try_from(self.u64()?).map_err(|_| CheckpointError::Truncated)
     }
 
-    pub(crate) fn f64(&mut self) -> Result<f64, CheckpointError> {
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    pub(crate) fn finish(self) -> Result<(), CheckpointError> {
+    pub fn finish(self) -> Result<(), CheckpointError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {

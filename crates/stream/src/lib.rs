@@ -32,7 +32,7 @@ pub mod correlate;
 pub mod stats;
 pub mod window;
 
-pub use checkpoint::CheckpointError;
+pub use checkpoint::{CheckpointError, Reader, Writer};
 pub use correlate::{
     correlate_windows, EpochRecord, StreamConfig, StreamCorrelator, StreamOutcome,
 };
