@@ -99,17 +99,40 @@ grep -q '"byte_identical_regions": true' "$tmpdir/bench_scale.json" \
 grep -q '"sublinear_memory": true' "$tmpdir/bench_scale.json" \
     || { echo "scale bench JSON lost sublinear peak-RSS scaling"; exit 1; }
 
+echo "== smoke: secure onboarding admission gate (64 homes, 4 workers, self-asserting)"
+./target/release/exp_onboard --homes 64 --workers 4 --json "$tmpdir/bench_onboard.json"
+grep -q '"byte_identical_layouts": true' "$tmpdir/bench_onboard.json" \
+    || { echo "onboard bench JSON lost layout byte identity"; exit 1; }
+grep -q '"variant": "benign", "joins": 64, "admitted": 64' "$tmpdir/bench_onboard.json" \
+    || { echo "onboard bench JSON shows join failures in the benign fleet"; exit 1; }
+if grep -E '"rogue_admissions": [1-9]' "$tmpdir/bench_onboard.json"; then
+    echo "onboard bench JSON admitted a rogue join"; exit 1
+fi
+
+echo "== bench freshness: committed BENCH_onboard.json is current"
+python3 - <<'PYEOF'
+import json
+bench = json.load(open("BENCH_onboard.json"))
+assert bench["experiment"] == "onboard", "BENCH_onboard.json is not an onboarding artifact"
+assert bench["byte_identical_layouts"] is True, "committed onboard point lost layout identity"
+assert all(r["rogue_admissions"] == 0 for r in bench["runs"]), "a committed run admitted a rogue join"
+benign = next(r for r in bench["runs"] if r["variant"] == "benign")
+assert benign["admitted"] == benign["joins"], "committed benign fleet shows join failures"
+assert benign["energy_mj"] > 0, "committed benign fleet charges no join energy"
+PYEOF
+
 echo "== golden-byte rerun gate: report bytes unchanged across reruns"
 cargo test -p xlf-fleet --test schema -q
 cargo test -p xlf-fleet --test determinism -q
 
-echo "== schema gate: v7 goldens are current (and v6 goldens are retired)"
-ls crates/fleet/tests/golden/fleet_report_v7.json \
-   crates/fleet/tests/golden/fleet_metrics_v7.json \
-   crates/fleet/tests/golden/fleet_report_campaign_v7.json >/dev/null \
-    || { echo "v7 schema goldens are missing"; exit 1; }
-if ls crates/fleet/tests/golden/*_v6.json >/dev/null 2>&1; then
-    echo "stale v6 schema goldens are still checked in"; exit 1
+echo "== schema gate: v8 goldens are current (and v7 goldens are retired)"
+ls crates/fleet/tests/golden/fleet_report_v8.json \
+   crates/fleet/tests/golden/fleet_metrics_v8.json \
+   crates/fleet/tests/golden/fleet_report_campaign_v8.json \
+   crates/fleet/tests/golden/fleet_report_onboard_v8.json >/dev/null \
+    || { echo "v8 schema goldens are missing"; exit 1; }
+if ls crates/fleet/tests/golden/*_v7.json >/dev/null 2>&1; then
+    echo "stale v7 schema goldens are still checked in"; exit 1
 fi
 
 echo "CI OK"

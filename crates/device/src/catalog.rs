@@ -83,7 +83,7 @@ impl DeviceSpec {
         catalog()
             .into_iter()
             .find(|d| d.class == class)
-            .expect("every class is in the catalog")
+            .unwrap_or_else(|| unreachable!("every class is in the catalog"))
     }
 
     /// Whether the device is in the severely constrained tier

@@ -77,8 +77,8 @@ pub struct FirmwareImage {
 
 fn vendor_cipher(vendor: &str, vendor_secret: &[u8]) -> Speck128 {
     let key = derive_key(vendor_secret, &format!("fw-sign/{vendor}"), 16)
-        .expect("non-empty secret and valid length");
-    Speck128::new(&key).expect("16-byte derived key")
+        .unwrap_or_else(|_| unreachable!("non-empty label and length"));
+    Speck128::new(&key).unwrap_or_else(|_| unreachable!("derive_key returned 16 bytes"))
 }
 
 fn signing_input(version: Version, vendor: &str, digest: &[u8; 32]) -> Vec<u8> {
@@ -112,7 +112,7 @@ impl FirmwareImage {
         let mac = CbcMac::new(&cipher);
         let sig = mac
             .tag(&signing_input(image.version, &image.vendor, &image.digest))
-            .expect("tagging cannot fail");
+            .unwrap_or_else(|_| unreachable!("CBC-MAC tagging is total"));
         image.signature = Some(sig);
         image
     }
@@ -135,7 +135,7 @@ impl FirmwareImage {
                     &signing_input(self.version, &self.vendor, &self.digest),
                     sig,
                 )
-                .expect("verification cannot fail");
+                .unwrap_or_else(|_| unreachable!("CBC-MAC verification is total"));
             if !ok {
                 return Err(FirmwareError::BadSignature);
             }
@@ -184,23 +184,49 @@ impl FirmwareImage {
             *pos = end;
             Ok(slice)
         };
-        let v0 = u16::from_be_bytes(take(&mut pos, 2)?.try_into().unwrap());
-        let v1 = u16::from_be_bytes(take(&mut pos, 2)?.try_into().unwrap());
-        let v2 = u16::from_be_bytes(take(&mut pos, 2)?.try_into().unwrap());
-        let vlen = u16::from_be_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+        let v0 = u16::from_be_bytes(
+            take(&mut pos, 2)?
+                .try_into()
+                .map_err(|_| FirmwareError::Malformed)?,
+        );
+        let v1 = u16::from_be_bytes(
+            take(&mut pos, 2)?
+                .try_into()
+                .map_err(|_| FirmwareError::Malformed)?,
+        );
+        let v2 = u16::from_be_bytes(
+            take(&mut pos, 2)?
+                .try_into()
+                .map_err(|_| FirmwareError::Malformed)?,
+        );
+        let vlen = u16::from_be_bytes(
+            take(&mut pos, 2)?
+                .try_into()
+                .map_err(|_| FirmwareError::Malformed)?,
+        ) as usize;
         let vendor = String::from_utf8(take(&mut pos, vlen)?.to_vec())
             .map_err(|_| FirmwareError::Malformed)?;
-        let digest: [u8; 32] = take(&mut pos, 32)?.try_into().unwrap();
+        let digest: [u8; 32] = take(&mut pos, 32)?
+            .try_into()
+            .map_err(|_| FirmwareError::Malformed)?;
         let signed = take(&mut pos, 1)?[0];
         let signature = if signed == 1 {
-            let slen = u16::from_be_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let slen = u16::from_be_bytes(
+                take(&mut pos, 2)?
+                    .try_into()
+                    .map_err(|_| FirmwareError::Malformed)?,
+            ) as usize;
             Some(take(&mut pos, slen)?.to_vec())
         } else if signed == 0 {
             None
         } else {
             return Err(FirmwareError::Malformed);
         };
-        let plen = u32::from_be_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let plen = u32::from_be_bytes(
+            take(&mut pos, 4)?
+                .try_into()
+                .map_err(|_| FirmwareError::Malformed)?,
+        ) as usize;
         let payload = take(&mut pos, plen)?.to_vec();
         if pos != data.len() {
             return Err(FirmwareError::Malformed);

@@ -46,8 +46,11 @@ impl LocalStore {
             StorageEncryption::None => None,
             StorageEncryption::Encrypted { device_secret } => {
                 let key = derive_key(device_secret, "storage-at-rest", 16)
-                    .expect("non-empty device secret");
-                Some(Speck128::new(&key).expect("16-byte key"))
+                    .unwrap_or_else(|_| unreachable!("non-empty label and length"));
+                Some(
+                    Speck128::new(&key)
+                        .unwrap_or_else(|_| unreachable!("derive_key returned 16 bytes")),
+                )
             }
         }
     }

@@ -19,6 +19,7 @@
 //! runs can be diffed byte-for-byte.
 
 use crate::engine::{HomeBuildError, HomeStream};
+use crate::onboard::OnboardSection;
 use crate::region::{fleet_features, RegionAggregator, RegionSlot, RegionSummary};
 use crate::snapshot::{self, KillPoint, ResumePhase, RunCtx, SnapshotIdentity};
 use crate::spec::{FleetSpec, HomeSpec, HomeTemplate, RowPolicy, FLEET_FAULT_KINDS};
@@ -33,6 +34,7 @@ use xlf_mgmt::{
     CampaignEngine, CampaignReport, CampaignSpec, CommandBus, ConfigAuditReport, ConfigAuditSpec,
     ConfigAuditor, TargetHome, COMMAND_KINDS,
 };
+use xlf_onboard::{OnboardingSpec, DENY_CAUSES};
 use xlf_simnet::SimTime;
 use xlf_stream::{
     EpochRecord, Reader, RobustAccumulator, StreamConfig, StreamCorrelator, WindowSummary,
@@ -86,8 +88,14 @@ const FEAT_PACKETS: usize = 9;
 /// (`snapshot_every` — the run-snapshot cadence in epochs, `null` when
 /// the spec cuts no run snapshots). Run-invariant by construction: a
 /// resumed run reports the same cadence as the uninterrupted run it is
-/// byte-identical to.
-pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 7;
+/// byte-identical to; v8 — secure onboarding: the `onboarding` section
+/// (`null` when the spec configures no onboarding; fleet-wide join
+/// accounting, denials by structured cause, per-class negotiated cipher
+/// with mean handshake latency/energy, and denied-home ids otherwise),
+/// denied homes merged into `flagged`, and one onboarding-denial alert
+/// per denied home. The section is recomputed purely from the spec, so
+/// it is byte-identical for any worker or region-shard count.
+pub const FLEET_REPORT_SCHEMA_VERSION: u32 = 8;
 
 /// One home's row in the fleet report (homes that ran to the horizon —
 /// the only homes the cross-home graph correlates).
@@ -295,6 +303,10 @@ pub struct FleetReport {
     pub epochs: Option<StreamSection>,
     /// Control-plane trace (`None` when no campaigns/audit configured).
     pub mgmt: Option<MgmtSection>,
+    /// Secure-onboarding trace (`None` when the spec configures no
+    /// onboarding): join accounting, denials by structured cause, and
+    /// the per-class cipher/latency/energy record.
+    pub onboarding: Option<OnboardSection>,
     /// Run-snapshot cadence in epochs (`None` when the spec cuts no run
     /// snapshots). A spec property, not a run property — resumed runs
     /// report the same value as the uninterrupted run.
@@ -567,6 +579,51 @@ impl FleetReport {
                 )
             }
         };
+        let onboarding = match &self.onboarding {
+            None => "null".to_string(),
+            Some(o) => {
+                let denials = join_section(DENY_CAUSES.iter().enumerate(), 24, |out, (i, c)| {
+                    let _ = write!(out, "\"{}\":{}", c.label(), o.denials[i]);
+                });
+                let classes = join_section(o.classes.iter(), 160, |out, c| {
+                    let _ = write!(
+                        out,
+                        "{{\"class\":{},\"cipher\":{},\"key_floor_bits\":{},\
+                         \"joins\":{},\"admitted\":{},\"mean_latency_ms\":{},\
+                         \"mean_energy_mj\":{}}}",
+                        json_str(&c.class),
+                        match c.cipher {
+                            Some(name) => json_str(name),
+                            None => "null".to_string(),
+                        },
+                        c.key_floor_bits,
+                        c.joins,
+                        c.admitted,
+                        json_f64(c.mean_latency_ms),
+                        json_f64(c.mean_energy_mj),
+                    );
+                });
+                let denied_homes = join_section(o.denied_homes.iter(), 8, |out, id| {
+                    let _ = write!(out, "{id}");
+                });
+                format!(
+                    "{{\"joins\":{},\"admitted\":{},\"denied\":{},\
+                     \"rogue_admissions\":{},\"retransmissions\":{},\
+                     \"bytes_sent\":{},\"energy_mj\":{},\"denials\":{{{}}},\
+                     \"classes\":[{}],\"denied_homes\":[{}]}}",
+                    o.joins,
+                    o.admitted,
+                    o.denied,
+                    o.rogue_admissions,
+                    o.retransmissions,
+                    o.bytes_sent,
+                    json_f64(o.energy_mj),
+                    denials,
+                    classes,
+                    denied_homes,
+                )
+            }
+        };
         let alerts = join_section(self.alerts.iter(), 96, |out, a| {
             let _ = write!(
                 out,
@@ -603,7 +660,7 @@ impl FleetReport {
         format!(
             "{{\"schema_version\":{},\"master_seed\":{},\"homes\":{},\"communities\":{},\
              \"threshold\":{},\"flagged\":[{}],\"epochs\":{},\"campaigns\":{},\
-             \"recovery\":{{\"snapshot_every\":{}}},\
+             \"recovery\":{{\"snapshot_every\":{}}},\"onboarding\":{},\
              \"regions\":[{}],\"rows_mode\":{},\
              \"totals\":{{\"evidence\":{},\"evidence_dropped\":{},\"evidence_shed\":{},\
              \"evidence_drop_rate\":{},\"evidence_shed_rate\":{},\"forwarded\":{},\
@@ -621,6 +678,7 @@ impl FleetReport {
             epochs,
             campaigns,
             json_opt_u64(self.snapshot_every),
+            onboarding,
             regions,
             json_str(self.rows_mode.name()),
             self.totals.evidence,
@@ -665,6 +723,10 @@ pub struct FleetAggregator {
     row_policy: RowPolicy,
     /// Run-snapshot cadence from the spec (reported in `recovery`).
     run_snapshot_every: Option<u64>,
+    /// Onboarding spec plus the stamped homes it joined — the section is
+    /// recomputed here purely (never stored in slots), so resumed and
+    /// region-sharded runs report identical bytes.
+    onboard: Option<(OnboardingSpec, Vec<HomeSpec>)>,
     /// The identity passive contexts are stamped with (only ever read
     /// when a snapshot is written, which a passive ctx never does).
     identity: SnapshotIdentity,
@@ -693,6 +755,7 @@ impl FleetAggregator {
             region_candidates: spec.region_candidates.max(1),
             row_policy: spec.row_policy,
             run_snapshot_every: spec.run_snapshot.as_ref().map(|p| p.every),
+            onboard: spec.onboarding.as_ref().map(|o| (o.clone(), spec.stamp())),
             identity: SnapshotIdentity::of(spec),
             alerts: AlertSink::new(),
         }
@@ -1323,6 +1386,38 @@ impl FleetAggregator {
             }
         }
 
+        // Onboarding: recompute the join phase purely from the spec (the
+        // same outcomes the engine charged metrics for) and fold denials
+        // into the fleet record — denied homes are flagged, and each
+        // denial raises one warning with its structured cause. The fixed
+        // position (after every quarantine/fault alert) keeps the alert
+        // stream deterministic.
+        let onboarding = self.onboard.take().map(|(o, homes)| {
+            let section = OnboardSection::compute(&o, &homes);
+            let attack_of: BTreeMap<u64, &'static str> =
+                homes.iter().map(|h| (h.id, h.attack.name())).collect();
+            for &(id, cause) in &section.denied_causes {
+                self.alerts.raise(Alert {
+                    at: self.horizon,
+                    device: format!("home-{:06}", id),
+                    severity: Severity::Warning,
+                    score: 1.0,
+                    explanation: format!(
+                        "fleet onboarding: join denied ({}) under attack {} — \
+                         device refused admission",
+                        cause.label(),
+                        attack_of.get(&id).copied().unwrap_or("none"),
+                    ),
+                });
+            }
+            section
+        });
+        if let Some(section) = &onboarding {
+            flagged_ids.extend(section.denied_homes.iter().copied());
+            flagged_ids.sort_unstable();
+            flagged_ids.dedup();
+        }
+
         Ok(FleetReport {
             master_seed: self.master_seed,
             rows_mode: self.row_policy,
@@ -1336,6 +1431,7 @@ impl FleetAggregator {
             flagged: flagged_ids,
             epochs,
             mgmt,
+            onboarding,
             snapshot_every: self.run_snapshot_every,
             totals,
             alerts: self.alerts.alerts().to_vec(),

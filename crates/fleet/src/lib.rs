@@ -47,6 +47,7 @@ pub mod aggregate;
 pub mod chaos;
 pub mod engine;
 pub mod metrics;
+pub mod onboard;
 pub mod region;
 pub mod snapshot;
 pub mod spec;
@@ -63,6 +64,7 @@ pub use engine::{
 pub use metrics::{
     Counter, FaultCounts, FleetMetrics, Gauge, Histogram, FLEET_METRICS_SCHEMA_VERSION,
 };
+pub use onboard::{join_attack_for, join_for, OnboardClassRow, OnboardSection};
 pub use region::{RegionAggregator, RegionSummary};
 pub use snapshot::{
     KillPoint, RunSnapshotPolicy, SnapshotError, SnapshotIdentity, RUN_SNAPSHOT_MAGIC,
@@ -75,3 +77,4 @@ pub use supervise::{FleetError, HomeOutcome, HomeRunError, ShardError};
 pub use xlf_mgmt::{
     CampaignReport, CampaignSpec, ConfigAuditReport, ConfigAuditSpec, HealthGate, WaveReport,
 };
+pub use xlf_onboard::{DenyCause, JoinAttack, JoinResult, OnboardingSpec, DENY_CAUSES};

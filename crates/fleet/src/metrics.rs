@@ -33,8 +33,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// generations cut and their total size), `resumes`/`replayed_epochs`
 /// (runs restored from a snapshot and the stream epochs they had to
 /// replay), and `shard_panics` (region-shard consume panics the
-/// supervised collector caught).
-pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 7;
+/// supervised collector caught); v8 — secure onboarding:
+/// `onboard_joins`/`onboard_admitted`/`onboard_denied` (join handshakes
+/// run before home stepping and their verdicts; all 0 when the spec
+/// configures no onboarding) and `onboard_retransmissions` (CoAP
+/// retransmissions across every handshake).
+pub const FLEET_METRICS_SCHEMA_VERSION: u32 = 8;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -226,6 +230,15 @@ pub struct FleetMetrics {
     /// Window summaries shed oldest-first by bounded per-home window
     /// buffers. 0 in batch mode.
     pub windows_shed: Counter,
+    /// Onboarding join handshakes run (one per stamped home when the
+    /// spec onboards; 0 otherwise).
+    pub onboard_joins: Counter,
+    /// Joins the gateway resource server admitted.
+    pub onboard_admitted: Counter,
+    /// Joins denied (expired/replayed/bad-seal/infeasible/...).
+    pub onboard_denied: Counter,
+    /// CoAP retransmissions across every join handshake.
+    pub onboard_retransmissions: Counter,
     /// Campaign firmware updates applied by device-layer stores.
     pub campaign_updates_applied: Counter,
     /// Campaign firmware offers rejected by device-layer verification.
@@ -288,6 +301,8 @@ impl FleetMetrics {
              \"retries\":{},\"retries_futile\":{},\"deadline_truncations\":{},\
              \"evidence_drained\":{},\"evidence_total\":{},\"evidence_shed\":{},\
              \"windows_emitted\":{},\"windows_shed\":{},\
+             \"onboard_joins\":{},\"onboard_admitted\":{},\"onboard_denied\":{},\
+             \"onboard_retransmissions\":{},\
              \"campaign_updates_applied\":{},\"campaign_updates_rejected\":{},\
              \"campaign_rollbacks\":{},\"campaign_quarantines\":{},\
              \"config_drift_detected\":{},\"config_remediations\":{},\
@@ -311,6 +326,10 @@ impl FleetMetrics {
             self.evidence_shed.get(),
             self.windows_emitted.get(),
             self.windows_shed.get(),
+            self.onboard_joins.get(),
+            self.onboard_admitted.get(),
+            self.onboard_denied.get(),
+            self.onboard_retransmissions.get(),
             self.campaign_updates_applied.get(),
             self.campaign_updates_rejected.get(),
             self.campaign_rollbacks.get(),

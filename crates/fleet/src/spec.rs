@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use xlf_core::framework::{HomeDevice, XlfConfig};
 use xlf_device::{SensorKind, VulnSet, Vulnerability};
 use xlf_mgmt::{CampaignSpec, ConfigAuditSpec};
+use xlf_onboard::OnboardingSpec;
 use xlf_simnet::Duration;
 
 /// SplitMix64: the stateless mixer the stamping pipeline is built on.
@@ -44,6 +45,16 @@ pub enum FleetAttack {
     /// is scored on it post-run. Produces no in-home evidence — the
     /// stealth baseline for the fleet tier.
     TrafficObserver,
+    /// Onboarding-phase attack: the joining device presents a captured
+    /// token — expired or already spent — to the gateway's resource
+    /// server. Always denied ([`xlf_onboard::DenyCause::Expired`] /
+    /// `Replayed`) and flagged; the home's simulation is untouched.
+    TokenReplay,
+    /// Onboarding-phase attack: the join token is minted by an
+    /// authorization server that does not hold the fleet secret. The
+    /// seal check fails fleet-wide ([`xlf_onboard::DenyCause::BadSeal`]);
+    /// the home's simulation is untouched.
+    RogueAs,
 }
 
 impl FleetAttack {
@@ -56,13 +67,23 @@ impl FleetAttack {
             FleetAttack::Replay => "replay",
             FleetAttack::DnsPoison => "dns-poison",
             FleetAttack::TrafficObserver => "traffic-observer",
+            FleetAttack::TokenReplay => "token-replay",
+            FleetAttack::RogueAs => "rogue-as",
         }
     }
 
     /// Whether the attack actively injects traffic the home's own Core
-    /// can detect (passive observation cannot be flagged from inside).
+    /// can detect (passive observation cannot be flagged from inside;
+    /// onboarding attacks are stopped at the join phase and never reach
+    /// the home's network).
     pub fn is_active(&self) -> bool {
-        !matches!(self, FleetAttack::None | FleetAttack::TrafficObserver)
+        !matches!(
+            self,
+            FleetAttack::None
+                | FleetAttack::TrafficObserver
+                | FleetAttack::TokenReplay
+                | FleetAttack::RogueAs
+        )
     }
 }
 
@@ -384,6 +405,13 @@ pub struct FleetSpec {
     /// report bytes and conservation are unaffected). `None` in
     /// production.
     pub shard_chaos: Option<u64>,
+    /// Secure-onboarding configuration. `None` = homes are pre-admitted
+    /// (the historical behaviour, and a `null` `onboarding` report
+    /// section). `Some` runs one CoAP + ACE join per home before its
+    /// simulation steps: the outcome is a pure function of
+    /// `(OnboardingSpec, HomeSpec)`, so the report's v8 `onboarding`
+    /// section is byte-identical for any worker or region-shard count.
+    pub onboarding: Option<OnboardingSpec>,
 }
 
 impl FleetSpec {
@@ -420,7 +448,15 @@ impl FleetSpec {
             row_policy: RowPolicy::Full,
             run_snapshot: None,
             shard_chaos: None,
+            onboarding: None,
         }
+    }
+
+    /// Enables the secure-onboarding join phase (builder-style); see
+    /// [`FleetSpec::onboarding`].
+    pub fn with_onboarding(mut self, onboarding: OnboardingSpec) -> Self {
+        self.onboarding = Some(onboarding);
+        self
     }
 
     /// Enables durable run-level snapshots every `every` stream epochs

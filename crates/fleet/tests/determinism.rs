@@ -5,6 +5,7 @@
 use xlf_device::firmware::Version;
 use xlf_fleet::{
     run_fleet, CampaignSpec, ConfigAuditSpec, FleetAttack, FleetMetrics, FleetSpec, HomeTemplate,
+    OnboardingSpec,
 };
 
 fn spec(workers: usize) -> FleetSpec {
@@ -178,6 +179,110 @@ fn region_counts_are_byte_identical_with_faults_and_campaigns() {
             report.to_json(),
             json,
             "region count {regions} changed the chaotic fleet report"
+        );
+    }
+}
+
+#[test]
+fn onboarding_bearing_reports_are_byte_identical_across_worker_counts() {
+    // The join phase (CoAP handshakes, token verdicts, per-class energy)
+    // is a pure function of the stamped spec: an onboarding-bearing
+    // report — including one with onboarding-layer attacks — must not
+    // change a byte across worker counts, and the live join metrics must
+    // agree with the recomputed section.
+    fn onboard_spec(workers: usize) -> FleetSpec {
+        FleetSpec::new(0xF1EE_900B, 24)
+            .with_workers(workers)
+            .with_attacks(vec![
+                (FleetAttack::None, 6),
+                (FleetAttack::TokenReplay, 1),
+                (FleetAttack::RogueAs, 1),
+            ])
+            .with_onboarding(OnboardingSpec::new())
+    }
+    let baseline = run_fleet(&onboard_spec(1), &FleetMetrics::new()).expect("fleet runs");
+    let json = baseline.to_json();
+    let section = baseline.onboarding.as_ref().expect("onboarding section");
+    assert_eq!(section.joins, 24);
+    assert_eq!(section.rogue_admissions, 0);
+    assert!(section.denied > 0, "attack mix must deny some joins");
+    for workers in [2, 8] {
+        let metrics = FleetMetrics::new();
+        let report = run_fleet(&onboard_spec(workers), &metrics).expect("fleet runs");
+        assert_eq!(
+            report.to_json(),
+            json,
+            "worker count {workers} changed the onboarding-bearing report"
+        );
+        assert_eq!(metrics.onboard_joins.get(), section.joins);
+        assert_eq!(metrics.onboard_admitted.get(), section.admitted);
+        assert_eq!(metrics.onboard_denied.get(), section.denied);
+        assert_eq!(
+            metrics.onboard_retransmissions.get(),
+            section.retransmissions
+        );
+    }
+}
+
+#[test]
+fn onboarding_bearing_reports_are_byte_identical_across_region_shards() {
+    // The section is recomputed from the spec at the global pass, never
+    // stored in region slots — so the region-shard count (like the
+    // worker count, an execution knob) must not change a byte either.
+    fn sharded_spec(regions: usize) -> FleetSpec {
+        FleetSpec::new(0xF1EE_900C, 24)
+            .with_workers(2)
+            .with_regions(regions)
+            .with_attacks(vec![
+                (FleetAttack::None, 6),
+                (FleetAttack::TokenReplay, 1),
+                (FleetAttack::RogueAs, 1),
+            ])
+            .with_onboarding(OnboardingSpec::new())
+    }
+    let baseline = run_fleet(&sharded_spec(1), &FleetMetrics::new()).expect("fleet runs");
+    let json = baseline.to_json();
+    assert!(baseline.onboarding.is_some(), "onboarding section present");
+    for regions in [2, 8] {
+        let report = run_fleet(&sharded_spec(regions), &FleetMetrics::new()).expect("fleet runs");
+        assert_eq!(
+            report.to_json(),
+            json,
+            "region count {regions} changed the onboarding-bearing report"
+        );
+    }
+}
+
+#[test]
+fn denied_joins_are_flagged_and_alerted() {
+    // The fleet record must carry every denial: denied homes land in
+    // `flagged` and each raises a warning alert naming its cause.
+    let report = run_fleet(
+        &spec(2)
+            .with_onboarding(OnboardingSpec::new())
+            .with_attacks(vec![
+                (FleetAttack::None, 4),
+                (FleetAttack::TokenReplay, 1),
+                (FleetAttack::RogueAs, 1),
+            ]),
+        &FleetMetrics::new(),
+    )
+    .expect("fleet runs");
+    let section = report.onboarding.as_ref().expect("onboarding section");
+    assert!(section.denied > 0, "attack mix must deny some joins");
+    for id in &section.denied_homes {
+        assert!(
+            report.flagged.contains(id),
+            "denied home {id} not flagged; flagged={:?}",
+            report.flagged
+        );
+        let device = format!("home-{id:06}");
+        assert!(
+            report
+                .alerts
+                .iter()
+                .any(|a| a.device == device && a.explanation.contains("join denied")),
+            "denied home {id} has no onboarding alert"
         );
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! `FleetReport::to_json` and `FleetMetrics::to_json` are longitudinal
 //! interfaces: operators diff them across runs and revisions. These
-//! tests pin the exact bytes of schema v7 against goldens under
+//! tests pin the exact bytes of schema v8 against goldens under
 //! `tests/golden/`. If a field is added/removed/renamed/reordered, bump
 //! the matching `*_SCHEMA_VERSION` constant and regenerate the goldens:
 //!
@@ -15,7 +15,7 @@ use xlf_core::framework::HomeReport;
 use xlf_device::firmware::Version;
 use xlf_fleet::{
     CampaignSpec, ConfigAuditSpec, FleetAggregator, FleetAttack, FleetFault, FleetMetrics,
-    FleetSpec, HomeBuildError, HomeOutcome, HomeRunError, HomeSpec, HomeStream,
+    FleetSpec, HomeBuildError, HomeOutcome, HomeRunError, HomeSpec, HomeStream, OnboardingSpec,
     FLEET_METRICS_SCHEMA_VERSION, FLEET_REPORT_SCHEMA_VERSION,
 };
 use xlf_stream::{WindowSummary, STREAM_FEATURES};
@@ -183,13 +183,13 @@ fn synthetic_campaign_report_json() -> String {
 }
 
 #[test]
-fn fleet_report_json_matches_the_v7_golden() {
+fn fleet_report_json_matches_the_v8_golden() {
     assert_eq!(
-        FLEET_REPORT_SCHEMA_VERSION, 7,
+        FLEET_REPORT_SCHEMA_VERSION, 8,
         "bump goldens with the schema"
     );
     let json = synthetic_report_json();
-    assert!(json.starts_with("{\"schema_version\":7,"), "{json}");
+    assert!(json.starts_with("{\"schema_version\":8,"), "{json}");
     // Batch aggregation: the `epochs` and `campaigns` sections are
     // present but null.
     assert!(json.contains("\"epochs\":null"), "{json}");
@@ -203,11 +203,49 @@ fn fleet_report_json_matches_the_v7_golden() {
         json.contains("\"recovery\":{\"snapshot_every\":null}"),
         "{json}"
     );
-    assert_matches_golden("fleet_report_v7.json", &json);
+    // v8: the onboarding section (null — no onboarding spec).
+    assert!(json.contains("\"onboarding\":null"), "{json}");
+    assert_matches_golden("fleet_report_v8.json", &json);
+}
+
+/// An onboarding-bearing fleet exercising the v8 `onboarding` section:
+/// benign joiners plus one token-replay and one rogue-AS cohort, over
+/// the real stamped homes (the section is recomputed from the spec, so
+/// the item ids must agree with it).
+fn synthetic_onboard_report_json() -> String {
+    let spec = FleetSpec::new(0x60_1D, 6)
+        .with_attacks(vec![
+            (FleetAttack::None, 2),
+            (FleetAttack::TokenReplay, 1),
+            (FleetAttack::RogueAs, 1),
+        ])
+        .with_onboarding(OnboardingSpec::new());
+    let items: Vec<(HomeSpec, HomeOutcome)> = spec
+        .stamp()
+        .into_iter()
+        .map(|hs| {
+            let seed = hs.seed;
+            (hs, ok(fake_report(seed, 50.0, 0)))
+        })
+        .collect();
+    FleetAggregator::new(&spec).aggregate(items).to_json()
 }
 
 #[test]
-fn campaign_report_json_matches_the_v7_golden() {
+fn onboard_report_json_matches_the_v8_golden() {
+    let json = synthetic_onboard_report_json();
+    // The section carries the join ledger, the containment invariant,
+    // structured denial causes, and the per-class cipher record.
+    assert!(json.contains("\"onboarding\":{\"joins\":6,"), "{json}");
+    assert!(json.contains("\"rogue_admissions\":0"), "{json}");
+    assert!(json.contains("\"denials\":{\"infeasible\":"), "{json}");
+    assert!(json.contains("\"key_floor_bits\":"), "{json}");
+    assert!(json.contains("\"denied_homes\":["), "{json}");
+    assert_matches_golden("fleet_report_onboard_v8.json", &json);
+}
+
+#[test]
+fn campaign_report_json_matches_the_v8_golden() {
     let json = synthetic_campaign_report_json();
     // The tampered release lands on the first wave's promiscuous
     // cohort, the correlator flags the implant behaviour, and the gate
@@ -215,13 +253,13 @@ fn campaign_report_json_matches_the_v7_golden() {
     assert!(json.contains("\"halted_at_wave\":0") || json.contains("\"halted_at_wave\":1"));
     assert!(json.contains("\"contained\":true"), "{json}");
     assert!(json.contains("\"config_audit\":{\"every\":5"), "{json}");
-    assert_matches_golden("fleet_report_campaign_v7.json", &json);
+    assert_matches_golden("fleet_report_campaign_v8.json", &json);
 }
 
 #[test]
-fn fleet_metrics_json_matches_the_v7_golden() {
+fn fleet_metrics_json_matches_the_v8_golden() {
     assert_eq!(
-        FLEET_METRICS_SCHEMA_VERSION, 7,
+        FLEET_METRICS_SCHEMA_VERSION, 8,
         "bump goldens with the schema"
     );
     let m = FleetMetrics::new();
@@ -241,6 +279,10 @@ fn fleet_metrics_json_matches_the_v7_golden() {
     m.evidence_shed.add(60);
     m.windows_emitted.add(84);
     m.windows_shed.add(6);
+    m.onboard_joins.add(10);
+    m.onboard_admitted.add(8);
+    m.onboard_denied.add(2);
+    m.onboard_retransmissions.add(3);
     m.campaign_updates_applied.add(5);
     m.campaign_updates_rejected.add(2);
     m.campaign_rollbacks.add(5);
@@ -263,8 +305,8 @@ fn fleet_metrics_json_matches_the_v7_golden() {
     m.report_us.observe(80);
     m.aggregate_us.observe(1_500);
     let json = m.to_json();
-    assert!(json.starts_with("{\"schema_version\":7,"), "{json}");
-    assert_matches_golden("fleet_metrics_v7.json", &json);
+    assert!(json.starts_with("{\"schema_version\":8,"), "{json}");
+    assert_matches_golden("fleet_metrics_v8.json", &json);
 }
 
 #[test]

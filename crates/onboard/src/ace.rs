@@ -1,0 +1,424 @@
+//! ACE-OAuth-style authorization: an Authorization Server issues scoped,
+//! expiring, MAC-sealed access tokens; the gateway's resource server
+//! verifies seal, audience, scope, expiry, and freshness before admitting
+//! a device to the fleet.
+//!
+//! DNSSEC-style simplification (see `xlf-protocols::dns::records`): the
+//! asymmetric ACE flows are modeled with a symmetric CBC-MAC seal under a
+//! per-AS secret shared with the resource servers it serves. An attacker
+//! without the AS secret cannot mint a validating token — the property
+//! every onboarding experiment relies on — without a full PKI.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use xlf_lwcrypto::ciphers::Speck128;
+use xlf_lwcrypto::kdf::derive_key;
+use xlf_lwcrypto::mac::CbcMac;
+
+/// Why the resource server refused a join. The variant order is the
+/// canonical report order (stable JSON keys in the fleet's `onboarding`
+/// section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DenyCause {
+    /// No Table III cipher meets the device class's key-length floor
+    /// within its resource envelope (join never leaves the device).
+    Infeasible,
+    /// Token bytes failed to parse.
+    Malformed,
+    /// MAC seal did not verify — token minted under the wrong AS secret.
+    BadSeal,
+    /// Token audience names a different resource server.
+    WrongAudience,
+    /// Token scope does not cover the requested resource.
+    WrongScope,
+    /// Token expiry has passed.
+    Expired,
+    /// Token was already presented (replay).
+    Replayed,
+    /// The handshake exhausted MAX_RETRANSMIT without an ACK.
+    Unreachable,
+}
+
+/// Every cause in canonical report order.
+pub const DENY_CAUSES: [DenyCause; 8] = [
+    DenyCause::Infeasible,
+    DenyCause::Malformed,
+    DenyCause::BadSeal,
+    DenyCause::WrongAudience,
+    DenyCause::WrongScope,
+    DenyCause::Expired,
+    DenyCause::Replayed,
+    DenyCause::Unreachable,
+];
+
+impl DenyCause {
+    /// Stable snake_case label used as a JSON key.
+    pub fn label(self) -> &'static str {
+        match self {
+            DenyCause::Infeasible => "infeasible",
+            DenyCause::Malformed => "malformed",
+            DenyCause::BadSeal => "bad_seal",
+            DenyCause::WrongAudience => "wrong_audience",
+            DenyCause::WrongScope => "wrong_scope",
+            DenyCause::Expired => "expired",
+            DenyCause::Replayed => "replayed",
+            DenyCause::Unreachable => "unreachable",
+        }
+    }
+}
+
+impl fmt::Display for DenyCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The claims a token binds: who may do what, where, until when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenClaims {
+    /// Device the token was issued to.
+    pub device_id: u64,
+    /// Resource server the token is valid for (`aud`).
+    pub audience: String,
+    /// Granted scope (`scope`).
+    pub scope: String,
+    /// Issue time, seconds.
+    pub issued_at_s: u64,
+    /// Expiry, seconds, inclusive: the token is valid *at* this instant
+    /// and rejected one second later.
+    pub expires_at_s: u64,
+}
+
+impl TokenClaims {
+    /// Canonical length-prefixed encoding the seal covers; no two distinct
+    /// claim sets share an encoding.
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40 + self.audience.len() + self.scope.len());
+        out.extend_from_slice(&self.device_id.to_be_bytes());
+        out.extend_from_slice(&(self.audience.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.audience.as_bytes());
+        out.extend_from_slice(&(self.scope.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.scope.as_bytes());
+        out.extend_from_slice(&self.issued_at_s.to_be_bytes());
+        out.extend_from_slice(&self.expires_at_s.to_be_bytes());
+        out
+    }
+}
+
+/// A sealed access token as carried in a CoAP payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessToken {
+    /// The claims the seal covers.
+    pub claims: TokenClaims,
+    /// CBC-MAC seal over the canonical claim bytes.
+    pub tag: Vec<u8>,
+}
+
+impl AccessToken {
+    /// Serializes claims + tag for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let claims = self.claims.canonical_bytes();
+        let mut out = Vec::with_capacity(claims.len() + self.tag.len() + 4);
+        out.extend_from_slice(&(self.tag.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.tag);
+        out.extend_from_slice(&claims);
+        out
+    }
+
+    /// Parses a token serialized with [`AccessToken::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`DenyCause::Malformed`] on any framing violation.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DenyCause> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], DenyCause> {
+            let end = pos
+                .checked_add(n)
+                .filter(|&e| e <= data.len())
+                .ok_or(DenyCause::Malformed)?;
+            let slice = &data[*pos..end];
+            *pos = end;
+            Ok(slice)
+        };
+        let tlen = u16::from_be_bytes(
+            take(&mut pos, 2)?
+                .try_into()
+                .map_err(|_| DenyCause::Malformed)?,
+        ) as usize;
+        let tag = take(&mut pos, tlen)?.to_vec();
+        let device_id = u64::from_be_bytes(
+            take(&mut pos, 8)?
+                .try_into()
+                .map_err(|_| DenyCause::Malformed)?,
+        );
+        let alen = u32::from_be_bytes(
+            take(&mut pos, 4)?
+                .try_into()
+                .map_err(|_| DenyCause::Malformed)?,
+        ) as usize;
+        let audience =
+            String::from_utf8(take(&mut pos, alen)?.to_vec()).map_err(|_| DenyCause::Malformed)?;
+        let slen = u32::from_be_bytes(
+            take(&mut pos, 4)?
+                .try_into()
+                .map_err(|_| DenyCause::Malformed)?,
+        ) as usize;
+        let scope =
+            String::from_utf8(take(&mut pos, slen)?.to_vec()).map_err(|_| DenyCause::Malformed)?;
+        let issued_at_s = u64::from_be_bytes(
+            take(&mut pos, 8)?
+                .try_into()
+                .map_err(|_| DenyCause::Malformed)?,
+        );
+        let expires_at_s = u64::from_be_bytes(
+            take(&mut pos, 8)?
+                .try_into()
+                .map_err(|_| DenyCause::Malformed)?,
+        );
+        if pos != data.len() {
+            return Err(DenyCause::Malformed);
+        }
+        Ok(AccessToken {
+            claims: TokenClaims {
+                device_id,
+                audience,
+                scope,
+                issued_at_s,
+                expires_at_s,
+            },
+            tag,
+        })
+    }
+}
+
+// Invariant, not input validation: the derived length matches Speck128's
+// fixed 16-byte key, and AS secrets are non-empty by construction — these
+// can only fire if that pairing is edited, never from wire data.
+fn seal_cipher(as_secret: &[u8]) -> Speck128 {
+    let key = derive_key(as_secret, "xlf-onboard/token-seal", 16)
+        .unwrap_or_else(|_| unreachable!("non-empty AS secret, valid length"));
+    Speck128::new(&key).unwrap_or_else(|_| unreachable!("16-byte derived key"))
+}
+
+/// The ACE Authorization Server: mints sealed tokens under its secret.
+#[derive(Debug, Clone)]
+pub struct AuthServer {
+    secret: Vec<u8>,
+}
+
+impl AuthServer {
+    /// Creates an AS from its master secret.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secret` is empty (a configuration error, not a runtime
+    /// condition).
+    pub fn new(secret: &[u8]) -> Self {
+        assert!(!secret.is_empty(), "AS secret must be non-empty");
+        AuthServer {
+            secret: secret.to_vec(),
+        }
+    }
+
+    /// Issues a sealed token for `device_id` with the given grant.
+    pub fn issue(
+        &self,
+        device_id: u64,
+        audience: &str,
+        scope: &str,
+        issued_at_s: u64,
+        ttl_s: u64,
+    ) -> AccessToken {
+        let claims = TokenClaims {
+            device_id,
+            audience: audience.to_string(),
+            scope: scope.to_string(),
+            issued_at_s,
+            expires_at_s: issued_at_s.saturating_add(ttl_s),
+        };
+        let cipher = seal_cipher(&self.secret);
+        let tag = CbcMac::new(&cipher)
+            .tag(&claims.canonical_bytes())
+            .unwrap_or_else(|_| unreachable!("tagging cannot fail"));
+        AccessToken { claims, tag }
+    }
+}
+
+/// The gateway-side resource server: verifies presented tokens.
+#[derive(Debug, Clone)]
+pub struct ResourceServer {
+    as_secret: Vec<u8>,
+    audience: String,
+    seen_tags: BTreeSet<Vec<u8>>,
+}
+
+impl ResourceServer {
+    /// Creates a resource server named `audience`, trusting the AS that
+    /// holds `as_secret`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `as_secret` is empty (configuration error).
+    pub fn new(audience: &str, as_secret: &[u8]) -> Self {
+        assert!(!as_secret.is_empty(), "AS secret must be non-empty");
+        ResourceServer {
+            as_secret: as_secret.to_vec(),
+            audience: audience.to_string(),
+            seen_tags: BTreeSet::new(),
+        }
+    }
+
+    /// Marks a token as already presented (models an on-path capture of a
+    /// legitimate presentation; a later replay of the same token fails).
+    pub fn note_presented(&mut self, token: &AccessToken) {
+        self.seen_tags.insert(token.tag.clone());
+    }
+
+    /// Verifies a serialized token presented at `now_s` for `scope`.
+    ///
+    /// Check order: parse → seal → audience → scope → expiry → replay; the
+    /// first failure wins, so a rogue-AS token reports `BadSeal` even when
+    /// it is also expired.
+    ///
+    /// # Errors
+    ///
+    /// The [`DenyCause`] of the first failed check.
+    pub fn verify(
+        &mut self,
+        token_bytes: &[u8],
+        scope: &str,
+        now_s: u64,
+    ) -> Result<TokenClaims, DenyCause> {
+        let token = AccessToken::from_bytes(token_bytes)?;
+        let cipher = seal_cipher(&self.as_secret);
+        let sealed = CbcMac::new(&cipher)
+            .verify(&token.claims.canonical_bytes(), &token.tag)
+            .unwrap_or_else(|_| unreachable!("verification cannot fail"));
+        if !sealed {
+            return Err(DenyCause::BadSeal);
+        }
+        if token.claims.audience != self.audience {
+            return Err(DenyCause::WrongAudience);
+        }
+        if token.claims.scope != scope {
+            return Err(DenyCause::WrongScope);
+        }
+        if now_s > token.claims.expires_at_s {
+            return Err(DenyCause::Expired);
+        }
+        if !self.seen_tags.insert(token.tag.clone()) {
+            return Err(DenyCause::Replayed);
+        }
+        Ok(token.claims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: &[u8] = b"authorization server master secret";
+    const AUD: &str = "gw-rs";
+    const SCOPE: &str = "telemetry:join";
+
+    fn servers() -> (AuthServer, ResourceServer) {
+        (AuthServer::new(SECRET), ResourceServer::new(AUD, SECRET))
+    }
+
+    #[test]
+    fn valid_token_admits() {
+        let (auth, mut rs) = servers();
+        let token = auth.issue(7, AUD, SCOPE, 100, 60);
+        let claims = rs.verify(&token.to_bytes(), SCOPE, 120).unwrap();
+        assert_eq!(claims.device_id, 7);
+    }
+
+    #[test]
+    fn token_roundtrips_through_bytes() {
+        let token = AuthServer::new(SECRET).issue(9, AUD, SCOPE, 5, 10);
+        assert_eq!(AccessToken::from_bytes(&token.to_bytes()).unwrap(), token);
+    }
+
+    #[test]
+    fn expiry_boundary_valid_at_t_rejected_at_t_plus_one() {
+        let (auth, mut rs) = servers();
+        let token = auth.issue(1, AUD, SCOPE, 100, 60); // expires at 160
+        assert!(rs.verify(&token.to_bytes(), SCOPE, 160).is_ok());
+        let mut rs2 = ResourceServer::new(AUD, SECRET);
+        assert_eq!(
+            rs2.verify(&token.to_bytes(), SCOPE, 161),
+            Err(DenyCause::Expired)
+        );
+    }
+
+    #[test]
+    fn scope_mismatch_is_denied() {
+        let (auth, mut rs) = servers();
+        let token = auth.issue(1, AUD, "firmware:write", 0, 60);
+        assert_eq!(
+            rs.verify(&token.to_bytes(), SCOPE, 10),
+            Err(DenyCause::WrongScope)
+        );
+    }
+
+    #[test]
+    fn audience_mismatch_is_denied() {
+        let (auth, mut rs) = servers();
+        let token = auth.issue(1, "other-rs", SCOPE, 0, 60);
+        assert_eq!(
+            rs.verify(&token.to_bytes(), SCOPE, 10),
+            Err(DenyCause::WrongAudience)
+        );
+    }
+
+    #[test]
+    fn replayed_token_is_denied_second_time() {
+        let (auth, mut rs) = servers();
+        let token = auth.issue(1, AUD, SCOPE, 0, 60);
+        assert!(rs.verify(&token.to_bytes(), SCOPE, 10).is_ok());
+        assert_eq!(
+            rs.verify(&token.to_bytes(), SCOPE, 11),
+            Err(DenyCause::Replayed)
+        );
+    }
+
+    #[test]
+    fn rogue_as_token_fails_the_seal() {
+        let rogue = AuthServer::new(b"rogue authorization server");
+        let mut rs = ResourceServer::new(AUD, SECRET);
+        let token = rogue.issue(1, AUD, SCOPE, 0, 60);
+        assert_eq!(
+            rs.verify(&token.to_bytes(), SCOPE, 10),
+            Err(DenyCause::BadSeal)
+        );
+    }
+
+    #[test]
+    fn tampered_claims_fail_the_seal() {
+        let (auth, mut rs) = servers();
+        let mut token = auth.issue(1, AUD, SCOPE, 0, 60);
+        token.claims.expires_at_s = u64::MAX; // extend your own lease
+        assert_eq!(
+            rs.verify(&token.to_bytes(), SCOPE, 10),
+            Err(DenyCause::BadSeal)
+        );
+    }
+
+    #[test]
+    fn malformed_token_bytes_are_structured_errors() {
+        let mut rs = ResourceServer::new(AUD, SECRET);
+        for bytes in [&b""[..], &[0xFF; 3], &[0u8; 40]] {
+            assert_eq!(
+                rs.verify(bytes, SCOPE, 0).unwrap_err(),
+                DenyCause::Malformed,
+                "bytes {bytes:?}"
+            );
+        }
+        // Trailing garbage after a valid token.
+        let token = AuthServer::new(SECRET).issue(1, AUD, SCOPE, 0, 60);
+        let mut bytes = token.to_bytes();
+        bytes.push(0);
+        assert_eq!(rs.verify(&bytes, SCOPE, 0), Err(DenyCause::Malformed));
+    }
+}

@@ -1,0 +1,461 @@
+//! A deterministic CoAP (RFC 7252-shaped) message codec.
+//!
+//! Carries the onboarding handshake: token requests to the Authorization
+//! Server and token presentations to the gateway's resource server travel
+//! as confirmable CoAP messages over the constrained link. The codec is
+//! byte-exact both ways (`to_bytes ∘ from_bytes = id`) and total on the
+//! decode side: every malformed buffer maps to a structured [`CoapError`],
+//! never a panic — the same hardening contract as
+//! `FirmwareImage::from_bytes`.
+
+use std::fmt;
+
+/// CoAP message type (RFC 7252 §3, the 2-bit `T` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgType {
+    /// Requires an acknowledgement; retransmitted with backoff until ACKed.
+    Confirmable,
+    /// Fire-and-forget.
+    NonConfirmable,
+    /// Acknowledges a confirmable message (may piggyback a response).
+    Ack,
+    /// Rejects a message the receiver cannot process.
+    Reset,
+}
+
+impl MsgType {
+    fn to_bits(self) -> u8 {
+        match self {
+            MsgType::Confirmable => 0,
+            MsgType::NonConfirmable => 1,
+            MsgType::Ack => 2,
+            MsgType::Reset => 3,
+        }
+    }
+
+    fn from_bits(bits: u8) -> MsgType {
+        match bits & 0b11 {
+            0 => MsgType::Confirmable,
+            1 => MsgType::NonConfirmable,
+            2 => MsgType::Ack,
+            _ => MsgType::Reset,
+        }
+    }
+}
+
+/// A CoAP code: 3-bit class + 5-bit detail, printed `c.dd` (RFC 7252 §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Code(pub u8);
+
+impl Code {
+    /// 0.00 Empty (pure ACK / RST).
+    pub const EMPTY: Code = Code(0x00);
+    /// 0.01 GET.
+    pub const GET: Code = Code(0x01);
+    /// 0.02 POST — used by both onboarding requests.
+    pub const POST: Code = Code(0x02);
+    /// 2.01 Created — token issued / home admitted.
+    pub const CREATED: Code = Code(0x41);
+    /// 2.05 Content.
+    pub const CONTENT: Code = Code(0x45);
+    /// 4.00 Bad Request.
+    pub const BAD_REQUEST: Code = Code(0x80);
+    /// 4.01 Unauthorized — token rejected.
+    pub const UNAUTHORIZED: Code = Code(0x81);
+    /// 4.03 Forbidden — scope/audience mismatch.
+    pub const FORBIDDEN: Code = Code(0x83);
+
+    /// The 3-bit class (0 request, 2 success, 4 client error, 5 server
+    /// error).
+    pub fn class(self) -> u8 {
+        self.0 >> 5
+    }
+
+    /// The 5-bit detail.
+    pub fn detail(self) -> u8 {
+        self.0 & 0x1F
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:02}", self.class(), self.detail())
+    }
+}
+
+/// Option numbers the onboarding flow uses (RFC 7252 §5.10 registry).
+pub mod option {
+    /// Uri-Path (repeatable).
+    pub const URI_PATH: u16 = 11;
+    /// Content-Format.
+    pub const CONTENT_FORMAT: u16 = 12;
+    /// Uri-Query (repeatable) — carries `scope=`/`aud=` parameters.
+    pub const URI_QUERY: u16 = 15;
+}
+
+/// A single CoAP option (number + opaque value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoapOption {
+    /// Option number from the RFC 7252 registry.
+    pub number: u16,
+    /// Option value (≤ 65535 + 269 bytes by wire format; we cap at u16).
+    pub value: Vec<u8>,
+}
+
+/// Structured decode errors: the total-function contract of the codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoapError {
+    /// Buffer ended before the fixed 4-byte header.
+    Truncated,
+    /// Version field was not 1.
+    BadVersion(u8),
+    /// Token length nibble exceeded 8 (RFC 7252 reserves 9–15).
+    BadTokenLength(u8),
+    /// Buffer ended inside the token.
+    TruncatedToken,
+    /// An option used the reserved delta/length nibble 15 outside the
+    /// payload marker.
+    ReservedOptionNibble,
+    /// Buffer ended inside an option header or value.
+    TruncatedOption,
+    /// Option deltas overflowed the u16 option-number space.
+    OptionNumberOverflow,
+    /// A payload marker (0xFF) with a zero-length payload.
+    EmptyPayload,
+    /// Encoding-side: an option value longer than the wire format carries.
+    OversizeOption(usize),
+    /// Encoding-side: a token longer than 8 bytes.
+    OversizeToken(usize),
+}
+
+impl fmt::Display for CoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoapError::Truncated => write!(f, "buffer shorter than the 4-byte CoAP header"),
+            CoapError::BadVersion(v) => write!(f, "unsupported CoAP version {v}"),
+            CoapError::BadTokenLength(l) => write!(f, "reserved token length {l}"),
+            CoapError::TruncatedToken => write!(f, "buffer ended inside the token"),
+            CoapError::ReservedOptionNibble => write!(f, "reserved option nibble 15"),
+            CoapError::TruncatedOption => write!(f, "buffer ended inside an option"),
+            CoapError::OptionNumberOverflow => write!(f, "option delta overflowed u16"),
+            CoapError::EmptyPayload => write!(f, "payload marker with empty payload"),
+            CoapError::OversizeOption(n) => write!(f, "option value of {n} bytes exceeds wire max"),
+            CoapError::OversizeToken(n) => write!(f, "token of {n} bytes exceeds the 8-byte max"),
+        }
+    }
+}
+
+impl std::error::Error for CoapError {}
+
+/// A CoAP message: header + token + sorted options + optional payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoapMessage {
+    /// Message type.
+    pub mtype: MsgType,
+    /// Request/response code.
+    pub code: Code,
+    /// 16-bit message id (matches ACKs to confirmables).
+    pub message_id: u16,
+    /// 0–8 byte token correlating responses to requests.
+    pub token: Vec<u8>,
+    /// Options; serialized in ascending option-number order.
+    pub options: Vec<CoapOption>,
+    /// Payload (empty = no payload marker on the wire).
+    pub payload: Vec<u8>,
+}
+
+/// Largest option value the extended 2-byte length form can carry.
+const MAX_OPTION_LEN: usize = 65535 + 269;
+
+impl CoapMessage {
+    /// Builds a request/response with no options or payload.
+    pub fn new(mtype: MsgType, code: Code, message_id: u16) -> Self {
+        CoapMessage {
+            mtype,
+            code,
+            message_id,
+            token: Vec::new(),
+            options: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Sets the token (builder style).
+    pub fn with_token(mut self, token: Vec<u8>) -> Self {
+        self.token = token;
+        self
+    }
+
+    /// Appends an option (builder style). Options are sorted at encode
+    /// time, so insertion order does not matter.
+    pub fn with_option(mut self, number: u16, value: &[u8]) -> Self {
+        self.options.push(CoapOption {
+            number,
+            value: value.to_vec(),
+        });
+        self
+    }
+
+    /// Sets the payload (builder style).
+    pub fn with_payload(mut self, payload: Vec<u8>) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Serialized wire size in bytes without building the buffer.
+    pub fn wire_len(&self) -> usize {
+        self.to_bytes().map(|b| b.len()).unwrap_or(0)
+    }
+
+    /// Encodes the message.
+    ///
+    /// # Errors
+    ///
+    /// [`CoapError::OversizeToken`] / [`CoapError::OversizeOption`] when a
+    /// field exceeds what the wire format can carry.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CoapError> {
+        if self.token.len() > 8 {
+            return Err(CoapError::OversizeToken(self.token.len()));
+        }
+        let mut out = Vec::with_capacity(8 + self.token.len() + self.payload.len());
+        out.push((1u8 << 6) | (self.mtype.to_bits() << 4) | self.token.len() as u8);
+        out.push(self.code.0);
+        out.extend_from_slice(&self.message_id.to_be_bytes());
+        out.extend_from_slice(&self.token);
+
+        let mut sorted: Vec<&CoapOption> = self.options.iter().collect();
+        sorted.sort_by_key(|o| o.number);
+        let mut previous = 0u16;
+        for opt in sorted {
+            if opt.value.len() > MAX_OPTION_LEN {
+                return Err(CoapError::OversizeOption(opt.value.len()));
+            }
+            let delta = (opt.number - previous) as usize;
+            previous = opt.number;
+            let (dn, dext) = nibble_of(delta);
+            let (ln, lext) = nibble_of(opt.value.len());
+            out.push((dn << 4) | ln);
+            out.extend_from_slice(&dext);
+            out.extend_from_slice(&lext);
+            out.extend_from_slice(&opt.value);
+        }
+
+        if !self.payload.is_empty() {
+            out.push(0xFF);
+            out.extend_from_slice(&self.payload);
+        }
+        Ok(out)
+    }
+
+    /// Decodes a wire buffer.
+    ///
+    /// # Errors
+    ///
+    /// A structured [`CoapError`] for every malformed input; this function
+    /// never panics (proptested over arbitrary, truncated, and bit-flipped
+    /// buffers).
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CoapError> {
+        if data.len() < 4 {
+            return Err(CoapError::Truncated);
+        }
+        let version = data[0] >> 6;
+        if version != 1 {
+            return Err(CoapError::BadVersion(version));
+        }
+        let mtype = MsgType::from_bits(data[0] >> 4);
+        let tkl = data[0] & 0x0F;
+        if tkl > 8 {
+            return Err(CoapError::BadTokenLength(tkl));
+        }
+        let code = Code(data[1]);
+        let message_id = u16::from_be_bytes([data[2], data[3]]);
+
+        let mut pos = 4usize;
+        let token = take(data, &mut pos, tkl as usize)
+            .ok_or(CoapError::TruncatedToken)?
+            .to_vec();
+
+        let mut options = Vec::new();
+        let mut number = 0u16;
+        let mut payload = Vec::new();
+        while pos < data.len() {
+            let byte = data[pos];
+            pos += 1;
+            if byte == 0xFF {
+                if pos == data.len() {
+                    return Err(CoapError::EmptyPayload);
+                }
+                payload = data[pos..].to_vec();
+                break;
+            }
+            let dn = byte >> 4;
+            let ln = byte & 0x0F;
+            if dn == 15 || ln == 15 {
+                return Err(CoapError::ReservedOptionNibble);
+            }
+            let delta = read_extended(data, &mut pos, dn)?;
+            let len = read_extended(data, &mut pos, ln)?;
+            number = number
+                .checked_add(u16::try_from(delta).map_err(|_| CoapError::OptionNumberOverflow)?)
+                .ok_or(CoapError::OptionNumberOverflow)?;
+            let value = take(data, &mut pos, len)
+                .ok_or(CoapError::TruncatedOption)?
+                .to_vec();
+            options.push(CoapOption { number, value });
+        }
+
+        Ok(CoapMessage {
+            mtype,
+            code,
+            message_id,
+            token,
+            options,
+            payload,
+        })
+    }
+
+    /// All values of a (possibly repeated) option, in wire order.
+    pub fn option_values(&self, number: u16) -> impl Iterator<Item = &[u8]> {
+        self.options
+            .iter()
+            .filter(move |o| o.number == number)
+            .map(|o| o.value.as_slice())
+    }
+}
+
+/// Splits a delta/length into its 4-bit nibble and extended bytes
+/// (RFC 7252 §3.1: 13 = +1 byte, 14 = +2 bytes biased by 269).
+fn nibble_of(value: usize) -> (u8, Vec<u8>) {
+    if value < 13 {
+        (value as u8, Vec::new())
+    } else if value < 269 {
+        (13, vec![(value - 13) as u8])
+    } else {
+        (14, ((value - 269) as u16).to_be_bytes().to_vec())
+    }
+}
+
+/// Reads the extended delta/length form selected by a nibble.
+fn read_extended(data: &[u8], pos: &mut usize, nibble: u8) -> Result<usize, CoapError> {
+    match nibble {
+        0..=12 => Ok(nibble as usize),
+        13 => {
+            let ext = take(data, pos, 1).ok_or(CoapError::TruncatedOption)?;
+            Ok(ext[0] as usize + 13)
+        }
+        14 => {
+            let ext = take(data, pos, 2).ok_or(CoapError::TruncatedOption)?;
+            Ok(u16::from_be_bytes([ext[0], ext[1]]) as usize + 269)
+        }
+        _ => Err(CoapError::ReservedOptionNibble),
+    }
+}
+
+/// Bounds-checked slice advance; `None` on any overflow or overrun.
+fn take<'d>(data: &'d [u8], pos: &mut usize, n: usize) -> Option<&'d [u8]> {
+    let end = pos.checked_add(n).filter(|&e| e <= data.len())?;
+    let slice = &data[*pos..end];
+    *pos = end;
+    Some(slice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> CoapMessage {
+        CoapMessage::new(MsgType::Confirmable, Code::POST, 0xBEEF)
+            .with_token(vec![1, 2, 3, 4])
+            .with_option(option::URI_PATH, b"authz-info")
+            .with_option(option::URI_QUERY, b"scope=telemetry:join")
+            .with_option(option::CONTENT_FORMAT, &[42])
+            .with_payload(b"sealed token bytes".to_vec())
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let msg = request();
+        let parsed = CoapMessage::from_bytes(&msg.to_bytes().unwrap()).unwrap();
+        assert_eq!(parsed.mtype, MsgType::Confirmable);
+        assert_eq!(parsed.code, Code::POST);
+        assert_eq!(parsed.message_id, 0xBEEF);
+        assert_eq!(parsed.token, vec![1, 2, 3, 4]);
+        // Options come back sorted by number.
+        assert_eq!(
+            parsed.option_values(option::URI_PATH).next().unwrap(),
+            b"authz-info"
+        );
+        assert_eq!(
+            parsed.option_values(option::URI_QUERY).next().unwrap(),
+            b"scope=telemetry:join"
+        );
+        assert_eq!(parsed.payload, b"sealed token bytes");
+    }
+
+    #[test]
+    fn empty_message_is_four_bytes() {
+        let msg = CoapMessage::new(MsgType::Ack, Code::EMPTY, 7);
+        let bytes = msg.to_bytes().unwrap();
+        assert_eq!(bytes.len(), 4);
+        assert_eq!(CoapMessage::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn extended_option_forms_roundtrip() {
+        // Deltas/lengths crossing the 13 and 269 thresholds.
+        let msg = CoapMessage::new(MsgType::NonConfirmable, Code::GET, 1)
+            .with_option(5, &vec![7u8; 300])
+            .with_option(400, &[9u8; 13])
+            .with_option(40_000, b"far");
+        let parsed = CoapMessage::from_bytes(&msg.to_bytes().unwrap()).unwrap();
+        assert_eq!(parsed.options.len(), 3);
+        assert_eq!(parsed.options[0].value.len(), 300);
+        assert_eq!(parsed.options[1].number, 400);
+        assert_eq!(parsed.options[2].number, 40_000);
+    }
+
+    #[test]
+    fn code_display_uses_dotted_form() {
+        assert_eq!(Code::CREATED.to_string(), "2.01");
+        assert_eq!(Code::UNAUTHORIZED.to_string(), "4.01");
+        assert_eq!(Code::POST.to_string(), "0.02");
+    }
+
+    #[test]
+    fn structured_errors_for_canonical_malformations() {
+        assert_eq!(CoapMessage::from_bytes(&[]), Err(CoapError::Truncated));
+        assert_eq!(
+            CoapMessage::from_bytes(&[0u8; 4]),
+            Err(CoapError::BadVersion(0))
+        );
+        // Version 1, token length 9 (reserved).
+        assert_eq!(
+            CoapMessage::from_bytes(&[0x49, 0, 0, 0]),
+            Err(CoapError::BadTokenLength(9))
+        );
+        // Token length 4 but nothing after the header.
+        assert_eq!(
+            CoapMessage::from_bytes(&[0x44, 0, 0, 0]),
+            Err(CoapError::TruncatedToken)
+        );
+        // Payload marker with nothing after it.
+        assert_eq!(
+            CoapMessage::from_bytes(&[0x40, 0, 0, 0, 0xFF]),
+            Err(CoapError::EmptyPayload)
+        );
+        // Reserved option nibble 15 outside the payload marker.
+        assert_eq!(
+            CoapMessage::from_bytes(&[0x40, 0, 0, 0, 0xF0]),
+            Err(CoapError::ReservedOptionNibble)
+        );
+    }
+
+    #[test]
+    fn oversize_fields_fail_encoding() {
+        let msg = CoapMessage::new(MsgType::Confirmable, Code::GET, 1).with_token(vec![0; 9]);
+        assert_eq!(msg.to_bytes(), Err(CoapError::OversizeToken(9)));
+        let msg = CoapMessage::new(MsgType::Confirmable, Code::GET, 1)
+            .with_option(1, &vec![0; MAX_OPTION_LEN + 1]);
+        assert!(matches!(msg.to_bytes(), Err(CoapError::OversizeOption(_))));
+    }
+}

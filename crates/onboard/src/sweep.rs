@@ -1,0 +1,203 @@
+//! Per-device-class cipher selection: the cheapest Table III cipher that
+//! meets the class's key-length floor within its Table I resource
+//! envelope.
+//!
+//! The floor follows the key-length-oriented classification of lightweight
+//! ciphers: severely constrained microcontroller-class devices (< 64 KiB
+//! RAM) accept the 80-bit lightweight floor; everything else must clear
+//! 128 bits. "Cheapest" is least device CPU time per handshake (highest
+//! sustained throughput among fitting candidates), which for battery
+//! devices is also least energy under the Table I cycle model.
+
+use xlf_device::{DeviceClass, DeviceSpec, ResourceModel};
+use xlf_lwcrypto::{registry, CipherInfo};
+
+/// Nominal handshake volume used by the sweep's energy figures: the two
+/// confirmable requests (token request + token presentation) at typical
+/// option/token sizes.
+pub const HANDSHAKE_BYTES: u64 = 192;
+
+/// Sustained throughput the join handshake requires of the cipher
+/// (bytes/second) — deliberately modest; joins are rare and small.
+pub const JOIN_REQUIRED_BPS: f64 = 256.0;
+
+/// Minimum key length (bits) a device class will accept for its join.
+pub fn key_floor_bits(class: DeviceClass) -> usize {
+    if DeviceSpec::of(class).is_constrained() {
+        80
+    } else {
+        128
+    }
+}
+
+/// A cipher chosen for a class, with the figures the reports carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CipherChoice {
+    /// Table III metadata of the chosen cipher.
+    pub info: CipherInfo,
+    /// Sustained throughput on this class's CPU (bytes/second).
+    pub throughput_bps: f64,
+    /// Energy for one nominal handshake ([`HANDSHAKE_BYTES`]); 0 for
+    /// mains-powered classes.
+    pub handshake_energy_mj: f64,
+}
+
+/// The Table III candidate set, deduplicated to one row per
+/// (name, rounds) — the registry instantiates some algorithms at several
+/// key lengths that share a metadata row.
+pub fn candidate_infos() -> Vec<CipherInfo> {
+    let mut infos: Vec<CipherInfo> = Vec::new();
+    for cipher in registry(b"xlf-onboard sweep") {
+        let info = cipher.info();
+        if !infos
+            .iter()
+            .any(|i| i.name == info.name && i.rounds == info.rounds)
+        {
+            infos.push(info);
+        }
+    }
+    infos
+}
+
+/// Selects the cheapest candidate meeting `class`'s key floor, or `None`
+/// when nothing fits (passive tags, or a floor no fitting cipher clears).
+pub fn select_cipher(class: DeviceClass, candidates: &[CipherInfo]) -> Option<CipherChoice> {
+    let model = ResourceModel::new(DeviceSpec::of(class));
+    let floor = key_floor_bits(class);
+    let mut fitting: Vec<CipherChoice> = candidates
+        .iter()
+        .filter(|info| info.key_bits.iter().max().copied().unwrap_or(0) >= floor)
+        .filter_map(
+            |info| match model.crypto_feasibility(info, JOIN_REQUIRED_BPS) {
+                xlf_device::CryptoFeasibility::Fits { throughput_bps } => Some(CipherChoice {
+                    info: info.clone(),
+                    throughput_bps,
+                    handshake_energy_mj: model.tx_energy_mj(info, HANDSHAKE_BYTES),
+                }),
+                _ => None,
+            },
+        )
+        .collect();
+    // Least CPU time first (highest throughput); name breaks exact ties so
+    // the selection is a total order.
+    fitting.sort_by(|a, b| {
+        b.throughput_bps
+            .partial_cmp(&a.throughput_bps)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.info.name.cmp(b.info.name))
+    });
+    fitting.into_iter().next()
+}
+
+/// One row of the per-class sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassPlan {
+    /// The device class.
+    pub class: DeviceClass,
+    /// Key floor applied.
+    pub key_floor_bits: usize,
+    /// The chosen cipher, or `None` when the class cannot join.
+    pub choice: Option<CipherChoice>,
+}
+
+/// Sweeps every class in `classes` against the Table III candidates.
+pub fn sweep(classes: &[DeviceClass]) -> Vec<ClassPlan> {
+    let candidates = candidate_infos();
+    classes
+        .iter()
+        .map(|&class| ClassPlan {
+            class,
+            key_floor_bits: key_floor_bits(class),
+            choice: select_cipher(class, &candidates),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constrained_classes_get_the_lightweight_floor() {
+        assert_eq!(key_floor_bits(DeviceClass::SensorDevice), 80);
+        assert_eq!(key_floor_bits(DeviceClass::PhilipsHueLightbulb), 80);
+        assert_eq!(key_floor_bits(DeviceClass::SamsungSmartTv), 128);
+        assert_eq!(key_floor_bits(DeviceClass::Iphone6sPlus), 128);
+    }
+
+    #[test]
+    fn passive_tags_have_no_feasible_cipher() {
+        let candidates = candidate_infos();
+        assert!(select_cipher(DeviceClass::HidGlassTagRfid, &candidates).is_none());
+        assert!(select_cipher(DeviceClass::HidPiccolinoTagRfid, &candidates).is_none());
+    }
+
+    #[test]
+    fn sensor_class_selects_the_fastest_fitting_cipher() {
+        // "Cheapest" = least CPU time per handshake: nothing that fits
+        // and clears the floor may beat the chosen throughput, and the
+        // choice must be strictly cheaper than AES on a sensor MCU.
+        let candidates = candidate_infos();
+        let choice = select_cipher(DeviceClass::SensorDevice, &candidates).expect("sensors join");
+        let model = ResourceModel::new(DeviceSpec::of(DeviceClass::SensorDevice));
+        for info in &candidates {
+            if info.key_bits.iter().max().copied().unwrap_or(0) < 80 {
+                continue;
+            }
+            if let xlf_device::CryptoFeasibility::Fits { throughput_bps } =
+                model.crypto_feasibility(info, JOIN_REQUIRED_BPS)
+            {
+                assert!(
+                    choice.throughput_bps >= throughput_bps,
+                    "{} ({} B/s) beats chosen {} ({} B/s)",
+                    info.name,
+                    throughput_bps,
+                    choice.info.name,
+                    choice.throughput_bps
+                );
+            }
+        }
+        let aes = candidates.iter().find(|i| i.name == "AES").expect("AES");
+        assert!(
+            model.tx_energy_mj(&choice.info, HANDSHAKE_BYTES)
+                < model.tx_energy_mj(aes, HANDSHAKE_BYTES),
+            "the negotiated cipher must undercut AES on a battery MCU"
+        );
+        assert!(choice.handshake_energy_mj > 0.0, "battery class has a cost");
+    }
+
+    #[test]
+    fn chosen_ciphers_always_clear_the_floor() {
+        for plan in sweep(&[
+            DeviceClass::SensorDevice,
+            DeviceClass::Rex2SmartMeter,
+            DeviceClass::FitbitFlex,
+            DeviceClass::SamsungSmartTv,
+            DeviceClass::GenericAppliance,
+        ]) {
+            let choice = plan.choice.expect("all these classes can join");
+            let max_key = choice.info.key_bits.iter().max().copied().unwrap_or(0);
+            assert!(
+                max_key >= plan.key_floor_bits,
+                "{:?}: {} bits < floor {}",
+                plan.class,
+                max_key,
+                plan.key_floor_bits
+            );
+        }
+    }
+
+    #[test]
+    fn mains_classes_report_zero_energy() {
+        let candidates = candidate_infos();
+        let choice =
+            select_cipher(DeviceClass::GenericAppliance, &candidates).expect("appliance joins");
+        assert_eq!(choice.handshake_energy_mj, 0.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let classes = [DeviceClass::SensorDevice, DeviceClass::FitbitFlex];
+        assert_eq!(sweep(&classes), sweep(&classes));
+    }
+}

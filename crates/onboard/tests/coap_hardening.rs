@@ -1,0 +1,100 @@
+//! CoAP codec hardening: the decoder is a total function. Arbitrary
+//! buffers, every truncation point of a valid message, and every
+//! single-byte flip must map to `Ok` or a structured `CoapError` — never
+//! a panic. Same contract as `FirmwareImage::from_bytes`.
+
+use proptest::prelude::*;
+use xlf_onboard::coap::{option, CoapMessage, Code, MsgType};
+
+fn arbitrary_message() -> impl Strategy<Value = CoapMessage> {
+    (
+        any::<u8>(),                               // mtype selector
+        any::<u8>(),                               // code
+        any::<u16>(),                              // message id
+        prop::collection::vec(any::<u8>(), 0..=8), // token
+        // Options as (number, fill byte, length) triples: lengths up to
+        // 300 cross both extended wire forms (13 and 269).
+        prop::collection::vec((any::<u16>(), any::<u8>(), 0usize..300), 0..5),
+        prop::collection::vec(any::<u8>(), 0..200), // payload
+    )
+        .prop_map(|(mt, code, mid, token, options, payload)| {
+            let mtype = match mt % 4 {
+                0 => MsgType::Confirmable,
+                1 => MsgType::NonConfirmable,
+                2 => MsgType::Ack,
+                _ => MsgType::Reset,
+            };
+            let mut msg = CoapMessage::new(mtype, Code(code), mid)
+                .with_token(token)
+                .with_payload(payload);
+            for (number, fill, len) in options {
+                msg = msg.with_option(number, &vec![fill; len]);
+            }
+            msg
+        })
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Decoding must return, not unwind; the result value is free.
+        let _ = CoapMessage::from_bytes(&data);
+    }
+
+    #[test]
+    fn valid_messages_roundtrip(msg in arbitrary_message()) {
+        let bytes = msg.to_bytes().expect("generated fields fit the wire format");
+        let parsed = CoapMessage::from_bytes(&bytes).expect("own encoding parses");
+        // Codec canonicalizes option order; everything else is identity.
+        prop_assert_eq!(parsed.mtype, msg.mtype);
+        prop_assert_eq!(parsed.code, msg.code);
+        prop_assert_eq!(parsed.message_id, msg.message_id);
+        prop_assert_eq!(parsed.token, msg.token);
+        prop_assert_eq!(parsed.payload, msg.payload);
+        let mut expected = msg.options.clone();
+        expected.sort_by_key(|o| o.number);
+        prop_assert_eq!(parsed.options, expected);
+        // And the canonical form is a fixed point.
+        let again = parsed.to_bytes().expect("reencode");
+        prop_assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn every_truncation_point_is_structured(msg in arbitrary_message()) {
+        let bytes = msg.to_bytes().expect("encode");
+        for cut in 0..bytes.len() {
+            // Must return (Ok for prefixes that happen to parse, Err
+            // otherwise) — never panic.
+            let _ = CoapMessage::from_bytes(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_structured(msg in arbitrary_message(), flip in any::<u8>()) {
+        let bytes = msg.to_bytes().expect("encode");
+        let flip = (flip as usize) % 8 + 1; // flip this bit in every byte
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << (flip % 8);
+            let _ = CoapMessage::from_bytes(&mutated);
+        }
+    }
+}
+
+#[test]
+fn truncating_the_onboarding_request_at_every_point_is_total() {
+    // The concrete message the join handshake sends, byte by byte.
+    let msg = CoapMessage::new(MsgType::Confirmable, Code::POST, 0x1234)
+        .with_token(vec![9, 8, 7, 6])
+        .with_option(option::URI_PATH, b"authz-info")
+        .with_option(option::URI_QUERY, b"scope=telemetry:join")
+        .with_payload(vec![0x55; 96]);
+    let bytes = msg.to_bytes().expect("encode");
+    assert_eq!(
+        CoapMessage::from_bytes(&bytes).expect("full buffer parses"),
+        msg
+    );
+    for cut in 0..bytes.len() {
+        let _ = CoapMessage::from_bytes(&bytes[..cut]);
+    }
+}

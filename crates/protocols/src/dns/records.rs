@@ -50,8 +50,9 @@ fn canonical_bytes(name: &str, rtype: RecordType, value: &str, ttl_secs: u64) ->
 }
 
 fn zone_cipher(zone_secret: &[u8]) -> Speck128 {
-    let key = derive_key(zone_secret, "dnssec-zone-key", 16).expect("non-empty zone secret");
-    Speck128::new(&key).expect("16-byte key")
+    let key = derive_key(zone_secret, "dnssec-zone-key", 16)
+        .unwrap_or_else(|_| unreachable!("non-empty label and length"));
+    Speck128::new(&key).unwrap_or_else(|_| unreachable!("derive_key returned 16 bytes"))
 }
 
 impl DnsRecord {
@@ -77,7 +78,7 @@ impl DnsRecord {
                 &self.value,
                 self.ttl_secs,
             ))
-            .expect("tagging cannot fail"),
+            .unwrap_or_else(|_| unreachable!("CBC-MAC tagging is total")),
         );
         self
     }
@@ -94,7 +95,7 @@ impl DnsRecord {
             &canonical_bytes(&self.name, self.rtype, &self.value, self.ttl_secs),
             sig,
         )
-        .expect("verification cannot fail")
+        .unwrap_or_else(|_| unreachable!("CBC-MAC verification is total"))
     }
 }
 

@@ -67,19 +67,21 @@ pub struct WireQuery {
 
 // Invariant, not input validation: the output lengths handed to
 // `derive_key` match the fixed key sizes of the ciphers constructed on the
-// same line, so these expects can only fire if that pairing is edited —
+// same line, so these branches can only fire if that pairing is edited —
 // never from wire data or a caller-supplied secret.
 fn transport_cipher(transport: DnsTransport, session_secret: &[u8]) -> Box<dyn BlockCipher> {
     match transport {
         DnsTransport::XlfLightweight => Box::new(
-            Present80::new(
-                &derive_key(session_secret, "dns-lightweight", 10).expect("valid length"),
-            )
-            .expect("10-byte key"),
+            derive_key(session_secret, "dns-lightweight", 10)
+                .map_err(|_| ())
+                .and_then(|key| Present80::new(&key).map_err(|_| ()))
+                .unwrap_or_else(|()| unreachable!("10-byte derivation keys Present80")),
         ),
         _ => Box::new(
-            Speck128::new(&derive_key(session_secret, "dns-tls", 16).expect("valid length"))
-                .expect("16-byte key"),
+            derive_key(session_secret, "dns-tls", 16)
+                .map_err(|_| ())
+                .and_then(|key| Speck128::new(&key).map_err(|_| ()))
+                .unwrap_or_else(|()| unreachable!("16-byte derivation keys Speck128")),
         ),
     }
 }

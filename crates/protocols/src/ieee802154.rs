@@ -75,11 +75,12 @@ pub struct SecuredFrame {
 }
 
 // Invariant, not input validation: the requested 10-byte derived key is
-// exactly Present80's fixed key size, so these expects can only fire if
+// exactly Present80's fixed key size, so these branches can only fire if
 // that pairing is edited — never from frame contents.
 fn network_cipher(network_key: &[u8]) -> Present80 {
-    let key = derive_key(network_key, "802154-network", 10).expect("non-empty key");
-    Present80::new(&key).expect("10-byte key")
+    let key = derive_key(network_key, "802154-network", 10)
+        .unwrap_or_else(|_| unreachable!("non-empty label and length"));
+    Present80::new(&key).unwrap_or_else(|_| unreachable!("derive_key returned 10 bytes"))
 }
 
 fn mic_input(sender: u16, counter: u32, level: SecurityLevel, body: &[u8]) -> Vec<u8> {
@@ -134,7 +135,7 @@ impl FrameSender {
             // contents cannot trigger it.
             Some(
                 mac.tag(&mic_input(self.address, counter, level, &body))
-                    .expect("tagging cannot fail"),
+                    .unwrap_or_else(|_| unreachable!("CBC-MAC tagging is total")),
             )
         };
         SecuredFrame {
@@ -202,7 +203,7 @@ impl FrameReceiver {
                     &mic_input(frame.sender, frame.counter, frame.level, &frame.body),
                     mic,
                 )
-                .expect("verification cannot fail");
+                .unwrap_or_else(|_| unreachable!("CBC-MAC verification is total"));
             if !ok {
                 return Err(FrameError::BadMic);
             }

@@ -104,9 +104,9 @@ impl fmt::Debug for Session {
 // both fixed by the constants on this line, never by peer-supplied data.
 // A panic here means the KDF contract itself changed.
 fn key_for(psk: &[u8], session_id: &str, direction: &str) -> Speck128 {
-    let key =
-        derive_key(psk, &format!("tls-lite/{session_id}/{direction}"), 16).expect("non-empty psk");
-    Speck128::new(&key).expect("16-byte key")
+    let key = derive_key(psk, &format!("tls-lite/{session_id}/{direction}"), 16)
+        .unwrap_or_else(|_| unreachable!("non-empty label and length"));
+    Speck128::new(&key).unwrap_or_else(|_| unreachable!("derive_key returned 16 bytes"))
 }
 
 impl Session {

@@ -42,6 +42,7 @@
 //! | [`analytics`] | `xlf-analytics` | MKL, graphs, DFA, time series, fingerprinting |
 //! | [`attacks`] | `xlf-attacks` | the executable Table II / Figure 3 adversary library |
 //! | [`lwcrypto`] | `xlf-lwcrypto` | the Table III lightweight cipher suite |
+//! | [`onboard`] | `xlf-onboard` | CoAP + ACE-style secure onboarding with energy accounting |
 //! | [`fleet`] | `xlf-fleet` | sharded multi-home fleet orchestration + cross-home correlation |
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -57,5 +58,6 @@ pub use xlf_core as core;
 pub use xlf_device as device;
 pub use xlf_fleet as fleet;
 pub use xlf_lwcrypto as lwcrypto;
+pub use xlf_onboard as onboard;
 pub use xlf_protocols as protocols;
 pub use xlf_simnet as simnet;
